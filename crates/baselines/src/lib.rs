@@ -1,0 +1,39 @@
+//! Analytical models of the platforms MetaNMP is compared against.
+//!
+//! The paper evaluates against five designs (§5.1): the software-
+//! optimized Xeon CPU baseline, an NVIDIA V100, AWB-GCN, HyGCN, and
+//! RecNMP. All five are modeled here as rooflines with documented
+//! efficiency factors and software overheads, driven by the *measured*
+//! [`hgnn::WorkloadProfile`] of the workload — so the comparison shape
+//! (who wins, by roughly what factor, where the GPU runs out of
+//! memory) derives from the same op/byte counts the functional
+//! simulators execute.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{CpuModel, GpuModel, Platform, PlatformWorkload};
+//! use hgnn::WorkloadProfile;
+//!
+//! let w = PlatformWorkload::new(
+//!     WorkloadProfile::default(),
+//!     WorkloadProfile::default(),
+//!     1 << 30,
+//!     0.001,
+//! );
+//! let cpu = CpuModel::software_only().evaluate(&w);
+//! let gpu = GpuModel.evaluate(&w);
+//! assert!(!cpu.oom && !gpu.oom);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod models;
+mod roofline;
+pub mod spec;
+mod workload;
+
+pub use models::{AwbGcnModel, CpuModel, GpuModel, HyGcnModel, Platform, RecNmpModel};
+pub use roofline::{Roofline, RooflinePoint};
+pub use workload::{PlatformReport, PlatformWorkload};

@@ -1,0 +1,111 @@
+//! Roofline characterization (Figures 3b and 4b).
+//!
+//! A roofline point places a phase by its arithmetic intensity: the
+//! attainable performance is `min(peak_flops, intensity × peak_bw)`,
+//! and a phase is memory-bound when the bandwidth roof is the binding
+//! one at its intensity.
+
+use hgnn::{OpCounters, Phase, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// One phase placed on a platform's roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Which phase this point describes.
+    pub phase: Phase,
+    /// Arithmetic intensity (flops/byte).
+    pub intensity: f64,
+    /// Attainable performance at that intensity (flops/s).
+    pub attainable_flops: f64,
+    /// `true` when the bandwidth roof binds (memory-bound).
+    pub memory_bound: bool,
+}
+
+/// The machine roofline: ridge point and roofs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute (flops/s).
+    pub peak_flops: f64,
+    /// Peak bandwidth (bytes/s).
+    pub peak_bw: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from peaks.
+    pub fn new(peak_flops: f64, peak_bw: f64) -> Self {
+        Roofline { peak_flops, peak_bw }
+    }
+
+    /// The ridge intensity where compute and bandwidth roofs meet.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops / self.peak_bw
+    }
+
+    /// Attainable flops/s at a given intensity.
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        (intensity * self.peak_bw).min(self.peak_flops)
+    }
+
+    /// Places one phase's counters on this roofline.
+    pub fn place(&self, phase: Phase, counters: &OpCounters) -> RooflinePoint {
+        let intensity = counters.arithmetic_intensity();
+        RooflinePoint {
+            phase,
+            intensity,
+            attainable_flops: self.attainable(intensity),
+            memory_bound: intensity < self.ridge_intensity(),
+        }
+    }
+
+    /// Places all four phases of a profile.
+    pub fn place_profile(&self, profile: &WorkloadProfile) -> Vec<RooflinePoint> {
+        Phase::ALL
+            .iter()
+            .map(|&p| self.place(p, profile.phase(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point() {
+        let r = Roofline::new(1e12, 1e11);
+        assert!((r.ridge_intensity() - 10.0).abs() < 1e-12);
+        assert_eq!(r.attainable(5.0), 5e11);
+        assert_eq!(r.attainable(100.0), 1e12);
+    }
+
+    #[test]
+    fn low_intensity_is_memory_bound() {
+        let r = Roofline::new(1e12, 1e11);
+        let c = OpCounters {
+            flops: 100,
+            bytes_read: 1000,
+            bytes_written: 0,
+        };
+        let p = r.place(Phase::Structural, &c);
+        assert!(p.memory_bound);
+        assert!((p.intensity - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let r = Roofline::new(1e12, 1e11);
+        let c = OpCounters {
+            flops: 10_000,
+            bytes_read: 10,
+            bytes_written: 0,
+        };
+        assert!(!r.place(Phase::Projection, &c).memory_bound);
+    }
+
+    #[test]
+    fn profile_placement_covers_all_phases() {
+        let r = Roofline::new(1e12, 1e11);
+        let points = r.place_profile(&WorkloadProfile::default());
+        assert_eq!(points.len(), 4);
+    }
+}

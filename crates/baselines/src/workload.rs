@@ -1,0 +1,96 @@
+//! The workload description every platform model consumes.
+
+use hgnn::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// A platform-independent description of one HGNN inference, measured
+//  by the instrumented software engines (or assembled from DP counts
+/// for web-scale graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformWorkload {
+    /// Profile of the conventional materialized pipeline (what
+    /// CPU/GPU/accelerator baselines execute).
+    pub naive: WorkloadProfile,
+    /// Profile of the on-the-fly reuse pipeline (what the software-
+    /// optimized CPU baseline executes).
+    pub reuse: WorkloadProfile,
+    /// Bytes the materialized pipeline must keep resident: graph +
+    /// features + instances + per-instance intermediates. Decides GPU
+    /// out-of-memory.
+    pub footprint_bytes: u128,
+    /// Seconds MetaNMP needs to generate the metapath instances; the
+    /// paper charges this to AWB-GCN, HyGCN, and RecNMP, whose own
+    /// pipelines cannot generate instances.
+    pub metanmp_generation_seconds: f64,
+}
+
+impl PlatformWorkload {
+    /// Builds a workload from the two engine profiles.
+    pub fn new(
+        naive: WorkloadProfile,
+        reuse: WorkloadProfile,
+        footprint_bytes: u128,
+        metanmp_generation_seconds: f64,
+    ) -> Self {
+        PlatformWorkload {
+            naive,
+            reuse,
+            footprint_bytes,
+            metanmp_generation_seconds,
+        }
+    }
+}
+
+/// A platform's verdict on a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// End-to-end seconds (matching + inference, per the paper's
+    /// dynamic-graph scenario where every inference re-matches).
+    pub seconds: f64,
+    /// Seconds spent producing/obtaining metapath instances.
+    pub matching_seconds: f64,
+    /// Seconds of the three inference phases.
+    pub inference_seconds: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// The workload did not fit in device memory (Figure 12 marks
+    /// OGB-MAG and OAG OOM on the V100).
+    pub oom: bool,
+}
+
+impl PlatformReport {
+    /// An out-of-memory verdict.
+    pub fn out_of_memory() -> Self {
+        PlatformReport {
+            seconds: f64::INFINITY,
+            matching_seconds: f64::INFINITY,
+            inference_seconds: f64::INFINITY,
+            energy_j: f64::INFINITY,
+            oom: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_report() {
+        let r = PlatformReport::out_of_memory();
+        assert!(r.oom);
+        assert!(r.seconds.is_infinite());
+    }
+
+    #[test]
+    fn workload_construction() {
+        let w = PlatformWorkload::new(
+            WorkloadProfile::default(),
+            WorkloadProfile::default(),
+            1024,
+            0.5,
+        );
+        assert_eq!(w.footprint_bytes, 1024);
+        assert_eq!(w.metanmp_generation_seconds, 0.5);
+    }
+}

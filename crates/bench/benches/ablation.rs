@@ -1,0 +1,41 @@
+//! Bench for Figure 14's configurations: SoftwareOnly (reuse engine on
+//! the CPU model), MetaNMP-w/o-NMPAggr, and the full design.
+
+use bench::tiny_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgnn::ModelKind;
+use nmp::{estimate, NmpConfig};
+use std::hint::black_box;
+
+fn bench_configs(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    let full = NmpConfig {
+        hidden_dim: 16,
+        ..NmpConfig::default()
+    };
+    let without_aggr = NmpConfig {
+        aggregate_in_nmp: false,
+        ..full
+    };
+    let without_reuse = NmpConfig {
+        reuse: false,
+        ..full
+    };
+    let mut g = c.benchmark_group("fig14_configs");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("metanmp_full", full),
+        ("metanmp_wo_nmpaggr", without_aggr),
+        ("metanmp_wo_reuse", without_reuse),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                estimate(black_box(&ds.graph), ModelKind::Magnn, &ds.metapaths, &cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for Figures 15 and 18: the distribution pass under the
+//! broadcast and naive communication policies.
+
+use bench::bench_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgnn::ModelKind;
+use nmp::{estimate, CommPolicy, NmpConfig};
+use std::hint::black_box;
+
+fn config(comm: CommPolicy) -> NmpConfig {
+    NmpConfig {
+        hidden_dim: 16,
+        comm,
+        ..NmpConfig::default()
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig15_fig18_comm");
+    g.sample_size(10);
+    for policy in [CommPolicy::Broadcast, CommPolicy::Naive] {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                estimate(
+                    black_box(&ds.graph),
+                    ModelKind::Magnn,
+                    black_box(&ds.metapaths),
+                    &config(policy),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench for the DDR4 substrate underlying Figures 3 and 4's
+//! memory-bound characterization: scheduler throughput on sequential,
+//! random, and rank-local streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dramsim::{DramConfig, MemorySystem, Request};
+use std::hint::black_box;
+
+fn bench_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_scheduler");
+    let n = 4096u64;
+    g.bench_function("sequential_reads", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(DramConfig::default());
+            for i in 0..n {
+                sys.enqueue(Request::read(i * 64, 64));
+            }
+            black_box(sys.service_all().stats.elapsed_cycles)
+        })
+    });
+    g.bench_function("random_reads", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(DramConfig::default());
+            let mut x = 0x2545F491u64;
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                sys.enqueue(Request::read((x % (1 << 28)) & !63, 64));
+            }
+            black_box(sys.service_all().stats.elapsed_cycles)
+        })
+    });
+    g.bench_function("rank_local_aggregation_pattern", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(DramConfig::default());
+            for i in 0..n {
+                sys.enqueue(Request::local_read(i * 256, 256));
+                sys.enqueue(Request::local_write((1 << 30) + i * 256, 256));
+            }
+            black_box(sys.service_all().stats.elapsed_cycles)
+        })
+    });
+    g.bench_function("broadcast_writes", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(DramConfig::default());
+            for i in 0..n {
+                sys.enqueue(Request::broadcast_write(i * 64, 256));
+            }
+            black_box(sys.service_all().stats.elapsed_cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bench for Figures 12 and 13: the full comparison pipeline (software
+//! profiles + MetaNMP estimate + all five baseline models) and the two
+//! simulator modes.
+
+use bench::tiny_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgnn::{FeatureStore, ModelKind, OpCounters, Projection};
+use metanmp::compare;
+use nmp::{estimate, FunctionalSim, NmpConfig};
+use std::hint::black_box;
+
+fn config() -> NmpConfig {
+    NmpConfig {
+        hidden_dim: 16,
+        ..NmpConfig::default()
+    }
+}
+
+fn bench_full_comparison(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    let mut g = c.benchmark_group("fig12_13");
+    g.sample_size(10);
+    g.bench_function("compare_all_platforms_magnn", |b| {
+        b.iter(|| {
+            black_box(
+                compare(black_box(&ds), ModelKind::Magnn, 16, &config(), None).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    let features = FeatureStore::random(&ds.graph, 5);
+    let projection = Projection::random(&ds.graph, 16, 5);
+    let mut counters = OpCounters::default();
+    let hidden = projection.project(&ds.graph, &features, &mut counters).unwrap();
+    let mut g = c.benchmark_group("simulators");
+    g.sample_size(10);
+    g.bench_function("functional_sim_magnn", |b| {
+        b.iter(|| {
+            FunctionalSim::new(config())
+                .run(
+                    black_box(&ds.graph),
+                    black_box(&hidden),
+                    ModelKind::Magnn,
+                    black_box(&ds.metapaths),
+                )
+                .unwrap()
+        })
+    });
+    g.bench_function("estimate_magnn", |b| {
+        b.iter(|| {
+            estimate(
+                black_box(&ds.graph),
+                ModelKind::Magnn,
+                black_box(&ds.metapaths),
+                &config(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_comparison, bench_simulators);
+criterion_main!(benches);

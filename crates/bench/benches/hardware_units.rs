@@ -1,0 +1,60 @@
+//! Microbenches of the Figure 9/10 hardware-unit models: CarPU product
+//! generation, RCEU detection, ISA encode/decode, and the feature
+//! cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmp::buffers::FeatureCache;
+use nmp::isa::NmpInstruction;
+use nmp::units::{CarPu, Rceu};
+use std::hint::black_box;
+
+fn bench_carpu(c: &mut Criterion) {
+    let unit = CarPu::new(2048);
+    let left: Vec<u32> = (0..64).collect();
+    let right: Vec<u32> = (0..64).collect();
+    c.bench_function("carpu_64x64_product", |b| {
+        b.iter(|| black_box(unit.generate(black_box(&left), 7, black_box(&right))))
+    });
+}
+
+fn bench_rceu(c: &mut Criterion) {
+    let rceu = Rceu::new();
+    c.bench_function("rceu_detection", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 1..=black_box(4096u32) {
+                if rceu.detects_reuse(i) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_isa(c: &mut Criterion) {
+    c.bench_function("isa_encode_decode", |b| {
+        b.iter(|| {
+            let inst = NmpInstruction::Aggregate {
+                vertex: black_box(42),
+                agg_addr: black_box(0x1000),
+            };
+            black_box(NmpInstruction::decode(inst.encode()).unwrap())
+        })
+    });
+}
+
+fn bench_feature_cache(c: &mut Criterion) {
+    c.bench_function("feature_cache_mixed_access", |b| {
+        b.iter(|| {
+            let mut cache = FeatureCache::new(256 * 1024, 256);
+            for i in 0..black_box(4096u32) {
+                cache.access(0, i % 1500);
+            }
+            black_box(cache.hit_rate())
+        })
+    });
+}
+
+criterion_group!(benches, bench_carpu, bench_rceu, bench_isa, bench_feature_cache);
+criterion_main!(benches);

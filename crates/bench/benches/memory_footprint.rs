@@ -1,0 +1,46 @@
+//! Bench for Tables 1 and 4: instance counting and memory-footprint
+//! analysis (the closed-form DP that replaces materialization).
+
+use bench::bench_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgraph::instances::{count_instances, enumerate_instances, instance_memory, InstanceStorage};
+use hgnn::ModelKind;
+use metanmp::compare_memory;
+use std::hint::black_box;
+
+fn bench_counting_vs_enumeration(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mp = ds.metapath("MAM").unwrap();
+    let mut g = c.benchmark_group("table1_instances");
+    g.bench_function("count_dp", |b| {
+        b.iter(|| count_instances(black_box(&ds.graph), black_box(mp)).unwrap())
+    });
+    g.bench_function("enumerate_materialized", |b| {
+        b.iter(|| enumerate_instances(black_box(&ds.graph), black_box(mp), usize::MAX).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_memory_analysis(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mp = ds.metapath("AMDMA").unwrap();
+    let mut g = c.benchmark_group("table4_memory");
+    g.bench_function("instance_memory_fullpath", |b| {
+        b.iter(|| {
+            instance_memory(
+                black_box(&ds.graph),
+                black_box(mp),
+                InstanceStorage::FullPath,
+                64,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("compare_memory_magnn", |b| {
+        b.iter(|| compare_memory(black_box(&ds.graph), black_box(mp), ModelKind::Magnn, 64, 8).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_counting_vs_enumeration, bench_memory_analysis);
+criterion_main!(benches);

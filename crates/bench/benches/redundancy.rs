@@ -1,0 +1,59 @@
+//! Bench for Figures 5 and 14's software side: the materialized engine
+//! (with its redundant per-instance aggregation) vs the on-the-fly
+//! reuse engine, plus the closed-form redundancy analysis.
+
+use bench::tiny_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgraph::cartesian::reuse_stats;
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    let features = FeatureStore::random(&ds.graph, 1);
+    let config = ModelConfig::new(ModelKind::Magnn)
+        .with_hidden_dim(16)
+        .with_attention(false);
+    let mut g = c.benchmark_group("fig5_fig14_engines");
+    g.sample_size(10);
+    g.bench_function("materialized_magnn", |b| {
+        b.iter(|| {
+            MaterializedEngine
+                .run(
+                    black_box(&ds.graph),
+                    black_box(&features),
+                    black_box(&config),
+                    black_box(&ds.metapaths),
+                )
+                .unwrap()
+        })
+    });
+    g.bench_function("on_the_fly_magnn", |b| {
+        b.iter(|| {
+            OnTheFlyEngine
+                .run(
+                    black_box(&ds.graph),
+                    black_box(&features),
+                    black_box(&config),
+                    black_box(&ds.metapaths),
+                )
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_redundancy_analysis(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    c.bench_function("fig5_reuse_stats", |b| {
+        b.iter(|| {
+            for mp in &ds.metapaths {
+                black_box(reuse_stats(&ds.graph, mp).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_engines, bench_redundancy_analysis);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench for Figures 16 and 17: DIMM and rank design-space sweeps of
+//! the analytic estimator.
+
+use bench::bench_dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dramsim::DramConfig;
+use hgnn::ModelKind;
+use nmp::{estimate, NmpConfig};
+use std::hint::black_box;
+
+fn bench_dimm_scaling(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig16_dimms");
+    g.sample_size(10);
+    for dimms in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(dimms), &dimms, |b, &dimms| {
+            let cfg = NmpConfig {
+                hidden_dim: 16,
+                dram: DramConfig {
+                    channels: 1,
+                    dimms_per_channel: dimms,
+                    ..DramConfig::default()
+                },
+                ..NmpConfig::default()
+            };
+            b.iter(|| {
+                estimate(black_box(&ds.graph), ModelKind::Magnn, &ds.metapaths, &cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig17_ranks");
+    g.sample_size(10);
+    for ranks in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            let cfg = NmpConfig {
+                hidden_dim: 16,
+                dram: DramConfig {
+                    ranks_per_dimm: ranks,
+                    ..DramConfig::default()
+                },
+                ..NmpConfig::default()
+            };
+            b.iter(|| {
+                estimate(black_box(&ds.graph), ModelKind::Magnn, &ds.metapaths, &cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dimm_scaling, bench_rank_scaling);
+criterion_main!(benches);

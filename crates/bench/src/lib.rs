@@ -1,0 +1,18 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates the workload behind one of the
+//! paper's tables or figures (see DESIGN.md §5 for the index); the
+//! benches measure our implementation's throughput on those workloads
+//! and double as regression guards for the simulator's performance.
+
+use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
+
+/// A small but non-trivial benchmark dataset (IMDB at 5% scale).
+pub fn bench_dataset() -> Dataset {
+    generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05))
+}
+
+/// A tiny dataset for the more expensive end-to-end benches.
+pub fn tiny_dataset() -> Dataset {
+    generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.02))
+}

@@ -1,0 +1,237 @@
+//! Memory-system configuration: topology, timing, and energy
+//! parameters.
+//!
+//! Defaults reproduce the paper's Table 2: DDR4-2400, 8 GB per DIMM,
+//! 4 channels × 2 DIMMs × 2 ranks (64 GB total), 4 KB row buffer,
+//! FR-FCFS scheduling, and the listed timing constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// DDR timing constraints in memory-clock cycles (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// ACT → internal read/write (row to column delay).
+    pub t_rcd: u64,
+    /// Read command → first data (CAS latency).
+    pub t_cl: u64,
+    /// PRE → ACT (row precharge).
+    pub t_rp: u64,
+    /// ACT → ACT, same bank (row cycle).
+    pub t_rc: u64,
+    /// ACT → ACT, different bank group.
+    pub t_rrd_s: u64,
+    /// ACT → ACT, same bank group.
+    pub t_rrd_l: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// Column command → column command, different bank group.
+    pub t_ccd_s: u64,
+    /// Column command → column command, same bank group.
+    pub t_ccd_l: u64,
+    /// Burst length in clock cycles (BL8 on a 2n-prefetch bus = 4).
+    pub t_bl: u64,
+    /// Write recovery: last write data → PRE.
+    pub t_wr: u64,
+    /// Average periodic refresh interval (tREFI); refresh is issued
+    /// per rank every tREFI cycles.
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC): the rank is unavailable and all its
+    /// rows are closed for this long.
+    pub t_rfc: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        // DDR4-2400 values from Table 2 (tWR is not listed there; 18
+        // cycles is the JEDEC value at this speed bin).
+        Timing {
+            t_rcd: 16,
+            t_cl: 16,
+            t_rp: 16,
+            t_rc: 55,
+            t_rrd_s: 4,
+            t_rrd_l: 6,
+            t_faw: 26,
+            t_ccd_s: 4,
+            t_ccd_l: 6,
+            t_bl: 4,
+            t_wr: 18,
+            // 7.8 µs and 350 ns at the 1200 MHz command clock (JEDEC
+            // 8 Gb DDR4 values; Table 2 does not list them).
+            t_refi: 9360,
+            t_rfc: 420,
+        }
+    }
+}
+
+/// Per-operation energy constants, in picojoules.
+///
+/// Values are CACTI-class estimates for DDR4 x8 devices: row
+/// activation+precharge pairs cost nanojoules, array column accesses a
+/// few pJ/bit, and channel I/O dominates when data crosses the DIMM
+/// pins. Rank-local (near-memory) accesses skip the channel I/O and pay
+/// only a buffer-chip hop. Broadcast transfers drive every DIMM
+/// terminal on the bus, so their I/O energy scales with the DIMM count
+/// (§5.7 measures broadcast bus energy at 1.61× naive on average).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one ACT+PRE pair (pJ).
+    pub act_pre_pj: f64,
+    /// Array access energy per bit read or written (pJ/bit).
+    pub array_pj_per_bit: f64,
+    /// Channel I/O energy per bit for normal transfers (pJ/bit).
+    pub io_pj_per_bit: f64,
+    /// Buffer-chip hop energy per bit for rank-local transfers
+    /// (pJ/bit).
+    pub local_pj_per_bit: f64,
+    /// Multiplier on `io_pj_per_bit` for a broadcast transfer: the bus
+    /// charges the terminal capacitance of every DIMM on the channel
+    /// and drives full swing into all terminations, where a
+    /// point-to-point transfer terminates only at its target DIMM.
+    pub broadcast_io_factor: f64,
+    /// Background power per rank (mW).
+    pub background_mw_per_rank: f64,
+    /// Energy of one all-bank refresh (pJ).
+    pub refresh_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            act_pre_pj: 2000.0,
+            array_pj_per_bit: 1.5,
+            io_pj_per_bit: 6.0,
+            local_pj_per_bit: 2.0,
+            broadcast_io_factor: 3.2,
+            background_mw_per_rank: 50.0,
+            refresh_pj: 25_000.0,
+        }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// DIMMs per channel.
+    pub dimms_per_channel: usize,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: usize,
+    /// Bank groups per rank.
+    pub bank_groups: usize,
+    /// Banks per bank group.
+    pub banks_per_group: usize,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: usize,
+    /// Bytes transferred by one burst (cache-line granularity).
+    pub burst_bytes: usize,
+    /// Memory clock frequency in MHz (command clock; DDR4-2400 runs a
+    /// 1200 MHz clock with two data beats per cycle).
+    pub clock_mhz: f64,
+    /// Timing constraints.
+    pub timing: Timing,
+    /// Energy constants.
+    pub energy: EnergyParams,
+    /// FR-FCFS scheduling window (requests inspected for row hits).
+    pub sched_window: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 2,
+            bank_groups: 4,
+            banks_per_group: 4,
+            row_bytes: 4096,
+            burst_bytes: 64,
+            clock_mhz: 1200.0,
+            timing: Timing::default(),
+            energy: EnergyParams::default(),
+            sched_window: 16,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Total ranks in the system.
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Total DIMMs in the system.
+    pub fn total_dimms(&self) -> usize {
+        self.channels * self.dimms_per_channel
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Seconds per memory-clock cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1e6)
+    }
+
+    /// Peak data bandwidth of one channel in bytes/second
+    /// (`burst_bytes` per `t_bl` cycles).
+    pub fn channel_peak_bandwidth(&self) -> f64 {
+        self.burst_bytes as f64 / (self.timing.t_bl as f64 * self.cycle_seconds())
+    }
+
+    /// Peak aggregate bandwidth across all channels.
+    pub fn system_peak_bandwidth(&self) -> f64 {
+        self.channel_peak_bandwidth() * self.channels as f64
+    }
+
+    /// Peak aggregate *rank-local* bandwidth: every rank can stream
+    /// bursts through its own interface concurrently.
+    pub fn rank_local_peak_bandwidth(&self) -> f64 {
+        self.channel_peak_bandwidth() * self.total_ranks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = DramConfig::default();
+        assert_eq!(c.channels, 4);
+        assert_eq!(c.dimms_per_channel, 2);
+        assert_eq!(c.ranks_per_dimm, 2);
+        assert_eq!(c.total_ranks(), 16);
+        assert_eq!(c.total_dimms(), 8);
+        assert_eq!(c.row_bytes, 4096);
+        assert_eq!(c.timing.t_rcd, 16);
+        assert_eq!(c.timing.t_rc, 55);
+        assert_eq!(c.timing.t_faw, 26);
+    }
+
+    #[test]
+    fn ddr4_2400_peak_bandwidth() {
+        let c = DramConfig::default();
+        let bw = c.channel_peak_bandwidth();
+        // 64B / (4 cycles × 0.833ns) = 19.2 GB/s.
+        assert!((bw - 19.2e9).abs() / 19.2e9 < 0.01, "bw = {bw}");
+        assert!((c.system_peak_bandwidth() - 4.0 * bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn rank_local_bandwidth_scales_with_ranks() {
+        let c = DramConfig::default();
+        assert!(
+            (c.rank_local_peak_bandwidth() - 16.0 * c.channel_peak_bandwidth()).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn cycle_time() {
+        let c = DramConfig::default();
+        assert!((c.cycle_seconds() - 0.8333e-9).abs() < 1e-12);
+    }
+}

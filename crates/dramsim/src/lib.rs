@@ -1,0 +1,45 @@
+//! A command-level DDR4 memory-system simulator.
+//!
+//! This crate stands in for the paper's Ramulator integration: it
+//! models channels, DIMMs, ranks, bank groups, and banks with the full
+//! Table-2 timing constraints (tRCD/tCL/tRP/tRC/tRRD/tFAW/tCCD/tBL),
+//! FR-FCFS scheduling, row-buffer state, and per-component energy
+//! accounting. Two extensions support the MetaNMP design:
+//!
+//! * **Rank-local accesses** ([`Request::local_read`]) model the
+//!   rank-AU's near-memory traffic: data moves on the rank's internal
+//!   interface, so all ranks stream concurrently and the shared channel
+//!   bus stays free — the source of MetaNMP's aggregation bandwidth.
+//! * **Broadcast writes** ([`Request::broadcast_write`]) model the
+//!   §4.2 inter-DIMM broadcast: one bus transfer latched by every DIMM
+//!   on the channel, with I/O energy scaled by the terminal capacitance
+//!   of all DIMMs.
+//!
+//! # Example
+//!
+//! ```
+//! use dramsim::{DramConfig, MemorySystem, Request};
+//!
+//! let mut sys = MemorySystem::new(DramConfig::default());
+//! for i in 0..16u64 {
+//!     sys.enqueue(Request::read(i * 64, 64));
+//! }
+//! let report = sys.service_all();
+//! assert_eq!(report.stats.reads, 16);
+//! assert!(report.stats.effective_bandwidth(sys.config()) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod address;
+mod config;
+mod request;
+mod stats;
+mod system;
+
+pub use address::{AddressMapper, Location};
+pub use config::{DramConfig, EnergyParams, Timing};
+pub use request::{Completion, Locality, Request, RequestId, RequestKind};
+pub use stats::{EnergyBreakdown, MemoryStats};
+pub use system::{MemorySystem, Report};

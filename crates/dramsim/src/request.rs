@@ -1,0 +1,149 @@
+//! Memory requests and their completions.
+
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Data flows from DRAM to the requester.
+    Read,
+    /// Data flows from the requester to DRAM.
+    Write,
+}
+
+/// Which interconnect the data crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// A normal host access: data crosses the shared channel bus.
+    Channel,
+    /// A near-memory access issued by a rank-AU: data stays on the
+    /// rank's internal interface, so concurrent ranks stream in
+    /// parallel and no channel-bus slot is consumed.
+    RankLocal,
+    /// A broadcast write (§4.2): one channel-bus transfer delivered to
+    /// every DIMM on the channel simultaneously. Only meaningful for
+    /// writes issued by the host.
+    Broadcast,
+    /// A point-to-point transfer latched by one DIMM's buffer chip
+    /// (evoke payloads, single-consumer feature sends): occupies the
+    /// channel bus with normal I/O energy but touches no DRAM bank.
+    DirectSend,
+}
+
+/// One memory request. Requests larger than the burst size are split
+/// into sequential bursts internally.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Physical byte address.
+    pub addr: u64,
+    /// Transfer size in bytes (at least 1).
+    pub bytes: usize,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Interconnect used by the data.
+    pub locality: Locality,
+    /// Memory-clock cycle at which the request becomes visible to the
+    /// controller.
+    pub arrival_cycle: u64,
+}
+
+impl Request {
+    /// A host read over the channel bus.
+    pub fn read(addr: u64, bytes: usize) -> Self {
+        Request {
+            addr,
+            bytes,
+            kind: RequestKind::Read,
+            locality: Locality::Channel,
+            arrival_cycle: 0,
+        }
+    }
+
+    /// A host write over the channel bus.
+    pub fn write(addr: u64, bytes: usize) -> Self {
+        Request {
+            addr,
+            bytes,
+            kind: RequestKind::Write,
+            locality: Locality::Channel,
+            arrival_cycle: 0,
+        }
+    }
+
+    /// A rank-local (near-memory) read.
+    pub fn local_read(addr: u64, bytes: usize) -> Self {
+        Request {
+            locality: Locality::RankLocal,
+            ..Request::read(addr, bytes)
+        }
+    }
+
+    /// A rank-local (near-memory) write.
+    pub fn local_write(addr: u64, bytes: usize) -> Self {
+        Request {
+            locality: Locality::RankLocal,
+            ..Request::write(addr, bytes)
+        }
+    }
+
+    /// A broadcast write to every DIMM of the target channel.
+    pub fn broadcast_write(addr: u64, bytes: usize) -> Self {
+        Request {
+            locality: Locality::Broadcast,
+            ..Request::write(addr, bytes)
+        }
+    }
+
+    /// A point-to-point buffer-chip send to one DIMM (no bank
+    /// activity).
+    pub fn direct_send(addr: u64, bytes: usize) -> Self {
+        Request {
+            locality: Locality::DirectSend,
+            ..Request::write(addr, bytes)
+        }
+    }
+
+    /// Returns a copy arriving at the given cycle.
+    pub fn at_cycle(mut self, cycle: u64) -> Self {
+        self.arrival_cycle = cycle;
+        self
+    }
+}
+
+/// Identifier of an enqueued request, in enqueue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub usize);
+
+/// Completion record of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request this completes.
+    pub id: RequestId,
+    /// Cycle the first data beat appeared on the bus.
+    pub data_start: u64,
+    /// Cycle the last data beat finished (the request's latency
+    /// endpoint).
+    pub finish: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_locality() {
+        assert_eq!(Request::read(0, 64).locality, Locality::Channel);
+        assert_eq!(Request::local_read(0, 64).locality, Locality::RankLocal);
+        assert_eq!(
+            Request::broadcast_write(0, 64).locality,
+            Locality::Broadcast
+        );
+        assert_eq!(Request::local_write(0, 64).kind, RequestKind::Write);
+    }
+
+    #[test]
+    fn at_cycle_sets_arrival() {
+        let r = Request::write(64, 64).at_cycle(100);
+        assert_eq!(r.arrival_cycle, 100);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cumulative statistics and energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramConfig;
+
+/// Energy consumed so far, split by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Row activate + precharge pairs.
+    pub activate_pj: f64,
+    /// DRAM array column accesses.
+    pub array_pj: f64,
+    /// Channel I/O for normal transfers.
+    pub io_pj: f64,
+    /// Channel I/O for broadcast transfers (charges every DIMM
+    /// terminal).
+    pub broadcast_io_pj: f64,
+    /// Buffer-chip hops for rank-local transfers.
+    pub local_io_pj: f64,
+    /// Background (standby) energy.
+    pub background_pj: f64,
+    /// Periodic refresh energy.
+    pub refresh_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.activate_pj
+            + self.array_pj
+            + self.io_pj
+            + self.broadcast_io_pj
+            + self.local_io_pj
+            + self.background_pj
+            + self.refresh_pj
+    }
+
+    /// Total bus (I/O) energy only — the quantity Figure 18 compares.
+    pub fn bus_pj(&self) -> f64 {
+        self.io_pj + self.broadcast_io_pj
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.activate_pj += other.activate_pj;
+        self.array_pj += other.array_pj;
+        self.io_pj += other.io_pj;
+        self.broadcast_io_pj += other.broadcast_io_pj;
+        self.local_io_pj += other.local_io_pj;
+        self.background_pj += other.background_pj;
+        self.refresh_pj += other.refresh_pj;
+    }
+}
+
+/// Counters accumulated across every serviced request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Bursts that hit an open row.
+    pub row_hits: u64,
+    /// Bursts that required activating a row.
+    pub row_misses: u64,
+    /// Row activations issued.
+    pub activates: u64,
+    /// Precharges issued (row conflicts).
+    pub precharges: u64,
+    /// Broadcast bus transfers.
+    pub broadcast_transfers: u64,
+    /// Cycles the shared channel buses carried data (summed over
+    /// channels).
+    pub channel_bus_busy_cycles: u64,
+    /// Cycles rank-local interfaces carried data (summed over ranks).
+    pub local_bus_busy_cycles: u64,
+    /// Bytes moved over channel buses.
+    pub channel_bytes: u64,
+    /// Bytes moved over rank-local interfaces.
+    pub local_bytes: u64,
+    /// Cycle at which the last request finished.
+    pub elapsed_cycles: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl MemoryStats {
+    /// Fraction of bursts that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock seconds of the simulation so far.
+    pub fn elapsed_seconds(&self, config: &DramConfig) -> f64 {
+        self.elapsed_cycles as f64 * config.cycle_seconds()
+    }
+
+    /// Achieved bandwidth (all interconnects) in bytes per second.
+    pub fn effective_bandwidth(&self, config: &DramConfig) -> f64 {
+        let s = self.elapsed_seconds(config);
+        if s == 0.0 {
+            0.0
+        } else {
+            (self.channel_bytes + self.local_bytes) as f64 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_totals() {
+        let e = EnergyBreakdown {
+            activate_pj: 1.0,
+            array_pj: 2.0,
+            io_pj: 3.0,
+            broadcast_io_pj: 4.0,
+            local_io_pj: 5.0,
+            background_pj: 6.0,
+            refresh_pj: 7.0,
+        };
+        assert_eq!(e.total_pj(), 28.0);
+        assert_eq!(e.bus_pj(), 7.0);
+        let mut m = EnergyBreakdown::default();
+        m.merge(&e);
+        m.merge(&e);
+        assert_eq!(m.total_pj(), 56.0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = MemoryStats {
+            row_hits: 3,
+            row_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.row_hit_rate(), 0.75);
+        assert_eq!(MemoryStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_zero_when_no_time() {
+        let s = MemoryStats::default();
+        assert_eq!(s.effective_bandwidth(&DramConfig::default()), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared experiment infrastructure: dataset acquisition, scale
+//! selection, and table rendering.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
+use hetgraph::instances::count_instances;
+
+/// Scale used for *counting-only* analyses (memory tables, redundancy
+/// ratios), per dataset. The three small datasets run at full Table-3
+/// scale; the web-scale presets are capped so graph construction stays
+/// within laptop memory — counting results are reported at that scale.
+pub fn analysis_scale(id: DatasetId) -> f64 {
+    match id {
+        DatasetId::Dblp | DatasetId::Imdb | DatasetId::Lastfm => 1.0,
+        DatasetId::OgbMag => 0.5,
+        DatasetId::Oag => 0.25,
+    }
+}
+
+/// Returns a dataset for counting-only analyses.
+pub fn analysis_dataset(id: DatasetId) -> Dataset {
+    generate(id, GeneratorConfig::at_scale(analysis_scale(id)))
+}
+
+/// Returns a dataset scaled until its total instance count (over all
+/// metapaths) fits the execution budget, so the instrumented software
+/// engines can run it. Returns the dataset and the chosen scale.
+pub fn execution_dataset(id: DatasetId, instance_budget: u128) -> Dataset {
+    const LADDER: [f64; 13] = [
+        0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 1e-4, 5e-5,
+        2e-5, 1e-5,
+    ];
+    for &scale in &LADDER {
+        let ds = generate(id, GeneratorConfig::at_scale(scale));
+        let total: u128 = ds
+            .metapaths
+            .iter()
+            .map(|mp| count_instances(&ds.graph, mp).unwrap_or(u128::MAX))
+            .sum();
+        if total <= instance_budget {
+            return ds;
+        }
+    }
+    generate(id, GeneratorConfig::at_scale(*LADDER.last().unwrap()))
+}
+
+/// Default per-dataset instance budget for engine execution.
+pub const EXEC_BUDGET: u128 = 1_500_000;
+
+/// A rendered text table that prints to stdout and saves to
+/// `results/<name>.md`.
+pub struct TableWriter {
+    name: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl TableWriter {
+    /// Creates a table with a machine name (file stem) and title.
+    pub fn new(name: &str, title: &str, header: &[&str]) -> Self {
+        TableWriter {
+            name: name.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Renders, prints, and saves the table.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (w, c) in widths.iter().zip(cells) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n> {note}");
+        }
+        println!("{out}");
+        let dir = Path::new("results");
+        let _ = fs::create_dir_all(dir);
+        let _ = fs::write(dir.join(format!("{}.md", self.name)), out);
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if !v.is_finite() {
+        return "OOM".to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats bytes human-readably.
+pub fn fmt_bytes(b: u128) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.2}{}", UNITS[unit])
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_x(v: f64) -> String {
+    if !v.is_finite() {
+        "OOM".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}

@@ -1,0 +1,84 @@
+//! `metanmp-experiments` — regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! metanmp-experiments [EXPERIMENT ...]
+//!
+//! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
+//!              fig14 fig15 fig16 fig17 fig18 ablate all
+//! ```
+//!
+//! Output tables print to stdout and are saved under `results/`.
+
+mod ablation;
+mod characterization;
+mod common;
+mod datasets_exp;
+mod hardware;
+mod memory_exps;
+mod performance;
+
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("table1", memory_exps::table1),
+    ("table3", datasets_exp::table3),
+    ("table4", memory_exps::table4),
+    ("table5", hardware::table5),
+    ("fig3", characterization::fig3),
+    ("fig4", characterization::fig4),
+    ("fig5", characterization::fig5),
+    ("fig12", performance::fig12_13),
+    ("fig13", performance::fig12_13),
+    ("fig14", performance::fig14),
+    ("fig15", hardware::fig15),
+    ("fig16", hardware::fig16),
+    ("fig17", hardware::fig17),
+    ("fig18", hardware::fig18),
+    ("ablate", ablation::ablations),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: metanmp-experiments [EXPERIMENT ...]");
+        eprintln!("experiments: all {}", names().join(" "));
+        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    }
+    let mut ran = std::collections::BTreeSet::new();
+    for arg in &args {
+        if arg == "all" {
+            for (name, f) in EXPERIMENTS {
+                if ran.insert(*name) {
+                    banner(name);
+                    f();
+                }
+            }
+            continue;
+        }
+        match EXPERIMENTS.iter().find(|(n, _)| n == arg) {
+            Some((name, f)) => {
+                // fig12 and fig13 share one computation; avoid
+                // running it twice when both are requested.
+                let key = if *name == "fig13" { "fig12" } else { name };
+                if ran.insert(key) {
+                    banner(name);
+                    f();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {arg:?}; known: all {}", names().join(" "));
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+}
+
+fn banner(name: &str) {
+    println!("\n=== {name} ===");
+}

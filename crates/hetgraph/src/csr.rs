@@ -1,0 +1,236 @@
+//! Compressed sparse row adjacency used for every typed relation.
+//!
+//! The paper's *optimized graph layout* (§4.1) stores a vertex's
+//! neighbors of different types separately so the cartesian-like product
+//! can read a type-homogeneous neighbor list without per-edge type
+//! checks. We realize that layout by keeping one [`Csr`] per *directed
+//! typed relation*: the CSR for (Paper → Author) lists, for every paper,
+//! exactly its author neighbors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::VertexId;
+
+/// Immutable CSR adjacency from one vertex type to another.
+///
+/// Row `i` holds the sorted neighbor list of source vertex `i`. The
+/// structure is append-only at build time (see [`CsrBuilder`]) and
+/// immutable afterwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list over `src_count` source vertices.
+    ///
+    /// Duplicate edges are removed (the layout stores simple graphs);
+    /// neighbor lists are sorted for deterministic iteration.
+    pub fn from_edges(src_count: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut builder = CsrBuilder::new(src_count);
+        for &(s, t) in edges {
+            builder.push(s, t);
+        }
+        builder.finish()
+    }
+
+    /// Number of source vertices (rows).
+    pub fn source_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbor list of source vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; callers validate ids at the graph
+    /// boundary.
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        let i = v.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of source vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Iterates all `(source, target)` pairs in row order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.source_count()).flat_map(move |s| {
+            let sv = VertexId::new(s as u32);
+            self.neighbors(sv)
+                .iter()
+                .map(move |&t| (sv, VertexId::new(t)))
+        })
+    }
+
+    /// Bytes needed to store this CSR (offsets plus targets, 4 bytes
+    /// each), used by the memory-footprint analysis of Table 1.
+    pub fn byte_size(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// Invariants: offsets are monotonically non-decreasing, the final
+    /// offset equals the target count, and every neighbor list is
+    /// sorted.
+    pub fn validate(&self) -> bool {
+        if self.offsets.is_empty() {
+            return self.targets.is_empty();
+        }
+        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        (0..self.source_count()).all(|s| {
+            self.neighbors(VertexId::new(s as u32))
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        })
+    }
+}
+
+/// Incremental builder for [`Csr`].
+///
+/// ```
+/// use hetgraph::csr::CsrBuilder;
+/// use hetgraph::VertexId;
+/// let mut b = CsrBuilder::new(2);
+/// b.push(VertexId::new(0), VertexId::new(9));
+/// b.push(VertexId::new(0), VertexId::new(3));
+/// let csr = b.finish();
+/// assert_eq!(csr.neighbors(VertexId::new(0)), &[3, 9]);
+/// assert_eq!(csr.degree(VertexId::new(1)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    src_count: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for `src_count` source vertices.
+    pub fn new(src_count: usize) -> Self {
+        CsrBuilder {
+            src_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source vertex is out of range.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            src.index() < self.src_count,
+            "source vertex {src} out of range ({} sources)",
+            self.src_count
+        );
+        self.edges.push((src.raw(), dst.raw()));
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR, sorting and deduplicating each neighbor list.
+    pub fn finish(mut self) -> Csr {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut counts = vec![0u32; self.src_count + 1];
+        for &(s, _) in &self.edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let targets = self.edges.into_iter().map(|(_, t)| t).collect();
+        let csr = Csr { offsets, targets };
+        debug_assert!(csr.validate());
+        csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn empty_csr() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.source_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.validate());
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let csr = Csr::from_edges(3, &[(v(1), v(7)), (v(1), v(2)), (v(0), v(5))]);
+        assert_eq!(csr.neighbors(v(1)), &[2, 7]);
+        assert_eq!(csr.neighbors(v(0)), &[5]);
+        assert_eq!(csr.neighbors(v(2)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let csr = Csr::from_edges(1, &[(v(0), v(1)), (v(0), v(1))]);
+        assert_eq!(csr.neighbors(v(0)), &[1]);
+        assert_eq!(csr.edge_count(), 1);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let edges = vec![(v(0), v(1)), (v(2), v(0)), (v(2), v(3))];
+        let csr = Csr::from_edges(3, &edges);
+        let mut collected: Vec<_> = csr.iter_edges().collect();
+        collected.sort_unstable();
+        let mut expected = edges;
+        expected.sort_unstable();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn byte_size_counts_offsets_and_targets() {
+        let csr = Csr::from_edges(2, &[(v(0), v(1))]);
+        // 3 offsets + 1 target = 4 u32s.
+        assert_eq!(csr.byte_size(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range_source() {
+        let mut b = CsrBuilder::new(1);
+        b.push(v(1), v(0));
+    }
+
+    #[test]
+    fn degrees() {
+        let csr = Csr::from_edges(2, &[(v(0), v(1)), (v(0), v(2)), (v(1), v(0))]);
+        assert_eq!(csr.degree(v(0)), 2);
+        assert_eq!(csr.degree(v(1)), 1);
+    }
+}

@@ -1,0 +1,471 @@
+//! Metapath instance enumeration, counting, and memory accounting.
+//!
+//! The conventional HGNN pipeline *materializes* every metapath instance
+//! during pre-processing and keeps the list in memory for structural and
+//! semantic aggregation — the paper measures this intermediate data at
+//! 239.84× the graph itself on average (Table 1). This module implements
+//! that baseline ([`MaterializedInstances`]), an exact closed-form
+//! counter that never materializes ([`count_instances`]), and the
+//! byte-level accounting behind Tables 1 and 4.
+//!
+//! Instances are *walks*: the same vertex may appear several times (the
+//! paper's Figure 6 counts `②-①-②` as a valid A-B-A instance).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::HeteroGraph;
+use crate::metapath::Metapath;
+use crate::types::{Vertex, VertexId};
+
+/// All instances of one metapath, stored as a flat row-major matrix of
+/// local vertex ids with stride `metapath.vertex_count()`.
+///
+/// This is the baseline's intermediate data structure; its size is what
+/// MetaNMP eliminates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaterializedInstances {
+    stride: usize,
+    data: Vec<u32>,
+    truncated: bool,
+}
+
+impl MaterializedInstances {
+    /// Number of stored instances.
+    pub fn len(&self) -> usize {
+        if self.stride == 0 {
+            0
+        } else {
+            self.data.len() / self.stride
+        }
+    }
+
+    /// Returns `true` if no instances were found.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vertices per instance (`L + 1`).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// `true` if enumeration stopped at the caller-provided cap, so the
+    /// list is incomplete.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The `i`-th instance as a slice of local vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn instance(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Iterates over instances.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.stride.max(1))
+    }
+
+    /// Bytes used to store the instance list (`4 × stride` per
+    /// instance) — the paper's "Instances" row in Table 1.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Enumerates every instance of `metapath` in `graph` by depth-first
+/// expansion, stopping after `limit` instances.
+///
+/// The baseline pre-processing phase. Use [`count_instances`] when only
+/// the count is needed — enumeration is exponential in metapath length.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] for vertices or types that fail
+/// validation (cannot happen on graphs built by [`crate::HeteroGraphBuilder`]).
+pub fn enumerate_instances(
+    graph: &HeteroGraph,
+    metapath: &Metapath,
+    limit: usize,
+) -> Result<MaterializedInstances, GraphError> {
+    let types = metapath.vertex_types();
+    let stride = types.len();
+    let mut data = Vec::new();
+    let mut truncated = false;
+    let start_count = graph.vertex_count(metapath.start_type())?;
+
+    let mut stack: Vec<u32> = Vec::with_capacity(stride);
+    'outer: for s in 0..start_count {
+        stack.clear();
+        stack.push(s);
+        // Iterative DFS with explicit neighbor cursors.
+        let mut cursors: Vec<usize> = vec![0];
+        loop {
+            let depth = stack.len() - 1;
+            if depth + 1 == stride {
+                // Complete instance.
+                if data.len() / stride >= limit {
+                    truncated = true;
+                    break 'outer;
+                }
+                data.extend_from_slice(&stack);
+                stack.pop();
+                cursors.pop();
+                if stack.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            let v = Vertex::new(types[depth], VertexId::new(*stack.last().unwrap()));
+            let neighbors = graph.typed_neighbors(v, types[depth + 1])?;
+            let cursor = cursors.last_mut().unwrap();
+            if *cursor < neighbors.len() {
+                let next = neighbors[*cursor];
+                *cursor += 1;
+                stack.push(next);
+                cursors.push(0);
+            } else {
+                stack.pop();
+                cursors.pop();
+                if stack.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(MaterializedInstances {
+        stride,
+        data,
+        truncated,
+    })
+}
+
+/// Counts instances of `metapath` exactly, without materializing, via
+/// forward dynamic programming over walk counts.
+///
+/// Runs in `O(L × E)` time and `O(V)` space, so it is safe on the
+/// web-scale presets where enumeration would need tens of gigabytes.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from neighbor queries.
+pub fn count_instances(graph: &HeteroGraph, metapath: &Metapath) -> Result<u128, GraphError> {
+    let per_start = count_instances_per_start(graph, metapath)?;
+    Ok(per_start.iter().sum())
+}
+
+/// Counts, for every start vertex, the number of instances dispersing
+/// from it (the paper's per-vertex instance fan-out), via backward DP.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from neighbor queries.
+pub fn count_instances_per_start(
+    graph: &HeteroGraph,
+    metapath: &Metapath,
+) -> Result<Vec<u128>, GraphError> {
+    let types = metapath.vertex_types();
+    let last = types.len() - 1;
+    let mut suffix: Vec<u128> = vec![1; graph.vertex_count(types[last])? as usize];
+    for depth in (0..last).rev() {
+        let ty = types[depth];
+        let next_ty = types[depth + 1];
+        let count = graph.vertex_count(ty)? as usize;
+        let mut cur = vec![0u128; count];
+        for (i, slot) in cur.iter_mut().enumerate() {
+            let v = Vertex::new(ty, VertexId::new(i as u32));
+            for &n in graph.typed_neighbors(v, next_ty)? {
+                *slot += suffix[n as usize];
+            }
+        }
+        suffix = cur;
+    }
+    Ok(suffix)
+}
+
+/// Counts the nodes of the dependency (prefix) tree rooted at each start
+/// vertex, summed over all start vertices, *excluding* the roots.
+///
+/// A prefix-tree node at depth `d ≥ 1` is a distinct walk
+/// `v0 … vd`; the reuse-aware dataflow (§3.2) performs exactly one
+/// aggregation per such node, so this count is the optimized structural
+/// aggregation work and also SHGNN's tree storage size.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from neighbor queries.
+pub fn count_prefix_nodes(graph: &HeteroGraph, metapath: &Metapath) -> Result<u128, GraphError> {
+    let types = metapath.vertex_types();
+    let mut total: u128 = 0;
+    // Forward DP: walks of each prefix length.
+    let start = graph.vertex_count(types[0])? as usize;
+    let mut cur: Vec<u128> = vec![1; start];
+    for depth in 1..types.len() {
+        let prev_ty = types[depth - 1];
+        let ty = types[depth];
+        let count = graph.vertex_count(ty)? as usize;
+        let mut next = vec![0u128; count];
+        for (i, &walks) in cur.iter().enumerate() {
+            if walks == 0 {
+                continue;
+            }
+            let v = Vertex::new(prev_ty, VertexId::new(i as u32));
+            for &n in graph.typed_neighbors(v, ty)? {
+                next[n as usize] += walks;
+            }
+        }
+        total += next.iter().sum::<u128>();
+        cur = next;
+    }
+    Ok(total)
+}
+
+/// Forward walk counts per metapath level: entry `i` holds, for every
+/// vertex of type `types[i]`, the number of distinct walks
+/// `v0 … vi` (matching the metapath prefix) that end at it. Level 0 is
+/// all ones.
+///
+/// Used by the NMP distribution model to know which vertices hold
+/// partial instances at each extension hop.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from neighbor queries.
+pub fn walk_counts_per_level(
+    graph: &HeteroGraph,
+    metapath: &Metapath,
+) -> Result<Vec<Vec<u128>>, GraphError> {
+    let types = metapath.vertex_types();
+    let mut levels = Vec::with_capacity(types.len());
+    let start = graph.vertex_count(types[0])? as usize;
+    levels.push(vec![1u128; start]);
+    for depth in 1..types.len() {
+        let prev_ty = types[depth - 1];
+        let ty = types[depth];
+        let count = graph.vertex_count(ty)? as usize;
+        let mut next = vec![0u128; count];
+        let prev = &levels[depth - 1];
+        for (i, &walks) in prev.iter().enumerate() {
+            if walks == 0 {
+                continue;
+            }
+            let v = Vertex::new(prev_ty, VertexId::new(i as u32));
+            for &n in graph.typed_neighbors(v, ty)? {
+                next[n as usize] += walks;
+            }
+        }
+        levels.push(next);
+    }
+    Ok(levels)
+}
+
+/// How a baseline HGNN model stores materialized instances, which
+/// determines the intermediate-data bytes MetaNMP eliminates (Table 4's
+/// per-model columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceStorage {
+    /// Full vertex sequence per instance (MAGNN aggregates every vertex
+    /// inside the instance): `4 × (L+1)` bytes per instance, plus one
+    /// intermediate result vector per instance.
+    FullPath,
+    /// Only the endpoint pair per instance (HAN aggregates
+    /// metapath-based neighbors): `8` bytes per instance, no
+    /// per-instance intermediate vector.
+    Endpoints,
+    /// Prefix-tree (SHGNN builds explicit tree structures): `8` bytes
+    /// per tree node plus one intermediate vector per tree node.
+    PrefixTree,
+}
+
+/// Memory accounting for one (graph, metapath, storage model)
+/// combination; all sizes in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceMemory {
+    /// Bytes of instance topology (paths / endpoints / tree nodes).
+    pub structure_bytes: u128,
+    /// Bytes of per-instance (or per-node) intermediate feature vectors
+    /// the baseline must keep live during structural aggregation.
+    pub intermediate_bytes: u128,
+    /// Number of instances counted.
+    pub instance_count: u128,
+}
+
+impl InstanceMemory {
+    /// Total intermediate bytes the baseline holds.
+    pub fn total(&self) -> u128 {
+        self.structure_bytes + self.intermediate_bytes
+    }
+}
+
+/// Computes the baseline instance memory for a storage model, with
+/// `hidden_dim` the projected feature dimension used for intermediate
+/// vectors.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the instance counters.
+pub fn instance_memory(
+    graph: &HeteroGraph,
+    metapath: &Metapath,
+    storage: InstanceStorage,
+    hidden_dim: usize,
+) -> Result<InstanceMemory, GraphError> {
+    let instances = count_instances(graph, metapath)?;
+    let vec_bytes = 4u128 * hidden_dim as u128;
+    let (structure, intermediate) = match storage {
+        InstanceStorage::FullPath => (
+            instances * 4 * metapath.vertex_count() as u128,
+            instances * vec_bytes,
+        ),
+        InstanceStorage::Endpoints => (instances * 8, 0),
+        InstanceStorage::PrefixTree => {
+            let nodes = count_prefix_nodes(graph, metapath)?;
+            (nodes * 8, nodes * vec_bytes)
+        }
+    };
+    Ok(InstanceMemory {
+        structure_bytes: structure,
+        intermediate_bytes: intermediate,
+        instance_count: instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HeteroGraphBuilder;
+    use crate::schema::GraphSchema;
+    use crate::types::VertexTypeId;
+
+    /// The Figure 6(a) graph. A = {2,4,7} -> ids {0,1,2};
+    /// B = {1,3,6} -> ids {0,1,2}. Edges per the figure give 14 A-B-A
+    /// instances in total and 5 starting at vertex ② (A id 0).
+    fn figure6() -> (HeteroGraph, Metapath) {
+        let mut schema = GraphSchema::new();
+        let a = schema.add_vertex_type("A", 'A', 4);
+        let b = schema.add_vertex_type("B", 'B', 4);
+        schema.add_relation(a, b);
+        let mut builder = HeteroGraphBuilder::new(schema);
+        builder.set_vertex_count(a, 3);
+        builder.set_vertex_count(b, 3);
+        let va = |i| Vertex::new(a, VertexId::new(i));
+        let vb = |i| Vertex::new(b, VertexId::new(i));
+        // ①: neighbors {②,④}; ③: neighbors {②,④,⑦}; ⑥: neighbors {⑦}.
+        for (x, y) in [(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (2, 2)] {
+            builder.add_edge(va(x), vb(y)).unwrap();
+        }
+        let g = builder.finish();
+        let mp = Metapath::parse("ABA", g.schema()).unwrap();
+        (g, mp)
+    }
+
+    #[test]
+    fn figure6_total_instance_count_is_14() {
+        let (g, mp) = figure6();
+        assert_eq!(count_instances(&g, &mp).unwrap(), 14);
+    }
+
+    #[test]
+    fn figure6_instances_from_vertex2_is_5() {
+        let (g, mp) = figure6();
+        let per_start = count_instances_per_start(&g, &mp).unwrap();
+        assert_eq!(per_start[0], 5); // vertex ② = A id 0
+        assert_eq!(per_start.iter().sum::<u128>(), 14);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let (g, mp) = figure6();
+        let e = enumerate_instances(&g, &mp, usize::MAX).unwrap();
+        assert_eq!(e.len(), 14);
+        assert!(!e.is_truncated());
+        assert_eq!(e.stride(), 3);
+        // Every instance respects adjacency.
+        let a = g.schema().type_by_mnemonic('A').unwrap();
+        let b = g.schema().type_by_mnemonic('B').unwrap();
+        for inst in e.iter() {
+            let left = Vertex::new(a, VertexId::new(inst[0]));
+            let right = Vertex::new(a, VertexId::new(inst[2]));
+            assert!(g.typed_neighbors(left, b).unwrap().contains(&inst[1]));
+            assert!(g.typed_neighbors(right, b).unwrap().contains(&inst[1]));
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let (g, mp) = figure6();
+        let e = enumerate_instances(&g, &mp, 3).unwrap();
+        assert_eq!(e.len(), 3);
+        assert!(e.is_truncated());
+    }
+
+    #[test]
+    fn byte_size_is_stride_times_count_times_4() {
+        let (g, mp) = figure6();
+        let e = enumerate_instances(&g, &mp, usize::MAX).unwrap();
+        assert_eq!(e.byte_size(), 14 * 3 * 4);
+    }
+
+    #[test]
+    fn prefix_nodes_less_than_naive_vertex_touches() {
+        let (g, mp) = figure6();
+        let nodes = count_prefix_nodes(&g, &mp).unwrap();
+        let naive: u128 = count_instances(&g, &mp).unwrap() * mp.length() as u128;
+        // Sharing must strictly reduce work on this graph.
+        assert!(nodes < naive, "{nodes} >= {naive}");
+    }
+
+    #[test]
+    fn storage_models_order_as_expected() {
+        let (g, mp) = figure6();
+        let full = instance_memory(&g, &mp, InstanceStorage::FullPath, 64).unwrap();
+        let ends = instance_memory(&g, &mp, InstanceStorage::Endpoints, 64).unwrap();
+        let tree = instance_memory(&g, &mp, InstanceStorage::PrefixTree, 64).unwrap();
+        assert!(full.total() > ends.total());
+        assert!(tree.total() > ends.total());
+        assert_eq!(full.instance_count, 14);
+    }
+
+    #[test]
+    fn unknown_type_propagates_error() {
+        let (g, _) = figure6();
+        // Build a metapath against a *different* schema with more types,
+        // so validation inside the graph fails.
+        let mut schema2 = GraphSchema::new();
+        let a = schema2.add_vertex_type("A", 'A', 4);
+        let b = schema2.add_vertex_type("B", 'B', 4);
+        let c = schema2.add_vertex_type("C", 'C', 4);
+        schema2.add_relation(a, b);
+        schema2.add_relation(b, c);
+        let mp = Metapath::parse("ABC", &schema2).unwrap();
+        assert!(count_instances(&g, &mp).is_err());
+    }
+
+    #[test]
+    fn empty_graph_has_zero_instances() {
+        let mut schema = GraphSchema::new();
+        let a = schema.add_vertex_type("A", 'A', 4);
+        let b = schema.add_vertex_type("B", 'B', 4);
+        schema.add_relation(a, b);
+        let mut builder = HeteroGraphBuilder::new(schema);
+        builder.set_vertex_count(a, 5);
+        builder.set_vertex_count(b, 5);
+        let g = builder.finish();
+        let mp = Metapath::parse("ABA", g.schema()).unwrap();
+        assert_eq!(count_instances(&g, &mp).unwrap(), 0);
+        assert_eq!(enumerate_instances(&g, &mp, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn type_ids_stable() {
+        let (g, _) = figure6();
+        assert_eq!(
+            g.schema().type_by_mnemonic('A').unwrap(),
+            VertexTypeId::new(0)
+        );
+    }
+}

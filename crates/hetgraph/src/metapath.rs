@@ -1,0 +1,209 @@
+//! Metapaths: ordered sequences of vertex types.
+//!
+//! A metapath `P = V1 → V2 → … → V(L+1)` (§2.1) describes a composite
+//! relation; its *instances* are concrete paths in the graph whose
+//! vertex types match the sequence. Metapaths are written in the paper's
+//! compact mnemonic notation, e.g. `"APCPA"` for
+//! Author-Paper-Conference-Paper-Author.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::schema::GraphSchema;
+use crate::types::{Relation, VertexTypeId};
+
+/// An ordered sequence of at least two vertex types.
+///
+/// ```
+/// use hetgraph::{GraphSchema, Metapath};
+/// let mut s = GraphSchema::new();
+/// let a = s.add_vertex_type("Author", 'A', 8);
+/// let p = s.add_vertex_type("Paper", 'P', 8);
+/// s.add_relation(a, p);
+/// let mp = Metapath::parse("APA", &s)?;
+/// assert_eq!(mp.length(), 2); // number of hops
+/// assert_eq!(mp.vertex_types(), &[a, p, a]);
+/// # Ok::<(), hetgraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Metapath {
+    types: Vec<VertexTypeId>,
+    name: String,
+}
+
+impl Metapath {
+    /// Builds a metapath from an explicit type sequence, validating it
+    /// against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MetapathTooShort`] for sequences of fewer
+    /// than two types, and [`GraphError::MetapathUnknownRelation`] if a
+    /// consecutive pair has no declared relation.
+    pub fn from_types(types: Vec<VertexTypeId>, schema: &GraphSchema) -> Result<Self, GraphError> {
+        if types.len() < 2 {
+            return Err(GraphError::MetapathTooShort(types.len()));
+        }
+        for (hop, w) in types.windows(2).enumerate() {
+            let rel = Relation::new(w[0], w[1]);
+            if !schema.has_relation(rel) {
+                return Err(GraphError::MetapathUnknownRelation { hop, relation: rel });
+            }
+        }
+        let name: String = types
+            .iter()
+            .map(|&t| {
+                schema
+                    .vertex_type(t)
+                    .map(|d| d.mnemonic)
+                    .expect("types validated above")
+            })
+            .collect();
+        Ok(Metapath { types, name })
+    }
+
+    /// Parses the compact mnemonic notation, e.g. `"APCPA"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertexTypeName`] for unknown
+    /// mnemonics plus the conditions of [`Metapath::from_types`].
+    pub fn parse(text: &str, schema: &GraphSchema) -> Result<Self, GraphError> {
+        let types = text
+            .chars()
+            .map(|c| schema.type_by_mnemonic(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_types(types, schema)
+    }
+
+    /// The vertex-type sequence (`L + 1` entries).
+    pub fn vertex_types(&self) -> &[VertexTypeId] {
+        &self.types
+    }
+
+    /// The metapath length `L` — the number of hops (edges).
+    pub fn length(&self) -> usize {
+        self.types.len() - 1
+    }
+
+    /// Number of vertices in an instance (`L + 1`).
+    pub fn vertex_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The mnemonic name, e.g. `"APA"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The type of the starting vertex (instances *belong* to vertices
+    /// of this type, §3.2).
+    pub fn start_type(&self) -> VertexTypeId {
+        self.types[0]
+    }
+
+    /// The type of the terminal vertex (HAN's "metapath-based
+    /// neighbor" type).
+    pub fn end_type(&self) -> VertexTypeId {
+        *self.types.last().expect("metapath has >= 2 types")
+    }
+
+    /// Returns `true` if the metapath is symmetric (reads the same
+    /// forwards and backwards), like `APA` or `APCPA`.
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.types.len();
+        (0..n / 2).all(|i| self.types[i] == self.types[n - 1 - i])
+    }
+
+    /// The relations crossed hop by hop.
+    pub fn relations(&self) -> Vec<Relation> {
+        self.types
+            .windows(2)
+            .map(|w| Relation::new(w[0], w[1]))
+            .collect()
+    }
+}
+
+impl fmt::Display for Metapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> GraphSchema {
+        let mut s = GraphSchema::new();
+        let a = s.add_vertex_type("Author", 'A', 8);
+        let p = s.add_vertex_type("Paper", 'P', 8);
+        let c = s.add_vertex_type("Conference", 'C', 8);
+        s.add_relation(a, p);
+        s.add_relation(p, c);
+        s
+    }
+
+    #[test]
+    fn parse_apa() {
+        let s = schema();
+        let mp = Metapath::parse("APA", &s).unwrap();
+        assert_eq!(mp.length(), 2);
+        assert_eq!(mp.vertex_count(), 3);
+        assert_eq!(mp.name(), "APA");
+        assert!(mp.is_symmetric());
+        assert_eq!(mp.start_type(), mp.end_type());
+    }
+
+    #[test]
+    fn parse_apcpa() {
+        let s = schema();
+        let mp = Metapath::parse("APCPA", &s).unwrap();
+        assert_eq!(mp.length(), 4);
+        assert!(mp.is_symmetric());
+        assert_eq!(mp.relations().len(), 4);
+    }
+
+    #[test]
+    fn asymmetric_metapath() {
+        let s = schema();
+        let mp = Metapath::parse("APC", &s).unwrap();
+        assert!(!mp.is_symmetric());
+        assert_ne!(mp.start_type(), mp.end_type());
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        let s = schema();
+        assert!(matches!(
+            Metapath::parse("A", &s),
+            Err(GraphError::MetapathTooShort(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let s = schema();
+        assert!(matches!(
+            Metapath::parse("AXA", &s),
+            Err(GraphError::UnknownVertexTypeName(_))
+        ));
+    }
+
+    #[test]
+    fn missing_relation_is_error() {
+        let s = schema();
+        // A-C has no declared relation.
+        let err = Metapath::parse("ACA", &s).unwrap_err();
+        assert!(matches!(err, GraphError::MetapathUnknownRelation { hop: 0, .. }));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = schema();
+        let mp = Metapath::parse("APA", &s).unwrap();
+        assert_eq!(mp.to_string(), "APA");
+    }
+}

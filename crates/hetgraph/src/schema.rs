@@ -1,0 +1,238 @@
+//! Graph schemas: the declared vertex types and relations of a
+//! heterogeneous graph.
+//!
+//! A [`GraphSchema`] is built once and then shared by the graph, the
+//! metapath parser, and the dataset generators. Vertex types are
+//! identified by single-character mnemonics (e.g. `A` for *Author*) so
+//! metapaths can be written in the paper's compact notation (`"APA"`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::types::{Relation, VertexTypeId};
+
+/// Declaration of one vertex type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexTypeDecl {
+    /// Full name, e.g. `"Author"`.
+    pub name: String,
+    /// Single-character mnemonic used in metapath strings, e.g. `'A'`.
+    pub mnemonic: char,
+    /// Raw (pre-projection) feature dimension of this vertex type.
+    pub feature_dim: usize,
+}
+
+/// The type-level structure of a heterogeneous graph.
+///
+/// ```
+/// use hetgraph::GraphSchema;
+/// let mut schema = GraphSchema::new();
+/// let a = schema.add_vertex_type("Author", 'A', 334);
+/// let p = schema.add_vertex_type("Paper", 'P', 4231);
+/// schema.add_relation(a, p);
+/// assert_eq!(schema.vertex_type_count(), 2);
+/// assert!(schema.has_relation(hetgraph::Relation::new(a, p)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphSchema {
+    vertex_types: Vec<VertexTypeDecl>,
+    relations: Vec<Relation>,
+}
+
+impl GraphSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a vertex type and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 256 vertex types are declared or if the
+    /// mnemonic is already taken; schemas are authored by hand and both
+    /// conditions are programming errors.
+    pub fn add_vertex_type(
+        &mut self,
+        name: impl Into<String>,
+        mnemonic: char,
+        feature_dim: usize,
+    ) -> VertexTypeId {
+        assert!(
+            self.vertex_types.len() < 256,
+            "schema supports at most 256 vertex types"
+        );
+        assert!(
+            self.vertex_types.iter().all(|d| d.mnemonic != mnemonic),
+            "mnemonic {mnemonic:?} already declared"
+        );
+        let id = VertexTypeId::new(self.vertex_types.len() as u8);
+        self.vertex_types.push(VertexTypeDecl {
+            name: name.into(),
+            mnemonic,
+            feature_dim,
+        });
+        id
+    }
+
+    /// Declares that edges may exist between two vertex types.
+    ///
+    /// Declaring the same relation twice is a no-op. Returns the
+    /// canonical [`Relation`].
+    pub fn add_relation(&mut self, a: VertexTypeId, b: VertexTypeId) -> Relation {
+        let rel = Relation::new(a, b);
+        if !self.relations.contains(&rel) {
+            self.relations.push(rel);
+        }
+        rel
+    }
+
+    /// Number of declared vertex types.
+    pub fn vertex_type_count(&self) -> usize {
+        self.vertex_types.len()
+    }
+
+    /// Declaration of a vertex type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertexType`] if the id is not
+    /// declared.
+    pub fn vertex_type(&self, ty: VertexTypeId) -> Result<&VertexTypeDecl, GraphError> {
+        self.vertex_types
+            .get(ty.index())
+            .ok_or(GraphError::UnknownVertexType(ty))
+    }
+
+    /// All declared vertex types in id order.
+    pub fn vertex_types(&self) -> impl Iterator<Item = (VertexTypeId, &VertexTypeDecl)> {
+        self.vertex_types
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (VertexTypeId::new(i as u8), d))
+    }
+
+    /// All declared relations, in declaration order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Returns `true` if the relation has been declared.
+    pub fn has_relation(&self, rel: Relation) -> bool {
+        self.relations.contains(&rel)
+    }
+
+    /// Resolves a mnemonic character to its vertex type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertexTypeName`] if no type uses the
+    /// mnemonic.
+    pub fn type_by_mnemonic(&self, mnemonic: char) -> Result<VertexTypeId, GraphError> {
+        self.vertex_types
+            .iter()
+            .position(|d| d.mnemonic == mnemonic)
+            .map(|i| VertexTypeId::new(i as u8))
+            .ok_or_else(|| GraphError::UnknownVertexTypeName(mnemonic.to_string()))
+    }
+
+    /// Resolves a full type name to its vertex type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertexTypeName`] if no type has the
+    /// name.
+    pub fn type_by_name(&self, name: &str) -> Result<VertexTypeId, GraphError> {
+        self.vertex_types
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| VertexTypeId::new(i as u8))
+            .ok_or_else(|| GraphError::UnknownVertexTypeName(name.to_string()))
+    }
+
+    /// The neighbor types reachable from `ty` through declared relations.
+    pub fn neighbor_types(&self, ty: VertexTypeId) -> Vec<VertexTypeId> {
+        let mut out: Vec<VertexTypeId> = self
+            .relations
+            .iter()
+            .filter_map(|r| r.other(ty))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn academic() -> (GraphSchema, VertexTypeId, VertexTypeId, VertexTypeId) {
+        let mut s = GraphSchema::new();
+        let a = s.add_vertex_type("Author", 'A', 334);
+        let p = s.add_vertex_type("Paper", 'P', 4231);
+        let c = s.add_vertex_type("Conference", 'C', 50);
+        s.add_relation(a, p);
+        s.add_relation(p, c);
+        (s, a, p, c)
+    }
+
+    #[test]
+    fn vertex_types_are_dense() {
+        let (s, a, p, c) = academic();
+        assert_eq!(a.index(), 0);
+        assert_eq!(p.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(s.vertex_type_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_relation_is_noop() {
+        let (mut s, a, p, _) = academic();
+        let before = s.relations().len();
+        s.add_relation(p, a);
+        assert_eq!(s.relations().len(), before);
+    }
+
+    #[test]
+    fn mnemonic_lookup() {
+        let (s, a, _, c) = academic();
+        assert_eq!(s.type_by_mnemonic('A').unwrap(), a);
+        assert_eq!(s.type_by_mnemonic('C').unwrap(), c);
+        assert!(s.type_by_mnemonic('X').is_err());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (s, _, p, _) = academic();
+        assert_eq!(s.type_by_name("Paper").unwrap(), p);
+        assert!(s.type_by_name("Movie").is_err());
+    }
+
+    #[test]
+    fn neighbor_types_of_paper() {
+        let (s, a, p, c) = academic();
+        assert_eq!(s.neighbor_types(p), vec![a, c]);
+        assert_eq!(s.neighbor_types(a), vec![p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mnemonic")]
+    fn duplicate_mnemonic_panics() {
+        let mut s = GraphSchema::new();
+        s.add_vertex_type("Author", 'A', 8);
+        s.add_vertex_type("Actor", 'A', 8);
+    }
+
+    #[test]
+    fn unknown_vertex_type_errors() {
+        let (s, ..) = academic();
+        assert!(s.vertex_type(VertexTypeId::new(9)).is_err());
+    }
+
+    #[test]
+    fn feature_dims_are_recorded() {
+        let (s, a, ..) = academic();
+        assert_eq!(s.vertex_type(a).unwrap().feature_dim, 334);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph statistics: degree distributions and per-relation summaries.
+//!
+//! Used by the experiment harness to report the generated datasets
+//! (the reproduction's analogue of Table 3) and to sanity-check that
+//! the synthetic generators produce the heavy-tailed fan-out that
+//! drives metapath-instance explosion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::HeteroGraph;
+use crate::types::{Vertex, VertexId, VertexTypeId};
+
+/// Summary statistics of one directed typed degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of source vertices.
+    pub vertices: u64,
+    /// Total directed edges.
+    pub edges: u64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: u64,
+    /// Fraction of vertices with zero degree.
+    pub isolated_fraction: f64,
+    /// Gini-style skew indicator: fraction of edges owned by the top
+    /// 1% highest-degree vertices.
+    pub top1pct_edge_share: f64,
+}
+
+/// Computes degree statistics for the directed relation
+/// `src → neighbor_ty`.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] for unknown types.
+pub fn degree_stats(
+    graph: &HeteroGraph,
+    src: VertexTypeId,
+    neighbor_ty: VertexTypeId,
+) -> Result<DegreeStats, GraphError> {
+    let n = graph.vertex_count(src)? as usize;
+    let mut degrees = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = Vertex::new(src, VertexId::new(i as u32));
+        degrees.push(graph.typed_neighbors(v, neighbor_ty)?.len() as u64);
+    }
+    let edges: u64 = degrees.iter().sum();
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (n / 100).max(1).min(n.max(1));
+    let top_edges: u64 = degrees.iter().take(top).sum();
+    Ok(DegreeStats {
+        vertices: n as u64,
+        edges,
+        mean: if n == 0 { 0.0 } else { edges as f64 / n as f64 },
+        max: degrees.first().copied().unwrap_or(0),
+        isolated_fraction: if n == 0 {
+            0.0
+        } else {
+            isolated as f64 / n as f64
+        },
+        top1pct_edge_share: if edges == 0 {
+            0.0
+        } else {
+            top_edges as f64 / edges as f64
+        },
+    })
+}
+
+/// A whole-graph summary: every directed typed relation with edges.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from degree computation.
+pub fn summarize(
+    graph: &HeteroGraph,
+) -> Result<Vec<(VertexTypeId, VertexTypeId, DegreeStats)>, GraphError> {
+    let mut out = Vec::new();
+    let types: Vec<VertexTypeId> = graph.schema().vertex_types().map(|(t, _)| t).collect();
+    for &src in &types {
+        for &dst in &types {
+            if graph.relation_csr(src, dst).is_some() {
+                out.push((src, dst, degree_stats(graph, src, dst)?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate, DatasetId, GeneratorConfig};
+
+    #[test]
+    fn stats_are_consistent_with_graph() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.1));
+        let s = ds.graph.schema();
+        let m = s.type_by_mnemonic('M').unwrap();
+        let a = s.type_by_mnemonic('A').unwrap();
+        let stats = degree_stats(&ds.graph, m, a).unwrap();
+        assert_eq!(stats.vertices, ds.graph.vertex_count(m).unwrap() as u64);
+        assert!(stats.mean > 0.0);
+        assert!(stats.max >= stats.mean as u64);
+        assert!(stats.top1pct_edge_share > 0.0 && stats.top1pct_edge_share <= 1.0);
+    }
+
+    #[test]
+    fn skewed_generation_is_heavy_tailed() {
+        let skewed = generate(
+            DatasetId::Lastfm,
+            GeneratorConfig {
+                skew: 0.9,
+                ..GeneratorConfig::at_scale(0.2)
+            },
+        );
+        let uniform = generate(
+            DatasetId::Lastfm,
+            GeneratorConfig {
+                skew: 0.0,
+                ..GeneratorConfig::at_scale(0.2)
+            },
+        );
+        let s = skewed.graph.schema();
+        let u_ty = s.type_by_mnemonic('U').unwrap();
+        let a_ty = s.type_by_mnemonic('A').unwrap();
+        let sk = degree_stats(&skewed.graph, a_ty, u_ty).unwrap();
+        let un = degree_stats(&uniform.graph, a_ty, u_ty).unwrap();
+        assert!(
+            sk.top1pct_edge_share > un.top1pct_edge_share,
+            "skewed {} <= uniform {}",
+            sk.top1pct_edge_share,
+            un.top1pct_edge_share
+        );
+    }
+
+    #[test]
+    fn summarize_covers_all_relations() {
+        let ds = generate(DatasetId::Dblp, GeneratorConfig::at_scale(0.05));
+        let rows = summarize(&ds.graph).unwrap();
+        // DBLP: A-P, P-T, P-V — both directions each = 6 rows.
+        assert_eq!(rows.len(), 6);
+        for (_, _, s) in rows {
+            assert!(s.edges > 0);
+        }
+    }
+
+    #[test]
+    fn empty_relation_errors_gracefully() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+        let s = ds.graph.schema();
+        let d = s.type_by_mnemonic('D').unwrap();
+        let a = s.type_by_mnemonic('A').unwrap();
+        // D-A carries no edges: stats are all-zero, not an error.
+        let st = degree_stats(&ds.graph, d, a).unwrap();
+        assert_eq!(st.edges, 0);
+        assert_eq!(st.isolated_fraction, 1.0);
+    }
+}

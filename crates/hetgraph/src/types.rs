@@ -1,0 +1,245 @@
+//! Fundamental identifier types for heterogeneous graphs.
+//!
+//! A heterogeneous graph partitions its vertices into *types* (author,
+//! paper, …). Vertices are identified by a `(type, index)` pair so that
+//! per-type arrays (feature matrices, degree tables) index directly with
+//! the local index. [`Vertex`] packs the pair into a `Copy` value.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex type (e.g. *Author* or *Paper*).
+///
+/// Vertex types are small dense integers assigned by the
+/// [`GraphSchema`](crate::schema::GraphSchema) in declaration order.
+///
+/// ```
+/// use hetgraph::VertexTypeId;
+/// let author = VertexTypeId::new(0);
+/// assert_eq!(author.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexTypeId(u8);
+
+impl VertexTypeId {
+    /// Creates a vertex type id from its dense index.
+    pub const fn new(index: u8) -> Self {
+        VertexTypeId(index)
+    }
+
+    /// Returns the dense index of this type.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of an edge type, i.e. an unordered vertex-type pair that
+/// carries edges (e.g. *Author–Paper*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeTypeId(u16);
+
+impl EdgeTypeId {
+    /// Creates an edge type id from its dense index.
+    pub const fn new(index: u16) -> Self {
+        EdgeTypeId(index)
+    }
+
+    /// Returns the dense index of this edge type.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// Local identifier of a vertex within its type.
+///
+/// `VertexId(3)` for the *Paper* type denotes the fourth paper. Local ids
+/// are dense: a type with `n` vertices uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from its local index.
+    pub const fn new(index: u32) -> Self {
+        VertexId(index)
+    }
+
+    /// Returns the local index of this vertex within its type.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        VertexId(value)
+    }
+}
+
+/// A fully qualified vertex: type plus local id.
+///
+/// ```
+/// use hetgraph::{Vertex, VertexId, VertexTypeId};
+/// let v = Vertex::new(VertexTypeId::new(1), VertexId::new(42));
+/// assert_eq!(v.ty.index(), 1);
+/// assert_eq!(v.id.index(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vertex {
+    /// The vertex type.
+    pub ty: VertexTypeId,
+    /// The local id within the type.
+    pub id: VertexId,
+}
+
+impl Vertex {
+    /// Creates a vertex from a type and a local id.
+    pub const fn new(ty: VertexTypeId, id: VertexId) -> Self {
+        Vertex { ty, id }
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ty, self.id)
+    }
+}
+
+/// An unordered pair of vertex types that may carry edges.
+///
+/// The pair is stored in canonical (sorted) order so that `(A, P)` and
+/// `(P, A)` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Relation {
+    lo: VertexTypeId,
+    hi: VertexTypeId,
+}
+
+impl Relation {
+    /// Creates the canonical relation between two vertex types.
+    ///
+    /// Self-relations (e.g. *Paper–Paper* citations) are permitted.
+    pub fn new(a: VertexTypeId, b: VertexTypeId) -> Self {
+        if a <= b {
+            Relation { lo: a, hi: b }
+        } else {
+            Relation { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller type of the pair.
+    pub const fn lo(self) -> VertexTypeId {
+        self.lo
+    }
+
+    /// The larger type of the pair.
+    pub const fn hi(self) -> VertexTypeId {
+        self.hi
+    }
+
+    /// Returns `true` if this relation touches `ty`.
+    pub fn contains(self, ty: VertexTypeId) -> bool {
+        self.lo == ty || self.hi == ty
+    }
+
+    /// Given one endpoint type, returns the other.
+    ///
+    /// Returns `None` if `ty` is not part of this relation. For
+    /// self-relations the same type is returned.
+    pub fn other(self, ty: VertexTypeId) -> Option<VertexTypeId> {
+        if ty == self.lo {
+            Some(self.hi)
+        } else if ty == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_type_roundtrip() {
+        let t = VertexTypeId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "T7");
+    }
+
+    #[test]
+    fn vertex_id_from_u32() {
+        let v: VertexId = 9u32.into();
+        assert_eq!(v.index(), 9);
+        assert_eq!(v.raw(), 9);
+    }
+
+    #[test]
+    fn vertex_display() {
+        let v = Vertex::new(VertexTypeId::new(2), VertexId::new(5));
+        assert_eq!(v.to_string(), "T2:5");
+    }
+
+    #[test]
+    fn relation_is_canonical() {
+        let a = VertexTypeId::new(0);
+        let p = VertexTypeId::new(1);
+        assert_eq!(Relation::new(a, p), Relation::new(p, a));
+        assert_eq!(Relation::new(p, a).lo(), a);
+    }
+
+    #[test]
+    fn relation_other_endpoint() {
+        let a = VertexTypeId::new(0);
+        let p = VertexTypeId::new(1);
+        let c = VertexTypeId::new(2);
+        let r = Relation::new(a, p);
+        assert_eq!(r.other(a), Some(p));
+        assert_eq!(r.other(p), Some(a));
+        assert_eq!(r.other(c), None);
+        assert!(r.contains(a) && r.contains(p) && !r.contains(c));
+    }
+
+    #[test]
+    fn self_relation() {
+        let p = VertexTypeId::new(1);
+        let r = Relation::new(p, p);
+        assert_eq!(r.other(p), Some(p));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(VertexTypeId::new(0) < VertexTypeId::new(1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Batch graph updates for the dynamic-inference workload.
+//!
+//! The paper's evaluation (§5.1) updates each graph "at a batch
+//! granularity, where each batch contains 10% of the graph changes" and
+//! runs one inference after each update. This module generates seeded
+//! update batches and applies them, producing the sequence of graph
+//! snapshots the end-to-end experiments iterate over.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::HeteroGraph;
+use crate::types::{Relation, Vertex, VertexId};
+
+/// One batch of edge insertions.
+///
+/// Deletions are modeled as not re-inserting an edge when rebuilding;
+/// the paper's workload only requires that the graph *changes* between
+/// inferences, which insertions capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    /// Edges to insert.
+    pub insertions: Vec<(Vertex, Vertex)>,
+}
+
+impl UpdateBatch {
+    /// Number of edge insertions in this batch.
+    pub fn len(&self) -> usize {
+        self.insertions.len()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty()
+    }
+}
+
+/// Generates `batches` update batches, each inserting
+/// `fraction` × (current edge count) new random edges over the graph's
+/// declared relations, weighted by each relation's existing edge count.
+///
+/// Deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn generate_update_batches(
+    graph: &HeteroGraph,
+    fraction: f64,
+    batches: usize,
+    seed: u64,
+) -> Vec<UpdateBatch> {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relations: Vec<(Relation, usize)> = graph
+        .schema()
+        .relations()
+        .iter()
+        .map(|&r| (r, graph.edge_count(r)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    let total_edges: usize = relations.iter().map(|&(_, c)| c).sum();
+    let per_batch = ((total_edges as f64 * fraction).round() as usize).max(1);
+
+    (0..batches)
+        .map(|_| {
+            let mut insertions = Vec::with_capacity(per_batch);
+            for _ in 0..per_batch {
+                // Pick a relation proportionally to its edge count.
+                let mut pick = rng.gen_range(0..total_edges);
+                let &(rel, _) = relations
+                    .iter()
+                    .find(|&&(_, c)| {
+                        if pick < c {
+                            true
+                        } else {
+                            pick -= c;
+                            false
+                        }
+                    })
+                    .expect("pick < total_edges");
+                let na = graph.vertex_count(rel.lo()).expect("relation types exist");
+                let nb = graph.vertex_count(rel.hi()).expect("relation types exist");
+                let (a, b) = loop {
+                    let a = Vertex::new(rel.lo(), VertexId::new(rng.gen_range(0..na)));
+                    let b = Vertex::new(rel.hi(), VertexId::new(rng.gen_range(0..nb)));
+                    if a != b {
+                        break (a, b);
+                    }
+                };
+                insertions.push((a, b));
+            }
+            UpdateBatch { insertions }
+        })
+        .collect()
+}
+
+/// Applies an update batch, returning the updated graph.
+///
+/// Rebuilds the CSR structures; the cost is linear in graph size, which
+/// matches how a host would re-prepare the optimized layout after a
+/// batch in the paper's dynamic scenario.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if an insertion references an undeclared
+/// relation or an out-of-range vertex.
+pub fn apply_update(graph: &HeteroGraph, batch: &UpdateBatch) -> Result<HeteroGraph, GraphError> {
+    let mut builder = graph.to_builder();
+    for &(a, b) in &batch.insertions {
+        builder.add_edge(a, b)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate, DatasetId, GeneratorConfig};
+
+    #[test]
+    fn batches_have_ten_percent_of_edges() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.2));
+        let batches = generate_update_batches(&ds.graph, 0.10, 3, 7);
+        assert_eq!(batches.len(), 3);
+        let expected = (ds.graph.total_edge_count() as f64 * 0.10).round() as usize;
+        for b in &batches {
+            assert_eq!(b.len(), expected.max(1));
+        }
+    }
+
+    #[test]
+    fn apply_grows_edge_count() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.2));
+        let batches = generate_update_batches(&ds.graph, 0.10, 1, 7);
+        let updated = apply_update(&ds.graph, &batches[0]).unwrap();
+        // Some sampled insertions may duplicate existing edges and
+        // dedup away, but most must land.
+        assert!(updated.total_edge_count() > ds.graph.total_edge_count());
+        assert!(
+            updated.total_edge_count()
+                <= ds.graph.total_edge_count() + batches[0].len() as u64
+        );
+    }
+
+    #[test]
+    fn update_generation_is_deterministic() {
+        let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.2));
+        let a = generate_update_batches(&ds.graph, 0.05, 2, 42);
+        let b = generate_update_batches(&ds.graph, 0.05, 2, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn updates_respect_schema() {
+        let ds = generate(DatasetId::Dblp, GeneratorConfig::at_scale(0.1));
+        let batches = generate_update_batches(&ds.graph, 0.10, 2, 9);
+        let mut g = ds.graph.clone();
+        for b in &batches {
+            g = apply_update(&g, b).unwrap();
+        }
+        assert!(g.total_edge_count() > ds.graph.total_edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.1));
+        generate_update_batches(&ds.graph, 0.0, 1, 1);
+    }
+
+    #[test]
+    fn empty_batch_reports_empty() {
+        let b = UpdateBatch::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for HGNN model construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use hetgraph::{GraphError, VertexTypeId};
+
+/// Errors raised by HGNN models and execution engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HgnnError {
+    /// The underlying graph raised an error.
+    Graph(GraphError),
+    /// A vertex type has no features in the store.
+    MissingFeatures(VertexTypeId),
+    /// A matrix dimension disagreed with the configuration.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// The model was given no metapaths to aggregate over.
+    NoMetapaths,
+}
+
+impl fmt::Display for HgnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HgnnError::Graph(e) => write!(f, "graph error: {e}"),
+            HgnnError::MissingFeatures(ty) => {
+                write!(f, "no features stored for vertex type {ty}")
+            }
+            HgnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            HgnnError::NoMetapaths => write!(f, "model requires at least one metapath"),
+        }
+    }
+}
+
+impl Error for HgnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HgnnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for HgnnError {
+    fn from(e: GraphError) -> Self {
+        HgnnError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = HgnnError::DimensionMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('8'));
+        assert!(HgnnError::NoMetapaths.to_string().contains("metapath"));
+    }
+
+    #[test]
+    fn graph_error_has_source() {
+        let e = HgnnError::from(GraphError::MetapathTooShort(1));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HgnnError>();
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-type vertex feature stores and feature projection.
+//!
+//! Heterogeneous graphs carry *distinct feature dimensions* per vertex
+//! type (§2.1). Feature projection maps them all into one hidden space
+//! with a per-type weight matrix; the paper runs this compute-bound
+//! phase on the host CPU while everything downstream is offloaded.
+
+use std::collections::BTreeMap;
+
+use hetgraph::{HeteroGraph, VertexTypeId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::HgnnError;
+use crate::profile::OpCounters;
+use crate::tensor::Matrix;
+
+/// Raw (pre-projection) features for every vertex type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureStore {
+    per_type: BTreeMap<VertexTypeId, Matrix>,
+}
+
+impl FeatureStore {
+    /// Generates seeded random features matching the graph's schema
+    /// (one row per vertex, columns per the type's declared
+    /// `feature_dim`).
+    pub fn random(graph: &HeteroGraph, seed: u64) -> Self {
+        let mut per_type = BTreeMap::new();
+        for (ty, decl) in graph.schema().vertex_types() {
+            let rows = graph
+                .vertex_count(ty)
+                .expect("schema types exist in graph") as usize;
+            per_type.insert(
+                ty,
+                Matrix::random(rows, decl.feature_dim, seed ^ (ty.index() as u64) << 32),
+            );
+        }
+        FeatureStore { per_type }
+    }
+
+    /// The feature matrix of one type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgnnError::MissingFeatures`] for types without
+    /// features.
+    pub fn features(&self, ty: VertexTypeId) -> Result<&Matrix, HgnnError> {
+        self.per_type.get(&ty).ok_or(HgnnError::MissingFeatures(ty))
+    }
+
+    /// Total bytes of raw feature storage.
+    pub fn byte_size(&self) -> usize {
+        self.per_type.values().map(Matrix::byte_size).sum()
+    }
+}
+
+/// Per-type projection weights into a common hidden dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    hidden_dim: usize,
+    weights: BTreeMap<VertexTypeId, Matrix>,
+}
+
+impl Projection {
+    /// Creates seeded random projection weights (`feature_dim ×
+    /// hidden_dim` per type).
+    pub fn random(graph: &HeteroGraph, hidden_dim: usize, seed: u64) -> Self {
+        let mut weights = BTreeMap::new();
+        for (ty, decl) in graph.schema().vertex_types() {
+            weights.insert(
+                ty,
+                Matrix::random(decl.feature_dim, hidden_dim, seed ^ 0xABCD ^ (ty.index() as u64)),
+            );
+        }
+        Projection {
+            hidden_dim,
+            weights,
+        }
+    }
+
+    /// The common hidden dimension all types project into.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Projects every vertex of every type, returning the hidden
+    /// feature store and accumulating op counters.
+    ///
+    /// Cost model: `2 × raw_dim × hidden_dim` flops per vertex; reads
+    /// the raw row and the weight matrix (weights counted once per
+    /// type), writes the hidden row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgnnError::MissingFeatures`] if `features` lacks a
+    /// type, or [`HgnnError::DimensionMismatch`] if a feature matrix
+    /// disagrees with its weight matrix.
+    pub fn project(
+        &self,
+        graph: &HeteroGraph,
+        features: &FeatureStore,
+        counters: &mut OpCounters,
+    ) -> Result<HiddenFeatures, HgnnError> {
+        let mut per_type = BTreeMap::new();
+        for (ty, _) in graph.schema().vertex_types() {
+            let raw = features.features(ty)?;
+            let w = self.weights.get(&ty).ok_or(HgnnError::MissingFeatures(ty))?;
+            if raw.cols() != w.rows() {
+                return Err(HgnnError::DimensionMismatch {
+                    expected: w.rows(),
+                    actual: raw.cols(),
+                });
+            }
+            let mut hidden = Matrix::zeros(raw.rows(), self.hidden_dim);
+            for i in 0..raw.rows() {
+                let (x, out) = (raw.row(i), hidden.row_mut(i));
+                w.vec_mul(x, out);
+            }
+            counters.flops += 2 * (raw.rows() * raw.cols() * self.hidden_dim) as u128;
+            counters.bytes_read += (raw.byte_size() + w.byte_size()) as u128;
+            counters.bytes_written += hidden.byte_size() as u128;
+            per_type.insert(ty, hidden);
+        }
+        Ok(HiddenFeatures {
+            hidden_dim: self.hidden_dim,
+            per_type,
+        })
+    }
+}
+
+/// Projected (hidden-space) features for every vertex type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiddenFeatures {
+    hidden_dim: usize,
+    per_type: BTreeMap<VertexTypeId, Matrix>,
+}
+
+impl HiddenFeatures {
+    /// The hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// The hidden feature row of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex id is out of range for its type's matrix.
+    pub fn vector(&self, ty: VertexTypeId, id: u32) -> &[f32] {
+        self.per_type
+            .get(&ty)
+            .expect("hidden features cover all types")
+            .row(id as usize)
+    }
+
+    /// The full hidden matrix of one type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgnnError::MissingFeatures`] for unknown types.
+    pub fn matrix(&self, ty: VertexTypeId) -> Result<&Matrix, HgnnError> {
+        self.per_type.get(&ty).ok_or(HgnnError::MissingFeatures(ty))
+    }
+
+    /// Total bytes of hidden feature storage.
+    pub fn byte_size(&self) -> usize {
+        self.per_type.values().map(Matrix::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+
+    fn small_graph() -> HeteroGraph {
+        generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.02)).graph
+    }
+
+    #[test]
+    fn feature_store_shapes_match_schema() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        for (ty, decl) in g.schema().vertex_types() {
+            let m = fs.features(ty).unwrap();
+            assert_eq!(m.rows() as u32, g.vertex_count(ty).unwrap());
+            assert_eq!(m.cols(), decl.feature_dim);
+        }
+    }
+
+    #[test]
+    fn projection_produces_hidden_dim() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        let proj = Projection::random(&g, 16, 2);
+        let mut c = OpCounters::default();
+        let hidden = proj.project(&g, &fs, &mut c).unwrap();
+        assert_eq!(hidden.hidden_dim(), 16);
+        for (ty, _) in g.schema().vertex_types() {
+            assert_eq!(hidden.matrix(ty).unwrap().cols(), 16);
+        }
+        assert!(c.flops > 0);
+        assert!(c.bytes_read > 0);
+        assert!(c.bytes_written > 0);
+    }
+
+    #[test]
+    fn projection_flop_count_is_exact() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        let proj = Projection::random(&g, 8, 2);
+        let mut c = OpCounters::default();
+        proj.project(&g, &fs, &mut c).unwrap();
+        let expected: u128 = g
+            .schema()
+            .vertex_types()
+            .map(|(ty, decl)| {
+                2 * g.vertex_count(ty).unwrap() as u128 * decl.feature_dim as u128 * 8
+            })
+            .sum();
+        assert_eq!(c.flops, expected);
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        let proj = Projection::random(&g, 8, 2);
+        let mut c1 = OpCounters::default();
+        let mut c2 = OpCounters::default();
+        let h1 = proj.project(&g, &fs, &mut c1).unwrap();
+        let h2 = proj.project(&g, &fs, &mut c2).unwrap();
+        let ty = g.schema().type_by_mnemonic('M').unwrap();
+        assert_eq!(
+            h1.matrix(ty).unwrap().max_abs_diff(h2.matrix(ty).unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn vector_accessor_matches_matrix_row() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        let proj = Projection::random(&g, 8, 2);
+        let mut c = OpCounters::default();
+        let h = proj.project(&g, &fs, &mut c).unwrap();
+        let ty = g.schema().type_by_mnemonic('A').unwrap();
+        assert_eq!(h.vector(ty, 0), h.matrix(ty).unwrap().row(0));
+    }
+}

@@ -1,0 +1,181 @@
+//! HGNN model definitions.
+//!
+//! Three representative metapath-based HGNNs are reproduced (§5.1):
+//!
+//! * **MAGNN** aggregates *every* vertex inside each metapath instance
+//!   (intra-instance), then combines instances per start vertex
+//!   (inter-instance), then metapaths (semantic). The intra-instance
+//!   step is where redundant computation across instances lives.
+//! * **HAN** aggregates only metapath-based neighbors — the *endpoint*
+//!   of each instance — then performs semantic aggregation.
+//! * **SHGNN** aggregates bottom-up over the tree formed by the
+//!   instances dispersing from each start vertex (exactly the
+//!   dependency/prefix tree of §3.2), then across metapaths.
+//!
+//! The models are simplified to their aggregation *structure*: learned
+//! attention vectors are replaced by dot-product attention against the
+//! start vertex (optional) and learned semantic attention by fixed
+//! per-metapath weights ([`semantic_weights`]) or a uniform mean. The
+//! structure is what determines memory traffic, redundancy, and
+//! instance handling — the quantities this reproduction measures.
+
+use serde::{Deserialize, Serialize};
+
+/// Which HGNN model to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Metapath Aggregated GNN: full intra-instance aggregation.
+    Magnn,
+    /// Heterogeneous Attention Network: endpoint-only aggregation.
+    Han,
+    /// Structure-aware HGNN: prefix-tree aggregation.
+    Shgnn,
+}
+
+impl ModelKind {
+    /// All three models in the paper's order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Magnn, ModelKind::Han, ModelKind::Shgnn];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Magnn => "MAGNN",
+            ModelKind::Han => "HAN",
+            ModelKind::Shgnn => "SHGNN",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration shared by every execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// The model variant.
+    pub kind: ModelKind,
+    /// Hidden dimension every vertex type projects into.
+    pub hidden_dim: usize,
+    /// Enable dot-product inter-instance attention (MAGNN/HAN). When
+    /// disabled, instances are combined by arithmetic mean.
+    pub attention: bool,
+    /// Combine metapaths with per-metapath weights (the hardware's
+    /// `ConfigWeight` + `Inter_path_agg` path) instead of a uniform
+    /// mean. Weights are derived deterministically from the metapath
+    /// names via [`semantic_weights`], standing in for the learned
+    /// semantic-attention coefficients.
+    pub weighted_semantic: bool,
+    /// Seed for feature and weight initialization.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// A sensible default configuration for a model kind: hidden
+    /// dimension 64, attention enabled, fixed seed.
+    pub fn new(kind: ModelKind) -> Self {
+        ModelConfig {
+            kind,
+            hidden_dim: 64,
+            attention: true,
+            weighted_semantic: false,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Returns a copy with a different hidden dimension.
+    pub fn with_hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Returns a copy with attention enabled or disabled.
+    pub fn with_attention(mut self, attention: bool) -> Self {
+        self.attention = attention;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with weighted semantic aggregation enabled or
+    /// disabled.
+    pub fn with_weighted_semantic(mut self, weighted: bool) -> Self {
+        self.weighted_semantic = weighted;
+        self
+    }
+}
+
+/// Deterministic per-metapath semantic weights, normalized to sum to 1.
+///
+/// Stands in for learned semantic-attention coefficients: every
+/// executor (software engines, NMP simulator) derives the same weights
+/// from the metapath names, so results stay comparable.
+pub fn semantic_weights(names: &[&str]) -> Vec<f32> {
+    let raw: Vec<f32> = names
+        .iter()
+        .map(|n| {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in n.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            1.0 + (h % 1000) as f32 / 1000.0
+        })
+        .collect();
+    let sum: f32 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig::new(ModelKind::Magnn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelKind::Magnn.name(), "MAGNN");
+        assert_eq!(ModelKind::Han.to_string(), "HAN");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = ModelConfig::new(ModelKind::Han)
+            .with_hidden_dim(32)
+            .with_attention(false)
+            .with_seed(9);
+        assert_eq!(c.kind, ModelKind::Han);
+        assert_eq!(c.hidden_dim, 32);
+        assert!(!c.attention);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn default_is_magnn() {
+        let c = ModelConfig::default();
+        assert_eq!(c.kind, ModelKind::Magnn);
+        assert!(!c.weighted_semantic);
+    }
+
+    #[test]
+    fn semantic_weights_normalize_and_differ() {
+        let w = semantic_weights(&["APA", "APTPA", "APVPA"]);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(w.iter().all(|&x| x > 0.0));
+        assert_ne!(w[0], w[1]);
+        // Deterministic.
+        assert_eq!(w, semantic_weights(&["APA", "APTPA", "APVPA"]));
+    }
+}

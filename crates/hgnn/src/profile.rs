@@ -1,0 +1,291 @@
+//! Operation counters and workload profiles.
+//!
+//! Every execution engine in this crate counts the floating-point
+//! operations and bytes it moves, per HGNN phase. The resulting
+//! [`WorkloadProfile`] is the single currency all performance models
+//! consume: the analytical baseline platforms (CPU/GPU/AWB-GCN/HyGCN/
+//! RecNMP) and the roofline characterizations of Figures 3 and 4 are
+//! all functions of these numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw operation counts of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Floating-point operations (adds and multiplies each count 1).
+    pub flops: u128,
+    /// Bytes read from memory.
+    pub bytes_read: u128,
+    /// Bytes written to memory.
+    pub bytes_written: u128,
+}
+
+impl OpCounters {
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u128 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in flops per byte; `0` when no bytes move.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.bytes();
+        if b == 0 {
+            0.0
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.flops += other.flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// The four phases of the HGNN pipeline (Figure 2 plus the
+/// pre-processing matching phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Metapath instance matching (pre-processing in the baseline;
+    /// on-the-fly in MetaNMP).
+    Matching,
+    /// Per-type dense feature projection.
+    Projection,
+    /// Structural (intra- and inter-instance) aggregation.
+    Structural,
+    /// Semantic (inter-metapath) aggregation.
+    Semantic,
+}
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Matching,
+        Phase::Projection,
+        Phase::Structural,
+        Phase::Semantic,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Matching => "matching",
+            Phase::Projection => "projection",
+            Phase::Structural => "structural",
+            Phase::Semantic => "semantic",
+        }
+    }
+}
+
+/// A complete measured workload profile of one inference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Instance matching (pre-processing) counters.
+    pub matching: OpCounters,
+    /// Feature projection counters.
+    pub projection: OpCounters,
+    /// Structural aggregation counters.
+    pub structural: OpCounters,
+    /// Semantic aggregation counters.
+    pub semantic: OpCounters,
+    /// Total metapath instances processed.
+    pub instances: u128,
+    /// Vector aggregations a fully naive dataflow would perform.
+    pub naive_aggregations: u128,
+    /// Vector aggregations actually performed by the engine.
+    pub performed_aggregations: u128,
+}
+
+impl WorkloadProfile {
+    /// Counters of one phase.
+    pub fn phase(&self, phase: Phase) -> &OpCounters {
+        match phase {
+            Phase::Matching => &self.matching,
+            Phase::Projection => &self.projection,
+            Phase::Structural => &self.structural,
+            Phase::Semantic => &self.semantic,
+        }
+    }
+
+    /// Mutable counters of one phase.
+    pub fn phase_mut(&mut self, phase: Phase) -> &mut OpCounters {
+        match phase {
+            Phase::Matching => &mut self.matching,
+            Phase::Projection => &mut self.projection,
+            Phase::Structural => &mut self.structural,
+            Phase::Semantic => &mut self.semantic,
+        }
+    }
+
+    /// Sum of the three *inference* phases (the paper excludes matching
+    /// from inference time).
+    pub fn inference_totals(&self) -> OpCounters {
+        let mut t = OpCounters::default();
+        t.merge(&self.projection);
+        t.merge(&self.structural);
+        t.merge(&self.semantic);
+        t
+    }
+
+    /// Sum over all four phases.
+    pub fn totals(&self) -> OpCounters {
+        let mut t = self.inference_totals();
+        t.merge(&self.matching);
+        t
+    }
+
+    /// Fraction of naive aggregation work that was redundant
+    /// (Figure 5); zero when the engine performed all of it.
+    pub fn redundancy_eliminated(&self) -> f64 {
+        if self.naive_aggregations == 0 {
+            0.0
+        } else {
+            1.0 - self.performed_aggregations as f64 / self.naive_aggregations as f64
+        }
+    }
+
+    /// Merges another profile (e.g. across metapaths) into this one.
+    pub fn merge(&mut self, other: &WorkloadProfile) {
+        self.matching.merge(&other.matching);
+        self.projection.merge(&other.projection);
+        self.structural.merge(&other.structural);
+        self.semantic.merge(&other.semantic);
+        self.instances += other.instances;
+        self.naive_aggregations += other.naive_aggregations;
+        self.performed_aggregations += other.performed_aggregations;
+    }
+}
+
+/// Relative time share of each phase under a bandwidth-bound execution
+/// (used for the Figure 4a breakdown): phases are weighted by
+/// `max(bytes / bandwidth, flops / compute)` on the given platform
+/// ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Share of inference time per phase, in `[0, 1]`, summing to 1
+    /// over [`Phase::Projection`], [`Phase::Structural`],
+    /// [`Phase::Semantic`].
+    pub shares: [f64; 3],
+}
+
+impl PhaseBreakdown {
+    /// Computes the breakdown from a profile given a platform's peak
+    /// compute (flops/s) and bandwidth (bytes/s).
+    pub fn from_profile(profile: &WorkloadProfile, peak_flops: f64, peak_bw: f64) -> Self {
+        let time = |c: &OpCounters| {
+            let t_c = c.flops as f64 / peak_flops;
+            let t_b = c.bytes() as f64 / peak_bw;
+            t_c.max(t_b)
+        };
+        let t = [
+            time(&profile.projection),
+            time(&profile.structural),
+            time(&profile.semantic),
+        ];
+        let total: f64 = t.iter().sum();
+        let shares = if total > 0.0 {
+            [t[0] / total, t[1] / total, t[2] / total]
+        } else {
+            [0.0; 3]
+        };
+        PhaseBreakdown { shares }
+    }
+
+    /// Share of the structural-aggregation phase.
+    pub fn structural_share(&self) -> f64 {
+        self.shares[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_and_intensity() {
+        let mut a = OpCounters {
+            flops: 100,
+            bytes_read: 40,
+            bytes_written: 10,
+        };
+        let b = OpCounters {
+            flops: 50,
+            bytes_read: 10,
+            bytes_written: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.flops, 150);
+        assert_eq!(a.bytes(), 60);
+        assert!((a.arithmetic_intensity() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_zero_intensity() {
+        let c = OpCounters::default();
+        assert_eq!(c.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn profile_phase_accessors() {
+        let mut p = WorkloadProfile::default();
+        p.phase_mut(Phase::Structural).flops = 7;
+        assert_eq!(p.phase(Phase::Structural).flops, 7);
+        assert_eq!(p.structural.flops, 7);
+    }
+
+    #[test]
+    fn totals_include_matching() {
+        let mut p = WorkloadProfile::default();
+        p.matching.flops = 1;
+        p.projection.flops = 2;
+        p.structural.flops = 3;
+        p.semantic.flops = 4;
+        assert_eq!(p.inference_totals().flops, 9);
+        assert_eq!(p.totals().flops, 10);
+    }
+
+    #[test]
+    fn redundancy_ratio() {
+        let p = WorkloadProfile {
+            naive_aggregations: 100,
+            performed_aggregations: 60,
+            ..Default::default()
+        };
+        assert!((p.redundancy_eliminated() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_normalizes() {
+        let p = WorkloadProfile {
+            projection: OpCounters {
+                flops: 1000,
+                bytes_read: 10,
+                bytes_written: 10,
+            },
+            structural: OpCounters {
+                flops: 10,
+                bytes_read: 100_000,
+                bytes_written: 0,
+            },
+            semantic: OpCounters {
+                flops: 10,
+                bytes_read: 1000,
+                bytes_written: 0,
+            },
+            ..Default::default()
+        };
+        let b = PhaseBreakdown::from_profile(&p, 1e3, 1e3);
+        let sum: f64 = b.shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Structural dominates: it moves 100KB at 1KB/s.
+        assert!(b.structural_share() > 0.9);
+    }
+
+    #[test]
+    fn phase_names() {
+        assert_eq!(Phase::Matching.name(), "matching");
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+}

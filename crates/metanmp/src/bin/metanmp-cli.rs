@@ -1,0 +1,200 @@
+//! `metanmp-cli` — run MetaNMP simulations from the command line.
+//!
+//! ```text
+//! metanmp-cli simulate --dataset DP --model MAGNN --scale 0.02 [--hidden 32]
+//! metanmp-cli compare  --dataset IB --model HAN   [--hidden 64]
+//! metanmp-cli memory   --dataset LF [--hidden 64]
+//! metanmp-cli datasets
+//! ```
+
+use std::process::ExitCode;
+
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hgnn::ModelKind;
+use metanmp::{compare, memory_reductions, Simulator};
+use nmp::NmpConfig;
+
+struct Args {
+    dataset: DatasetId,
+    model: ModelKind,
+    scale: f64,
+    hidden: usize,
+}
+
+fn parse_dataset(s: &str) -> Option<DatasetId> {
+    DatasetId::ALL
+        .into_iter()
+        .find(|d| d.abbrev().eq_ignore_ascii_case(s) || d.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_model(s: &str) -> Option<ModelKind> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        dataset: DatasetId::Imdb,
+        model: ModelKind::Magnn,
+        scale: 0.02,
+        hidden: 32,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--dataset" => {
+                args.dataset = parse_dataset(value)
+                    .ok_or_else(|| format!("unknown dataset {value:?} (DP IB LF OM OG)"))?;
+            }
+            "--model" => {
+                args.model = parse_model(value)
+                    .ok_or_else(|| format!("unknown model {value:?} (MAGNN HAN SHGNN)"))?;
+            }
+            "--scale" => {
+                args.scale = value
+                    .parse()
+                    .map_err(|_| format!("bad scale {value:?}"))?;
+            }
+            "--hidden" => {
+                args.hidden = value
+                    .parse()
+                    .map_err(|_| format!("bad hidden dim {value:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!("usage: metanmp-cli <simulate|compare|memory|datasets> [flags]");
+    eprintln!("  flags: --dataset DP|IB|LF|OM|OG  --model MAGNN|HAN|SHGNN");
+    eprintln!("         --scale 0.02  --hidden 32");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "compare" => cmd_compare(&args),
+        "memory" => cmd_memory(&args),
+        "datasets" => cmd_datasets(),
+        _ => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sim = Simulator::builder()
+        .dataset(args.dataset)
+        .scale(args.scale)
+        .model(args.model)
+        .hidden_dim(args.hidden)
+        .build()?;
+    let outcome = sim.run()?;
+    println!(
+        "{} x {} @ scale {}: verified={} (max diff {:.2e})",
+        args.dataset.abbrev(),
+        args.model.name(),
+        args.scale,
+        outcome.matches_reference,
+        outcome.max_reference_diff
+    );
+    println!(
+        "  inference {:.3} ms | {} instances | {} aggregations | {} copies",
+        outcome.nmp.seconds * 1e3,
+        outcome.nmp.counts.instances,
+        outcome.nmp.counts.aggregations,
+        outcome.nmp.counts.copies
+    );
+    println!(
+        "  energy {:.3} mJ (dram {:.3}, logic {:.3}, host {:.3})",
+        outcome.nmp.energy.total_j() * 1e3,
+        outcome.nmp.energy.dram.total_pj() * 1e-9,
+        outcome.nmp.energy.logic_pj * 1e-9,
+        outcome.nmp.energy.host_pj * 1e-9
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = generate(args.dataset, GeneratorConfig::at_scale(args.scale));
+    let cfg = NmpConfig {
+        hidden_dim: args.hidden,
+        ..NmpConfig::default()
+    };
+    let c = compare(&ds, args.model, args.hidden, &cfg, None)?;
+    println!("{}-{} (speedup over CPU baseline):", c.dataset, c.model);
+    for p in &c.platforms {
+        if p.report.oom {
+            println!("  {:<10} OOM", p.name);
+        } else {
+            println!("  {:<10} {:>10.2}x", p.name, p.speedup_vs_cpu);
+        }
+    }
+    println!("  {:<10} {:>10.2}x", "MetaNMP", c.metanmp_speedup);
+    Ok(())
+}
+
+fn cmd_memory(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = generate(args.dataset, GeneratorConfig::at_scale(args.scale.max(0.1)));
+    println!(
+        "memory reduction of MetaNMP on {} (scale {}):",
+        args.dataset.abbrev(),
+        args.scale.max(0.1)
+    );
+    for (name, vals) in memory_reductions(&ds, args.hidden, 8)? {
+        println!(
+            "  {:<12} MAGNN {:>6.1}%  HAN {:>6.1}%  SHGNN {:>6.1}%",
+            name,
+            vals[0] * 100.0,
+            vals[1] * 100.0,
+            vals[2] * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_datasets() -> Result<(), Box<dyn std::error::Error>> {
+    println!("available dataset presets (Table 3 schemas):");
+    for id in DatasetId::ALL {
+        let ds = generate(id, GeneratorConfig::at_scale(0.02));
+        println!(
+            "  {:<3} {:<8} {} metapaths: {}",
+            id.abbrev(),
+            id.name(),
+            ds.metapaths.len(),
+            ds.metapaths
+                .iter()
+                .map(|m| m.name().to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    Ok(())
+}

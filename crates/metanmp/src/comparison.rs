@@ -1,0 +1,237 @@
+//! End-to-end platform comparison (Figures 12 and 13).
+//!
+//! For one dataset × model: measure the workload with the instrumented
+//! software engines, estimate MetaNMP with the calibrated analytic
+//! model, evaluate every baseline platform on the measured profile, and
+//! report speedups and energy ratios normalized to the CPU baseline —
+//! exactly the shape of the paper's Figures 12 and 13.
+
+use baselines::{
+    AwbGcnModel, CpuModel, GpuModel, HyGcnModel, Platform, PlatformReport,
+    PlatformWorkload, RecNmpModel,
+};
+use hetgraph::datasets::Dataset;
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+use nmp::{estimate, NmpConfig, NmpReport};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetanmpError;
+use crate::memory::{compare_memory, storage_for};
+
+/// One platform's entry in a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformEntry {
+    /// Platform display name.
+    pub name: String,
+    /// Evaluation result.
+    pub report: PlatformReport,
+    /// Speedup over the CPU baseline (CPU = 1.0; `inf` marks OOM
+    /// competitors, `0` is never produced).
+    pub speedup_vs_cpu: f64,
+    /// Energy-efficiency gain over the CPU baseline.
+    pub energy_gain_vs_cpu: f64,
+}
+
+/// A full dataset × model comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Dataset abbreviation (e.g. "DP").
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// The MetaNMP estimate.
+    pub metanmp: NmpReport,
+    /// MetaNMP speedup over the CPU baseline.
+    pub metanmp_speedup: f64,
+    /// MetaNMP energy gain over the CPU baseline.
+    pub metanmp_energy_gain: f64,
+    /// Baseline platforms in evaluation order: CPU, GPU, AWB-GCN,
+    /// HyGCN, RecNMP.
+    pub platforms: Vec<PlatformEntry>,
+}
+
+/// Runs the comparison for one dataset and model.
+///
+/// The dataset should be scaled so the software engines can execute it
+/// (the profiles scale linearly; ratios are scale-stable). GPU OOM is
+/// decided from the *measured* footprint of this dataset — pass
+/// `footprint_override` to impose the full-scale footprint when running
+/// a scaled-down copy of a web-scale graph.
+///
+/// # Errors
+///
+/// Propagates engine and simulator errors.
+pub fn compare(
+    dataset: &Dataset,
+    kind: ModelKind,
+    hidden_dim: usize,
+    nmp_config: &NmpConfig,
+    footprint_override: Option<u128>,
+) -> Result<Comparison, MetanmpError> {
+    let features = FeatureStore::random(&dataset.graph, 0x5EED);
+    let model_config = ModelConfig::new(kind)
+        .with_hidden_dim(hidden_dim)
+        .with_attention(false);
+
+    let naive = MaterializedEngine.run(&dataset.graph, &features, &model_config, &dataset.metapaths)?;
+    let reuse = OnTheFlyEngine.run(&dataset.graph, &features, &model_config, &dataset.metapaths)?;
+
+    let metanmp = estimate(&dataset.graph, kind, &dataset.metapaths, nmp_config)?;
+    let generation_seconds = metanmp.counts.gen_cycles_max_dimm as f64
+        * nmp_config.dram.cycle_seconds()
+        * 1.1; // distribution overlap slack
+
+    let footprint = match footprint_override {
+        Some(f) => f,
+        None => {
+            let mut total = dataset.graph.topology_bytes() as u128
+                + dataset.graph.raw_feature_bytes() as u128;
+            for mp in &dataset.metapaths {
+                total += hetgraph::instances::instance_memory(
+                    &dataset.graph,
+                    mp,
+                    storage_for(kind),
+                    hidden_dim,
+                )?
+                .total();
+            }
+            total
+        }
+    };
+
+    let workload = PlatformWorkload::new(
+        naive.profile,
+        reuse.profile,
+        footprint,
+        generation_seconds,
+    );
+
+    let cpu = CpuModel::software_only().evaluate(&workload);
+    let models: Vec<(&str, PlatformReport)> = vec![
+        ("CPU", cpu),
+        ("GPU", GpuModel.evaluate(&workload)),
+        ("AWB-GCN", AwbGcnModel.evaluate(&workload)),
+        ("HyGCN", HyGcnModel.evaluate(&workload)),
+        ("RecNMP", RecNmpModel.evaluate(&workload)),
+    ];
+
+    let platforms = models
+        .into_iter()
+        .map(|(name, report)| PlatformEntry {
+            name: name.to_string(),
+            speedup_vs_cpu: if report.oom {
+                0.0
+            } else {
+                cpu.seconds / report.seconds
+            },
+            energy_gain_vs_cpu: if report.oom {
+                0.0
+            } else {
+                cpu.energy_j / report.energy_j
+            },
+            report,
+        })
+        .collect();
+
+    let metanmp_speedup = cpu.seconds / metanmp.seconds;
+    let metanmp_energy_gain = cpu.energy_j / metanmp.energy.total_j();
+
+    Ok(Comparison {
+        dataset: dataset.id.abbrev().to_string(),
+        model: kind.name().to_string(),
+        metanmp,
+        metanmp_speedup,
+        metanmp_energy_gain,
+        platforms,
+    })
+}
+
+/// Convenience: the memory-reduction rows of Table 4 for one dataset.
+///
+/// # Errors
+///
+/// Propagates graph errors.
+pub fn memory_reductions(
+    dataset: &Dataset,
+    hidden_dim: usize,
+    total_dimms: usize,
+) -> Result<Vec<(String, [f64; 3])>, MetanmpError> {
+    let mut rows = Vec::new();
+    for mp in &dataset.metapaths {
+        let mut per_model = [0.0; 3];
+        for (i, kind) in ModelKind::ALL.iter().enumerate() {
+            per_model[i] = compare_memory(&dataset.graph, mp, *kind, hidden_dim, total_dimms)?
+                .reduction();
+        }
+        rows.push((format!("{}-{}", dataset.id.abbrev(), mp.name()), per_model));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+
+    fn config(hidden: usize) -> NmpConfig {
+        NmpConfig {
+            hidden_dim: hidden,
+            ..NmpConfig::default()
+        }
+    }
+
+    #[test]
+    fn metanmp_beats_every_baseline() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+        let c = compare(&ds, ModelKind::Magnn, 16, &config(16), None).unwrap();
+        assert!(c.metanmp_speedup > 1.0, "speedup = {}", c.metanmp_speedup);
+        for p in &c.platforms {
+            if !p.report.oom {
+                assert!(
+                    c.metanmp.seconds < p.report.seconds,
+                    "MetaNMP should beat {}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_entry_is_unity() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+        let c = compare(&ds, ModelKind::Han, 16, &config(16), None).unwrap();
+        let cpu = &c.platforms[0];
+        assert_eq!(cpu.name, "CPU");
+        assert!((cpu.speedup_vs_cpu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_override_forces_gpu_oom() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+        let c = compare(
+            &ds,
+            ModelKind::Magnn,
+            16,
+            &config(16),
+            Some(100u128 << 30),
+        )
+        .unwrap();
+        let gpu = c.platforms.iter().find(|p| p.name == "GPU").unwrap();
+        assert!(gpu.report.oom);
+        assert_eq!(gpu.speedup_vs_cpu, 0.0);
+    }
+
+    #[test]
+    fn memory_reduction_rows_cover_metapaths() {
+        let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.2));
+        let rows = memory_reductions(&ds, 64, 8).unwrap();
+        assert_eq!(rows.len(), ds.metapaths.len());
+        for (name, vals) in &rows {
+            assert!(name.starts_with("LF-"));
+            for v in vals {
+                assert!(*v >= 0.0 && *v < 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use hetgraph::GraphError;
+use hgnn::HgnnError;
+use nmp::NmpError;
+
+/// Errors surfaced by the façade crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetanmpError {
+    /// Graph substrate error.
+    Graph(GraphError),
+    /// Model/engine error.
+    Hgnn(HgnnError),
+    /// Hardware-simulator error.
+    Nmp(NmpError),
+    /// Invalid simulator configuration.
+    Config(String),
+}
+
+impl fmt::Display for MetanmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetanmpError::Graph(e) => write!(f, "graph error: {e}"),
+            MetanmpError::Hgnn(e) => write!(f, "model error: {e}"),
+            MetanmpError::Nmp(e) => write!(f, "simulator error: {e}"),
+            MetanmpError::Config(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl Error for MetanmpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MetanmpError::Graph(e) => Some(e),
+            MetanmpError::Hgnn(e) => Some(e),
+            MetanmpError::Nmp(e) => Some(e),
+            MetanmpError::Config(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for MetanmpError {
+    fn from(e: GraphError) -> Self {
+        MetanmpError::Graph(e)
+    }
+}
+
+impl From<HgnnError> for MetanmpError {
+    fn from(e: HgnnError) -> Self {
+        MetanmpError::Hgnn(e)
+    }
+}
+
+impl From<NmpError> for MetanmpError {
+    fn from(e: NmpError) -> Self {
+        MetanmpError::Nmp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MetanmpError = GraphError::MetapathTooShort(0).into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let c = MetanmpError::Config("bad".into());
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<MetanmpError>();
+    }
+}

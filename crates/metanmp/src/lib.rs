@@ -1,0 +1,47 @@
+//! # MetaNMP — a reproduction of the ISCA 2023 paper in Rust
+//!
+//! *MetaNMP: Leveraging Cartesian-Like Product to Accelerate HGNNs with
+//! Near-Memory Processing* (Chen et al., ISCA 2023) proposes a
+//! DIMM-based near-memory accelerator for metapath-based heterogeneous
+//! graph neural networks. This workspace reproduces the full system:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`hetgraph`] | typed graphs, metapaths, instance enumeration/counting, datasets |
+//! | [`hgnn`] | MAGNN/HAN/SHGNN forward passes, materialized vs on-the-fly engines |
+//! | [`dramsim`] | command-level DDR4 simulator with broadcast & rank-local traffic |
+//! | [`nmp`] | the MetaNMP hardware model (CarPU, RCEU, rank-AU, ISA, broadcast) |
+//! | [`baselines`] | analytical CPU/GPU/AWB-GCN/HyGCN/RecNMP models |
+//! | `metanmp` (this crate) | memory analysis, platform comparison, high-level façade |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hetgraph::datasets::DatasetId;
+//! use hgnn::ModelKind;
+//! use metanmp::Simulator;
+//!
+//! let sim = Simulator::builder()
+//!     .dataset(DatasetId::Dblp)
+//!     .scale(0.02)          // laptop-sized synthetic DBLP
+//!     .model(ModelKind::Magnn)
+//!     .hidden_dim(16)
+//!     .build()?;
+//! let outcome = sim.run()?;
+//! assert!(outcome.matches_reference); // hardware == software reference
+//! println!("MetaNMP inference: {:.3} ms", outcome.nmp.seconds * 1e3);
+//! # Ok::<(), metanmp::MetanmpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod comparison;
+mod error;
+pub mod memory;
+mod simulator;
+
+pub use comparison::{compare, memory_reductions, Comparison, PlatformEntry};
+pub use error::MetanmpError;
+pub use memory::{compare_memory, MemoryComparison, RESERVED_AGG_BYTES_PER_DIMM};
+pub use simulator::{SimulationOutcome, Simulator, SimulatorBuilder};

@@ -1,0 +1,186 @@
+//! Memory-footprint analysis: Tables 1 and 4.
+//!
+//! The conventional pipeline stores every metapath instance (plus
+//! model-specific intermediates); MetaNMP generates instances on the
+//! fly and only keeps a bounded reserved region of in-flight
+//! aggregation results (128 MB per DIMM sufficed in the paper's
+//! experiments, §4.3). This module computes both sides exactly, using
+//! the closed-form instance counters, so it runs at full dataset scale.
+
+use hetgraph::instances::{
+    count_instances_per_start, instance_memory, InstanceStorage,
+};
+use hetgraph::{GraphError, HeteroGraph, Metapath};
+use hgnn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Reserved aggregation-result bytes per DIMM (§4.3: 128 MB).
+pub const RESERVED_AGG_BYTES_PER_DIMM: u128 = 128 << 20;
+
+/// How a model's baseline stores instances.
+pub fn storage_for(kind: ModelKind) -> InstanceStorage {
+    match kind {
+        ModelKind::Magnn => InstanceStorage::FullPath,
+        ModelKind::Han => InstanceStorage::Endpoints,
+        ModelKind::Shgnn => InstanceStorage::PrefixTree,
+    }
+}
+
+/// Byte-level comparison of the two pipelines for one
+/// (graph, metapath, model) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryComparison {
+    /// Graph topology bytes (CSR).
+    pub graph_bytes: u128,
+    /// Raw + projected feature bytes.
+    pub feature_bytes: u128,
+    /// Baseline intermediate bytes (instances + per-instance
+    /// vectors / tree nodes).
+    pub baseline_intermediate_bytes: u128,
+    /// MetaNMP in-flight aggregation bytes (bounded by the reserved
+    /// region).
+    pub metanmp_intermediate_bytes: u128,
+    /// Number of metapath instances.
+    pub instance_count: u128,
+}
+
+impl MemoryComparison {
+    /// Total bytes of the conventional pipeline.
+    pub fn baseline_total(&self) -> u128 {
+        self.graph_bytes + self.feature_bytes + self.baseline_intermediate_bytes
+    }
+
+    /// Total bytes of MetaNMP.
+    pub fn metanmp_total(&self) -> u128 {
+        self.graph_bytes + self.feature_bytes + self.metanmp_intermediate_bytes
+    }
+
+    /// Fractional reduction (Table 4): `1 − metanmp / baseline`.
+    pub fn reduction(&self) -> f64 {
+        let b = self.baseline_total();
+        if b == 0 {
+            0.0
+        } else {
+            1.0 - self.metanmp_total() as f64 / b as f64
+        }
+    }
+
+    /// Ratio of instance storage to graph storage (Table 1's
+    /// phenomenon: 239.84× on average).
+    pub fn instances_to_graph_ratio(&self) -> f64 {
+        if self.graph_bytes == 0 {
+            0.0
+        } else {
+            self.baseline_intermediate_bytes as f64 / self.graph_bytes as f64
+        }
+    }
+}
+
+/// Computes the memory comparison for one metapath and model.
+///
+/// `hidden_dim` sizes the projected-feature and intermediate vectors;
+/// `total_dimms` bounds the reserved region.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the instance counters.
+pub fn compare_memory(
+    graph: &HeteroGraph,
+    metapath: &Metapath,
+    kind: ModelKind,
+    hidden_dim: usize,
+    total_dimms: usize,
+) -> Result<MemoryComparison, GraphError> {
+    let graph_bytes = graph.topology_bytes() as u128;
+    let hidden_bytes = graph.total_vertex_count() as u128 * hidden_dim as u128 * 4;
+    let feature_bytes = graph.raw_feature_bytes() as u128 + hidden_bytes;
+
+    let baseline = instance_memory(graph, metapath, storage_for(kind), hidden_dim)?;
+
+    // MetaNMP keeps, at any instant, only the aggregation results of
+    // the start vertices currently in flight (one wave per start
+    // vertex, one start per DIMM), bounded by the reserved region.
+    // HAN needs no stored per-instance results at all: its endpoint
+    // aggregation folds directly into the output accumulator.
+    let vector_bytes = hidden_dim as u128 * 4;
+    let reserved_cap = RESERVED_AGG_BYTES_PER_DIMM * total_dimms as u128;
+    let in_flight = match kind {
+        ModelKind::Han => vector_bytes * total_dimms as u128,
+        ModelKind::Magnn | ModelKind::Shgnn => {
+            let per_start = count_instances_per_start(graph, metapath)?;
+            let peak_fanout = per_start.iter().copied().max().unwrap_or(0);
+            (peak_fanout * vector_bytes * total_dimms as u128)
+                .min(baseline.instance_count * vector_bytes)
+        }
+    };
+    let metanmp_intermediate = in_flight.min(reserved_cap);
+
+    Ok(MemoryComparison {
+        graph_bytes,
+        feature_bytes,
+        baseline_intermediate_bytes: baseline.total(),
+        metanmp_intermediate_bytes: metanmp_intermediate,
+        instance_count: baseline.instance_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+
+    #[test]
+    fn reduction_is_positive_on_instance_heavy_metapaths() {
+        let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.25));
+        let mp = ds.metapath("UATAU").unwrap();
+        let c = compare_memory(&ds.graph, mp, ModelKind::Magnn, 64, 8).unwrap();
+        assert!(c.reduction() > 0.5, "reduction = {}", c.reduction());
+        assert!(c.instances_to_graph_ratio() > 10.0);
+    }
+
+    #[test]
+    fn short_metapaths_reduce_less() {
+        let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.25));
+        let short = compare_memory(&ds.graph, ds.metapath("UAU").unwrap(), ModelKind::Magnn, 64, 8)
+            .unwrap();
+        let long = compare_memory(
+            &ds.graph,
+            ds.metapath("UATAU").unwrap(),
+            ModelKind::Magnn,
+            64,
+            8,
+        )
+        .unwrap();
+        assert!(long.reduction() > short.reduction());
+    }
+
+    #[test]
+    fn han_stores_less_than_magnn() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.25));
+        let mp = ds.metapath("AMDMA").unwrap();
+        let magnn = compare_memory(&ds.graph, mp, ModelKind::Magnn, 64, 8).unwrap();
+        let han = compare_memory(&ds.graph, mp, ModelKind::Han, 64, 8).unwrap();
+        assert!(han.baseline_intermediate_bytes < magnn.baseline_intermediate_bytes);
+        assert!(han.reduction() <= magnn.reduction());
+    }
+
+    #[test]
+    fn metanmp_side_is_bounded_by_reserved_region() {
+        let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.25));
+        let mp = ds.metapath("UATAU").unwrap();
+        let c = compare_memory(&ds.graph, mp, ModelKind::Magnn, 64, 8).unwrap();
+        assert!(c.metanmp_intermediate_bytes <= RESERVED_AGG_BYTES_PER_DIMM * 8);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.1));
+        let mp = ds.metapath("MAM").unwrap();
+        let c = compare_memory(&ds.graph, mp, ModelKind::Shgnn, 32, 8).unwrap();
+        assert_eq!(
+            c.baseline_total(),
+            c.graph_bytes + c.feature_bytes + c.baseline_intermediate_bytes
+        );
+        assert!(c.reduction() >= 0.0 && c.reduction() < 1.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The high-level simulator façade: pick a dataset, a model, and a
+//! hardware configuration; run a verified end-to-end inference.
+
+use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
+use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind, OpCounters, Projection};
+use nmp::{FunctionalSim, NmpConfig, NmpReport};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetanmpError;
+use crate::memory::{compare_memory, MemoryComparison};
+
+/// Builder for a [`Simulator`].
+///
+/// ```
+/// use hetgraph::datasets::DatasetId;
+/// use hgnn::ModelKind;
+/// use metanmp::Simulator;
+///
+/// let sim = Simulator::builder()
+///     .dataset(DatasetId::Imdb)
+///     .scale(0.02)
+///     .model(ModelKind::Magnn)
+///     .hidden_dim(16)
+///     .build()?;
+/// let outcome = sim.run()?;
+/// assert!(outcome.matches_reference);
+/// # Ok::<(), metanmp::MetanmpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder {
+    dataset: DatasetId,
+    scale: f64,
+    seed: u64,
+    model: ModelKind,
+    hidden_dim: usize,
+    nmp: NmpConfig,
+}
+
+impl Default for SimulatorBuilder {
+    fn default() -> Self {
+        SimulatorBuilder {
+            dataset: DatasetId::Imdb,
+            scale: 0.05,
+            seed: 0x5EED,
+            model: ModelKind::Magnn,
+            hidden_dim: 64,
+            nmp: NmpConfig::default(),
+        }
+    }
+}
+
+impl SimulatorBuilder {
+    /// Selects the dataset preset.
+    pub fn dataset(mut self, id: DatasetId) -> Self {
+        self.dataset = id;
+        self
+    }
+
+    /// Sets the dataset scale factor in `(0, 1]`.
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the RNG seed for dataset and feature generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the HGNN model.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the hidden dimension.
+    pub fn hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Overrides the NMP hardware configuration (its `hidden_dim` is
+    /// synchronized at [`SimulatorBuilder::build`]).
+    pub fn nmp_config(mut self, nmp: NmpConfig) -> Self {
+        self.nmp = nmp;
+        self
+    }
+
+    /// Generates the dataset and assembles the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetanmpError::Config`] for invalid scales or a zero
+    /// hidden dimension.
+    pub fn build(mut self) -> Result<Simulator, MetanmpError> {
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(MetanmpError::Config(format!(
+                "scale must be in (0, 1], got {}",
+                self.scale
+            )));
+        }
+        if self.hidden_dim == 0 {
+            return Err(MetanmpError::Config("hidden_dim must be positive".into()));
+        }
+        self.nmp.hidden_dim = self.hidden_dim;
+        let dataset = generate(
+            self.dataset,
+            GeneratorConfig {
+                scale: self.scale,
+                seed: self.seed,
+                ..GeneratorConfig::default()
+            },
+        );
+        Ok(Simulator {
+            dataset,
+            seed: self.seed,
+            model: self.model,
+            hidden_dim: self.hidden_dim,
+            nmp: self.nmp,
+        })
+    }
+}
+
+/// A configured end-to-end simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    dataset: Dataset,
+    seed: u64,
+    model: ModelKind,
+    hidden_dim: usize,
+    nmp: NmpConfig,
+}
+
+/// Everything one simulated inference produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// The MetaNMP hardware report.
+    pub nmp: NmpReport,
+    /// Largest absolute embedding difference against the software
+    /// reference engine.
+    pub max_reference_diff: f32,
+    /// `true` when the hardware embeddings match the reference within
+    /// floating-point reassociation tolerance.
+    pub matches_reference: bool,
+    /// Memory comparison per metapath.
+    pub memory: Vec<MemoryComparison>,
+}
+
+impl Simulator {
+    /// Starts building a simulator.
+    pub fn builder() -> SimulatorBuilder {
+        SimulatorBuilder::default()
+    }
+
+    /// The generated dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Runs one verified inference: functional NMP simulation, checked
+    /// against the software reference, plus the memory analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and simulator errors.
+    pub fn run(&self) -> Result<SimulationOutcome, MetanmpError> {
+        let features = FeatureStore::random(&self.dataset.graph, self.seed);
+        let model_config = ModelConfig::new(self.model)
+            .with_hidden_dim(self.hidden_dim)
+            .with_attention(false)
+            .with_seed(self.seed);
+
+        // Software reference.
+        let reference = OnTheFlyEngine.run(
+            &self.dataset.graph,
+            &features,
+            &model_config,
+            &self.dataset.metapaths,
+        )?;
+
+        // Hardware functional run over identically projected features.
+        let projection =
+            Projection::random(&self.dataset.graph, self.hidden_dim, self.seed);
+        let mut counters = OpCounters::default();
+        let hidden = projection.project(&self.dataset.graph, &features, &mut counters)?;
+        let run = FunctionalSim::new(self.nmp).run(
+            &self.dataset.graph,
+            &hidden,
+            self.model,
+            &self.dataset.metapaths,
+        )?;
+
+        let max_reference_diff = run.embeddings.max_abs_diff(&reference.embeddings);
+        let memory = self
+            .dataset
+            .metapaths
+            .iter()
+            .map(|mp| {
+                compare_memory(
+                    &self.dataset.graph,
+                    mp,
+                    self.model,
+                    self.hidden_dim,
+                    self.nmp.dram.total_dimms(),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(SimulationOutcome {
+            nmp: run.report,
+            max_reference_diff,
+            matches_reference: max_reference_diff < 1e-3,
+            memory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_end_to_end() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .model(ModelKind::Magnn)
+            .hidden_dim(16)
+            .build()
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.matches_reference, "diff = {}", outcome.max_reference_diff);
+        assert!(outcome.nmp.seconds > 0.0);
+        assert_eq!(outcome.memory.len(), sim.dataset().metapaths.len());
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        assert!(matches!(
+            Simulator::builder().scale(0.0).build(),
+            Err(MetanmpError::Config(_))
+        ));
+        assert!(matches!(
+            Simulator::builder().scale(1.5).build(),
+            Err(MetanmpError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn zero_hidden_dim_rejected() {
+        assert!(Simulator::builder().hidden_dim(0).build().is_err());
+    }
+
+    #[test]
+    fn han_and_shgnn_also_verify() {
+        for kind in [ModelKind::Han, ModelKind::Shgnn] {
+            let sim = Simulator::builder()
+                .dataset(DatasetId::Imdb)
+                .scale(0.02)
+                .model(kind)
+                .hidden_dim(8)
+                .build()
+                .unwrap();
+            let outcome = sim.run().unwrap();
+            assert!(outcome.matches_reference, "{kind} diverged");
+        }
+    }
+}

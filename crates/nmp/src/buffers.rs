@@ -1,0 +1,236 @@
+//! On-DIMM buffers: the metapath instance buffer, the edge buffer, and
+//! the rank-AU feature cache (Table 2's NMP configuration).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// The metapath instance buffer (32 KB by default).
+///
+/// Each item stores up to five vertices (metapaths are typically under
+/// length 5) plus a physical address for the instance's aggregation
+/// result: `5 × 4 + 8 = 28` bytes. Longer metapaths chain two items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceBuffer {
+    capacity_bytes: usize,
+    live_entries: usize,
+    high_water: usize,
+    drains: u64,
+}
+
+/// Bytes per instance-buffer item: five vertex ids plus the physical
+/// address of the aggregation result.
+pub const INSTANCE_ITEM_BYTES: usize = 5 * 4 + 8;
+
+/// Vertices one item can hold.
+pub const INSTANCE_ITEM_VERTICES: usize = 5;
+
+impl InstanceBuffer {
+    /// Creates an empty buffer with the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        InstanceBuffer {
+            capacity_bytes,
+            live_entries: 0,
+            high_water: 0,
+            drains: 0,
+        }
+    }
+
+    /// Number of items that fit.
+    pub fn capacity_entries(&self) -> usize {
+        self.capacity_bytes / INSTANCE_ITEM_BYTES
+    }
+
+    /// Items needed for an instance of `vertex_count` vertices.
+    pub fn items_for(vertex_count: usize) -> usize {
+        vertex_count.div_ceil(INSTANCE_ITEM_VERTICES)
+    }
+
+    /// Records an instance entering the buffer; returns `true` if the
+    /// buffer had to drain (hand items to the rank-AUs) to make room.
+    pub fn push(&mut self, vertex_count: usize) -> bool {
+        let items = Self::items_for(vertex_count);
+        let mut drained = false;
+        if self.live_entries + items > self.capacity_entries() {
+            // Controller drains the buffer to the rank-AUs.
+            self.live_entries = 0;
+            self.drains += 1;
+            drained = true;
+        }
+        self.live_entries += items;
+        self.high_water = self.high_water.max(self.live_entries);
+        drained
+    }
+
+    /// Empties the buffer (e.g. at the end of a start vertex's wave).
+    pub fn clear(&mut self) {
+        self.live_entries = 0;
+    }
+
+    /// Times the buffer filled up and forced a drain.
+    pub fn drain_count(&self) -> u64 {
+        self.drains
+    }
+
+    /// Highest occupancy observed, in items.
+    pub fn high_water_entries(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// A set-less LRU feature cache keyed by `(vertex type, vertex id)`.
+///
+/// Models the 256 KB rank-AU feature cache: one line per feature
+/// vector.
+#[derive(Debug, Clone)]
+pub struct FeatureCache {
+    capacity_lines: usize,
+    map: HashMap<(u8, u32), u64>,
+    order: VecDeque<((u8, u32), u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeatureCache {
+    /// Creates a cache of `capacity_bytes` with `line_bytes` per
+    /// feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        FeatureCache {
+            capacity_lines: (capacity_bytes / line_bytes).max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up (and on miss, fills) the line for a vertex's feature
+    /// vector. Returns `true` on hit.
+    pub fn access(&mut self, ty: u8, id: u32) -> bool {
+        self.tick += 1;
+        let key = (ty, id);
+        if let Some(stamp) = self.map.get_mut(&key) {
+            *stamp = self.tick;
+            self.order.push_back((key, self.tick));
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Evict until there is room (lazy LRU: skip stale order
+        // entries).
+        while self.map.len() >= self.capacity_lines {
+            if let Some((old_key, stamp)) = self.order.pop_front() {
+                if self.map.get(&old_key) == Some(&stamp) {
+                    self.map.remove(&old_key);
+                }
+            } else {
+                break;
+            }
+        }
+        self.map.insert(key, self.tick);
+        self.order.push_back((key, self.tick));
+        false
+    }
+
+    /// Pre-loads a line without counting a miss (models broadcast fill:
+    /// the data arrives pushed, not fetched).
+    pub fn fill(&mut self, ty: u8, id: u32) {
+        self.tick += 1;
+        let key = (ty, id);
+        while self.map.len() >= self.capacity_lines {
+            if let Some((old_key, stamp)) = self.order.pop_front() {
+                if self.map.get(&old_key) == Some(&stamp) {
+                    self.map.remove(&old_key);
+                }
+            } else {
+                break;
+            }
+        }
+        self.map.insert(key, self.tick);
+        self.order.push_back((key, self.tick));
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_buffer_capacity() {
+        let b = InstanceBuffer::new(32 * 1024);
+        assert_eq!(b.capacity_entries(), 32 * 1024 / 28);
+    }
+
+    #[test]
+    fn long_metapaths_take_two_items() {
+        assert_eq!(InstanceBuffer::items_for(5), 1);
+        assert_eq!(InstanceBuffer::items_for(6), 2);
+        assert_eq!(InstanceBuffer::items_for(3), 1);
+    }
+
+    #[test]
+    fn buffer_drains_when_full() {
+        let mut b = InstanceBuffer::new(28 * 2); // two items
+        assert!(!b.push(3));
+        assert!(!b.push(3));
+        assert!(b.push(3)); // forces a drain
+        assert_eq!(b.drain_count(), 1);
+        assert_eq!(b.high_water_entries(), 2);
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = FeatureCache::new(1024, 256);
+        c.fill(0, 1);
+        assert!(c.access(0, 1));
+        assert!(!c.access(0, 2));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        let mut c = FeatureCache::new(2 * 64, 64); // 2 lines
+        assert!(!c.access(0, 1));
+        assert!(!c.access(0, 2));
+        assert!(c.access(0, 1)); // touch 1 → 2 is LRU
+        assert!(!c.access(0, 3)); // evicts 2
+        assert!(c.access(0, 1));
+        assert!(!c.access(0, 2)); // was evicted
+    }
+
+    #[test]
+    fn zero_capacity_keeps_one_line() {
+        let mut c = FeatureCache::new(0, 64);
+        assert!(!c.access(0, 1));
+        assert!(c.access(0, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Inter-DIMM communication policies (§4.2, §5.5).
+//!
+//! When the host distributes edge data and vertex features to the
+//! DIMMs generating instances, the same payload is often needed by
+//! several DIMMs on one channel. The *naive* policy sends it
+//! point-to-point once per consumer; the *broadcast* policy charges the
+//! whole bus once and lets every DIMM latch the data. The paper only
+//! broadcasts when at least two DIMMs on the channel want the payload.
+
+use serde::{Deserialize, Serialize};
+
+/// Which distribution policy the host uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommPolicy {
+    /// Point-to-point transfers, one per consuming DIMM.
+    Naive,
+    /// One broadcast per channel when ≥ 2 DIMMs need the payload,
+    /// point-to-point otherwise.
+    Broadcast,
+}
+
+impl CommPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommPolicy::Naive => "naive",
+            CommPolicy::Broadcast => "broadcast",
+        }
+    }
+}
+
+/// A plan for distributing one payload to a set of DIMMs on one
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelTransfers {
+    /// Point-to-point transfers of the payload on this channel.
+    pub normal: u64,
+    /// Broadcast transfers of the payload on this channel.
+    pub broadcast: u64,
+}
+
+impl ChannelTransfers {
+    /// Total payload transfers crossing the channel bus (each occupies
+    /// the bus once, regardless of kind).
+    pub fn bus_occupancies(&self) -> u64 {
+        self.normal + self.broadcast
+    }
+}
+
+/// Decides transfers for one payload needed by `consumers` DIMMs on a
+/// channel.
+pub fn plan_channel(policy: CommPolicy, consumers: u64) -> ChannelTransfers {
+    match (policy, consumers) {
+        (_, 0) => ChannelTransfers {
+            normal: 0,
+            broadcast: 0,
+        },
+        (CommPolicy::Naive, n) => ChannelTransfers {
+            normal: n,
+            broadcast: 0,
+        },
+        (CommPolicy::Broadcast, 1) => ChannelTransfers {
+            normal: 1,
+            broadcast: 0,
+        },
+        (CommPolicy::Broadcast, _) => ChannelTransfers {
+            normal: 0,
+            broadcast: 1,
+        },
+    }
+}
+
+/// Expected number of distinct bins hit when throwing `balls`
+/// uniformly into `bins` (used by the closed-form estimator to predict
+/// how many DIMMs/channels a center's neighbor set touches).
+pub fn expected_distinct_bins(balls: f64, bins: f64) -> f64 {
+    if bins <= 0.0 {
+        return 0.0;
+    }
+    bins * (1.0 - (1.0 - 1.0 / bins).powf(balls))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_duplicates() {
+        let t = plan_channel(CommPolicy::Naive, 3);
+        assert_eq!(t.normal, 3);
+        assert_eq!(t.broadcast, 0);
+        assert_eq!(t.bus_occupancies(), 3);
+    }
+
+    #[test]
+    fn broadcast_collapses_to_one() {
+        let t = plan_channel(CommPolicy::Broadcast, 3);
+        assert_eq!(t.normal, 0);
+        assert_eq!(t.broadcast, 1);
+        assert_eq!(t.bus_occupancies(), 1);
+    }
+
+    #[test]
+    fn single_consumer_stays_point_to_point() {
+        // §4.2: broadcast only when ≥ 2 DIMMs need the data.
+        let t = plan_channel(CommPolicy::Broadcast, 1);
+        assert_eq!(t.normal, 1);
+        assert_eq!(t.broadcast, 0);
+    }
+
+    #[test]
+    fn zero_consumers_zero_transfers() {
+        for p in [CommPolicy::Naive, CommPolicy::Broadcast] {
+            assert_eq!(plan_channel(p, 0).bus_occupancies(), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_bins_limits() {
+        assert!((expected_distinct_bins(1.0, 8.0) - 1.0).abs() < 1e-9);
+        assert!(expected_distinct_bins(1000.0, 8.0) > 7.99);
+        assert!(expected_distinct_bins(4.0, 8.0) < 4.0);
+        assert_eq!(expected_distinct_bins(4.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CommPolicy::Naive.name(), "naive");
+        assert_eq!(CommPolicy::Broadcast.name(), "broadcast");
+    }
+}

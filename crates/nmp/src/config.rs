@@ -1,0 +1,146 @@
+//! MetaNMP system configuration.
+
+use dramsim::DramConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::comm::CommPolicy;
+use crate::power::AreaPowerModel;
+
+/// Configuration of the full MetaNMP system (Table 2's "NMP
+/// Configuration" row plus ablation switches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NmpConfig {
+    /// The underlying DRAM system.
+    pub dram: DramConfig,
+    /// Hidden feature dimension (set by `ConfigSize`).
+    pub hidden_dim: usize,
+    /// CarPU type-1/type-3 queue capacity in entries (the 8 KB edge
+    /// buffer holds 2 K vertex ids per queue).
+    pub carpu_queue_capacity: usize,
+    /// Metapath instance buffer bytes (32 KB).
+    pub instance_buffer_bytes: usize,
+    /// Rank-AU feature cache bytes (256 KB).
+    pub feature_cache_bytes: usize,
+    /// FP32 adders (and multipliers) per rank-AU.
+    pub pe_lanes: usize,
+    /// NMP logic clock (MHz); the buffer chip runs bus-synchronous.
+    pub nmp_clock_mhz: f64,
+    /// Host CPU clock (MHz) for the distribution loop.
+    pub host_clock_mhz: f64,
+    /// Host cycles of loop/issue overhead per distributed payload.
+    pub host_cycles_per_payload: u64,
+    /// Host cycles to service one point-to-point data request under
+    /// the naive communication policy (§5.5: DIMMs "directly request
+    /// the data with the help of the host" — each request is a
+    /// host-mediated round trip of doorbell, poll, and reply, ~1 µs at
+    /// 2.5 GHz, that the broadcast push eliminates).
+    pub naive_request_host_cycles: u64,
+    /// Channel-bus traffic per aggregation operand under the naive
+    /// policy, in vector multiples: without the broadcast push every
+    /// remote operand is fetched on demand, and the random single-
+    /// vector fetches waste part of each row activation, so the
+    /// effective occupancy exceeds one vector (>1).
+    pub naive_demand_fraction: f64,
+    /// Communication policy for distributing edge/feature data.
+    pub comm: CommPolicy,
+    /// RCEU enabled: exploit shareable aggregation computations.
+    pub reuse: bool,
+    /// Use per-metapath `ConfigWeight` coefficients for inter-path
+    /// aggregation instead of a uniform mean (must match the software
+    /// reference's `weighted_semantic` flag).
+    pub weighted_semantic: bool,
+    /// Aggregate in the rank-AUs. When `false` (the paper's
+    /// MetaNMP-w/o-NMPAggr ablation), the NMP side only generates
+    /// instances and the host performs aggregation over the channel
+    /// bus.
+    pub aggregate_in_nmp: bool,
+    /// Effective host power (W) attributed to the distribution loop.
+    pub host_active_watts: f64,
+    /// Area/power constants.
+    pub area_power: AreaPowerModel,
+}
+
+impl Default for NmpConfig {
+    fn default() -> Self {
+        NmpConfig {
+            dram: DramConfig::default(),
+            hidden_dim: 64,
+            carpu_queue_capacity: 2048,
+            instance_buffer_bytes: 32 * 1024,
+            feature_cache_bytes: 256 * 1024,
+            pe_lanes: 8,
+            nmp_clock_mhz: 1200.0,
+            host_clock_mhz: 2500.0,
+            host_cycles_per_payload: 8,
+            naive_request_host_cycles: 2500,
+            naive_demand_fraction: 1.4,
+            comm: CommPolicy::Broadcast,
+            reuse: true,
+            weighted_semantic: false,
+            aggregate_in_nmp: true,
+            host_active_watts: 5.0,
+            area_power: AreaPowerModel::default(),
+        }
+    }
+}
+
+impl NmpConfig {
+    /// Cycles one rank-AU needs to stream a `hidden_dim` vector through
+    /// its PEs.
+    pub fn vector_op_cycles(&self) -> u64 {
+        (self.hidden_dim as u64).div_ceil(self.pe_lanes as u64)
+    }
+
+    /// Bytes of one feature/aggregation vector.
+    pub fn vector_bytes(&self) -> usize {
+        self.hidden_dim * 4
+    }
+
+    /// Converts host cycles to NMP (memory) cycles.
+    pub fn host_to_nmp_cycles(&self, host_cycles: u64) -> u64 {
+        ((host_cycles as f64) * self.nmp_clock_mhz / self.host_clock_mhz).ceil() as u64
+    }
+
+    /// Returns a copy with a different DRAM topology (for the
+    /// scalability sweeps of Figures 16 and 17).
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Returns a copy with a different communication policy.
+    pub fn with_comm(mut self, comm: CommPolicy) -> Self {
+        self.comm = comm;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = NmpConfig::default();
+        assert_eq!(c.instance_buffer_bytes, 32 * 1024);
+        assert_eq!(c.feature_cache_bytes, 256 * 1024);
+        assert_eq!(c.pe_lanes, 8);
+        assert_eq!(c.comm, CommPolicy::Broadcast);
+        assert!(c.reuse && c.aggregate_in_nmp);
+    }
+
+    #[test]
+    fn vector_op_cycles_rounds_up() {
+        let mut c = NmpConfig::default();
+        assert_eq!(c.vector_op_cycles(), 8); // 64 / 8
+        c.hidden_dim = 65;
+        assert_eq!(c.vector_op_cycles(), 9);
+    }
+
+    #[test]
+    fn host_cycle_conversion() {
+        let c = NmpConfig::default();
+        // 2500 host cycles = 1 µs = 1200 NMP cycles.
+        assert_eq!(c.host_to_nmp_cycles(2500), 1200);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the MetaNMP simulators.
+
+use std::error::Error;
+use std::fmt;
+
+use hetgraph::GraphError;
+
+/// Errors raised by the functional and analytic simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NmpError {
+    /// The underlying graph raised an error.
+    Graph(GraphError),
+    /// The requested model/configuration combination is not supported
+    /// by the hardware dataflow.
+    Unsupported(String),
+}
+
+impl fmt::Display for NmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmpError::Graph(e) => write!(f, "graph error: {e}"),
+            NmpError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
+        }
+    }
+}
+
+impl Error for NmpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NmpError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for NmpError {
+    fn from(e: GraphError) -> Self {
+        NmpError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NmpError::from(GraphError::MetapathTooShort(1));
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let u = NmpError::Unsupported("attention".into());
+        assert!(u.to_string().contains("attention"));
+    }
+}

@@ -1,0 +1,803 @@
+//! The functional MetaNMP simulator.
+//!
+//! Executes the full hardware dataflow — host distribution, on-DIMM
+//! instance generation via cartesian-like products, RCEU reuse,
+//! rank-AU aggregation, inter-instance and inter-path aggregation —
+//! while *actually computing* the embeddings, so the result can be
+//! checked bit-close against the software reference engines.
+//!
+//! Timing model: rank-local aggregation traffic is scheduled by the
+//! command-level [`dramsim`] simulator; host/bus payloads, CarPU
+//! generation, and PE compute are tracked as per-resource cycle
+//! budgets. The phases are fully pipelined in the design (Figure 11),
+//! so total time is the maximum over resources — the standard bound for
+//! a balanced pipeline.
+//!
+//! The hardware aggregates with means and fixed weights (`ConfigWeight`
+//! + `Inter_path_agg`), so the functional model corresponds to the
+//! software engines with attention disabled.
+
+use std::collections::BTreeMap;
+
+use dramsim::{MemorySystem, Request};
+use hetgraph::cartesian::walk_prefix_tree;
+use hetgraph::cartesian::WalkEvent;
+use hetgraph::{HeteroGraph, Metapath, VertexId, VertexTypeId};
+use hgnn::engine::Embeddings;
+use hgnn::tensor::{vec_add, vec_axpy, vec_scale, Matrix};
+use hgnn::{HiddenFeatures, ModelKind};
+
+use crate::config::NmpConfig;
+use crate::distribution::distribute;
+use crate::error::NmpError;
+use crate::layout::{Home, Placement};
+use crate::report::{NmpCounts, NmpEnergy, NmpReport};
+
+/// Issues a rank-local vector transfer burst by burst so every burst
+/// stays within the vertex's home rank (§4.4) — consecutive physical
+/// addresses would otherwise stripe across channels.
+fn enqueue_rank_vec(
+    mem: &mut MemorySystem,
+    placement: &Placement,
+    home: Home,
+    offset: u64,
+    bytes: usize,
+    write: bool,
+) {
+    let burst = 64u64;
+    let mut off = offset;
+    let end = offset + bytes as u64;
+    while off < end {
+        let addr = placement.rank_local_addr(home, off);
+        if write {
+            mem.enqueue(Request::local_write(addr, 64));
+        } else {
+            mem.enqueue(Request::local_read(addr, 64));
+        }
+        off += burst;
+    }
+}
+
+/// Result of a functional run: real embeddings plus the timing/energy
+/// report.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// The embeddings the NMP hardware computed.
+    pub embeddings: Embeddings,
+    /// Cycle and energy report.
+    pub report: NmpReport,
+}
+
+/// The functional simulator.
+#[derive(Debug, Clone)]
+pub struct FunctionalSim {
+    config: NmpConfig,
+}
+
+impl FunctionalSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: NmpConfig) -> Self {
+        FunctionalSim { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NmpConfig {
+        &self.config
+    }
+
+    /// Runs one inference over already-projected features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NmpError::Unsupported`] when the hidden dimension
+    /// disagrees with the configuration or a metapath has fewer than
+    /// two hops, and propagates graph errors.
+    pub fn run(
+        &self,
+        graph: &HeteroGraph,
+        hidden: &HiddenFeatures,
+        kind: ModelKind,
+        metapaths: &[Metapath],
+    ) -> Result<FunctionalRun, NmpError> {
+        self.run_where(graph, hidden, kind, metapaths, |_, _| true)
+    }
+
+    /// Runs the inference restricted to the (metapath index, start
+    /// vertex) pairs selected by `include`; excluded start vertices
+    /// produce zero rows and cost nothing.
+    ///
+    /// This is the §4.4 exception-recovery mechanism: aggregation
+    /// results live in the reserved region and outputs are per start
+    /// vertex, so after a crash or preemption the program resumes by
+    /// recomputing only the vertices that were in flight. Because the
+    /// embedding rows are disjoint across start vertices, the union of
+    /// a pre-crash run and a recovery run over the complementary set
+    /// equals one uninterrupted run (see `recovery_resumes_cleanly` in
+    /// the tests).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FunctionalSim::run`].
+    pub fn run_where<F>(
+        &self,
+        graph: &HeteroGraph,
+        hidden: &HiddenFeatures,
+        kind: ModelKind,
+        metapaths: &[Metapath],
+        include: F,
+    ) -> Result<FunctionalRun, NmpError>
+    where
+        F: Fn(usize, u32) -> bool,
+    {
+        let cfg = &self.config;
+        if hidden.hidden_dim() != cfg.hidden_dim {
+            return Err(NmpError::Unsupported(format!(
+                "hidden dim {} does not match configured {}",
+                hidden.hidden_dim(),
+                cfg.hidden_dim
+            )));
+        }
+        if metapaths.is_empty() {
+            return Err(NmpError::Unsupported("no metapaths given".into()));
+        }
+        let d = cfg.hidden_dim;
+        let vb = cfg.vector_bytes();
+        let vec_op = cfg.vector_op_cycles();
+        let channels = cfg.dram.channels;
+        let dimms = cfg.dram.total_dimms();
+        let ranks = cfg.dram.total_ranks();
+        let placement = Placement::new(cfg.dram, d);
+        let mut mem = MemorySystem::new(cfg.dram);
+
+        let mut counts = NmpCounts::default();
+        let mut gen = vec![0u64; dimms];
+        let mut compute = vec![0u64; ranks];
+        let mut slots = vec![0u64; ranks];
+        let mut normal_bytes = vec![0f64; channels];
+        let mut broadcast_bytes = vec![0f64; channels];
+        let mut edge_bytes = vec![0f64; channels];
+        let mut host_agg_bytes = vec![0f64; channels];
+        let mut demand_bytes = vec![0f64; channels];
+        let mut host_extra_cycles: u64 = 0;
+        let mut structural: Vec<Matrix> = Vec::with_capacity(metapaths.len());
+
+        for (mp_index, mp) in metapaths.iter().enumerate() {
+            // ---- Host distribution (evoke + broadcast). ----
+            let dist = distribute(graph, mp, cfg, &placement)?;
+            for ch in 0..channels {
+                normal_bytes[ch] += dist.normal_bytes[ch];
+                broadcast_bytes[ch] += dist.broadcast_bytes[ch];
+                edge_bytes[ch] += dist.edge_read_bytes[ch];
+            }
+            counts.host_cycles += dist.host_cycles;
+            counts.broadcast_transfers += dist.broadcast_transfers;
+            counts.normal_transfers += dist.normal_transfers;
+            counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
+            counts.normal_payload_bytes +=
+                dist.normal_bytes.iter().sum::<f64>() as u64;
+            counts.broadcast_payload_bytes +=
+                dist.broadcast_bytes.iter().sum::<f64>() as u64;
+
+            // ---- Generation + aggregation, per start vertex. ----
+            let types = mp.vertex_types().to_vec();
+            let hops = mp.length();
+            let t0 = mp.start_type();
+            let start_count = graph.vertex_count(t0)?;
+            let mut s = Matrix::zeros(start_count as usize, d);
+
+            for start in 0..start_count {
+                if !include(mp_index, start) {
+                    continue;
+                }
+                let home = placement.home(t0.index() as u8, start);
+                let dimm = home.global_dimm(&cfg.dram);
+                let rank = home.global_rank(&cfg.dram);
+                let base_slot = slots[rank];
+
+                let mut prefix: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
+                let mut child_sum: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
+                let mut child_count = vec![0usize; hops + 1];
+                let mut child_seq = vec![0u64; hops + 1];
+                let mut slot_stack = vec![0u64; hops + 1];
+                let mut current = vec![0u32; hops + 1];
+                let mut acc = vec![0f32; d];
+                let mut n_inst: u64 = 0;
+                let aggs_before = counts.aggregations;
+
+                // The start vertex's own feature is read from its home
+                // rank once per wave.
+                enqueue_rank_vec(
+                    &mut mem,
+                    &placement,
+                    home,
+                    placement.feature_offset(start),
+                    vb,
+                    false,
+                );
+
+                walk_prefix_tree(graph, mp, VertexId::new(start), |ev| match ev {
+                    WalkEvent::Enter(depth, u) => {
+                        current[depth] = u;
+                        child_seq[depth] = 0;
+                        if depth == 0 {
+                            match kind {
+                                ModelKind::Magnn => prefix[0]
+                                    .copy_from_slice(hidden.vector(types[0], u)),
+                                ModelKind::Shgnn => {
+                                    child_sum[0].fill(0.0);
+                                    child_count[0] = 0;
+                                }
+                                ModelKind::Han => {}
+                            }
+                            return;
+                        }
+                        // One CarPU emission per prefix-tree node.
+                        gen[dimm] += 1;
+                        child_seq[depth - 1] += 1;
+                        if cfg.reuse && child_seq[depth - 1] >= 2 {
+                            counts.copies += 1;
+                        }
+                        match kind {
+                            ModelKind::Magnn => {
+                                let h = hidden.vector(types[depth], u);
+                                let (lo, hi) = prefix.split_at_mut(depth);
+                                hi[0].copy_from_slice(&lo[depth - 1]);
+                                vec_add(&mut hi[0], h);
+                                if cfg.reuse {
+                                    counts.aggregations += 1;
+                                    let slot = slots[rank];
+                                    slots[rank] += 1;
+                                    slot_stack[depth] = slot;
+                                    if cfg.aggregate_in_nmp {
+                                        // The running prefix lives in
+                                        // the AU buffer; only the
+                                        // instance's result is written
+                                        // to the reserved region (it
+                                        // is re-read by the
+                                        // inter-instance pass).
+                                        compute[rank] += vec_op;
+                                        enqueue_rank_vec(
+                                            &mut mem,
+                                            &placement,
+                                            home,
+                                            placement.agg_offset(slot),
+                                            vb,
+                                            true,
+                                        );
+                                    } else {
+                                        host_agg_bytes[home.channel] += 2.0 * vb as f64;
+                                        host_extra_cycles += d as u64 / 4 + 4;
+                                    }
+                                }
+                            }
+                            ModelKind::Shgnn => {
+                                child_sum[depth].fill(0.0);
+                                child_count[depth] = 0;
+                                counts.aggregations += 1;
+                                let slot = slots[rank];
+                                slots[rank] += 1;
+                                slot_stack[depth] = slot;
+                                if cfg.aggregate_in_nmp {
+                                    compute[rank] += 2 * vec_op;
+                                    enqueue_rank_vec(
+                                        &mut mem,
+                                        &placement,
+                                        home,
+                                        placement.agg_offset(slot),
+                                        vb,
+                                        true,
+                                    );
+                                } else {
+                                    host_agg_bytes[home.channel] += 2.0 * vb as f64;
+                                    host_extra_cycles += d as u64 / 2 + 4;
+                                }
+                            }
+                            ModelKind::Han => {}
+                        }
+                    }
+                    WalkEvent::Leaf => {
+                        n_inst += 1;
+                        match kind {
+                            ModelKind::Magnn => {
+                                vec_add(&mut acc, &prefix[hops]);
+                                if !cfg.reuse {
+                                    counts.aggregations += hops as u128;
+                                    if cfg.aggregate_in_nmp {
+                                        compute[rank] += hops as u64 * vec_op;
+                                        let slot = slots[rank];
+                                        slots[rank] += 1;
+                                        enqueue_rank_vec(
+                                            &mut mem,
+                                            &placement,
+                                            home,
+                                            placement.agg_offset(slot),
+                                            vb,
+                                            true,
+                                        );
+                                    } else {
+                                        host_agg_bytes[home.channel] +=
+                                            (hops + 1) as f64 * vb as f64;
+                                        host_extra_cycles +=
+                                            hops as u64 * (d as u64 / 4 + 4);
+                                    }
+                                }
+                            }
+                            ModelKind::Han => {
+                                let h = hidden.vector(types[hops], current[hops]);
+                                vec_add(&mut acc, h);
+                                counts.aggregations += 1;
+                                if cfg.aggregate_in_nmp {
+                                    compute[rank] += vec_op;
+                                } else {
+                                    host_agg_bytes[home.channel] += vb as f64;
+                                    host_extra_cycles += d as u64 / 4 + 4;
+                                }
+                            }
+                            ModelKind::Shgnn => {}
+                        }
+                    }
+                    WalkEvent::Exit(depth) => {
+                        if kind != ModelKind::Shgnn {
+                            return;
+                        }
+                        let v = current[depth];
+                        if depth == hops {
+                            let h = hidden.vector(types[depth], v);
+                            vec_add(&mut child_sum[depth - 1], h);
+                            child_count[depth - 1] += 1;
+                        } else if child_count[depth] > 0 {
+                            let h = hidden.vector(types[depth], v);
+                            let mut value = std::mem::take(&mut child_sum[depth]);
+                            vec_scale(&mut value, 0.5 / child_count[depth] as f32);
+                            vec_axpy(&mut value, 0.5, h);
+                            if depth == 0 {
+                                s.row_mut(v as usize).copy_from_slice(&value);
+                            } else {
+                                vec_add(&mut child_sum[depth - 1], &value);
+                                child_count[depth - 1] += 1;
+                            }
+                            child_sum[depth] = value;
+                        }
+                    }
+                })?;
+
+                counts.instances += n_inst as u128;
+                if cfg.comm == crate::comm::CommPolicy::Naive && cfg.aggregate_in_nmp {
+                    // Demand-fetch most aggregation operands over the
+                    // channel (no broadcast pre-fill).
+                    let aggs = (counts.aggregations - aggs_before) as f64;
+                    let fetched = aggs * vb as f64 * cfg.naive_demand_fraction;
+                    demand_bytes[home.channel] += fetched;
+                    counts.demand_fetch_bytes += fetched as u64;
+                }
+
+                if kind != ModelKind::Shgnn && n_inst > 0 {
+                    counts.inter_instance_ops += n_inst as u128;
+                    let scale = match kind {
+                        ModelKind::Magnn => 1.0 / (n_inst as f32 * (hops + 1) as f32),
+                        _ => 1.0 / n_inst as f32,
+                    };
+                    vec_scale(&mut acc, scale);
+                    s.row_mut(start as usize).copy_from_slice(&acc);
+                    if cfg.aggregate_in_nmp {
+                        compute[rank] += n_inst * vec_op + vec_op;
+                        if cfg.reuse || kind == ModelKind::Magnn {
+                            enqueue_rank_vec(
+                                &mut mem,
+                                &placement,
+                                home,
+                                placement.agg_offset(base_slot),
+                                (n_inst as usize).max(1) * vb,
+                                false,
+                            );
+                        }
+                        enqueue_rank_vec(
+                            &mut mem,
+                            &placement,
+                            home,
+                            placement.output_offset(start),
+                            vb,
+                            true,
+                        );
+                    } else {
+                        host_agg_bytes[home.channel] += (n_inst + 1) as f64 * vb as f64;
+                        host_extra_cycles += n_inst * (d as u64 / 4 + 4);
+                    }
+                } else if kind == ModelKind::Shgnn && cfg.aggregate_in_nmp && n_inst > 0 {
+                    enqueue_rank_vec(
+                        &mut mem,
+                        &placement,
+                        home,
+                        placement.output_offset(start),
+                        vb,
+                        true,
+                    );
+                }
+
+                // The reserved region is recycled once the start
+                // vertex's instances are folded into its output.
+                slots[rank] = base_slot;
+            }
+            structural.push(s);
+        }
+
+        // ---- Semantic (inter-path) aggregation: the host programs
+        // the per-metapath weights with `ConfigWeight` and triggers
+        // `Inter_path_agg` per vertex. ----
+        let mut by_type: BTreeMap<VertexTypeId, Vec<(&str, &Matrix)>> = BTreeMap::new();
+        for (mp, m) in metapaths.iter().zip(&structural) {
+            by_type
+                .entry(mp.start_type())
+                .or_default()
+                .push((mp.name(), m));
+        }
+        let mut per_type = BTreeMap::new();
+        for (ty, named) in by_type {
+            let rows = graph.vertex_count(ty)? as usize;
+            let results: Vec<&Matrix> = named.iter().map(|&(_, m)| m).collect();
+            let weights = if cfg.weighted_semantic {
+                let names: Vec<&str> = named.iter().map(|&(n, _)| n).collect();
+                hgnn::semantic_weights(&names)
+            } else {
+                vec![1.0 / results.len() as f32; results.len()]
+            };
+            let k = results.len();
+            let mut out = Matrix::zeros(rows, d);
+            for r in 0..rows {
+                let row = out.row_mut(r);
+                for (m, &w) in results.iter().zip(&weights) {
+                    vec_axpy(row, w, m.row(r));
+                }
+                counts.semantic_ops += k as u128;
+                let home = placement.home(ty.index() as u8, r as u32);
+                let rank = home.global_rank(&cfg.dram);
+                if cfg.aggregate_in_nmp {
+                    compute[rank] += k as u64 * vec_op + vec_op;
+                    enqueue_rank_vec(
+                        &mut mem,
+                        &placement,
+                        home,
+                        placement.output_offset(r as u32),
+                        k * vb,
+                        false,
+                    );
+                    enqueue_rank_vec(
+                        &mut mem,
+                        &placement,
+                        home,
+                        placement.output_offset(r as u32),
+                        vb,
+                        true,
+                    );
+                } else {
+                    host_agg_bytes[home.channel] += (k + 1) as f64 * vb as f64;
+                    host_extra_cycles += k as u64 * (d as u64 / 4 + 4);
+                }
+            }
+            per_type.insert(ty, out);
+        }
+        let embeddings = Embeddings::from_per_type(per_type);
+
+        // ---- Timing composition. ----
+        let dram_report = mem.service_all();
+        let t_bl = cfg.dram.timing.t_bl as f64;
+        let burst = cfg.dram.burst_bytes as f64;
+        let bus_cycles_max = (0..channels)
+            .map(|ch| {
+                ((normal_bytes[ch]
+                    + broadcast_bytes[ch]
+                    + edge_bytes[ch]
+                    + host_agg_bytes[ch]
+                    + demand_bytes[ch])
+                    / burst
+                    * t_bl)
+                    .ceil() as u64
+            })
+            .max()
+            .unwrap_or(0);
+        counts.gen_cycles_max_dimm = gen.iter().copied().max().unwrap_or(0);
+        counts.compute_cycles_max_rank = compute.iter().copied().max().unwrap_or(0);
+        let host_cycles_total = counts.host_cycles + host_extra_cycles;
+        counts.host_cycles = host_cycles_total;
+        let host_nmp = cfg.host_to_nmp_cycles(host_cycles_total);
+        let cycles = dram_report
+            .stats
+            .elapsed_cycles
+            .max(bus_cycles_max)
+            .max(counts.gen_cycles_max_dimm)
+            .max(counts.compute_cycles_max_rank)
+            .max(host_nmp);
+        let seconds = cycles as f64 * cfg.dram.cycle_seconds();
+
+        // ---- Energy composition. ----
+        let e = cfg.dram.energy;
+        let mut energy = NmpEnergy {
+            dram: dram_report.stats.energy,
+            ..Default::default()
+        };
+        let normal_total: f64 = normal_bytes.iter().sum::<f64>()
+            + edge_bytes.iter().sum::<f64>()
+            + host_agg_bytes.iter().sum::<f64>()
+            + demand_bytes.iter().sum::<f64>();
+        let broadcast_total: f64 = broadcast_bytes.iter().sum();
+        energy.dram.io_pj += normal_total * 8.0 * e.io_pj_per_bit;
+        energy.dram.broadcast_io_pj +=
+            broadcast_total * 8.0 * e.io_pj_per_bit * e.broadcast_io_factor;
+        // Edge reads also touch the arrays: array energy plus roughly
+        // one activation per 512 B of irregular neighbor-list data.
+        let edge_total: f64 =
+            edge_bytes.iter().sum::<f64>() + demand_bytes.iter().sum::<f64>();
+        energy.dram.array_pj += edge_total * 8.0 * e.array_pj_per_bit;
+        energy.dram.activate_pj += edge_total / 512.0 * e.act_pre_pj;
+        energy.dram.background_pj = e.background_mw_per_rank * 1e-3
+            * ranks as f64
+            * seconds
+            * 1e12;
+        energy.logic_pj = cfg.area_power.logic_energy_pj(
+            dimms,
+            cfg.dram.ranks_per_dimm,
+            seconds,
+        );
+        let host_seconds = host_cycles_total as f64 / (cfg.host_clock_mhz * 1e6);
+        energy.host_pj = cfg.host_active_watts * host_seconds * 1e12;
+
+        Ok(FunctionalRun {
+            embeddings,
+            report: NmpReport {
+                cycles,
+                seconds,
+                counts,
+                energy,
+                dram_stats: dram_report.stats,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+    use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
+    use hgnn::{FeatureStore, ModelConfig, OpCounters, Projection};
+
+    fn setup(
+        scale: f64,
+        hidden: usize,
+    ) -> (hetgraph::datasets::Dataset, HiddenFeatures) {
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(scale));
+        let fs = FeatureStore::random(&ds.graph, 3);
+        let proj = Projection::random(&ds.graph, hidden, 0xC0FFEE);
+        let mut c = OpCounters::default();
+        let h = proj.project(&ds.graph, &fs, &mut c).unwrap();
+        (ds, h)
+    }
+
+    fn reference(
+        ds: &hetgraph::datasets::Dataset,
+        kind: ModelKind,
+        hidden: usize,
+    ) -> hgnn::engine::Inference {
+        let fs = FeatureStore::random(&ds.graph, 3);
+        let config = ModelConfig::new(kind)
+            .with_hidden_dim(hidden)
+            .with_attention(false);
+        OnTheFlyEngine
+            .run(&ds.graph, &fs, &config, &ds.metapaths)
+            .unwrap()
+    }
+
+    fn nmp_config(hidden: usize) -> NmpConfig {
+        NmpConfig {
+            hidden_dim: hidden,
+            ..NmpConfig::default()
+        }
+    }
+
+    #[test]
+    fn magnn_matches_software_reference() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16));
+        let run = sim
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let reference = reference(&ds, ModelKind::Magnn, 16);
+        let diff = run.embeddings.max_abs_diff(&reference.embeddings);
+        assert!(diff < 1e-3, "diff = {diff}");
+    }
+
+    #[test]
+    fn han_matches_software_reference() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16));
+        let run = sim
+            .run(&ds.graph, &h, ModelKind::Han, &ds.metapaths)
+            .unwrap();
+        let reference = reference(&ds, ModelKind::Han, 16);
+        assert!(run.embeddings.max_abs_diff(&reference.embeddings) < 1e-3);
+    }
+
+    #[test]
+    fn shgnn_matches_software_reference() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16));
+        let run = sim
+            .run(&ds.graph, &h, ModelKind::Shgnn, &ds.metapaths)
+            .unwrap();
+        let reference = reference(&ds, ModelKind::Shgnn, 16);
+        assert!(run.embeddings.max_abs_diff(&reference.embeddings) < 1e-3);
+    }
+
+    #[test]
+    fn reuse_reduces_aggregations() {
+        let (ds, h) = setup(0.02, 16);
+        let with = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let without = FunctionalSim::new(NmpConfig {
+            reuse: false,
+            ..nmp_config(16)
+        })
+        .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+        assert!(with.report.counts.aggregations < without.report.counts.aggregations);
+        assert!(with.report.counts.copies > 0);
+        // Same embeddings either way.
+        assert!(with.embeddings.max_abs_diff(&without.embeddings) < 1e-4);
+    }
+
+    #[test]
+    fn host_aggregation_ablation_is_slower() {
+        let (ds, h) = setup(0.02, 16);
+        let full = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let ablated = FunctionalSim::new(NmpConfig {
+            aggregate_in_nmp: false,
+            ..nmp_config(16)
+        })
+        .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+        assert!(
+            ablated.report.seconds > full.report.seconds,
+            "ablated {} <= full {}",
+            ablated.report.seconds,
+            full.report.seconds
+        );
+        assert!(ablated.embeddings.max_abs_diff(&full.embeddings) < 1e-4);
+    }
+
+    #[test]
+    fn broadcast_beats_naive_communication() {
+        use crate::comm::CommPolicy;
+        let (ds, h) = setup(0.05, 16);
+        let b = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let n = FunctionalSim::new(nmp_config(16).with_comm(CommPolicy::Naive))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        assert!(
+            b.report.seconds <= n.report.seconds,
+            "broadcast {} > naive {}",
+            b.report.seconds,
+            n.report.seconds
+        );
+        assert!(b.report.counts.broadcast_transfers > 0);
+        assert_eq!(n.report.counts.broadcast_transfers, 0);
+    }
+
+    #[test]
+    fn counts_are_consistent_with_graph() {
+        use hetgraph::instances::count_instances;
+        let (ds, h) = setup(0.02, 16);
+        let run = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let expected: u128 = ds
+            .metapaths
+            .iter()
+            .map(|mp| count_instances(&ds.graph, mp).unwrap())
+            .sum();
+        assert_eq!(run.report.counts.instances, expected);
+    }
+
+    #[test]
+    fn energy_is_positive_and_decomposed() {
+        let (ds, h) = setup(0.02, 16);
+        let run = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let e = &run.report.energy;
+        assert!(e.dram.total_pj() > 0.0);
+        assert!(e.logic_pj > 0.0);
+        assert!(e.host_pj > 0.0);
+        assert!(e.total_pj() > e.logic_pj);
+        assert!(run.report.seconds > 0.0);
+    }
+
+    #[test]
+    fn weighted_semantic_matches_software_reference() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(NmpConfig {
+            weighted_semantic: true,
+            ..nmp_config(16)
+        });
+        let run = sim
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let fs = hgnn::FeatureStore::random(&ds.graph, 3);
+        let config = hgnn::ModelConfig::new(ModelKind::Magnn)
+            .with_hidden_dim(16)
+            .with_attention(false)
+            .with_weighted_semantic(true);
+        let reference = OnTheFlyEngine
+            .run(&ds.graph, &fs, &config, &ds.metapaths)
+            .unwrap();
+        assert!(run.embeddings.max_abs_diff(&reference.embeddings) < 1e-3);
+    }
+
+    #[test]
+    fn recovery_resumes_cleanly() {
+        // §4.4: after an exception, only in-flight vertices are
+        // recomputed; the union of the pre-crash run and the recovery
+        // run equals an uninterrupted run.
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16));
+        let full = sim
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        // Crash after half the start vertices of every metapath.
+        let crash_point = |start: u32| start % 2 == 0;
+        let before = sim
+            .run_where(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, |_, s| {
+                crash_point(s)
+            })
+            .unwrap();
+        let recovery = sim
+            .run_where(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, |_, s| {
+                !crash_point(s)
+            })
+            .unwrap();
+        // The two halves cover disjoint rows; their sum is the full
+        // result.
+        for ty in full.embeddings.types() {
+            let f = full.embeddings.matrix(ty).unwrap();
+            let a = before.embeddings.matrix(ty).unwrap();
+            let b = recovery.embeddings.matrix(ty).unwrap();
+            for r in 0..f.rows() {
+                for c in 0..f.cols() {
+                    let merged = a.row(r)[c] + b.row(r)[c];
+                    assert!(
+                        (merged - f.row(r)[c]).abs() < 1e-4,
+                        "row {r} col {c}: {merged} vs {}",
+                        f.row(r)[c]
+                    );
+                }
+            }
+        }
+        // Recovery only re-did the unfinished half of the work.
+        assert!(recovery.report.counts.instances < full.report.counts.instances);
+        assert_eq!(
+            before.report.counts.instances + recovery.report.counts.instances,
+            full.report.counts.instances
+        );
+    }
+
+    #[test]
+    fn wrong_hidden_dim_is_rejected() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(32));
+        assert!(matches!(
+            sim.run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths),
+            Err(NmpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn empty_metapaths_rejected() {
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16));
+        assert!(sim.run(&ds.graph, &h, ModelKind::Magnn, &[]).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The MetaNMP instruction set (Figure 10).
+//!
+//! Instructions ride on the memory command bus. A mode bit selects
+//! between plain memory traffic (`Mode(0)`) and NMP instructions
+//! (`Mode(1)`), which carry a 4-bit opcode, two 32-bit address/data
+//! operands, a 4-bit DIMM mask, and 6 reserved bits — 79 bits total,
+//! encoded here into a `u128` exactly as Figure 10 lays them out.
+
+use serde::{Deserialize, Serialize};
+
+/// A decoded NMP instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NmpInstruction {
+    /// Configure the feature vector length on every rank-AU.
+    ConfigSize {
+        /// Feature length in elements.
+        feature_length: u32,
+    },
+    /// Wake the DIMM holding a type-1 vertex: it will generate the
+    /// instances starting at that vertex. Carries the vertex number and
+    /// the physical address of its feature vector.
+    Evoke {
+        /// Local vertex number.
+        vertex: u32,
+        /// Physical address of the vertex's feature vector.
+        feature_addr: u32,
+    },
+    /// Broadcast edge/feature data to the DIMMs selected by the mask.
+    Broadcast {
+        /// Per-DIMM selection mask within the channel.
+        mask: u8,
+        /// Source address of the broadcast payload.
+        addr: u32,
+    },
+    /// Broadcast the center (type-2) vertex number and feature to the
+    /// evoked DIMMs; CarPUs latch it into the type-2 register.
+    BroadcastCore {
+        /// Center vertex number.
+        vertex: u32,
+        /// Per-DIMM selection mask within the channel.
+        mask: u8,
+        /// Source address of the payload.
+        addr: u32,
+    },
+    /// Aggregate a vertex's feature into an instance's aggregation
+    /// result.
+    Aggregate {
+        /// Vertex whose feature is aggregated.
+        vertex: u32,
+        /// Physical address of the aggregation result.
+        agg_addr: u32,
+    },
+    /// Aggregate all instance results of a start vertex into its
+    /// output.
+    InterInstanceAgg {
+        /// The start vertex.
+        vertex: u32,
+        /// Physical address of the output vector.
+        output_addr: u32,
+    },
+    /// Copy a reusable aggregation result to another instance's slot.
+    Copy {
+        /// Source aggregation-result address.
+        agg_addr: u32,
+        /// Destination address.
+        dst_addr: u32,
+    },
+    /// Configure the per-metapath weight used by inter-path
+    /// aggregation.
+    ConfigWeight {
+        /// IEEE-754 bits of the weight.
+        weight: u32,
+    },
+    /// Aggregate two metapath result vectors of a vertex.
+    InterPathAgg {
+        /// Address of the first path result.
+        path1_addr: u32,
+        /// Address of the second path result.
+        path2_addr: u32,
+    },
+}
+
+/// Error returned when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The mode bit was 0 (plain memory traffic, not an NMP
+    /// instruction).
+    NotNmpMode,
+    /// The opcode is not assigned.
+    UnknownOpcode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotNmpMode => write!(f, "mode bit is 0: not an nmp instruction"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#06b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Bit layout (LSB first): mode(1) | opcode(4) | operand A(32) |
+// mask(4) | operand B(32) | reserved(6).
+const MODE_SHIFT: u32 = 0;
+const OP_SHIFT: u32 = 1;
+const A_SHIFT: u32 = 5;
+const MASK_SHIFT: u32 = 37;
+const B_SHIFT: u32 = 41;
+
+impl NmpInstruction {
+    /// The 4-bit opcode (Figure 10's left column).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            NmpInstruction::ConfigSize { .. } => 0b0000,
+            NmpInstruction::Evoke { .. } => 0b0001,
+            NmpInstruction::Broadcast { .. } => 0b0010,
+            NmpInstruction::BroadcastCore { .. } => 0b0011,
+            NmpInstruction::Aggregate { .. } => 0b0100,
+            NmpInstruction::InterInstanceAgg { .. } => 0b0101,
+            NmpInstruction::Copy { .. } => 0b0110,
+            NmpInstruction::ConfigWeight { .. } => 0b0111,
+            NmpInstruction::InterPathAgg { .. } => 0b1000,
+        }
+    }
+
+    /// Encodes to the 79-bit instruction word (in a `u128`).
+    pub fn encode(&self) -> u128 {
+        let (a, mask, b): (u32, u8, u32) = match *self {
+            NmpInstruction::ConfigSize { feature_length } => (0, 0, feature_length),
+            NmpInstruction::Evoke {
+                vertex,
+                feature_addr,
+            } => (vertex, 0, feature_addr),
+            NmpInstruction::Broadcast { mask, addr } => (0, mask, addr),
+            NmpInstruction::BroadcastCore { vertex, mask, addr } => (vertex, mask, addr),
+            NmpInstruction::Aggregate { vertex, agg_addr } => (vertex, 0, agg_addr),
+            NmpInstruction::InterInstanceAgg {
+                vertex,
+                output_addr,
+            } => (vertex, 0, output_addr),
+            NmpInstruction::Copy { agg_addr, dst_addr } => (agg_addr, 0, dst_addr),
+            NmpInstruction::ConfigWeight { weight } => (0, 0, weight),
+            NmpInstruction::InterPathAgg {
+                path1_addr,
+                path2_addr,
+            } => (path1_addr, 0, path2_addr),
+        };
+        (1u128 << MODE_SHIFT)
+            | ((self.opcode() as u128) << OP_SHIFT)
+            | ((a as u128) << A_SHIFT)
+            | (((mask & 0xF) as u128) << MASK_SHIFT)
+            | ((b as u128) << B_SHIFT)
+    }
+
+    /// Decodes an instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::NotNmpMode`] if the mode bit is clear and
+    /// [`DecodeError::UnknownOpcode`] for unassigned opcodes.
+    pub fn decode(word: u128) -> Result<Self, DecodeError> {
+        if word & 1 == 0 {
+            return Err(DecodeError::NotNmpMode);
+        }
+        let op = ((word >> OP_SHIFT) & 0xF) as u8;
+        let a = ((word >> A_SHIFT) & 0xFFFF_FFFF) as u32;
+        let mask = ((word >> MASK_SHIFT) & 0xF) as u8;
+        let b = ((word >> B_SHIFT) & 0xFFFF_FFFF) as u32;
+        Ok(match op {
+            0b0000 => NmpInstruction::ConfigSize { feature_length: b },
+            0b0001 => NmpInstruction::Evoke {
+                vertex: a,
+                feature_addr: b,
+            },
+            0b0010 => NmpInstruction::Broadcast { mask, addr: b },
+            0b0011 => NmpInstruction::BroadcastCore {
+                vertex: a,
+                mask,
+                addr: b,
+            },
+            0b0100 => NmpInstruction::Aggregate {
+                vertex: a,
+                agg_addr: b,
+            },
+            0b0101 => NmpInstruction::InterInstanceAgg {
+                vertex: a,
+                output_addr: b,
+            },
+            0b0110 => NmpInstruction::Copy {
+                agg_addr: a,
+                dst_addr: b,
+            },
+            0b0111 => NmpInstruction::ConfigWeight { weight: b },
+            0b1000 => NmpInstruction::InterPathAgg {
+                path1_addr: a,
+                path2_addr: b,
+            },
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_examples() -> Vec<NmpInstruction> {
+        vec![
+            NmpInstruction::ConfigSize { feature_length: 64 },
+            NmpInstruction::Evoke {
+                vertex: 42,
+                feature_addr: 0xDEAD_BEEF,
+            },
+            NmpInstruction::Broadcast {
+                mask: 0b1010,
+                addr: 123,
+            },
+            NmpInstruction::BroadcastCore {
+                vertex: 7,
+                mask: 0b0011,
+                addr: 99,
+            },
+            NmpInstruction::Aggregate {
+                vertex: 5,
+                agg_addr: 0x1000,
+            },
+            NmpInstruction::InterInstanceAgg {
+                vertex: 5,
+                output_addr: 0x2000,
+            },
+            NmpInstruction::Copy {
+                agg_addr: 0x1000,
+                dst_addr: 0x1040,
+            },
+            NmpInstruction::ConfigWeight {
+                weight: 0.5f32.to_bits(),
+            },
+            NmpInstruction::InterPathAgg {
+                path1_addr: 0x3000,
+                path2_addr: 0x4000,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for inst in all_examples() {
+            let word = inst.encode();
+            assert_eq!(NmpInstruction::decode(word).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn opcodes_match_figure10() {
+        let ops: Vec<u8> = all_examples().iter().map(NmpInstruction::opcode).collect();
+        assert_eq!(ops, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn mode_bit_is_set() {
+        for inst in all_examples() {
+            assert_eq!(inst.encode() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn word_fits_in_79_bits() {
+        for inst in all_examples() {
+            assert!(inst.encode() < (1u128 << 79));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_memory_mode() {
+        assert_eq!(
+            NmpInstruction::decode(0),
+            Err(DecodeError::NotNmpMode)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        let word = 1u128 | (0b1111u128 << 1);
+        assert!(matches!(
+            NmpInstruction::decode(word),
+            Err(DecodeError::UnknownOpcode(0b1111))
+        ));
+    }
+
+    #[test]
+    fn mask_survives_roundtrip() {
+        let inst = NmpInstruction::Broadcast {
+            mask: 0b1111,
+            addr: u32::MAX,
+        };
+        assert_eq!(NmpInstruction::decode(inst.encode()).unwrap(), inst);
+    }
+}

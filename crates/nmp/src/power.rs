@@ -1,0 +1,108 @@
+//! Area and power model (Table 5).
+//!
+//! The paper synthesizes the added units with Synopsys DC at 40 nm and
+//! reports, per DIMM: rank-AUs 0.7045 mm² / 113.34 mW and
+//! DIMM-MetaNMP 0.0981 mm² / 16.5 mW — 0.8026 mm² / 129.84 mW total,
+//! against a ~100 mm² DRAM chip and a ~10 W LRDIMM. Those synthesis
+//! outputs are *inputs* to this reproduction; this module composes them
+//! into run energies and the Table 5 comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Area/power constants of the MetaNMP additions, per DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerModel {
+    /// Area of all rank-AUs on one DIMM (mm², 40 nm).
+    pub rank_au_area_mm2: f64,
+    /// Power of all rank-AUs on one DIMM (mW).
+    pub rank_au_power_mw: f64,
+    /// Number of ranks the reference rank-AU numbers assume.
+    pub reference_ranks: usize,
+    /// Area of the DIMM-MetaNMP module (mm²).
+    pub dimm_module_area_mm2: f64,
+    /// Power of the DIMM-MetaNMP module (mW).
+    pub dimm_module_power_mw: f64,
+    /// Area of a typical DRAM chip for comparison (mm²).
+    pub dram_chip_area_mm2: f64,
+    /// Power of a typical LRDIMM for comparison (mW).
+    pub lrdimm_power_mw: f64,
+}
+
+impl Default for AreaPowerModel {
+    fn default() -> Self {
+        AreaPowerModel {
+            rank_au_area_mm2: 0.7045,
+            rank_au_power_mw: 113.34,
+            reference_ranks: 2,
+            dimm_module_area_mm2: 0.0981,
+            dimm_module_power_mw: 16.5,
+            dram_chip_area_mm2: 100.0,
+            lrdimm_power_mw: 10_000.0,
+        }
+    }
+}
+
+impl AreaPowerModel {
+    /// Total added area per DIMM (mm²) for a given rank count,
+    /// scaling the rank-AU part linearly with ranks.
+    pub fn area_mm2(&self, ranks_per_dimm: usize) -> f64 {
+        self.rank_au_area_mm2 * ranks_per_dimm as f64 / self.reference_ranks as f64
+            + self.dimm_module_area_mm2
+    }
+
+    /// Total added power per DIMM (mW) for a given rank count.
+    pub fn power_mw(&self, ranks_per_dimm: usize) -> f64 {
+        self.rank_au_power_mw * ranks_per_dimm as f64 / self.reference_ranks as f64
+            + self.dimm_module_power_mw
+    }
+
+    /// Energy (pJ) the NMP logic of `dimms` DIMMs consumes over
+    /// `seconds` of simulated time.
+    pub fn logic_energy_pj(&self, dimms: usize, ranks_per_dimm: usize, seconds: f64) -> f64 {
+        self.power_mw(ranks_per_dimm) * 1e-3 * dimms as f64 * seconds * 1e12
+    }
+
+    /// Area as a fraction of a typical DRAM chip.
+    pub fn area_fraction_of_dram_chip(&self, ranks_per_dimm: usize) -> f64 {
+        self.area_mm2(ranks_per_dimm) / self.dram_chip_area_mm2
+    }
+
+    /// Power as a fraction of a typical LRDIMM.
+    pub fn power_fraction_of_lrdimm(&self, ranks_per_dimm: usize) -> f64 {
+        self.power_mw(ranks_per_dimm) / self.lrdimm_power_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_totals() {
+        let m = AreaPowerModel::default();
+        assert!((m.area_mm2(2) - 0.8026).abs() < 1e-9);
+        assert!((m.power_mw(2) - 129.84).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        let m = AreaPowerModel::default();
+        assert!(m.area_fraction_of_dram_chip(2) < 0.01);
+        assert!(m.power_fraction_of_lrdimm(2) < 0.015);
+    }
+
+    #[test]
+    fn rank_au_scales_with_ranks() {
+        let m = AreaPowerModel::default();
+        assert!(m.power_mw(4) > m.power_mw(2));
+        assert!((m.power_mw(4) - (113.34 * 2.0 + 16.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logic_energy() {
+        let m = AreaPowerModel::default();
+        // 1 DIMM, 2 ranks, 1 second → 129.84 mJ = 1.2984e11 pJ.
+        let e = m.logic_energy_pj(1, 2, 1.0);
+        assert!((e - 129.84e9).abs() / 129.84e9 < 1e-9);
+    }
+}

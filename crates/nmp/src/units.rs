@@ -1,0 +1,266 @@
+//! DIMM-level hardware units: the cartesian-like product unit (CarPU,
+//! Figure 9d) and the reusable computation exploitation unit (RCEU,
+//! Figure 9e).
+//!
+//! The CarPU holds a type-1 queue, a type-2 vertex register, and a
+//! type-3 queue; under control logic it emits one metapath (sub-)
+//! instance per cycle. The RCEU watches the generation order: for a
+//! fixed (type-1, type-2) prefix, every type-3 vertex after the first
+//! reuses the prefix's aggregation result, so the controller emits a
+//! *copy* instead of re-aggregating.
+
+use serde::{Deserialize, Serialize};
+
+/// One generated (type-1, type-2, type-3) triple plus its reuse flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedInstance {
+    /// The type-1 (left) vertex.
+    pub left: u32,
+    /// The type-2 (center) vertex, if the unit runs in cartesian-like
+    /// mode. `None` in plain cartesian mode (register disabled by the
+    /// AND gate).
+    pub center: Option<u32>,
+    /// The type-3 (right) vertex.
+    pub right: u32,
+    /// `true` when the RCEU flagged this instance as reusing the
+    /// aggregation result of the `(left, center)` prefix.
+    pub reuses_prefix: bool,
+    /// Cycle (relative to the product's start) at which the instance
+    /// was emitted: one instance per cycle.
+    pub cycle: u64,
+}
+
+/// The reusable computation exploitation unit.
+///
+/// Takes the 1-based sequential number of a vertex in the type-3 queue
+/// and shifts it right by one bit: a non-zero result means a reusable
+/// computation exists (every vertex except the first shares the
+/// prefix). The unit can be disabled via its mode register, in which
+/// case nothing is ever flagged reusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Rceu {
+    disabled: bool,
+}
+
+impl Rceu {
+    /// An enabled RCEU.
+    pub fn new() -> Self {
+        Rceu::default()
+    }
+
+    /// Sets the mode register that disables reuse detection.
+    pub fn set_disabled(&mut self, disabled: bool) {
+        self.disabled = disabled;
+    }
+
+    /// Returns `true` if reuse detection is disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// The hardware comparison: `sequence_number >> 1 != 0`.
+    ///
+    /// `sequence_number` is 1-based (the first type-3 vertex is 1).
+    pub fn detects_reuse(&self, sequence_number: u32) -> bool {
+        !self.disabled && (sequence_number >> 1) != 0
+    }
+}
+
+/// The cartesian-like product unit.
+///
+/// Capacity-bounded queues model the real buffers; a product whose
+/// operand lists exceed the queue capacity is decomposed into multiple
+/// sub-products by the caller (see [`CarPu::generate`] which handles
+/// the decomposition internally and reports the number of passes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CarPu {
+    queue_capacity: usize,
+    rceu: Rceu,
+    cartesian_like: bool,
+}
+
+/// Output of one product run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductRun {
+    /// Every generated instance in emission order.
+    pub instances: Vec<GeneratedInstance>,
+    /// Cycles consumed (one per instance, plus one refill cycle per
+    /// extra queue pass from capacity decomposition).
+    pub cycles: u64,
+    /// Number of queue refills the capacity bound forced.
+    pub passes: u64,
+}
+
+impl CarPu {
+    /// Creates a CarPU with the given per-queue capacity (entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` is zero.
+    pub fn new(queue_capacity: usize) -> Self {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        CarPu {
+            queue_capacity,
+            rceu: Rceu::new(),
+            cartesian_like: true,
+        }
+    }
+
+    /// Mutable access to the attached RCEU (for ablations).
+    pub fn rceu_mut(&mut self) -> &mut Rceu {
+        &mut self.rceu
+    }
+
+    /// Disables the type-2 register via the AND gate, turning the unit
+    /// into a standard cartesian product over two sets.
+    pub fn set_cartesian_like(&mut self, enabled: bool) {
+        self.cartesian_like = enabled;
+    }
+
+    /// Runs the product `left × {center} × right`, emitting one
+    /// instance per cycle.
+    ///
+    /// When either operand list exceeds the queue capacity the product
+    /// is decomposed into chunked sub-products (the §4.3 "multiple
+    /// completions"), costing one extra refill cycle per pass.
+    pub fn generate(&self, left: &[u32], center: u32, right: &[u32]) -> ProductRun {
+        let mut instances = Vec::with_capacity(left.len() * right.len());
+        let mut cycles: u64 = 0;
+        let mut passes: u64 = 0;
+        for lchunk in left.chunks(self.queue_capacity) {
+            for rchunk in right.chunks(self.queue_capacity) {
+                passes += 1;
+                if passes > 1 {
+                    cycles += 1; // refill
+                }
+                for &l in lchunk {
+                    for (ri, &r) in rchunk.iter().enumerate() {
+                        // Sequence numbers restart per queue refill, as
+                        // the real RCEU observes the physical queue.
+                        let seq = (ri + 1) as u32;
+                        instances.push(GeneratedInstance {
+                            left: l,
+                            center: self.cartesian_like.then_some(center),
+                            right: r,
+                            reuses_prefix: self.rceu.detects_reuse(seq),
+                            cycle: cycles,
+                        });
+                        cycles += 1;
+                    }
+                }
+            }
+        }
+        ProductRun {
+            instances,
+            cycles,
+            passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rceu_flags_all_but_first() {
+        let r = Rceu::new();
+        assert!(!r.detects_reuse(1));
+        assert!(r.detects_reuse(2));
+        assert!(r.detects_reuse(3));
+        assert!(r.detects_reuse(100));
+    }
+
+    #[test]
+    fn rceu_disable() {
+        let mut r = Rceu::new();
+        r.set_disabled(true);
+        assert!(r.is_disabled());
+        assert!(!r.detects_reuse(5));
+    }
+
+    #[test]
+    fn product_covers_all_pairs_one_per_cycle() {
+        let unit = CarPu::new(16);
+        let run = unit.generate(&[1, 2], 9, &[5, 6, 7]);
+        assert_eq!(run.instances.len(), 6);
+        assert_eq!(run.cycles, 6);
+        assert_eq!(run.passes, 1);
+        let pairs: Vec<(u32, u32)> = run.instances.iter().map(|i| (i.left, i.right)).collect();
+        assert_eq!(pairs, vec![(1, 5), (1, 6), (1, 7), (2, 5), (2, 6), (2, 7)]);
+        assert!(run.instances.iter().all(|i| i.center == Some(9)));
+    }
+
+    #[test]
+    fn reuse_flags_follow_queue_position() {
+        let unit = CarPu::new(16);
+        let run = unit.generate(&[1], 9, &[5, 6, 7]);
+        let flags: Vec<bool> = run.instances.iter().map(|i| i.reuses_prefix).collect();
+        assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn capacity_decomposition() {
+        let unit = CarPu::new(2);
+        let run = unit.generate(&[1, 2, 3], 9, &[5, 6, 7]);
+        assert_eq!(run.instances.len(), 9);
+        // left chunks: [1,2],[3]; right chunks: [5,6],[7] → 4 passes.
+        assert_eq!(run.passes, 4);
+        assert_eq!(run.cycles, 9 + 3); // 3 refills
+    }
+
+    #[test]
+    fn standard_cartesian_mode_drops_center() {
+        let mut unit = CarPu::new(8);
+        unit.set_cartesian_like(false);
+        let run = unit.generate(&[1], 9, &[2]);
+        assert_eq!(run.instances[0].center, None);
+    }
+
+    #[test]
+    fn cycles_monotone_in_emission_order() {
+        let unit = CarPu::new(4);
+        let run = unit.generate(&[1, 2, 3, 4, 5], 0, &[1, 2, 3, 4, 5]);
+        for w in run.instances.windows(2) {
+            assert!(w[0].cycle < w[1].cycle);
+        }
+    }
+
+    /// §4.5 generality: a traditional GNN's neighbor aggregation is the
+    /// standard cartesian product of a vertex with its neighbor set,
+    /// which the CarPU performs with the type-2 register disabled.
+    #[test]
+    fn standard_cartesian_mode_expresses_gcn_aggregation() {
+        let mut unit = CarPu::new(64);
+        unit.set_cartesian_like(false);
+        // A homogeneous vertex 7 with neighbors {1, 3, 4}: the product
+        // {7} × N(7) enumerates exactly the edges a GCN layer
+        // aggregates over.
+        let features = [10.0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let neighbors = [1u32, 3, 4];
+        let run = unit.generate(&[7], 0, &neighbors);
+        assert_eq!(run.instances.len(), neighbors.len());
+        let mut sum = 0.0;
+        for g in &run.instances {
+            assert_eq!(g.left, 7);
+            assert_eq!(g.center, None); // AND gate disabled the register
+            sum += features[g.right as usize];
+        }
+        let gcn_mean = sum / neighbors.len() as f32;
+        let expected = (1.0 + 3.0 + 4.0) / 3.0;
+        assert!((gcn_mean - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        CarPu::new(0);
+    }
+
+    #[test]
+    fn empty_operands_produce_nothing() {
+        let unit = CarPu::new(4);
+        let run = unit.generate(&[], 0, &[1, 2]);
+        assert!(run.instances.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Build the paper's Figure 1 academic heterogeneous graph by hand,
+//! define the APA and APCPA metapaths, and walk through every layer of
+//! the stack: instance counting, cartesian-like products, redundancy
+//! analysis, and a full MAGNN inference on both engines.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example academic_graph
+//! ```
+
+use hetgraph::cartesian::{center_products, product_plan, reuse_stats};
+use hetgraph::instances::{count_instances, enumerate_instances};
+use hetgraph::{GraphSchema, HeteroGraphBuilder, Metapath, Vertex, VertexId};
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Figure 1: authors, papers, conferences. ---
+    let mut schema = GraphSchema::new();
+    let a = schema.add_vertex_type("Author", 'A', 16);
+    let p = schema.add_vertex_type("Paper", 'P', 24);
+    let c = schema.add_vertex_type("Conference", 'C', 8);
+    schema.add_relation(a, p);
+    schema.add_relation(p, c);
+
+    let mut builder = HeteroGraphBuilder::new(schema);
+    builder.set_vertex_count(a, 3); // a1, a2, a3
+    builder.set_vertex_count(p, 3); // p1, p2, p3
+    builder.set_vertex_count(c, 2); // c1, c2
+    let va = |i| Vertex::new(a, VertexId::new(i));
+    let vp = |i| Vertex::new(p, VertexId::new(i));
+    let vc = |i| Vertex::new(c, VertexId::new(i));
+    // Authorship (who wrote what) and publication venues.
+    for (author, paper) in [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)] {
+        builder.add_edge(va(author), vp(paper))?;
+    }
+    for (paper, conf) in [(0, 0), (1, 1), (2, 1)] {
+        builder.add_edge(vp(paper), vc(conf))?;
+    }
+    let graph = builder.finish();
+
+    // --- Metapaths: co-authors and same-conference authors. ---
+    let apa = Metapath::parse("APA", graph.schema())?;
+    let apcpa = Metapath::parse("APCPA", graph.schema())?;
+    println!("APA instances:   {}", count_instances(&graph, &apa)?);
+    println!("APCPA instances: {}", count_instances(&graph, &apcpa)?);
+
+    // Enumerate the APA instances explicitly (they are few).
+    let inst = enumerate_instances(&graph, &apa, usize::MAX)?;
+    for row in inst.iter() {
+        println!("  instance a{} - p{} - a{}", row[0] + 1, row[1] + 1, row[2] + 1);
+    }
+
+    // --- The cartesian-like product view (§3.1). ---
+    println!("\ncartesian-like decomposition of APCPA: {:?}", product_plan(&apcpa));
+    for product in center_products(&graph, &apa)? {
+        println!(
+            "  center p{}: {} left x {} right = {} instances",
+            product.center + 1,
+            product.left.len(),
+            product.right.len(),
+            product.instance_count()
+        );
+    }
+
+    // --- Redundancy (§3.2 / Figure 5). ---
+    for mp in [&apa, &apcpa] {
+        let stats = reuse_stats(&graph, mp)?;
+        println!(
+            "\n{}: naive {} vector ops, shared {} ({:.1}% redundant)",
+            mp.name(),
+            stats.naive_aggregations,
+            stats.shared_aggregations,
+            stats.redundancy_ratio() * 100.0
+        );
+    }
+
+    // --- Full MAGNN inference on both engines. ---
+    let features = FeatureStore::random(&graph, 42);
+    let config = ModelConfig::new(ModelKind::Magnn).with_hidden_dim(8);
+    let metapaths = vec![apa, apcpa];
+    let naive = MaterializedEngine.run(&graph, &features, &config, &metapaths)?;
+    let reuse = OnTheFlyEngine.run(&graph, &features, &config, &metapaths)?;
+    println!(
+        "\nengines agree: max |diff| = {:.2e}",
+        naive.embeddings.max_abs_diff(&reuse.embeddings)
+    );
+    println!(
+        "materialized kept {} bytes of intermediates; on-the-fly kept none",
+        naive.resident_intermediate_bytes
+    );
+    Ok(())
+}

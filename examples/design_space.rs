@@ -1,0 +1,87 @@
+//! Design-space exploration: sweep the MetaNMP hardware configuration
+//! (channels, DIMMs, ranks, PE lanes, communication policy) over one
+//! workload with the calibrated analytic estimator — the kind of study
+//! Figures 15–17 of the paper distill.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use dramsim::DramConfig;
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hgnn::ModelKind;
+use nmp::{estimate, CommPolicy, NmpConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.1));
+    println!(
+        "workload: LastFM @ 0.1 scale, MAGNN over {:?}",
+        ds.metapaths.iter().map(|m| m.name()).collect::<Vec<_>>()
+    );
+
+    let base = NmpConfig {
+        hidden_dim: 64,
+        ..NmpConfig::default()
+    };
+    let baseline = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &base)?;
+    println!(
+        "\nbaseline (4ch x 2 DIMM x 2 ranks, broadcast): {:.3} ms\n",
+        baseline.seconds * 1e3
+    );
+
+    println!("{:<44} {:>10} {:>9}", "configuration", "time (ms)", "speedup");
+    let mut eval = |label: &str, cfg: NmpConfig| -> Result<(), Box<dyn std::error::Error>> {
+        let r = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg)?;
+        println!(
+            "{label:<44} {:>10.3} {:>8.2}x",
+            r.seconds * 1e3,
+            baseline.seconds / r.seconds
+        );
+        Ok(())
+    };
+
+    for (label, channels, dimms, ranks) in [
+        ("1 channel x 8 DIMMs (single-channel bus)", 1usize, 8usize, 2usize),
+        ("2 channels x 2 DIMMs", 2, 2, 2),
+        ("8 channels x 2 DIMMs", 8, 2, 2),
+        ("4 channels x 2 DIMMs x 1 rank", 4, 2, 1),
+        ("4 channels x 2 DIMMs x 4 ranks", 4, 2, 4),
+    ] {
+        eval(
+            label,
+            NmpConfig {
+                dram: DramConfig {
+                    channels,
+                    dimms_per_channel: dimms,
+                    ranks_per_dimm: ranks,
+                    ..DramConfig::default()
+                },
+                ..base
+            },
+        )?;
+    }
+    eval("naive communication (no broadcast)", base.with_comm(CommPolicy::Naive))?;
+    eval(
+        "16 PE lanes per rank-AU",
+        NmpConfig {
+            pe_lanes: 16,
+            ..base
+        },
+    )?;
+    eval(
+        "RCEU disabled (no computation reuse)",
+        NmpConfig {
+            reuse: false,
+            ..base
+        },
+    )?;
+    eval(
+        "aggregation on host (w/o-NMPAggr)",
+        NmpConfig {
+            aggregate_in_nmp: false,
+            ..base
+        },
+    )?;
+    Ok(())
+}

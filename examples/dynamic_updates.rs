@@ -1,0 +1,60 @@
+//! Dynamic-graph inference (the paper's §5.1 workload): apply 10%
+//! update batches to a LastFM-like graph and run one inference after
+//! each batch, comparing how the materialized baseline and the
+//! on-the-fly pipeline cope with a changing graph.
+//!
+//! The baseline must re-run metapath instance matching after every
+//! batch (its stored instances are stale); MetaNMP's on-the-fly
+//! generation has nothing to invalidate.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hetgraph::update::{apply_update, generate_update_batches};
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.02));
+    let mut graph = ds.graph.clone();
+    let config = ModelConfig::new(ModelKind::Magnn)
+        .with_hidden_dim(16)
+        .with_attention(false);
+
+    let batches = generate_update_batches(&graph, 0.10, 3, 7);
+    println!(
+        "initial graph: {} vertices, {} edges; {} update batches of ~10% each\n",
+        graph.total_vertex_count(),
+        graph.total_edge_count(),
+        batches.len()
+    );
+
+    for (i, batch) in batches.iter().enumerate() {
+        graph = apply_update(&graph, batch)?;
+        let features = FeatureStore::random(&graph, 7);
+
+        let naive = MaterializedEngine.run(&graph, &features, &config, &ds.metapaths)?;
+        let otf = OnTheFlyEngine.run(&graph, &features, &config, &ds.metapaths)?;
+
+        println!(
+            "batch {}: {} edges now, {} instances",
+            i + 1,
+            graph.total_edge_count(),
+            naive.profile.instances
+        );
+        println!(
+            "  re-materialization writes {} MB of instances; on-the-fly writes none",
+            naive.profile.matching.bytes_written / (1 << 20)
+        );
+        println!(
+            "  redundant aggregation eliminated on the fly: {:.1}%",
+            otf.profile.redundancy_eliminated() * 100.0
+        );
+        assert!(naive.embeddings.max_abs_diff(&otf.embeddings) < 1e-3);
+    }
+    println!("\nall inferences verified: both pipelines agree after every update");
+    Ok(())
+}

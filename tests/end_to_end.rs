@@ -1,0 +1,143 @@
+//! Cross-crate end-to-end tests: every dataset preset × every model
+//! runs through the full pipeline — software engines, NMP functional
+//! simulation, memory analysis — and all results agree.
+
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hetgraph::instances::count_instances;
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+use metanmp::{compare, compare_memory, Simulator};
+use nmp::NmpConfig;
+
+/// Small scales per dataset so the materialized engine stays fast.
+fn small(id: DatasetId) -> f64 {
+    match id {
+        DatasetId::Dblp => 0.02,
+        DatasetId::Imdb => 0.02,
+        DatasetId::Lastfm => 0.02,
+        DatasetId::OgbMag => 0.0002,
+        DatasetId::Oag => 0.0001,
+    }
+}
+
+#[test]
+fn engines_agree_on_every_dataset_and_model() {
+    for id in DatasetId::ALL {
+        let ds = generate(id, GeneratorConfig::at_scale(small(id)));
+        let total: u128 = ds
+            .metapaths
+            .iter()
+            .map(|mp| count_instances(&ds.graph, mp).unwrap())
+            .sum();
+        if total > 3_000_000 {
+            // Keep CI time bounded; the scale ladder in the experiment
+            // harness covers bigger runs.
+            continue;
+        }
+        let features = FeatureStore::random(&ds.graph, 1);
+        for kind in ModelKind::ALL {
+            let config = ModelConfig::new(kind).with_hidden_dim(8).with_attention(false);
+            let a = MaterializedEngine
+                .run(&ds.graph, &features, &config, &ds.metapaths)
+                .unwrap();
+            let b = OnTheFlyEngine
+                .run(&ds.graph, &features, &config, &ds.metapaths)
+                .unwrap();
+            let diff = a.embeddings.max_abs_diff(&b.embeddings);
+            assert!(diff < 1e-3, "{id:?}/{kind:?} diverged by {diff}");
+            assert_eq!(a.profile.instances, b.profile.instances);
+        }
+    }
+}
+
+#[test]
+fn simulator_verifies_hardware_against_software() {
+    for (id, kind) in [
+        (DatasetId::Imdb, ModelKind::Magnn),
+        (DatasetId::Dblp, ModelKind::Han),
+        (DatasetId::Lastfm, ModelKind::Shgnn),
+    ] {
+        let sim = Simulator::builder()
+            .dataset(id)
+            .scale(small(id))
+            .model(kind)
+            .hidden_dim(8)
+            .build()
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(
+            outcome.matches_reference,
+            "{id:?}/{kind:?}: hardware diverged by {}",
+            outcome.max_reference_diff
+        );
+        assert!(outcome.nmp.seconds > 0.0);
+        assert!(outcome.nmp.energy.total_pj() > 0.0);
+    }
+}
+
+#[test]
+fn comparison_produces_the_paper_ordering() {
+    let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+    let cfg = NmpConfig {
+        hidden_dim: 16,
+        ..NmpConfig::default()
+    };
+    let c = compare(&ds, ModelKind::Magnn, 16, &cfg, None).unwrap();
+    let get = |name: &str| {
+        c.platforms
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap()
+            .speedup_vs_cpu
+    };
+    // Figure 12's ordering: CPU < GPU < HyGCN < AWB-GCN < RecNMP < MetaNMP.
+    assert!(get("GPU") > 1.0);
+    assert!(get("HyGCN") > get("GPU"));
+    assert!(get("AWB-GCN") > get("HyGCN"));
+    assert!(get("RecNMP") > get("AWB-GCN"));
+    assert!(c.metanmp_speedup > get("RecNMP"));
+}
+
+#[test]
+fn memory_reduction_grows_with_metapath_length() {
+    let ds = generate(DatasetId::Dblp, GeneratorConfig::at_scale(0.2));
+    let short = compare_memory(
+        &ds.graph,
+        ds.metapath("APA").unwrap(),
+        ModelKind::Magnn,
+        64,
+        8,
+    )
+    .unwrap();
+    let long = compare_memory(
+        &ds.graph,
+        ds.metapath("APTPA").unwrap(),
+        ModelKind::Magnn,
+        64,
+        8,
+    )
+    .unwrap();
+    assert!(long.reduction() > short.reduction());
+    assert!(long.instances_to_graph_ratio() > short.instances_to_graph_ratio());
+}
+
+#[test]
+fn update_stream_keeps_everything_consistent() {
+    use hetgraph::update::{apply_update, generate_update_batches};
+    let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.02));
+    let mut graph = ds.graph.clone();
+    let config = ModelConfig::new(ModelKind::Magnn)
+        .with_hidden_dim(8)
+        .with_attention(false);
+    for batch in generate_update_batches(&graph, 0.10, 2, 3) {
+        graph = apply_update(&graph, &batch).unwrap();
+        let features = FeatureStore::random(&graph, 3);
+        let a = MaterializedEngine
+            .run(&graph, &features, &config, &ds.metapaths)
+            .unwrap();
+        let b = OnTheFlyEngine
+            .run(&graph, &features, &config, &ds.metapaths)
+            .unwrap();
+        assert!(a.embeddings.max_abs_diff(&b.embeddings) < 1e-3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-validation of the closed-form estimator against the
+//! functional simulator: identical operation counts, and cycle/energy
+//! estimates within a small factor. Agreement here is what licenses
+//! using the estimator on web-scale graphs the functional simulator
+//! cannot walk.
+
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hgnn::{FeatureStore, HiddenFeatures, ModelKind, OpCounters, Projection};
+use nmp::{estimate, CommPolicy, FunctionalSim, NmpConfig};
+
+fn hidden_for(ds: &hetgraph::datasets::Dataset, dim: usize) -> HiddenFeatures {
+    let fs = FeatureStore::random(&ds.graph, 5);
+    let proj = Projection::random(&ds.graph, dim, 5);
+    let mut c = OpCounters::default();
+    proj.project(&ds.graph, &fs, &mut c).unwrap()
+}
+
+fn config(dim: usize) -> NmpConfig {
+    NmpConfig {
+        hidden_dim: dim,
+        ..NmpConfig::default()
+    }
+}
+
+#[test]
+fn counts_match_exactly() {
+    for id in [DatasetId::Imdb, DatasetId::Dblp, DatasetId::Lastfm] {
+        let ds = generate(id, GeneratorConfig::at_scale(0.02));
+        let hidden = hidden_for(&ds, 16);
+        for kind in ModelKind::ALL {
+            let f = FunctionalSim::new(config(16))
+                .run(&ds.graph, &hidden, kind, &ds.metapaths)
+                .unwrap();
+            let e = estimate(&ds.graph, kind, &ds.metapaths, &config(16)).unwrap();
+            assert_eq!(
+                f.report.counts.instances, e.counts.instances,
+                "{id:?}/{kind:?} instance counts"
+            );
+            assert_eq!(
+                f.report.counts.aggregations, e.counts.aggregations,
+                "{id:?}/{kind:?} aggregation counts"
+            );
+            assert_eq!(
+                f.report.counts.inter_instance_ops, e.counts.inter_instance_ops,
+                "{id:?}/{kind:?} inter-instance counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn timing_within_a_small_factor() {
+    let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+    let hidden = hidden_for(&ds, 16);
+    let f = FunctionalSim::new(config(16))
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let e = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &config(16)).unwrap();
+    let ratio = f.report.seconds / e.seconds;
+    assert!(
+        (0.25..4.0).contains(&ratio),
+        "functional {} vs estimate {} (ratio {ratio})",
+        f.report.seconds,
+        e.seconds
+    );
+}
+
+#[test]
+fn energy_within_a_small_factor() {
+    let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.02));
+    let hidden = hidden_for(&ds, 16);
+    let f = FunctionalSim::new(config(16))
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let e = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &config(16)).unwrap();
+    let ratio = f.report.energy.total_pj() / e.energy.total_pj();
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "functional {} vs estimate {} (ratio {ratio})",
+        f.report.energy.total_pj(),
+        e.energy.total_pj()
+    );
+}
+
+#[test]
+fn both_simulators_agree_on_policy_ordering() {
+    let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
+    let hidden = hidden_for(&ds, 16);
+    let cfg_b = config(16);
+    let cfg_n = config(16).with_comm(CommPolicy::Naive);
+    let f_b = FunctionalSim::new(cfg_b)
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let f_n = FunctionalSim::new(cfg_n)
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let e_b = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg_b).unwrap();
+    let e_n = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg_n).unwrap();
+    assert!(f_b.report.seconds <= f_n.report.seconds);
+    assert!(e_b.seconds <= e_n.seconds);
+}
+
+#[test]
+fn both_simulators_agree_on_reuse_ordering() {
+    let ds = generate(DatasetId::Dblp, GeneratorConfig::at_scale(0.02));
+    let hidden = hidden_for(&ds, 16);
+    let with = config(16);
+    let without = NmpConfig {
+        reuse: false,
+        ..config(16)
+    };
+    let f_w = FunctionalSim::new(with)
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let f_o = FunctionalSim::new(without)
+        .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+    let e_w = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &with).unwrap();
+    let e_o = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &without).unwrap();
+    assert!(f_w.report.counts.aggregations < f_o.report.counts.aggregations);
+    assert!(e_w.counts.aggregations < e_o.counts.aggregations);
+    assert_eq!(f_w.report.counts.aggregations, e_w.counts.aggregations);
+    assert_eq!(f_o.report.counts.aggregations, e_o.counts.aggregations);
+}

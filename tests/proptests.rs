@@ -1,0 +1,239 @@
+//! Property-based tests on the core invariants of the reproduction:
+//! instance generation equivalences, engine agreement, DRAM timing
+//! sanity, and ISA roundtrips — all over randomized inputs.
+
+use hetgraph::cartesian::{center_products, walk_prefix_tree, InstanceStream, WalkEvent};
+use hetgraph::instances::{count_instances, count_instances_per_start, enumerate_instances};
+use hetgraph::{GraphSchema, HeteroGraph, HeteroGraphBuilder, Metapath, Vertex, VertexId};
+use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
+use hgnn::{FeatureStore, ModelConfig, ModelKind};
+use proptest::prelude::*;
+
+/// A random 3-type heterogeneous graph (A-B and B-C relations).
+fn arb_graph() -> impl Strategy<Value = HeteroGraph> {
+    let counts = (1u32..6, 1u32..6, 1u32..6);
+    (counts, proptest::collection::vec((0u32..6, 0u32..6), 0..24),
+     proptest::collection::vec((0u32..6, 0u32..6), 0..24))
+        .prop_map(|((na, nb, nc), ab, bc)| {
+            let mut schema = GraphSchema::new();
+            let a = schema.add_vertex_type("A", 'A', 4);
+            let b = schema.add_vertex_type("B", 'B', 4);
+            let c = schema.add_vertex_type("C", 'C', 4);
+            schema.add_relation(a, b);
+            schema.add_relation(b, c);
+            let mut builder = HeteroGraphBuilder::new(schema);
+            builder.set_vertex_count(a, na);
+            builder.set_vertex_count(b, nb);
+            builder.set_vertex_count(c, nc);
+            for (x, y) in ab {
+                let _ = builder.add_edge(
+                    Vertex::new(a, VertexId::new(x % na)),
+                    Vertex::new(b, VertexId::new(y % nb)),
+                );
+            }
+            for (x, y) in bc {
+                let _ = builder.add_edge(
+                    Vertex::new(b, VertexId::new(x % nb)),
+                    Vertex::new(c, VertexId::new(y % nc)),
+                );
+            }
+            builder.finish()
+        })
+}
+
+fn metapaths(graph: &HeteroGraph) -> Vec<Metapath> {
+    ["ABA", "ABC", "ABCBA", "BCB"]
+        .iter()
+        .map(|m| Metapath::parse(m, graph.schema()).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counting_equals_enumeration_equals_streaming(graph in arb_graph()) {
+        for mp in metapaths(&graph) {
+            let counted = count_instances(&graph, &mp).unwrap();
+            let enumerated = enumerate_instances(&graph, &mp, usize::MAX).unwrap();
+            let streamed = InstanceStream::new(&graph, &mp).unwrap().count();
+            prop_assert_eq!(counted, enumerated.len() as u128);
+            prop_assert_eq!(counted, streamed as u128);
+        }
+    }
+
+    #[test]
+    fn per_start_counts_sum_to_total(graph in arb_graph()) {
+        for mp in metapaths(&graph) {
+            let per_start = count_instances_per_start(&graph, &mp).unwrap();
+            let total: u128 = per_start.iter().sum();
+            prop_assert_eq!(total, count_instances(&graph, &mp).unwrap());
+        }
+    }
+
+    #[test]
+    fn center_products_cover_two_hop_instances(graph in arb_graph()) {
+        for name in ["ABA", "ABC"] {
+            let mp = Metapath::parse(name, graph.schema()).unwrap();
+            let via_products: usize = center_products(&graph, &mp)
+                .unwrap()
+                .iter()
+                .map(|p| p.instance_count())
+                .sum();
+            prop_assert_eq!(via_products as u128, count_instances(&graph, &mp).unwrap());
+        }
+    }
+
+    #[test]
+    fn walk_events_balance_and_count_leaves(graph in arb_graph()) {
+        let mp = Metapath::parse("ABCBA", graph.schema()).unwrap();
+        let per_start = count_instances_per_start(&graph, &mp).unwrap();
+        for (s, &expected) in per_start.iter().enumerate() {
+            let mut depth = 0i64;
+            let mut leaves = 0u128;
+            walk_prefix_tree(&graph, &mp, VertexId::new(s as u32), |ev| match ev {
+                WalkEvent::Enter(..) => depth += 1,
+                WalkEvent::Exit(..) => depth -= 1,
+                WalkEvent::Leaf => leaves += 1,
+            })
+            .unwrap();
+            prop_assert_eq!(depth, 0);
+            prop_assert_eq!(leaves, expected);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_graphs(graph in arb_graph(), seed in 0u64..1000) {
+        let mps = vec![Metapath::parse("ABA", graph.schema()).unwrap()];
+        if count_instances(&graph, &mps[0]).unwrap() == 0 {
+            return Ok(());
+        }
+        let features = FeatureStore::random(&graph, seed);
+        for kind in ModelKind::ALL {
+            let config = ModelConfig::new(kind)
+                .with_hidden_dim(4)
+                .with_attention(false)
+                .with_seed(seed);
+            let a = MaterializedEngine.run(&graph, &features, &config, &mps).unwrap();
+            let b = OnTheFlyEngine.run(&graph, &features, &config, &mps).unwrap();
+            prop_assert!(a.embeddings.max_abs_diff(&b.embeddings) < 1e-4);
+            prop_assert!(
+                b.profile.performed_aggregations <= a.profile.performed_aggregations
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_attention(graph in arb_graph(), seed in 0u64..500) {
+        let mps = vec![Metapath::parse("ABCBA", graph.schema()).unwrap()];
+        if count_instances(&graph, &mps[0]).unwrap() == 0 {
+            return Ok(());
+        }
+        let features = FeatureStore::random(&graph, seed);
+        for kind in [ModelKind::Magnn, ModelKind::Han] {
+            let config = ModelConfig::new(kind)
+                .with_hidden_dim(4)
+                .with_attention(true)
+                .with_seed(seed);
+            let a = MaterializedEngine.run(&graph, &features, &config, &mps).unwrap();
+            let b = OnTheFlyEngine.run(&graph, &features, &config, &mps).unwrap();
+            prop_assert!(a.embeddings.max_abs_diff(&b.embeddings) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dram_completions_are_sane(
+        addrs in proptest::collection::vec(0u64..(1 << 22), 1..64),
+        arrivals in proptest::collection::vec(0u64..200, 1..64),
+    ) {
+        use dramsim::{DramConfig, MemorySystem, Request};
+        let mut sys = MemorySystem::new(DramConfig::default());
+        let n = addrs.len().min(arrivals.len());
+        for i in 0..n {
+            let req = if i % 3 == 0 {
+                Request::write(addrs[i], 64)
+            } else if i % 3 == 1 {
+                Request::local_read(addrs[i], 64)
+            } else {
+                Request::read(addrs[i], 64)
+            };
+            sys.enqueue(req.at_cycle(arrivals[i]));
+        }
+        let report = sys.service_all();
+        prop_assert_eq!(report.completions.len(), n);
+        for (i, c) in report.completions.iter().enumerate() {
+            prop_assert!(c.data_start >= arrivals[i]);
+            prop_assert!(c.finish > c.data_start);
+            prop_assert!(c.finish <= report.stats.elapsed_cycles);
+        }
+        prop_assert_eq!(report.stats.reads + report.stats.writes, n as u64);
+        prop_assert_eq!(
+            report.stats.row_hits + report.stats.row_misses,
+            n as u64
+        );
+    }
+
+    #[test]
+    fn isa_roundtrips(vertex in any::<u32>(), addr in any::<u32>(), mask in 0u8..16) {
+        use nmp::isa::NmpInstruction;
+        let instructions = [
+            NmpInstruction::ConfigSize { feature_length: vertex },
+            NmpInstruction::Evoke { vertex, feature_addr: addr },
+            NmpInstruction::Broadcast { mask, addr },
+            NmpInstruction::BroadcastCore { vertex, mask, addr },
+            NmpInstruction::Aggregate { vertex, agg_addr: addr },
+            NmpInstruction::InterInstanceAgg { vertex, output_addr: addr },
+            NmpInstruction::Copy { agg_addr: vertex, dst_addr: addr },
+            NmpInstruction::ConfigWeight { weight: addr },
+            NmpInstruction::InterPathAgg { path1_addr: vertex, path2_addr: addr },
+        ];
+        for inst in instructions {
+            prop_assert_eq!(NmpInstruction::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn feature_cache_matches_reference_lru(
+        accesses in proptest::collection::vec((0u8..2, 0u32..40), 1..200),
+        lines in 2usize..12,
+    ) {
+        use nmp::buffers::FeatureCache;
+        let line_bytes = 64;
+        let mut cache = FeatureCache::new(lines * line_bytes, line_bytes);
+        // Reference model: a Vec kept in LRU order.
+        let mut reference: Vec<(u8, u32)> = Vec::new();
+        for (ty, id) in accesses {
+            let hit = cache.access(ty, id);
+            let ref_hit = reference.contains(&(ty, id));
+            prop_assert_eq!(hit, ref_hit, "cache diverged on ({}, {})", ty, id);
+            reference.retain(|&k| k != (ty, id));
+            reference.push((ty, id));
+            if reference.len() > lines {
+                reference.remove(0);
+            }
+        }
+    }
+
+    #[test]
+    fn carpu_generates_exactly_the_product(
+        left in proptest::collection::vec(any::<u32>(), 0..12),
+        right in proptest::collection::vec(any::<u32>(), 0..12),
+        center in any::<u32>(),
+        capacity in 1usize..8,
+    ) {
+        use nmp::units::CarPu;
+        let unit = CarPu::new(capacity);
+        let run = unit.generate(&left, center, &right);
+        prop_assert_eq!(run.instances.len(), left.len() * right.len());
+        // Every pair appears exactly once.
+        let mut pairs: Vec<(u32, u32)> =
+            run.instances.iter().map(|i| (i.left, i.right)).collect();
+        pairs.sort_unstable();
+        let mut expected: Vec<(u32, u32)> = left
+            .iter()
+            .flat_map(|&l| right.iter().map(move |&r| (l, r)))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(pairs, expected);
+    }
+}
