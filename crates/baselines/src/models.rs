@@ -17,8 +17,7 @@ use hgnn::{OpCounters, WorkloadProfile};
 
 use crate::spec::{
     PhaseEfficiency, PlatformSpec, AWB_GCN, CPU, CPU_SOFTWARE_ILP_PENALTY,
-    CPU_SOFT_PER_INSTANCE_NS, GPU, GPU_MEMORY_BYTES, HYGCN, PCIE_BW, RECNMP,
-    RECNMP_HOST_ISSUE_NS,
+    CPU_SOFT_PER_INSTANCE_NS, GPU, GPU_MEMORY_BYTES, HYGCN, PCIE_BW, RECNMP, RECNMP_HOST_ISSUE_NS,
 };
 use crate::workload::{PlatformReport, PlatformWorkload};
 
@@ -100,7 +99,10 @@ impl Platform for CpuModel {
                 + phase_time(&w.reuse.semantic, spec, spec.semantic);
             (m, i)
         } else {
-            (matching_time(&w.naive, spec), inference_time(&w.naive, spec))
+            (
+                matching_time(&w.naive, spec),
+                inference_time(&w.naive, spec),
+            )
         };
         let seconds = matching + inference;
         PlatformReport {
@@ -129,8 +131,8 @@ impl Platform for GpuModel {
         let spec = &GPU;
         // Instances are materialized on-device, then shipped nowhere;
         // the host still stages the graph over PCIe once per update.
-        let matching = matching_time(&w.naive, spec)
-            + w.naive.matching.bytes_written as f64 / PCIE_BW * 0.0;
+        let matching =
+            matching_time(&w.naive, spec) + w.naive.matching.bytes_written as f64 / PCIE_BW * 0.0;
         let inference = inference_time(&w.naive, spec);
         let seconds = matching + inference;
         PlatformReport {
@@ -207,8 +209,7 @@ impl Platform for RecNmpModel {
         // Aggregation streams at rank-level bandwidth, but the host
         // issues one instruction per vector aggregation.
         let structural_bw = phase_time(&w.naive.structural, spec, spec.structural);
-        let host_issue =
-            w.naive.naive_aggregations as f64 * RECNMP_HOST_ISSUE_NS * 1e-9;
+        let host_issue = w.naive.naive_aggregations as f64 * RECNMP_HOST_ISSUE_NS * 1e-9;
         let projection = phase_time(&w.naive.projection, &CPU, CPU.projection);
         let semantic = phase_time(&w.naive.semantic, spec, spec.semantic);
         let inference = projection + structural_bw.max(host_issue) + semantic;
@@ -229,29 +230,31 @@ mod tests {
     use hgnn::OpCounters;
 
     fn workload() -> PlatformWorkload {
-        let mut naive = WorkloadProfile::default();
-        naive.matching = OpCounters {
-            flops: 80_000_000, // traversal steps
-            bytes_read: 320_000_000,
-            bytes_written: 20_000_000_000, // materialized instances
+        let naive = WorkloadProfile {
+            matching: OpCounters {
+                flops: 80_000_000, // traversal steps
+                bytes_read: 320_000_000,
+                bytes_written: 20_000_000_000, // materialized instances
+            },
+            projection: OpCounters {
+                flops: 2_000_000_000,
+                bytes_read: 500_000_000,
+                bytes_written: 100_000_000,
+            },
+            structural: OpCounters {
+                flops: 600_000_000,
+                bytes_read: 2_400_000_000,
+                bytes_written: 200_000_000,
+            },
+            semantic: OpCounters {
+                flops: 50_000_000,
+                bytes_read: 200_000_000,
+                bytes_written: 50_000_000,
+            },
+            instances: 2_000_000,
+            naive_aggregations: 8_000_000,
+            ..WorkloadProfile::default()
         };
-        naive.projection = OpCounters {
-            flops: 2_000_000_000,
-            bytes_read: 500_000_000,
-            bytes_written: 100_000_000,
-        };
-        naive.structural = OpCounters {
-            flops: 600_000_000,
-            bytes_read: 2_400_000_000,
-            bytes_written: 200_000_000,
-        };
-        naive.semantic = OpCounters {
-            flops: 50_000_000,
-            bytes_read: 200_000_000,
-            bytes_written: 50_000_000,
-        };
-        naive.instances = 2_000_000;
-        naive.naive_aggregations = 8_000_000;
         let mut reuse = naive;
         reuse.matching.bytes_written = 0;
         reuse.structural.flops /= 2;
@@ -290,11 +293,7 @@ mod tests {
     fn accelerators_beat_gpu_given_fast_generation() {
         let w = workload();
         let gpu = GpuModel.evaluate(&w);
-        for model in [
-            &AwbGcnModel as &dyn Platform,
-            &HyGcnModel,
-            &RecNmpModel,
-        ] {
+        for model in [&AwbGcnModel as &dyn Platform, &HyGcnModel, &RecNmpModel] {
             let r = model.evaluate(&w);
             assert!(
                 r.seconds < gpu.seconds,

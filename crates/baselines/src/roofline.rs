@@ -33,7 +33,10 @@ pub struct Roofline {
 impl Roofline {
     /// Creates a roofline from peaks.
     pub fn new(peak_flops: f64, peak_bw: f64) -> Self {
-        Roofline { peak_flops, peak_bw }
+        Roofline {
+            peak_flops,
+            peak_bw,
+        }
     }
 
     /// The ridge intensity where compute and bandwidth roofs meet.

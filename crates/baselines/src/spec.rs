@@ -178,7 +178,10 @@ pub const CPU_SOFTWARE_ILP_PENALTY: f64 = 2.2;
 mod tests {
     use super::*;
 
+    // The asserts below compare calibration constants, so clippy sees
+    // them as constant-valued; they exist to catch typos in the specs.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn peak_rates_are_ordered_sensibly() {
         assert!(GPU.peak_flops > CPU.peak_flops);
         assert!(GPU.peak_bw > AWB_GCN.peak_bw);
@@ -186,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn overheads_only_on_software_platforms() {
         assert!(CPU.per_instance_overhead_ns > 0.0);
         assert_eq!(AWB_GCN.per_instance_overhead_ns, 0.0);

@@ -22,9 +22,7 @@ fn bench_full_comparison(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("compare_all_platforms_magnn", |b| {
         b.iter(|| {
-            black_box(
-                compare(black_box(&ds), ModelKind::Magnn, 16, &config(), None).unwrap(),
-            )
+            black_box(compare(black_box(&ds), ModelKind::Magnn, 16, &config(), None).unwrap())
         })
     });
     g.finish();
@@ -35,7 +33,9 @@ fn bench_simulators(c: &mut Criterion) {
     let features = FeatureStore::random(&ds.graph, 5);
     let projection = Projection::random(&ds.graph, 16, 5);
     let mut counters = OpCounters::default();
-    let hidden = projection.project(&ds.graph, &features, &mut counters).unwrap();
+    let hidden = projection
+        .project(&ds.graph, &features, &mut counters)
+        .unwrap();
     let mut g = c.benchmark_group("simulators");
     g.sample_size(10);
     g.bench_function("functional_sim_magnn", |b| {

@@ -56,5 +56,11 @@ fn bench_feature_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_carpu, bench_rceu, bench_isa, bench_feature_cache);
+criterion_group!(
+    benches,
+    bench_carpu,
+    bench_rceu,
+    bench_isa,
+    bench_feature_cache
+);
 criterion_main!(benches);

@@ -37,10 +37,16 @@ fn bench_memory_analysis(c: &mut Criterion) {
         })
     });
     g.bench_function("compare_memory_magnn", |b| {
-        b.iter(|| compare_memory(black_box(&ds.graph), black_box(mp), ModelKind::Magnn, 64, 8).unwrap())
+        b.iter(|| {
+            compare_memory(black_box(&ds.graph), black_box(mp), ModelKind::Magnn, 64, 8).unwrap()
+        })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_counting_vs_enumeration, bench_memory_analysis);
+criterion_group!(
+    benches,
+    bench_counting_vs_enumeration,
+    bench_memory_analysis
+);
 criterion_main!(benches);

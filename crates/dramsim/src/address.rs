@@ -32,8 +32,7 @@ pub struct Location {
 impl Location {
     /// Flat rank index across the whole system.
     pub fn global_rank(&self, config: &DramConfig) -> usize {
-        ((self.channel * config.dimms_per_channel) + self.dimm) * config.ranks_per_dimm
-            + self.rank
+        ((self.channel * config.dimms_per_channel) + self.dimm) * config.ranks_per_dimm + self.rank
     }
 
     /// Flat DIMM index across the whole system.

@@ -224,9 +224,7 @@ mod tests {
     #[test]
     fn rank_local_bandwidth_scales_with_ranks() {
         let c = DramConfig::default();
-        assert!(
-            (c.rank_local_peak_bandwidth() - 16.0 * c.channel_peak_bandwidth()).abs() < 1.0
-        );
+        assert!((c.rank_local_peak_bandwidth() - 16.0 * c.channel_peak_bandwidth()).abs() < 1.0);
     }
 
     #[test]

@@ -86,6 +86,26 @@ pub struct MemoryStats {
 }
 
 impl MemoryStats {
+    /// Accumulates statistics from another memory system, e.g. to sum
+    /// per-channel systems into one machine-level view. Counters and
+    /// energy add; `elapsed_cycles` takes the maximum, because
+    /// independently serviced systems overlap in time.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.broadcast_transfers += other.broadcast_transfers;
+        self.channel_bus_busy_cycles += other.channel_bus_busy_cycles;
+        self.local_bus_busy_cycles += other.local_bus_busy_cycles;
+        self.channel_bytes += other.channel_bytes;
+        self.local_bytes += other.local_bytes;
+        self.elapsed_cycles = self.elapsed_cycles.max(other.elapsed_cycles);
+        self.energy.merge(&other.energy);
+    }
+
     /// Fraction of bursts that hit an open row.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses;
@@ -150,5 +170,65 @@ mod tests {
     fn bandwidth_zero_when_no_time() {
         let s = MemoryStats::default();
         assert_eq!(s.effective_bandwidth(&DramConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_takes_max_elapsed() {
+        let a = MemoryStats {
+            reads: 10,
+            writes: 2,
+            row_hits: 7,
+            row_misses: 5,
+            activates: 5,
+            precharges: 1,
+            broadcast_transfers: 3,
+            channel_bus_busy_cycles: 40,
+            local_bus_busy_cycles: 8,
+            channel_bytes: 640,
+            local_bytes: 128,
+            elapsed_cycles: 100,
+            energy: EnergyBreakdown {
+                io_pj: 2.0,
+                ..Default::default()
+            },
+        };
+        let b = MemoryStats {
+            reads: 1,
+            row_hits: 1,
+            elapsed_cycles: 250,
+            energy: EnergyBreakdown {
+                io_pj: 3.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.reads, 11);
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.row_hits, 8);
+        assert_eq!(m.elapsed_cycles, 250, "overlapping timelines take max");
+        assert_eq!(m.energy.io_pj, 5.0);
+        // Merging the identity leaves everything unchanged.
+        let before = m;
+        m.merge(&MemoryStats::default());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn stats_serialize_roundtrip() {
+        let s = MemoryStats {
+            reads: 3,
+            row_hits: 2,
+            elapsed_cycles: 42,
+            energy: EnergyBreakdown {
+                activate_pj: 1.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let v = serde_json::to_string(&s).unwrap();
+        let back: MemoryStats = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -16,7 +16,12 @@ use crate::config::DramConfig;
 use crate::request::{Completion, Locality, Request, RequestId, RequestKind};
 use crate::stats::MemoryStats;
 
-#[derive(Debug, Clone)]
+/// Simulated-time activity slices within this many cycles of each
+/// other coalesce into one trace segment, keeping trace files small
+/// while still showing rank-level overlap.
+const ACTIVITY_GAP: u64 = 64;
+
+#[derive(Debug, Clone, Default)]
 struct BankState {
     open_row: Option<u64>,
     /// Earliest cycle the next ACT may issue (tRC from the last ACT,
@@ -27,17 +32,6 @@ struct BankState {
     /// Earliest cycle a PRE may issue (tRAS from ACT, tWR after write
     /// data).
     next_pre: u64,
-}
-
-impl Default for BankState {
-    fn default() -> Self {
-        BankState {
-            open_row: None,
-            next_act: 0,
-            next_col: 0,
-            next_pre: 0,
-        }
-    }
 }
 
 #[derive(Debug, Clone)]
@@ -54,6 +48,10 @@ struct RankState {
     local_bus_free: u64,
     /// Last refresh epoch observed (epoch = cycle / tREFI).
     refresh_epoch: u64,
+    /// Telemetry: open coalesced busy window `(start, end)` in cycles.
+    activity: Option<(u64, u64)>,
+    /// Telemetry: data cycles on this rank since the last flush.
+    busy_tally: u64,
 }
 
 impl RankState {
@@ -67,8 +65,21 @@ impl RankState {
             next_col_group: vec![0; config.bank_groups],
             local_bus_free: 0,
             refresh_epoch: 0,
+            activity: None,
+            busy_tally: 0,
         }
     }
+}
+
+/// Telemetry tallies accumulated per channel between flushes, so the
+/// per-burst hot path touches only local memory; [`MemorySystem::service_all`]
+/// publishes them to the global registry once per call.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChanTally {
+    bursts: u64,
+    bytes: u64,
+    row_hits: u64,
+    row_misses: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -76,6 +87,7 @@ struct ChannelState {
     ranks: Vec<RankState>,
     bus_free: u64,
     queue: VecDeque<Burst>,
+    tally: ChanTally,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +128,14 @@ pub struct MemorySystem {
     /// (bursts remaining, first data_start, last finish) per request.
     pending: Vec<(usize, u64, u64)>,
     next_id: usize,
+    /// Telemetry: the stats already published as counter deltas.
+    flushed: MemoryStats,
+    /// Telemetry: burst latency (finish − arrival) since last flush.
+    latency_hist: obs::Histogram,
+    /// Telemetry: scheduler queue depth at each pick since last flush.
+    queue_depth_hist: obs::Histogram,
+    /// Telemetry: activates per bank index since last flush.
+    bank_act_tally: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -128,15 +148,20 @@ impl MemorySystem {
                     .collect(),
                 bus_free: 0,
                 queue: VecDeque::new(),
+                tally: ChanTally::default(),
             })
             .collect();
         MemorySystem {
-            config,
             mapper: AddressMapper::new(config),
             channels,
             stats: MemoryStats::default(),
             pending: Vec::new(),
             next_id: 0,
+            flushed: MemoryStats::default(),
+            latency_hist: obs::Histogram::new(),
+            queue_depth_hist: obs::Histogram::new(),
+            bank_act_tally: vec![0; config.banks_per_rank()],
+            config,
         }
     }
 
@@ -191,6 +216,7 @@ impl MemorySystem {
         let ranks = self.config.total_ranks() as f64;
         self.stats.energy.background_pj =
             self.config.energy.background_mw_per_rank * 1e-3 * ranks * elapsed_s * 1e12;
+        self.flush_telemetry();
 
         let start = first_new.unwrap_or(self.pending.len());
         let completions = self.pending[start..]
@@ -208,8 +234,80 @@ impl MemorySystem {
         }
     }
 
+    /// Publishes accumulated telemetry tallies to the global registry.
+    ///
+    /// Called once per [`MemorySystem::service_all`] so the per-burst
+    /// hot path never takes the registry lock; global counters receive
+    /// the delta since the previous flush, histograms merge and reset.
+    fn flush_telemetry(&mut self) {
+        if !obs::is_enabled() {
+            return;
+        }
+        let (d, f) = (&self.stats, &self.flushed);
+        obs::counter_add("dram.reads", d.reads - f.reads);
+        obs::counter_add("dram.writes", d.writes - f.writes);
+        obs::counter_add("dram.row_hits", d.row_hits - f.row_hits);
+        obs::counter_add("dram.row_misses", d.row_misses - f.row_misses);
+        obs::counter_add("dram.activates", d.activates - f.activates);
+        obs::counter_add("dram.precharges", d.precharges - f.precharges);
+        obs::counter_add(
+            "dram.broadcast_transfers",
+            d.broadcast_transfers - f.broadcast_transfers,
+        );
+        obs::counter_add("dram.channel_bytes", d.channel_bytes - f.channel_bytes);
+        obs::counter_add("dram.local_bytes", d.local_bytes - f.local_bytes);
+        obs::counter_add(
+            "dram.channel_bus_busy_cycles",
+            d.channel_bus_busy_cycles - f.channel_bus_busy_cycles,
+        );
+        obs::counter_add(
+            "dram.local_bus_busy_cycles",
+            d.local_bus_busy_cycles - f.local_bus_busy_cycles,
+        );
+        obs::gauge_set("dram.row_hit_rate", self.stats.row_hit_rate());
+        obs::gauge_set("dram.elapsed_cycles", self.stats.elapsed_cycles as f64);
+        obs::gauge_set("dram.energy_total_pj", self.stats.energy.total_pj());
+        obs::gauge_set("dram.energy_bus_pj", self.stats.energy.bus_pj());
+        obs::hist_merge("dram.burst_latency_cycles", &self.latency_hist);
+        self.latency_hist = obs::Histogram::new();
+        obs::hist_merge("dram.sched_queue_depth", &self.queue_depth_hist);
+        self.queue_depth_hist = obs::Histogram::new();
+        for (b, n) in self.bank_act_tally.iter_mut().enumerate() {
+            obs::counter_add(&format!("dram.bank{b}.activates"), *n);
+            *n = 0;
+        }
+        let rpd = self.config.ranks_per_dimm;
+        for (ch, channel) in self.channels.iter_mut().enumerate() {
+            let t = std::mem::take(&mut channel.tally);
+            obs::counter_add(&format!("dram.ch{ch}.bursts"), t.bursts);
+            obs::counter_add(&format!("dram.ch{ch}.bytes"), t.bytes);
+            obs::counter_add(&format!("dram.ch{ch}.row_hits"), t.row_hits);
+            obs::counter_add(&format!("dram.ch{ch}.row_misses"), t.row_misses);
+            for (r, rank) in channel.ranks.iter_mut().enumerate() {
+                if rank.busy_tally > 0 {
+                    obs::counter_add(
+                        &format!("dram.ch{ch}.dimm{}.rank{}.busy_cycles", r / rpd, r % rpd),
+                        rank.busy_tally,
+                    );
+                    rank.busy_tally = 0;
+                }
+                if let Some((s, e)) = rank.activity.take() {
+                    obs::sim_slice(
+                        &format!("dram ch{ch} dimm{} rank{}", r / rpd, r % rpd),
+                        "data",
+                        s,
+                        e - s,
+                    );
+                }
+            }
+        }
+        self.flushed = self.stats;
+    }
+
     fn service_channel(&mut self, ch: usize) {
         while !self.channels[ch].queue.is_empty() {
+            self.queue_depth_hist
+                .record(self.channels[ch].queue.len() as u64);
             let pick = self.pick_fr_fcfs(ch);
             let burst = self.channels[ch]
                 .queue
@@ -261,11 +359,14 @@ impl MemorySystem {
             self.stats.channel_bytes += self.config.burst_bytes as u64;
             if burst.locality == Locality::Broadcast {
                 self.stats.broadcast_transfers += 1;
-                self.stats.energy.broadcast_io_pj +=
-                    bits * e.io_pj_per_bit * e.broadcast_io_factor;
+                self.stats.energy.broadcast_io_pj += bits * e.io_pj_per_bit * e.broadcast_io_factor;
             } else {
                 self.stats.energy.io_pj += bits * e.io_pj_per_bit;
             }
+            channel.tally.bursts += 1;
+            channel.tally.bytes += self.config.burst_bytes as u64;
+            self.latency_hist
+                .record(finish.saturating_sub(burst.arrival));
             return (data_start, finish);
         }
 
@@ -278,12 +379,10 @@ impl MemorySystem {
         // --- Periodic refresh (tREFI/tRFC): when the burst's epoch
         // advances past the rank's last observed refresh, the rank
         // stalls for tRFC and every open row is closed.
-        if t.t_refi > 0 {
-            let approx_t = burst
-                .arrival
-                .max(rank.next_act_any)
-                .max(rank.next_col_any);
-            let epoch = approx_t / t.t_refi;
+        let approx_t = burst.arrival.max(rank.next_act_any).max(rank.next_col_any);
+        // `checked_div` doubles as the "refresh disabled" gate: tREFI of
+        // zero yields `None` and skips the whole block.
+        if let Some(epoch) = approx_t.checked_div(t.t_refi) {
             if epoch > rank.refresh_epoch {
                 let refreshes = epoch - rank.refresh_epoch;
                 rank.refresh_epoch = epoch;
@@ -378,6 +477,41 @@ impl MemorySystem {
             Locality::Broadcast | Locality::DirectSend => unreachable!(),
         }
         self.stats.energy.array_pj += bits * e.array_pj_per_bit;
+
+        self.latency_hist
+            .record(finish.saturating_sub(burst.arrival));
+        if !hit {
+            self.bank_act_tally[bank_idx] += 1;
+        }
+        let channel = &mut self.channels[ch];
+        channel.tally.bursts += 1;
+        channel.tally.bytes += self.config.burst_bytes as u64;
+        if hit {
+            channel.tally.row_hits += 1;
+        } else {
+            channel.tally.row_misses += 1;
+        }
+        let rank = &mut channel.ranks[loc.dimm * ranks_per_dimm + loc.rank];
+        rank.busy_tally += t.t_bl;
+        if obs::is_enabled() {
+            // Coalesce per-rank busy windows into gap-merged segments
+            // so the simulated-time trace stays compact.
+            match rank.activity {
+                Some((s, e)) if data_start <= e + ACTIVITY_GAP => {
+                    rank.activity = Some((s, e.max(finish)));
+                }
+                Some((s, e)) => {
+                    obs::sim_slice(
+                        &format!("dram ch{ch} dimm{} rank{}", loc.dimm, loc.rank),
+                        "data",
+                        s,
+                        e - s,
+                    );
+                    rank.activity = Some((data_start, finish));
+                }
+                None => rank.activity = Some((data_start, finish)),
+            }
+        }
         (data_start, finish)
     }
 }

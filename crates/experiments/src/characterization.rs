@@ -17,7 +17,9 @@ const SMALL: [DatasetId; 3] = [DatasetId::Dblp, DatasetId::Imdb, DatasetId::Last
 fn naive_profile(id: DatasetId, kind: ModelKind) -> hgnn::WorkloadProfile {
     let ds = execution_dataset(id, EXEC_BUDGET);
     let features = FeatureStore::random(&ds.graph, 0x5EED);
-    let config = ModelConfig::new(kind).with_hidden_dim(64).with_attention(false);
+    let config = ModelConfig::new(kind)
+        .with_hidden_dim(64)
+        .with_attention(false);
     MaterializedEngine
         .run(&ds.graph, &features, &config, &ds.metapaths)
         .expect("engine run succeeds on presets")
@@ -30,7 +32,12 @@ pub fn fig3() {
     let mut t = TableWriter::new(
         "fig3_matching",
         "Figure 3a — metapath instance matching vs inference time (MAGNN)",
-        &["Dataset", "Matching (model s)", "Inference (model s)", "Ratio"],
+        &[
+            "Dataset",
+            "Matching (model s)",
+            "Inference (model s)",
+            "Ratio",
+        ],
     );
     let cpu_roof = Roofline::new(spec::CPU.peak_flops, spec::CPU.peak_bw);
     let mut roof_rows = Vec::new();
@@ -41,11 +48,7 @@ pub fn fig3() {
         // roofline.
         let matching = (profile.matching.bytes() as f64
             / (spec::CPU.peak_bw * spec::CPU.matching_bw_eff))
-            .max(
-                profile.instances as f64
-                    * spec::CPU_FRAMEWORK_MATCHING_NS_PER_INSTANCE
-                    * 1e-9,
-            );
+            .max(profile.instances as f64 * spec::CPU_FRAMEWORK_MATCHING_NS_PER_INSTANCE * 1e-9);
         let inf = {
             let g = &spec::GPU;
             let pt = |c: &hgnn::OpCounters, e: spec::PhaseEfficiency| {
@@ -71,7 +74,12 @@ pub fn fig3() {
     let mut r = TableWriter::new(
         "fig3b_roofline",
         "Figure 3b — roofline of instance matching on the CPU",
-        &["Dataset", "Intensity (flop/B)", "Attainable Gflop/s", "Memory-bound"],
+        &[
+            "Dataset",
+            "Intensity (flop/B)",
+            "Attainable Gflop/s",
+            "Memory-bound",
+        ],
     );
     for (id, p) in roof_rows {
         r.row(vec![
@@ -140,7 +148,9 @@ pub fn fig4() {
             ]);
         }
     }
-    r.note("Paper: structural and semantic aggregation are memory-bound; projection is compute-bound.");
+    r.note(
+        "Paper: structural and semantic aggregation are memory-bound; projection is compute-bound.",
+    );
     r.finish();
 }
 
@@ -150,7 +160,12 @@ pub fn fig5() {
     let mut t = TableWriter::new(
         "fig5_redundancy",
         "Figure 5 — redundant computation ratio in MAGNN",
-        &["Workload", "Naive vector ops", "Shared vector ops", "Redundant"],
+        &[
+            "Workload",
+            "Naive vector ops",
+            "Shared vector ops",
+            "Redundant",
+        ],
     );
     let mut ratios = Vec::new();
     for id in DatasetId::ALL {

@@ -30,8 +30,7 @@ pub fn analysis_dataset(id: DatasetId) -> Dataset {
 /// engines can run it. Returns the dataset and the chosen scale.
 pub fn execution_dataset(id: DatasetId, instance_budget: u128) -> Dataset {
     const LADDER: [f64; 13] = [
-        0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 1e-4, 5e-5,
-        2e-5, 1e-5,
+        0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 1e-4, 5e-5, 2e-5, 1e-5,
     ];
     for &scale in &LADDER {
         let ds = generate(id, GeneratorConfig::at_scale(scale));

@@ -13,7 +13,14 @@ pub fn table3() {
     let mut t = TableWriter::new(
         "table3_datasets",
         "Table 3 — generated dataset statistics",
-        &["Dataset", "Scale", "Vertices", "Edges", "Metapaths", "Instances (all metapaths)"],
+        &[
+            "Dataset",
+            "Scale",
+            "Vertices",
+            "Edges",
+            "Metapaths",
+            "Instances (all metapaths)",
+        ],
     );
     for id in DatasetId::ALL {
         let ds = analysis_dataset(id);
@@ -41,7 +48,13 @@ pub fn table3() {
     let mut d = TableWriter::new(
         "table3_degrees",
         "Degree distributions of the generated graphs (skew indicators)",
-        &["Dataset", "Relation", "Mean deg", "Max deg", "Top-1% edge share"],
+        &[
+            "Dataset",
+            "Relation",
+            "Mean deg",
+            "Max deg",
+            "Top-1% edge share",
+        ],
     );
     for id in [DatasetId::Dblp, DatasetId::Imdb, DatasetId::Lastfm] {
         let ds = analysis_dataset(id);
@@ -61,6 +74,8 @@ pub fn table3() {
             ]);
         }
     }
-    d.note("The heavy top-1% shares are what make metapath instance counts explode multiplicatively.");
+    d.note(
+        "The heavy top-1% shares are what make metapath instance counts explode multiplicatively.",
+    );
     d.finish();
 }

@@ -22,7 +22,12 @@ pub fn fig15() {
     let mut t = TableWriter::new(
         "fig15_broadcast",
         "Figure 15 — broadcast vs naive communication",
-        &["Workload", "Naive (model s)", "Broadcast (model s)", "Speedup"],
+        &[
+            "Workload",
+            "Naive (model s)",
+            "Broadcast (model s)",
+            "Speedup",
+        ],
     );
     let mut speedups = Vec::new();
     for id in DatasetId::ALL {

@@ -2,10 +2,14 @@
 //! paper's evaluation section.
 //!
 //! ```text
-//! metanmp-experiments [EXPERIMENT ...]
+//! metanmp-experiments [OPTIONS] [EXPERIMENT ...]
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
-//!              fig14 fig15 fig16 fig17 fig18 ablate all
+//!              fig14 fig15 fig16 fig17 fig18 ablate verify all
+//!
+//! Options:
+//!   --metrics-out <path>  write a JSON telemetry snapshot after the run
+//!   --trace-out <path>    write a Chrome trace-event file (Perfetto)
 //! ```
 //!
 //! Output tables print to stdout and are saved under `results/`.
@@ -17,6 +21,7 @@ mod datasets_exp;
 mod hardware;
 mod memory_exps;
 mod performance;
+mod verification;
 
 use std::process::ExitCode;
 
@@ -36,17 +41,57 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig17", hardware::fig17),
     ("fig18", hardware::fig18),
     ("ablate", ablation::ablations),
+    ("verify", verification::verify),
 ];
+
+fn usage() {
+    eprintln!("usage: metanmp-experiments [OPTIONS] [EXPERIMENT ...]");
+    eprintln!("experiments: all {}", names().join(" "));
+    eprintln!("options:");
+    eprintln!("  --metrics-out <path>  write a JSON telemetry snapshot after the run");
+    eprintln!("  --trace-out <path>    write a Chrome trace-event file (Perfetto)");
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: metanmp-experiments [EXPERIMENT ...]");
-        eprintln!("experiments: all {}", names().join(" "));
-        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
     }
+
+    // Split option flags from experiment names.
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-out" | "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("{arg} requires a path argument");
+                    return ExitCode::from(2);
+                };
+                if arg == "--metrics-out" {
+                    metrics_out = Some(path);
+                } else {
+                    trace_out = Some(path);
+                }
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("unknown option {arg:?}");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => experiments.push(arg),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
     let mut ran = std::collections::BTreeSet::new();
-    for arg in &args {
+    for arg in &experiments {
         if arg == "all" {
             for (name, f) in EXPERIMENTS {
                 if ran.insert(*name) {
@@ -67,12 +112,56 @@ fn main() -> ExitCode {
                 }
             }
             None => {
-                eprintln!("unknown experiment {arg:?}; known: all {}", names().join(" "));
+                eprintln!(
+                    "unknown experiment {arg:?}; known: all {}",
+                    names().join(" ")
+                );
                 return ExitCode::from(2);
             }
         }
     }
+
+    phase_summary();
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, obs::snapshot_json()) {
+            eprintln!("failed to write metrics snapshot to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("telemetry: metrics snapshot written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, obs::chrome_trace_json()) {
+            eprintln!("failed to write Chrome trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("telemetry: Chrome trace written to {path} (load in Perfetto)");
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the per-phase wall-clock summary collected by the telemetry
+/// spans during the run (skipped when telemetry is compiled out or no
+/// instrumented phase executed).
+fn phase_summary() {
+    let snap = obs::snapshot();
+    if snap.phases.is_empty() {
+        return;
+    }
+    let mut table = common::TableWriter::new(
+        "telemetry_phases",
+        "Telemetry: per-phase wall-clock summary",
+        &["phase", "calls", "total (ms)", "mean (ms)"],
+    );
+    for p in &snap.phases {
+        table.row(vec![
+            p.name.clone(),
+            p.calls.to_string(),
+            format!("{:.2}", p.total_ms),
+            format!("{:.3}", p.total_ms / p.calls.max(1) as f64),
+        ]);
+    }
+    table.note("Spans nest, so totals across phases can exceed wall time.");
+    table.finish();
 }
 
 fn names() -> Vec<&'static str> {

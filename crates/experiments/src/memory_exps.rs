@@ -17,8 +17,7 @@ pub fn table1() {
     let mut ratios = Vec::new();
     for id in DatasetId::ALL {
         let ds = analysis_dataset(id);
-        let graph_bytes =
-            (ds.graph.topology_bytes() + ds.graph.raw_feature_bytes()) as u128;
+        let graph_bytes = (ds.graph.topology_bytes() + ds.graph.raw_feature_bytes()) as u128;
         let mut inst_bytes: u128 = 0;
         for mp in &ds.metapaths {
             inst_bytes += instance_memory(&ds.graph, mp, InstanceStorage::FullPath, 64)

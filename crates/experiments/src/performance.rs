@@ -9,9 +9,7 @@ use hgnn::{FeatureStore, ModelConfig, ModelKind};
 use metanmp::compare;
 use nmp::{estimate, NmpConfig};
 
-use crate::common::{
-    analysis_dataset, execution_dataset, fmt_x, TableWriter, EXEC_BUDGET,
-};
+use crate::common::{analysis_dataset, execution_dataset, fmt_x, TableWriter, EXEC_BUDGET};
 
 /// The GPU materializes instances in per-start-vertex batches; its
 /// working set is the graph, the features, and the largest batch with
@@ -41,12 +39,16 @@ pub fn fig12_13() {
     let mut speed = TableWriter::new(
         "fig12_speedup",
         "Figure 12 — speedup over the CPU baseline",
-        &["Workload", "CPU", "GPU", "AWB-GCN", "HyGCN", "RecNMP", "MetaNMP"],
+        &[
+            "Workload", "CPU", "GPU", "AWB-GCN", "HyGCN", "RecNMP", "MetaNMP",
+        ],
     );
     let mut energy = TableWriter::new(
         "fig13_energy",
         "Figure 13 — energy-efficiency gain over the CPU baseline",
-        &["Workload", "CPU", "GPU", "AWB-GCN", "HyGCN", "RecNMP", "MetaNMP"],
+        &[
+            "Workload", "CPU", "GPU", "AWB-GCN", "HyGCN", "RecNMP", "MetaNMP",
+        ],
     );
     let mut metanmp_speedups = Vec::new();
     let mut gpu_speedups = Vec::new();
@@ -100,9 +102,7 @@ pub fn fig12_13() {
             }
         }
     }
-    let geo = |v: &[f64]| {
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     speed.note(&format!(
         "Geomean MetaNMP speedup over CPU: {} (paper: 4225.51x); GPU geomean: {} (paper: ~10x).",
         fmt_x(geo(&metanmp_speedups)),
@@ -139,7 +139,9 @@ pub fn fig14() {
         let ds = execution_dataset(id, EXEC_BUDGET);
         for kind in ModelKind::ALL {
             let features = FeatureStore::random(&ds.graph, 0x5EED);
-            let mc = ModelConfig::new(kind).with_hidden_dim(64).with_attention(false);
+            let mc = ModelConfig::new(kind)
+                .with_hidden_dim(64)
+                .with_attention(false);
             let naive = MaterializedEngine
                 .run(&ds.graph, &features, &mc, &ds.metapaths)
                 .expect("engine run succeeds");
@@ -159,8 +161,7 @@ pub fn fig14() {
                 },
             )
             .expect("estimate succeeds");
-            let full = estimate(&ds.graph, kind, &ds.metapaths, &cfg)
-                .expect("estimate succeeds");
+            let full = estimate(&ds.graph, kind, &ds.metapaths, &cfg).expect("estimate succeeds");
             let s = naive_cpu.seconds / software.seconds;
             let w_x = naive_cpu.seconds / without.seconds;
             let f_x = naive_cpu.seconds / full.seconds;

@@ -1,0 +1,71 @@
+//! Smoke test for the experiments binary's telemetry flags: a real
+//! `verify` run must write a parseable metrics snapshot and a parseable
+//! Chrome trace.
+
+use std::process::Command;
+
+#[test]
+fn metrics_and_trace_flags_write_parseable_json() {
+    let dir = std::env::temp_dir().join(format!("metanmp-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_metanmp-experiments"))
+        .args([
+            "verify",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "exit: {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let snap: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).expect("metrics file written"))
+            .expect("metrics snapshot is valid JSON");
+    // The verify run drives the functional hardware path, so DRAM
+    // counters and at least one histogram with percentiles must appear.
+    assert!(snap["counters"]["dram.reads"].as_u64().unwrap_or(0) > 0);
+    assert!(snap["counters"]["nmp.instances"].as_u64().unwrap_or(0) > 0);
+    let hists = snap["histograms"].as_map().expect("histograms section");
+    assert!(!hists.is_empty(), "at least one histogram recorded");
+    for (name, h) in hists {
+        assert!(h["count"].as_u64().unwrap_or(0) > 0, "{name} has samples");
+        for p in ["p50", "p95", "p99"] {
+            assert!(h[p].is_number(), "{name} has {p}");
+        }
+    }
+    assert!(
+        snap["phases"]
+            .as_array()
+            .is_some_and(|p| p.iter().any(|e| e["name"] == "metanmp.simulate")),
+        "phase totals include the top-level simulate span"
+    );
+
+    let trace_v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).expect("trace file written"))
+            .expect("Chrome trace is valid JSON");
+    let events = trace_v["traceEvents"]
+        .as_array()
+        .expect("traceEvents array");
+    assert!(
+        events.iter().any(|e| e["ph"] == "X"),
+        "trace contains complete events"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e["ph"] == "M" && e["name"] == "process_name"),
+        "trace names its processes"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

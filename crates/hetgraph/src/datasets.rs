@@ -122,7 +122,7 @@ impl Default for GeneratorConfig {
     fn default() -> Self {
         GeneratorConfig {
             scale: 1.0,
-            seed: 0x4d65_7461_4e4d_50, // "MetaNMP"
+            seed: 0x4d_65_74_61_4e_4d_50, // "MetaNMP"
             skew: 0.75,
         }
     }

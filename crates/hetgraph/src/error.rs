@@ -56,10 +56,16 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::MetapathTooShort(len) => {
-                write!(f, "metapath must contain at least two vertex types, got {len}")
+                write!(
+                    f,
+                    "metapath must contain at least two vertex types, got {len}"
+                )
             }
             GraphError::MetapathUnknownRelation { hop, relation } => {
-                write!(f, "metapath hop {hop} crosses undeclared relation {relation}")
+                write!(
+                    f,
+                    "metapath hop {hop} crosses undeclared relation {relation}"
+                )
             }
             GraphError::TooManyVertexTypes(n) => {
                 write!(f, "schema declares {n} vertex types, maximum is 256")

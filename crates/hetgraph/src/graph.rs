@@ -129,9 +129,7 @@ impl HeteroGraph {
     pub fn raw_feature_bytes(&self) -> usize {
         self.schema
             .vertex_types()
-            .map(|(ty, decl)| {
-                self.vertex_counts[ty.index()] as usize * decl.feature_dim * 4
-            })
+            .map(|(ty, decl)| self.vertex_counts[ty.index()] as usize * decl.feature_dim * 4)
             .sum()
     }
 
@@ -329,12 +327,14 @@ mod tests {
         let b = g.schema().type_by_mnemonic('B').unwrap();
         // B vertex 1 (paper's vertex 3) has A-neighbors {0, 1, 2}.
         assert_eq!(
-            g.typed_neighbors(Vertex::new(b, VertexId::new(1)), a).unwrap(),
+            g.typed_neighbors(Vertex::new(b, VertexId::new(1)), a)
+                .unwrap(),
             &[0, 1, 2]
         );
         // A vertex 0 (paper's vertex 2) has B-neighbors {0, 1}.
         assert_eq!(
-            g.typed_neighbors(Vertex::new(a, VertexId::new(0)), b).unwrap(),
+            g.typed_neighbors(Vertex::new(a, VertexId::new(0)), b)
+                .unwrap(),
             &[0, 1]
         );
     }
@@ -347,7 +347,8 @@ mod tests {
         // the type is unknown; empty otherwise. A-A is undeclared but
         // both types exist, so the slice is empty.
         assert_eq!(
-            g.typed_neighbors(Vertex::new(a, VertexId::new(0)), a).unwrap(),
+            g.typed_neighbors(Vertex::new(a, VertexId::new(0)), a)
+                .unwrap(),
             &[] as &[u32]
         );
     }
@@ -396,11 +397,13 @@ mod tests {
             .unwrap();
         let g = builder.finish();
         assert_eq!(
-            g.typed_neighbors(Vertex::new(p, VertexId::new(0)), p).unwrap(),
+            g.typed_neighbors(Vertex::new(p, VertexId::new(0)), p)
+                .unwrap(),
             &[2]
         );
         assert_eq!(
-            g.typed_neighbors(Vertex::new(p, VertexId::new(2)), p).unwrap(),
+            g.typed_neighbors(Vertex::new(p, VertexId::new(2)), p)
+                .unwrap(),
             &[0]
         );
     }
@@ -415,8 +418,10 @@ mod tests {
         let b = g.schema().type_by_mnemonic('B').unwrap();
         for i in 0..3 {
             assert_eq!(
-                g2.typed_neighbors(Vertex::new(b, VertexId::new(i)), a).unwrap(),
-                g.typed_neighbors(Vertex::new(b, VertexId::new(i)), a).unwrap()
+                g2.typed_neighbors(Vertex::new(b, VertexId::new(i)), a)
+                    .unwrap(),
+                g.typed_neighbors(Vertex::new(b, VertexId::new(i)), a)
+                    .unwrap()
             );
         }
     }

@@ -33,11 +33,7 @@ pub struct MaterializedInstances {
 impl MaterializedInstances {
     /// Number of stored instances.
     pub fn len(&self) -> usize {
-        if self.stride == 0 {
-            0
-        } else {
-            self.data.len() / self.stride
-        }
+        self.data.len().checked_div(self.stride).unwrap_or(0)
     }
 
     /// Returns `true` if no instances were found.

@@ -197,7 +197,10 @@ mod tests {
         let s = schema();
         // A-C has no declared relation.
         let err = Metapath::parse("ACA", &s).unwrap_err();
-        assert!(matches!(err, GraphError::MetapathUnknownRelation { hop: 0, .. }));
+        assert!(matches!(
+            err,
+            GraphError::MetapathUnknownRelation { hop: 0, .. }
+        ));
     }
 
     #[test]

@@ -152,11 +152,8 @@ impl GraphSchema {
 
     /// The neighbor types reachable from `ty` through declared relations.
     pub fn neighbor_types(&self, ty: VertexTypeId) -> Vec<VertexTypeId> {
-        let mut out: Vec<VertexTypeId> = self
-            .relations
-            .iter()
-            .filter_map(|r| r.other(ty))
-            .collect();
+        let mut out: Vec<VertexTypeId> =
+            self.relations.iter().filter_map(|r| r.other(ty)).collect();
         out.sort_unstable();
         out.dedup();
         out

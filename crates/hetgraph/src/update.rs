@@ -143,8 +143,7 @@ mod tests {
         // dedup away, but most must land.
         assert!(updated.total_edge_count() > ds.graph.total_edge_count());
         assert!(
-            updated.total_edge_count()
-                <= ds.graph.total_edge_count() + batches[0].len() as u64
+            updated.total_edge_count() <= ds.graph.total_edge_count() + batches[0].len() as u64
         );
     }
 

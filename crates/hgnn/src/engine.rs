@@ -256,6 +256,7 @@ impl InferenceEngine for MaterializedEngine {
         let projection = Projection::random(graph, d, config.seed);
         let hidden = projection.project(graph, features, &mut profile.projection)?;
 
+        let _span = obs::span("hgnn.materialized.run", "hgnn");
         let mut structural_results = Vec::with_capacity(metapaths.len());
         let mut resident: u128 = 0;
         let mut peak_transient: u128 = 0;
@@ -307,15 +308,14 @@ impl InferenceEngine for MaterializedEngine {
                                     // instance, independently of all
                                     // other instances (the redundant
                                     // work).
-                                    inst_vecs
-                                        .extend_from_slice(hidden.vector(types[0], inst[0]));
+                                    inst_vecs.extend_from_slice(hidden.vector(types[0], inst[0]));
                                     for k in 1..=hops {
                                         let h = hidden.vector(types[k], inst[k]);
                                         vec_add(&mut inst_vecs[base..base + d], h);
                                     }
                                     c.flops += (hops * d) as u128;
-                                    c.bytes_read += ((hops + 1) * d) as u128 * F32
-                                        + (inst.len() * 4) as u128;
+                                    c.bytes_read +=
+                                        ((hops + 1) * d) as u128 * F32 + (inst.len() * 4) as u128;
                                     profile.performed_aggregations += hops as u128;
                                     let v = &mut inst_vecs[base..base + d];
                                     vec_scale(v, 1.0 / (hops + 1) as f32);
@@ -454,6 +454,7 @@ impl InferenceEngine for OnTheFlyEngine {
         let projection = Projection::random(graph, d, config.seed);
         let hidden = projection.project(graph, features, &mut profile.projection)?;
 
+        let _span = obs::span("hgnn.on_the_fly.run", "hgnn");
         let mut structural_results = Vec::with_capacity(metapaths.len());
         let mut peak_transient: u128 = 0;
 
@@ -463,8 +464,7 @@ impl InferenceEngine for OnTheFlyEngine {
             let start_ty = mp.start_type();
             let start_count = graph.vertex_count(start_ty)? as usize;
             profile.instances += count_instances(graph, mp)?;
-            profile.naive_aggregations +=
-                count_instances(graph, mp)? * hops as u128;
+            profile.naive_aggregations += count_instances(graph, mp)? * hops as u128;
 
             let mut s = Matrix::zeros(start_count, d);
             let mut scores = Vec::new();
@@ -564,8 +564,7 @@ impl InferenceEngine for OnTheFlyEngine {
                 })?;
 
                 if config.kind != ModelKind::Shgnn && n_instances > 0 {
-                    peak_transient =
-                        peak_transient.max((n_instances * d) as u128 * F32);
+                    peak_transient = peak_transient.max((n_instances * d) as u128 * F32);
                     let start_vec = hidden.vector(start_ty, start);
                     let mut out = vec![0.0f32; d];
                     combine_instances(
@@ -600,19 +599,13 @@ mod tests {
     use super::*;
     use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
 
-    fn setup(
-        id: DatasetId,
-        scale: f64,
-    ) -> (hetgraph::datasets::Dataset, FeatureStore) {
+    fn setup(id: DatasetId, scale: f64) -> (hetgraph::datasets::Dataset, FeatureStore) {
         let ds = generate(id, GeneratorConfig::at_scale(scale));
         let fs = FeatureStore::random(&ds.graph, 11);
         (ds, fs)
     }
 
-    fn run_both(
-        kind: ModelKind,
-        attention: bool,
-    ) -> (Inference, Inference) {
+    fn run_both(kind: ModelKind, attention: bool) -> (Inference, Inference) {
         let (ds, fs) = setup(DatasetId::Imdb, 0.02);
         let config = ModelConfig::new(kind)
             .with_hidden_dim(8)
@@ -695,9 +688,7 @@ mod tests {
         let inf = MaterializedEngine
             .run(&ds.graph, &fs, &config, &ds.metapaths)
             .unwrap();
-        assert!(
-            inf.profile.structural.bytes() > inf.profile.projection.bytes()
-        );
+        assert!(inf.profile.structural.bytes() > inf.profile.projection.bytes());
     }
 
     #[test]

@@ -27,9 +27,7 @@ impl FeatureStore {
     pub fn random(graph: &HeteroGraph, seed: u64) -> Self {
         let mut per_type = BTreeMap::new();
         for (ty, decl) in graph.schema().vertex_types() {
-            let rows = graph
-                .vertex_count(ty)
-                .expect("schema types exist in graph") as usize;
+            let rows = graph.vertex_count(ty).expect("schema types exist in graph") as usize;
             per_type.insert(
                 ty,
                 Matrix::random(rows, decl.feature_dim, seed ^ (ty.index() as u64) << 32),
@@ -69,7 +67,11 @@ impl Projection {
         for (ty, decl) in graph.schema().vertex_types() {
             weights.insert(
                 ty,
-                Matrix::random(decl.feature_dim, hidden_dim, seed ^ 0xABCD ^ (ty.index() as u64)),
+                Matrix::random(
+                    decl.feature_dim,
+                    hidden_dim,
+                    seed ^ 0xABCD ^ (ty.index() as u64),
+                ),
             );
         }
         Projection {
@@ -104,7 +106,10 @@ impl Projection {
         let mut per_type = BTreeMap::new();
         for (ty, _) in graph.schema().vertex_types() {
             let raw = features.features(ty)?;
-            let w = self.weights.get(&ty).ok_or(HgnnError::MissingFeatures(ty))?;
+            let w = self
+                .weights
+                .get(&ty)
+                .ok_or(HgnnError::MissingFeatures(ty))?;
             if raw.cols() != w.rows() {
                 return Err(HgnnError::DimensionMismatch {
                     expected: w.rows(),

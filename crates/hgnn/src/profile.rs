@@ -44,6 +44,42 @@ impl OpCounters {
     }
 }
 
+impl std::ops::AddAssign<&OpCounters> for OpCounters {
+    fn add_assign(&mut self, rhs: &OpCounters) {
+        self.merge(rhs);
+    }
+}
+
+impl std::ops::AddAssign for OpCounters {
+    fn add_assign(&mut self, rhs: OpCounters) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::Add for OpCounters {
+    type Output = OpCounters;
+
+    fn add(mut self, rhs: OpCounters) -> OpCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for OpCounters {
+    fn sum<I: Iterator<Item = OpCounters>>(iter: I) -> OpCounters {
+        iter.fold(OpCounters::default(), |acc, c| acc + c)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a OpCounters> for OpCounters {
+    fn sum<I: Iterator<Item = &'a OpCounters>>(iter: I) -> OpCounters {
+        iter.fold(OpCounters::default(), |mut acc, c| {
+            acc += c;
+            acc
+        })
+    }
+}
+
 /// The four phases of the HGNN pipeline (Figure 2 plus the
 /// pre-processing matching phase).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -122,18 +158,14 @@ impl WorkloadProfile {
     /// Sum of the three *inference* phases (the paper excludes matching
     /// from inference time).
     pub fn inference_totals(&self) -> OpCounters {
-        let mut t = OpCounters::default();
-        t.merge(&self.projection);
-        t.merge(&self.structural);
-        t.merge(&self.semantic);
-        t
+        [&self.projection, &self.structural, &self.semantic]
+            .into_iter()
+            .sum()
     }
 
     /// Sum over all four phases.
     pub fn totals(&self) -> OpCounters {
-        let mut t = self.inference_totals();
-        t.merge(&self.matching);
-        t
+        self.inference_totals() + self.matching
     }
 
     /// Fraction of naive aggregation work that was redundant
@@ -148,10 +180,10 @@ impl WorkloadProfile {
 
     /// Merges another profile (e.g. across metapaths) into this one.
     pub fn merge(&mut self, other: &WorkloadProfile) {
-        self.matching.merge(&other.matching);
-        self.projection.merge(&other.projection);
-        self.structural.merge(&other.structural);
-        self.semantic.merge(&other.semantic);
+        self.matching += &other.matching;
+        self.projection += &other.projection;
+        self.structural += &other.structural;
+        self.semantic += &other.semantic;
         self.instances += other.instances;
         self.naive_aggregations += other.naive_aggregations;
         self.performed_aggregations += other.performed_aggregations;
@@ -219,6 +251,39 @@ mod tests {
         assert_eq!(a.flops, 150);
         assert_eq!(a.bytes(), 60);
         assert!((a.arithmetic_intensity() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_and_sum_match_merge() {
+        let parts = [
+            OpCounters {
+                flops: 1,
+                bytes_read: 2,
+                bytes_written: 3,
+            },
+            OpCounters {
+                flops: 10,
+                bytes_read: 20,
+                bytes_written: 30,
+            },
+            OpCounters {
+                flops: 100,
+                bytes_read: 200,
+                bytes_written: 300,
+            },
+        ];
+        let mut merged = OpCounters::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        let summed: OpCounters = parts.iter().sum();
+        assert_eq!(summed, merged);
+        let mut add_assigned = OpCounters::default();
+        for p in parts {
+            add_assigned += p;
+        }
+        assert_eq!(add_assigned, merged);
+        assert_eq!(parts[0] + parts[1] + parts[2], merged);
     }
 
     #[test]

@@ -55,9 +55,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     .ok_or_else(|| format!("unknown model {value:?} (MAGNN HAN SHGNN)"))?;
             }
             "--scale" => {
-                args.scale = value
-                    .parse()
-                    .map_err(|_| format!("bad scale {value:?}"))?;
+                args.scale = value.parse().map_err(|_| format!("bad scale {value:?}"))?;
             }
             "--hidden" => {
                 args.hidden = value

@@ -7,8 +7,8 @@
 //! exactly the shape of the paper's Figures 12 and 13.
 
 use baselines::{
-    AwbGcnModel, CpuModel, GpuModel, HyGcnModel, Platform, PlatformReport,
-    PlatformWorkload, RecNmpModel,
+    AwbGcnModel, CpuModel, GpuModel, HyGcnModel, Platform, PlatformReport, PlatformWorkload,
+    RecNmpModel,
 };
 use hetgraph::datasets::Dataset;
 use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
@@ -74,19 +74,19 @@ pub fn compare(
         .with_hidden_dim(hidden_dim)
         .with_attention(false);
 
-    let naive = MaterializedEngine.run(&dataset.graph, &features, &model_config, &dataset.metapaths)?;
+    let naive =
+        MaterializedEngine.run(&dataset.graph, &features, &model_config, &dataset.metapaths)?;
     let reuse = OnTheFlyEngine.run(&dataset.graph, &features, &model_config, &dataset.metapaths)?;
 
     let metanmp = estimate(&dataset.graph, kind, &dataset.metapaths, nmp_config)?;
-    let generation_seconds = metanmp.counts.gen_cycles_max_dimm as f64
-        * nmp_config.dram.cycle_seconds()
-        * 1.1; // distribution overlap slack
+    let generation_seconds =
+        metanmp.counts.gen_cycles_max_dimm as f64 * nmp_config.dram.cycle_seconds() * 1.1; // distribution overlap slack
 
     let footprint = match footprint_override {
         Some(f) => f,
         None => {
-            let mut total = dataset.graph.topology_bytes() as u128
-                + dataset.graph.raw_feature_bytes() as u128;
+            let mut total =
+                dataset.graph.topology_bytes() as u128 + dataset.graph.raw_feature_bytes() as u128;
             for mp in &dataset.metapaths {
                 total += hetgraph::instances::instance_memory(
                     &dataset.graph,
@@ -100,12 +100,8 @@ pub fn compare(
         }
     };
 
-    let workload = PlatformWorkload::new(
-        naive.profile,
-        reuse.profile,
-        footprint,
-        generation_seconds,
-    );
+    let workload =
+        PlatformWorkload::new(naive.profile, reuse.profile, footprint, generation_seconds);
 
     let cpu = CpuModel::software_only().evaluate(&workload);
     let models: Vec<(&str, PlatformReport)> = vec![
@@ -161,8 +157,8 @@ pub fn memory_reductions(
     for mp in &dataset.metapaths {
         let mut per_model = [0.0; 3];
         for (i, kind) in ModelKind::ALL.iter().enumerate() {
-            per_model[i] = compare_memory(&dataset.graph, mp, *kind, hidden_dim, total_dimms)?
-                .reduction();
+            per_model[i] =
+                compare_memory(&dataset.graph, mp, *kind, hidden_dim, total_dimms)?.reduction();
         }
         rows.push((format!("{}-{}", dataset.id.abbrev(), mp.name()), per_model));
     }
@@ -209,14 +205,7 @@ mod tests {
     #[test]
     fn footprint_override_forces_gpu_oom() {
         let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.05));
-        let c = compare(
-            &ds,
-            ModelKind::Magnn,
-            16,
-            &config(16),
-            Some(100u128 << 30),
-        )
-        .unwrap();
+        let c = compare(&ds, ModelKind::Magnn, 16, &config(16), Some(100u128 << 30)).unwrap();
         let gpu = c.platforms.iter().find(|p| p.name == "GPU").unwrap();
         assert!(gpu.report.oom);
         assert_eq!(gpu.speedup_vs_cpu, 0.0);

@@ -7,9 +7,7 @@
 //! experiments, §4.3). This module computes both sides exactly, using
 //! the closed-form instance counters, so it runs at full dataset scale.
 
-use hetgraph::instances::{
-    count_instances_per_start, instance_memory, InstanceStorage,
-};
+use hetgraph::instances::{count_instances_per_start, instance_memory, InstanceStorage};
 use hetgraph::{GraphError, HeteroGraph, Metapath};
 use hgnn::ModelKind;
 use serde::{Deserialize, Serialize};
@@ -141,8 +139,14 @@ mod tests {
     #[test]
     fn short_metapaths_reduce_less() {
         let ds = generate(DatasetId::Lastfm, GeneratorConfig::at_scale(0.25));
-        let short = compare_memory(&ds.graph, ds.metapath("UAU").unwrap(), ModelKind::Magnn, 64, 8)
-            .unwrap();
+        let short = compare_memory(
+            &ds.graph,
+            ds.metapath("UAU").unwrap(),
+            ModelKind::Magnn,
+            64,
+            8,
+        )
+        .unwrap();
         let long = compare_memory(
             &ds.graph,
             ds.metapath("UATAU").unwrap(),

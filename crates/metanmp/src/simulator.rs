@@ -166,6 +166,7 @@ impl Simulator {
     ///
     /// Propagates engine and simulator errors.
     pub fn run(&self) -> Result<SimulationOutcome, MetanmpError> {
+        let _span = obs::span("metanmp.simulate", "metanmp");
         let features = FeatureStore::random(&self.dataset.graph, self.seed);
         let model_config = ModelConfig::new(self.model)
             .with_hidden_dim(self.hidden_dim)
@@ -173,40 +174,50 @@ impl Simulator {
             .with_seed(self.seed);
 
         // Software reference.
-        let reference = OnTheFlyEngine.run(
-            &self.dataset.graph,
-            &features,
-            &model_config,
-            &self.dataset.metapaths,
-        )?;
+        let reference = {
+            let _s = obs::span("metanmp.reference", "metanmp");
+            OnTheFlyEngine.run(
+                &self.dataset.graph,
+                &features,
+                &model_config,
+                &self.dataset.metapaths,
+            )?
+        };
 
         // Hardware functional run over identically projected features.
-        let projection =
-            Projection::random(&self.dataset.graph, self.hidden_dim, self.seed);
+        let projection = Projection::random(&self.dataset.graph, self.hidden_dim, self.seed);
         let mut counters = OpCounters::default();
-        let hidden = projection.project(&self.dataset.graph, &features, &mut counters)?;
-        let run = FunctionalSim::new(self.nmp).run(
-            &self.dataset.graph,
-            &hidden,
-            self.model,
-            &self.dataset.metapaths,
-        )?;
+        let hidden = {
+            let _s = obs::span("metanmp.projection", "metanmp");
+            projection.project(&self.dataset.graph, &features, &mut counters)?
+        };
+        let run = {
+            let _s = obs::span("metanmp.functional", "metanmp");
+            FunctionalSim::new(self.nmp).run(
+                &self.dataset.graph,
+                &hidden,
+                self.model,
+                &self.dataset.metapaths,
+            )?
+        };
 
         let max_reference_diff = run.embeddings.max_abs_diff(&reference.embeddings);
-        let memory = self
-            .dataset
-            .metapaths
-            .iter()
-            .map(|mp| {
-                compare_memory(
-                    &self.dataset.graph,
-                    mp,
-                    self.model,
-                    self.hidden_dim,
-                    self.nmp.dram.total_dimms(),
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let memory = {
+            let _s = obs::span("metanmp.memory_analysis", "metanmp");
+            self.dataset
+                .metapaths
+                .iter()
+                .map(|mp| {
+                    compare_memory(
+                        &self.dataset.graph,
+                        mp,
+                        self.model,
+                        self.hidden_dim,
+                        self.nmp.dram.total_dimms(),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
 
         Ok(SimulationOutcome {
             nmp: run.report,
@@ -231,7 +242,11 @@ mod tests {
             .build()
             .unwrap();
         let outcome = sim.run().unwrap();
-        assert!(outcome.matches_reference, "diff = {}", outcome.max_reference_diff);
+        assert!(
+            outcome.matches_reference,
+            "diff = {}",
+            outcome.max_reference_diff
+        );
         assert!(outcome.nmp.seconds > 0.0);
         assert_eq!(outcome.memory.len(), sim.dataset().metapaths.len());
     }

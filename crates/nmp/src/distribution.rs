@@ -101,8 +101,7 @@ pub fn distribute(
         // Payload: core vertex (id + feature) + right ids + features.
         let payload = (4.0 + vb) * (1 + right.len()) as f64;
         for ch in 0..channels {
-            let k: u64 = consumers_scratch
-                [ch * dimms_per_channel..(ch + 1) * dimms_per_channel]
+            let k: u64 = consumers_scratch[ch * dimms_per_channel..(ch + 1) * dimms_per_channel]
                 .iter()
                 .sum();
             let t = plan_channel(config.comm, k);
@@ -139,13 +138,8 @@ pub fn distribute(
             let next_ty = types[hop + 1];
             // Cache residency of the *operand* features this hop
             // consumes (the next type's working set).
-            let active_next = levels[hop + 1]
-                .iter()
-                .filter(|&&p| p > 0)
-                .count()
-                .max(1) as f64;
-            let resend_next =
-                (1.0 - cache_lines / active_next).clamp(MIN_RESEND_FRACTION, 1.0);
+            let active_next = levels[hop + 1].iter().filter(|&&p| p > 0).count().max(1) as f64;
+            let resend_next = (1.0 - cache_lines / active_next).clamp(MIN_RESEND_FRACTION, 1.0);
             // Operand deliveries. The raw upper bound is one vector
             // per (partial, neighbor) pair — the walks of the next
             // level; the lower bound is one per partial (perfect
@@ -158,8 +152,7 @@ pub fn distribute(
             let op_count = (pairs * partials_total.max(1.0)).sqrt().min(pairs);
             let op_bytes = op_count * (4.0 + vb) * resend_next;
             // Endpoint ids per partial (small bookkeeping stream).
-            let id_bytes: f64 =
-                levels[hop].iter().map(|&p| p as f64).sum::<f64>() * 8.0;
+            let id_bytes: f64 = levels[hop].iter().map(|&p| p as f64).sum::<f64>() * 8.0;
             let is_broadcast = config.comm == CommPolicy::Broadcast;
             let wave_volume = op_bytes + id_bytes;
             // One broadcast reaches every DIMM of the channel at once;
@@ -255,8 +248,8 @@ mod tests {
     #[test]
     fn long_metapaths_add_extension_traffic() {
         let (ds, config, placement) = setup();
-        let short = distribute(&ds.graph, ds.metapath("AMA").unwrap(), &config, &placement)
-            .unwrap();
+        let short =
+            distribute(&ds.graph, ds.metapath("AMA").unwrap(), &config, &placement).unwrap();
         let long = distribute(
             &ds.graph,
             ds.metapath("AMDMA").unwrap(),

@@ -76,10 +76,7 @@ pub fn calibrate_rank_local(config: &NmpConfig) -> RankCalibration {
 
 /// Prefix-tree node count per start vertex, *including* the root:
 /// `g_i(v) = 1 + Σ g_{i+1}(n)` backward over the metapath.
-fn prefix_nodes_per_start(
-    graph: &HeteroGraph,
-    metapath: &Metapath,
-) -> Result<Vec<u128>, NmpError> {
+fn prefix_nodes_per_start(graph: &HeteroGraph, metapath: &Metapath) -> Result<Vec<u128>, NmpError> {
     let types = metapath.vertex_types();
     let last = types.len() - 1;
     let mut g: Vec<u128> = vec![1; graph.vertex_count(types[last])? as usize];
@@ -146,18 +143,15 @@ pub fn estimate(
         counts.normal_transfers += dist.normal_transfers;
         counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
         counts.normal_payload_bytes += dist.normal_bytes.iter().sum::<f64>() as u64;
-        counts.broadcast_payload_bytes +=
-            dist.broadcast_bytes.iter().sum::<f64>() as u64;
+        counts.broadcast_payload_bytes += dist.broadcast_bytes.iter().sum::<f64>() as u64;
 
         let hops = mp.length() as u128;
         let t0 = mp.start_type();
         let per_start_instances = count_instances_per_start(graph, mp)?;
         let per_start_nodes = prefix_nodes_per_start(graph, mp)?;
 
-        for (i, (&insts, &nodes_incl_root)) in per_start_instances
-            .iter()
-            .zip(&per_start_nodes)
-            .enumerate()
+        for (i, (&insts, &nodes_incl_root)) in
+            per_start_instances.iter().zip(&per_start_nodes).enumerate()
         {
             let nodes = nodes_incl_root.saturating_sub(1); // drop root
             if insts == 0 && nodes == 0 {
@@ -255,8 +249,7 @@ pub fn estimate(
     counts.host_cycles = host_cycles_total as u64;
     counts.gen_cycles_max_dimm = gen_max as u64;
     counts.compute_cycles_max_rank = rank_cycles_max as u64;
-    let host_nmp =
-        host_cycles_total * cfg.nmp_clock_mhz / cfg.host_clock_mhz;
+    let host_nmp = host_cycles_total * cfg.nmp_clock_mhz / cfg.host_clock_mhz;
     let cycles = bus_cycles_max
         .max(gen_max)
         .max(rank_cycles_max)
@@ -277,17 +270,14 @@ pub fn estimate(
         + demand_bytes.iter().sum::<f64>();
     let broadcast_total: f64 = broadcast_bytes.iter().sum();
     energy.dram.io_pj = normal_total * 8.0 * e.io_pj_per_bit;
-    energy.dram.broadcast_io_pj =
-        broadcast_total * 8.0 * e.io_pj_per_bit * e.broadcast_io_factor;
-    let edge_total: f64 =
-        edge_bytes.iter().sum::<f64>() + demand_bytes.iter().sum::<f64>();
+    energy.dram.broadcast_io_pj = broadcast_total * 8.0 * e.io_pj_per_bit * e.broadcast_io_factor;
+    let edge_total: f64 = edge_bytes.iter().sum::<f64>() + demand_bytes.iter().sum::<f64>();
     energy.dram.array_pj += edge_total * 8.0 * e.array_pj_per_bit;
     energy.dram.activate_pj += edge_total / 512.0 * e.act_pre_pj;
-    energy.dram.background_pj =
-        e.background_mw_per_rank * 1e-3 * ranks as f64 * seconds * 1e12;
-    energy.logic_pj =
-        cfg.area_power
-            .logic_energy_pj(dimms, cfg.dram.ranks_per_dimm, seconds);
+    energy.dram.background_pj = e.background_mw_per_rank * 1e-3 * ranks as f64 * seconds * 1e12;
+    energy.logic_pj = cfg
+        .area_power
+        .logic_energy_pj(dimms, cfg.dram.ranks_per_dimm, seconds);
     let host_seconds = host_cycles_total / (cfg.host_clock_mhz * 1e6);
     energy.host_pj = cfg.host_active_watts * host_seconds * 1e12;
 

@@ -13,9 +13,9 @@
 //! so total time is the maximum over resources — the standard bound for
 //! a balanced pipeline.
 //!
-//! The hardware aggregates with means and fixed weights (`ConfigWeight`
-//! + `Inter_path_agg`), so the functional model corresponds to the
-//! software engines with attention disabled.
+//! The hardware aggregates with means and fixed weights
+//! (`ConfigWeight` and `Inter_path_agg`), so the functional model
+//! corresponds to the software engines with attention disabled.
 
 use std::collections::BTreeMap;
 
@@ -140,6 +140,7 @@ impl FunctionalSim {
         if metapaths.is_empty() {
             return Err(NmpError::Unsupported("no metapaths given".into()));
         }
+        let _run_span = obs::span("nmp.functional.run", "nmp");
         let d = cfg.hidden_dim;
         let vb = cfg.vector_bytes();
         let vec_op = cfg.vector_op_cycles();
@@ -163,7 +164,10 @@ impl FunctionalSim {
 
         for (mp_index, mp) in metapaths.iter().enumerate() {
             // ---- Host distribution (evoke + broadcast). ----
-            let dist = distribute(graph, mp, cfg, &placement)?;
+            let dist = {
+                let _s = obs::span(format!("nmp.distribute.{}", mp.name()), "nmp");
+                distribute(graph, mp, cfg, &placement)?
+            };
             for ch in 0..channels {
                 normal_bytes[ch] += dist.normal_bytes[ch];
                 broadcast_bytes[ch] += dist.broadcast_bytes[ch];
@@ -173,12 +177,11 @@ impl FunctionalSim {
             counts.broadcast_transfers += dist.broadcast_transfers;
             counts.normal_transfers += dist.normal_transfers;
             counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
-            counts.normal_payload_bytes +=
-                dist.normal_bytes.iter().sum::<f64>() as u64;
-            counts.broadcast_payload_bytes +=
-                dist.broadcast_bytes.iter().sum::<f64>() as u64;
+            counts.normal_payload_bytes += dist.normal_bytes.iter().sum::<f64>() as u64;
+            counts.broadcast_payload_bytes += dist.broadcast_bytes.iter().sum::<f64>() as u64;
 
             // ---- Generation + aggregation, per start vertex. ----
+            let _structural_span = obs::span(format!("nmp.structural.{}", mp.name()), "nmp");
             let types = mp.vertex_types().to_vec();
             let hops = mp.length();
             let t0 = mp.start_type();
@@ -221,8 +224,9 @@ impl FunctionalSim {
                         child_seq[depth] = 0;
                         if depth == 0 {
                             match kind {
-                                ModelKind::Magnn => prefix[0]
-                                    .copy_from_slice(hidden.vector(types[0], u)),
+                                ModelKind::Magnn => {
+                                    prefix[0].copy_from_slice(hidden.vector(types[0], u))
+                                }
                                 ModelKind::Shgnn => {
                                     child_sum[0].fill(0.0);
                                     child_count[0] = 0;
@@ -317,8 +321,7 @@ impl FunctionalSim {
                                     } else {
                                         host_agg_bytes[home.channel] +=
                                             (hops + 1) as f64 * vb as f64;
-                                        host_extra_cycles +=
-                                            hops as u64 * (d as u64 / 4 + 4);
+                                        host_extra_cycles += hops as u64 * (d as u64 / 4 + 4);
                                     }
                                 }
                             }
@@ -424,6 +427,7 @@ impl FunctionalSim {
         // ---- Semantic (inter-path) aggregation: the host programs
         // the per-metapath weights with `ConfigWeight` and triggers
         // `Inter_path_agg` per vertex. ----
+        let semantic_span = obs::span("nmp.semantic", "nmp");
         let mut by_type: BTreeMap<VertexTypeId, Vec<(&str, &Matrix)>> = BTreeMap::new();
         for (mp, m) in metapaths.iter().zip(&structural) {
             by_type
@@ -477,9 +481,13 @@ impl FunctionalSim {
             per_type.insert(ty, out);
         }
         let embeddings = Embeddings::from_per_type(per_type);
+        drop(semantic_span);
 
         // ---- Timing composition. ----
-        let dram_report = mem.service_all();
+        let dram_report = {
+            let _s = obs::span("nmp.dram.service", "nmp");
+            mem.service_all()
+        };
         let t_bl = cfg.dram.timing.t_bl as f64;
         let burst = cfg.dram.burst_bytes as f64;
         let bus_cycles_max = (0..channels)
@@ -509,6 +517,44 @@ impl FunctionalSim {
             .max(host_nmp);
         let seconds = cycles as f64 * cfg.dram.cycle_seconds();
 
+        if obs::is_enabled() {
+            // Per-unit load histograms and utilization against the
+            // pipelined critical path (cycles = max over resources).
+            let mut gen_hist = obs::Histogram::new();
+            for &g in &gen {
+                gen_hist.record(g);
+            }
+            obs::hist_merge("nmp.carpu.gen_cycles_per_dimm", &gen_hist);
+            let mut compute_hist = obs::Histogram::new();
+            for &c in &compute {
+                compute_hist.record(c);
+            }
+            obs::hist_merge("nmp.rank_au.compute_cycles_per_rank", &compute_hist);
+            if cycles > 0 {
+                let gen_total: u64 = gen.iter().sum();
+                let compute_total: u64 = compute.iter().sum();
+                obs::gauge_set(
+                    "nmp.carpu.utilization",
+                    gen_total as f64 / (cycles * dimms as u64) as f64,
+                );
+                obs::gauge_set(
+                    "nmp.rank_au.utilization",
+                    compute_total as f64 / (cycles * ranks as u64) as f64,
+                );
+            }
+            obs::counter_add(
+                "nmp.instances",
+                counts.instances.min(u64::MAX as u128) as u64,
+            );
+            obs::counter_add(
+                "nmp.aggregations",
+                counts.aggregations.min(u64::MAX as u128) as u64,
+            );
+            obs::counter_add("nmp.copies", counts.copies.min(u64::MAX as u128) as u64);
+            obs::counter_add("nmp.broadcast_transfers", counts.broadcast_transfers);
+            obs::counter_add("nmp.cycles", cycles);
+        }
+
         // ---- Energy composition. ----
         let e = cfg.dram.energy;
         let mut energy = NmpEnergy {
@@ -525,19 +571,13 @@ impl FunctionalSim {
             broadcast_total * 8.0 * e.io_pj_per_bit * e.broadcast_io_factor;
         // Edge reads also touch the arrays: array energy plus roughly
         // one activation per 512 B of irregular neighbor-list data.
-        let edge_total: f64 =
-            edge_bytes.iter().sum::<f64>() + demand_bytes.iter().sum::<f64>();
+        let edge_total: f64 = edge_bytes.iter().sum::<f64>() + demand_bytes.iter().sum::<f64>();
         energy.dram.array_pj += edge_total * 8.0 * e.array_pj_per_bit;
         energy.dram.activate_pj += edge_total / 512.0 * e.act_pre_pj;
-        energy.dram.background_pj = e.background_mw_per_rank * 1e-3
-            * ranks as f64
-            * seconds
-            * 1e12;
-        energy.logic_pj = cfg.area_power.logic_energy_pj(
-            dimms,
-            cfg.dram.ranks_per_dimm,
-            seconds,
-        );
+        energy.dram.background_pj = e.background_mw_per_rank * 1e-3 * ranks as f64 * seconds * 1e12;
+        energy.logic_pj = cfg
+            .area_power
+            .logic_energy_pj(dimms, cfg.dram.ranks_per_dimm, seconds);
         let host_seconds = host_cycles_total as f64 / (cfg.host_clock_mhz * 1e6);
         energy.host_pj = cfg.host_active_watts * host_seconds * 1e12;
 
@@ -561,10 +601,7 @@ mod tests {
     use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
     use hgnn::{FeatureStore, ModelConfig, OpCounters, Projection};
 
-    fn setup(
-        scale: f64,
-        hidden: usize,
-    ) -> (hetgraph::datasets::Dataset, HiddenFeatures) {
+    fn setup(scale: f64, hidden: usize) -> (hetgraph::datasets::Dataset, HiddenFeatures) {
         let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(scale));
         let fs = FeatureStore::random(&ds.graph, 3);
         let proj = Projection::random(&ds.graph, hidden, 0xC0FFEE);
@@ -748,7 +785,7 @@ mod tests {
             .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
             .unwrap();
         // Crash after half the start vertices of every metapath.
-        let crash_point = |start: u32| start % 2 == 0;
+        let crash_point = |start: u32| start.is_multiple_of(2);
         let before = sim
             .run_where(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, |_, s| {
                 crash_point(s)

@@ -274,10 +274,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_memory_mode() {
-        assert_eq!(
-            NmpInstruction::decode(0),
-            Err(DecodeError::NotNmpMode)
-        );
+        assert_eq!(NmpInstruction::decode(0), Err(DecodeError::NotNmpMode));
     }
 
     #[test]

@@ -236,9 +236,10 @@ mod tests {
     #[test]
     fn different_types_hash_differently() {
         let p = placement();
-        let same = (0..128)
-            .filter(|&i| p.home(0, i) == p.home(1, i))
-            .count();
-        assert!(same < 64, "type should influence placement ({same} collisions)");
+        let same = (0..128).filter(|&i| p.home(0, i) == p.home(1, i)).count();
+        assert!(
+            same < 64,
+            "type should influence placement ({same} collisions)"
+        );
     }
 }

@@ -195,9 +195,7 @@ pub fn execute(
             }
             NmpInstruction::Broadcast { .. } => {
                 let center = pending_center.take().ok_or_else(|| {
-                    NmpError::Unsupported(
-                        "broadcast without a preceding broadcast_core".into(),
-                    )
+                    NmpError::Unsupported("broadcast without a preceding broadcast_core".into())
                 })?;
                 // The payload on the bus is the center's type-3
                 // neighbor list.
@@ -207,8 +205,7 @@ pub fn execute(
                         t2,
                     )?
                     .to_vec();
-                for (dimm, (carpu, buffer)) in
-                    carpus.iter_mut().zip(buffers.iter_mut()).enumerate()
+                for (dimm, (carpu, buffer)) in carpus.iter_mut().zip(buffers.iter_mut()).enumerate()
                 {
                     if evoked[dimm].is_empty() {
                         continue;
@@ -365,9 +362,7 @@ pub fn execute_metapath(
                 NmpInstruction::BroadcastCore { vertex, .. } => pending = Some(vertex),
                 NmpInstruction::Broadcast { .. } => {
                     let v = pending.take().ok_or_else(|| {
-                        NmpError::Unsupported(
-                            "broadcast without a preceding broadcast_core".into(),
-                        )
+                        NmpError::Unsupported("broadcast without a preceding broadcast_core".into())
                     })?;
                     let nbrs = graph
                         .typed_neighbors(
@@ -519,18 +514,15 @@ mod tests {
         let mp = ds.metapath("DMAMD").unwrap(); // 4 hops
         let program = compile_metapath(&ds.graph, mp, &placement, &config).unwrap();
         assert_eq!(program.steps.len(), 3); // ternary + 2 extensions
-        let trace =
-            execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
+        let trace = execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
         let expected = count_instances(&ds.graph, mp).unwrap();
         assert_eq!(trace.instances.len() as u128, expected);
         // Every instance is a valid DMAMD walk with correct adjacency.
         use hetgraph::instances::enumerate_instances;
-        let mut ours: Vec<Vec<u32>> =
-            trace.instances.iter().map(|(_, s)| s.clone()).collect();
+        let mut ours: Vec<Vec<u32>> = trace.instances.iter().map(|(_, s)| s.clone()).collect();
         ours.sort();
         let reference = enumerate_instances(&ds.graph, mp, usize::MAX).unwrap();
-        let mut expected_seqs: Vec<Vec<u32>> =
-            reference.iter().map(|s| s.to_vec()).collect();
+        let mut expected_seqs: Vec<Vec<u32>> = reference.iter().map(|s| s.to_vec()).collect();
         expected_seqs.sort();
         assert_eq!(ours, expected_seqs);
     }
@@ -541,8 +533,7 @@ mod tests {
         let mp = ds.metapath("MAM").unwrap();
         let program = compile_metapath(&ds.graph, mp, &placement, &config).unwrap();
         assert_eq!(program.steps.len(), 1);
-        let trace =
-            execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
+        let trace = execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
         assert_eq!(
             trace.instances.len() as u128,
             count_instances(&ds.graph, mp).unwrap()
@@ -555,8 +546,7 @@ mod tests {
         let mp = ds.metapath("AMDMA").unwrap();
         let t0 = mp.start_type();
         let program = compile_metapath(&ds.graph, mp, &placement, &config).unwrap();
-        let trace =
-            execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
+        let trace = execute_metapath(&program, &ds.graph, mp, &placement, &config).unwrap();
         for (dimm, seq) in &trace.instances {
             let home = placement.home(t0.index() as u8, seq[0]);
             assert_eq!(*dimm, home.global_dimm(&config.dram));

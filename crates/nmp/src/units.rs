@@ -127,8 +127,14 @@ impl CarPu {
         let mut instances = Vec::with_capacity(left.len() * right.len());
         let mut cycles: u64 = 0;
         let mut passes: u64 = 0;
+        // Telemetry stays local until the end of the call so the
+        // per-instance emission loop never touches the registry.
+        let mut queue_depth = obs::Histogram::new();
+        let mut reuse_flags: u64 = 0;
         for lchunk in left.chunks(self.queue_capacity) {
             for rchunk in right.chunks(self.queue_capacity) {
+                queue_depth.record(lchunk.len() as u64);
+                queue_depth.record(rchunk.len() as u64);
                 passes += 1;
                 if passes > 1 {
                     cycles += 1; // refill
@@ -138,11 +144,13 @@ impl CarPu {
                         // Sequence numbers restart per queue refill, as
                         // the real RCEU observes the physical queue.
                         let seq = (ri + 1) as u32;
+                        let reuses_prefix = self.rceu.detects_reuse(seq);
+                        reuse_flags += reuses_prefix as u64;
                         instances.push(GeneratedInstance {
                             left: l,
                             center: self.cartesian_like.then_some(center),
                             right: r,
-                            reuses_prefix: self.rceu.detects_reuse(seq),
+                            reuses_prefix,
                             cycle: cycles,
                         });
                         cycles += 1;
@@ -150,6 +158,10 @@ impl CarPu {
                 }
             }
         }
+        obs::hist_merge("nmp.carpu.queue_occupancy", &queue_depth);
+        obs::counter_add("nmp.carpu.passes", passes);
+        obs::counter_add("nmp.carpu.instances", instances.len() as u64);
+        obs::counter_add("nmp.rceu.reuse_flags", reuse_flags);
         ProductRun {
             instances,
             cycles,

@@ -1,0 +1,67 @@
+//! Unified observability for the MetaNMP simulation stack.
+//!
+//! Three primitives, one process-global registry:
+//!
+//! * **Metrics** — monotonic counters ([`counter_add`]), last-write
+//!   gauges ([`gauge_set`]), and log₂-bucketed histograms with
+//!   p50/p95/p99 estimation ([`hist_record`], [`hist_merge`],
+//!   [`Histogram`]).
+//! * **Spans** — RAII wall-clock timers ([`span`]) that aggregate into
+//!   per-phase totals and emit Chrome trace events; plus explicit
+//!   simulated-time slices ([`sim_slice`]) for cycle-domain activity
+//!   tracks (e.g. per-rank NMP compute windows).
+//! * **Exporters** — a JSON metrics snapshot ([`snapshot_json`]) and a
+//!   Chrome trace-event file ([`chrome_trace_json`]) loadable in
+//!   Perfetto or `chrome://tracing`.
+//!
+//! The `enabled` feature (on by default) selects the real backend.
+//! With `--no-default-features` every entry point is an empty
+//! `#[inline(always)]` function and every type is zero-sized, so
+//! instrumented code compiles to nothing — callers never need their
+//! own `#[cfg]` guards. Downstream crates re-expose the switch as a
+//! `telemetry` feature forwarding to `telemetry/enabled`.
+
+mod export;
+mod snapshot;
+
+#[cfg(feature = "enabled")]
+mod hist;
+#[cfg(feature = "enabled")]
+mod state;
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+
+pub use export::{render_chrome_trace_json, render_snapshot_json};
+pub use snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
+
+#[cfg(feature = "enabled")]
+pub use hist::Histogram;
+#[cfg(feature = "enabled")]
+pub use state::{
+    counter_add, gauge_set, hist_merge, hist_record, reset, sim_slice, snapshot, span, trace_data,
+    SpanGuard,
+};
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter_add, gauge_set, hist_merge, hist_record, reset, sim_slice, snapshot, span, trace_data,
+    Histogram, SpanGuard,
+};
+
+/// Whether the real backend is compiled in.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Renders the current registry contents as a JSON metrics snapshot.
+pub fn snapshot_json() -> String {
+    render_snapshot_json(&snapshot())
+}
+
+/// Renders all recorded span and sim-slice events as a Chrome
+/// trace-event JSON file.
+pub fn chrome_trace_json() -> String {
+    render_chrome_trace_json(&trace_data())
+}

@@ -1,0 +1,137 @@
+//! The disabled backend: every entry point is an empty inline function
+//! and every type is zero-sized, so a `--no-default-features` build
+//! carries no telemetry cost at all.
+
+use crate::snapshot::{Snapshot, TraceData};
+
+/// Zero-sized stand-in for the log-bucketed histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// An empty histogram.
+    #[inline(always)]
+    pub fn new() -> Self {
+        Histogram
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&mut self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_n(&mut self, _v: u64, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn merge(&mut self, _other: &Histogram) {}
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn sum(&self) -> u128 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn min(&self) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn max(&self) -> u64 {
+        0
+    }
+
+    /// Always `0.0`.
+    #[inline(always)]
+    pub fn mean(&self) -> f64 {
+        0.0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn percentile(&self, _p: f64) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn p50(&self) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn p95(&self) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn p99(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized stand-in for the RAII span timer.
+#[derive(Debug)]
+pub struct SpanGuard;
+
+// An explicit (empty) Drop keeps callers uniform across backends:
+// `drop(guard)` to end a span early is legal in both, and the enabled
+// backend's real Drop is mirrored here for lint purposes.
+impl Drop for SpanGuard {
+    #[inline(always)]
+    fn drop(&mut self) {}
+}
+
+/// No-op.
+#[inline(always)]
+pub fn counter_add(_name: &str, _delta: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn gauge_set(_name: &str, _value: f64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn hist_record(_name: &str, _value: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn hist_merge(_name: &str, _h: &Histogram) {}
+
+/// Returns a zero-sized guard; nothing is timed or recorded.
+#[inline(always)]
+pub fn span(_name: impl Into<String>, _cat: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op.
+#[inline(always)]
+pub fn sim_slice(_track: &str, _name: impl Into<String>, _start_cycle: u64, _dur_cycles: u64) {}
+
+/// Always the empty snapshot.
+#[inline(always)]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Always empty trace data.
+#[inline(always)]
+pub fn trace_data() -> TraceData {
+    TraceData::default()
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset() {}

@@ -1,0 +1,250 @@
+//! The enabled backend: a process-global registry behind one mutex.
+//!
+//! Hot paths in the simulator (the DRAM scheduler in particular)
+//! should batch locally and flush deltas here at coarse intervals —
+//! see `dramsim::system` — so a single `Mutex` is plenty: the lock is
+//! taken a few times per simulation phase, not per memory burst.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
+
+/// Trace process id for wall-clock spans.
+pub const PID_WALL: u32 = 0;
+/// Trace process id for simulated-time (cycle-domain) tracks.
+pub const PID_SIM: u32 = 1;
+
+/// Keep at most this many trace events; beyond it, new events are
+/// dropped and `telemetry.trace.dropped_events` counts them. Bounds
+/// memory for long runs without affecting metrics.
+const MAX_TRACE_EVENTS: usize = 200_000;
+
+#[derive(Default)]
+struct State {
+    epoch: Option<Instant>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    /// name → (calls, total wall-clock ms); survives trace-event caps.
+    phase_totals: BTreeMap<String, (u64, f64)>,
+    events: Vec<TraceEvent>,
+    /// sim-time track name → tid under [`PID_SIM`].
+    sim_tracks: BTreeMap<String, u64>,
+    dropped_events: u64,
+    next_tid: u64,
+}
+
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let state = guard.get_or_insert_with(State::default);
+    if state.epoch.is_none() {
+        state.epoch = Some(Instant::now());
+    }
+    f(state)
+}
+
+thread_local! {
+    static THREAD_TID: u64 = with_state(|s| {
+        s.next_tid += 1;
+        s.next_tid
+    });
+}
+
+fn thread_tid() -> u64 {
+    THREAD_TID.with(|t| *t)
+}
+
+/// Adds `delta` to the monotonic counter `name`.
+pub fn counter_add(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    with_state(|s| {
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    with_state(|s| {
+        s.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records one sample into the histogram `name`.
+pub fn hist_record(name: &str, value: u64) {
+    with_state(|s| {
+        s.hists.entry(name.to_string()).or_default().record(value);
+    });
+}
+
+/// Folds a locally accumulated histogram into the registry's `name`.
+///
+/// This is the batched counterpart of [`hist_record`]: hot loops record
+/// into a stack-local [`Histogram`] and merge once per flush interval.
+pub fn hist_merge(name: &str, h: &Histogram) {
+    if h.count() == 0 {
+        return;
+    }
+    with_state(|s| {
+        s.hists.entry(name.to_string()).or_default().merge(h);
+    });
+}
+
+/// An RAII wall-clock timer; records a span event when dropped.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard {
+    name: String,
+    cat: &'static str,
+    start: Instant,
+}
+
+/// Opens a wall-clock span. The span closes (and is recorded) when the
+/// returned guard drops, so nesting follows lexical scope.
+pub fn span(name: impl Into<String>, cat: &'static str) -> SpanGuard {
+    // Touch the state so the epoch predates the span's start.
+    with_state(|_| {});
+    SpanGuard {
+        name: name.into(),
+        cat,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        let dur_us = end.duration_since(self.start).as_secs_f64() * 1e6;
+        let tid = thread_tid();
+        let name = std::mem::take(&mut self.name);
+        let cat = self.cat;
+        let start = self.start;
+        with_state(|s| {
+            let epoch = s.epoch.expect("epoch set on first access");
+            let ts_us = start
+                .checked_duration_since(epoch)
+                .map_or(0.0, |d| d.as_secs_f64() * 1e6);
+            let entry = s.phase_totals.entry(name.clone()).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += dur_us / 1e3;
+            if s.events.len() < MAX_TRACE_EVENTS {
+                s.events.push(TraceEvent {
+                    pid: PID_WALL,
+                    tid,
+                    name,
+                    cat: cat.to_string(),
+                    ts_us,
+                    dur_us,
+                });
+            } else {
+                s.dropped_events += 1;
+            }
+        });
+    }
+}
+
+/// Records one simulated-time slice on the named track (cycle domain,
+/// rendered as 1 cycle = 1 µs under the "simulated" trace process).
+pub fn sim_slice(track: &str, name: impl Into<String>, start_cycle: u64, dur_cycles: u64) {
+    with_state(|s| {
+        if s.events.len() >= MAX_TRACE_EVENTS {
+            s.dropped_events += 1;
+            return;
+        }
+        let tid = match s.sim_tracks.get(track) {
+            Some(&tid) => tid,
+            None => {
+                let tid = s.sim_tracks.len() as u64 + 1;
+                s.sim_tracks.insert(track.to_string(), tid);
+                tid
+            }
+        };
+        s.events.push(TraceEvent {
+            pid: PID_SIM,
+            tid,
+            name: name.into(),
+            cat: "sim".to_string(),
+            ts_us: start_cycle as f64,
+            dur_us: dur_cycles as f64,
+        });
+    });
+}
+
+/// Copies every metric out of the registry.
+pub fn snapshot() -> Snapshot {
+    with_state(|s| {
+        let mut counters: Vec<(String, u64)> =
+            s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        if s.dropped_events > 0 {
+            counters.push((
+                "telemetry.trace.dropped_events".to_string(),
+                s.dropped_events,
+            ));
+            counters.sort();
+        }
+        Snapshot {
+            counters,
+            gauges: s.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: s
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count(),
+                            sum: h.sum(),
+                            min: h.min(),
+                            max: h.max(),
+                            mean: h.mean(),
+                            p50: h.p50(),
+                            p95: h.p95(),
+                            p99: h.p99(),
+                        },
+                    )
+                })
+                .collect(),
+            phases: s
+                .phase_totals
+                .iter()
+                .map(|(name, &(calls, total_ms))| PhaseRow {
+                    name: name.clone(),
+                    calls,
+                    total_ms,
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Copies every recorded trace event plus track names.
+pub fn trace_data() -> TraceData {
+    with_state(|s| {
+        let mut thread_names: Vec<(u32, u64, String)> = s
+            .sim_tracks
+            .iter()
+            .map(|(name, &tid)| (PID_SIM, tid, name.clone()))
+            .collect();
+        thread_names.sort_by_key(|&(pid, tid, _)| (pid, tid));
+        TraceData {
+            events: s.events.clone(),
+            thread_names,
+        }
+    })
+}
+
+/// Clears all metrics, spans, and the wall-clock epoch.
+pub fn reset() {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Preserve the tid counter: live threads keep their cached tids.
+    let next_tid = guard.as_ref().map_or(0, |s| s.next_tid);
+    *guard = Some(State {
+        next_tid,
+        ..State::default()
+    });
+}

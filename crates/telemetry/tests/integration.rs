@@ -1,0 +1,148 @@
+//! Integration tests for the enabled backend: span nesting, phase
+//! aggregation, and exporter output validated by an independent JSON
+//! parser (`serde_json`).
+//!
+//! The registry is process-global, so everything runs inside a single
+//! `#[test]` with `reset()` between scenarios — parallel test threads
+//! would otherwise interleave their metrics.
+
+#![cfg(feature = "enabled")]
+
+use telemetry as obs;
+
+#[test]
+fn registry_spans_and_exporters() {
+    span_nesting_and_ordering();
+    phase_totals_aggregate_across_calls();
+    sim_slices_land_on_their_own_tracks();
+    snapshot_json_round_trips_through_serde();
+    chrome_trace_json_round_trips_through_serde();
+}
+
+fn span_nesting_and_ordering() {
+    obs::reset();
+    {
+        let _outer = obs::span("outer", "test");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = obs::span("inner", "test");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let trace = obs::trace_data();
+    let inner = trace
+        .events
+        .iter()
+        .find(|e| e.name == "inner")
+        .expect("inner span recorded");
+    let outer = trace
+        .events
+        .iter()
+        .find(|e| e.name == "outer")
+        .expect("outer span recorded");
+    // Guards drop inner-first, so the inner event is recorded first.
+    let inner_idx = trace.events.iter().position(|e| e.name == "inner").unwrap();
+    let outer_idx = trace.events.iter().position(|e| e.name == "outer").unwrap();
+    assert!(inner_idx < outer_idx, "inner must be recorded before outer");
+    // The inner interval is contained in the outer interval.
+    assert!(outer.ts_us <= inner.ts_us, "outer starts before inner");
+    assert!(
+        inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us,
+        "inner ends before outer ({} + {} vs {} + {})",
+        inner.ts_us,
+        inner.dur_us,
+        outer.ts_us,
+        outer.dur_us
+    );
+    assert!(outer.dur_us >= inner.dur_us);
+    // Same thread → same tid; both on the wall-clock pid.
+    assert_eq!(inner.tid, outer.tid);
+    assert_eq!(inner.pid, outer.pid);
+}
+
+fn phase_totals_aggregate_across_calls() {
+    obs::reset();
+    for _ in 0..3 {
+        let _s = obs::span("phase.a", "test");
+    }
+    {
+        let _s = obs::span("phase.b", "test");
+    }
+    let snap = obs::snapshot();
+    let names: Vec<&str> = snap.phases.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, ["phase.a", "phase.b"], "phases sorted by name");
+    assert_eq!(snap.phases[0].calls, 3);
+    assert_eq!(snap.phases[1].calls, 1);
+    assert!(snap.phases[0].total_ms >= 0.0);
+}
+
+fn sim_slices_land_on_their_own_tracks() {
+    obs::reset();
+    obs::sim_slice("rank 0", "compute", 100, 50);
+    obs::sim_slice("rank 1", "compute", 100, 80);
+    obs::sim_slice("rank 0", "compute", 200, 10);
+    let trace = obs::trace_data();
+    let sim: Vec<_> = trace.events.iter().filter(|e| e.cat == "sim").collect();
+    assert_eq!(sim.len(), 3);
+    // 1 simulated cycle = 1 µs on the trace timeline.
+    assert_eq!(sim[0].ts_us, 100.0);
+    assert_eq!(sim[0].dur_us, 50.0);
+    // Two distinct tracks → two distinct tids, both named.
+    let tids: std::collections::BTreeSet<u64> = sim.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), 2);
+    let named: std::collections::BTreeSet<&str> = trace
+        .thread_names
+        .iter()
+        .map(|(_, _, n)| n.as_str())
+        .collect();
+    assert!(named.contains("rank 0") && named.contains("rank 1"));
+}
+
+fn snapshot_json_round_trips_through_serde() {
+    obs::reset();
+    obs::counter_add("test.counter", 7);
+    obs::gauge_set("test.gauge", 2.5);
+    for v in [1u64, 2, 3, 100, 1000] {
+        obs::hist_record("test.hist", v);
+    }
+    let json = obs::snapshot_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("snapshot is valid JSON");
+    assert_eq!(v["counters"]["test.counter"].as_u64(), Some(7));
+    assert_eq!(v["gauges"]["test.gauge"].as_f64(), Some(2.5));
+    let h = &v["histograms"]["test.hist"];
+    assert_eq!(h["count"].as_u64(), Some(5));
+    assert_eq!(h["min"].as_u64(), Some(1));
+    assert_eq!(h["max"].as_u64(), Some(1000));
+    for p in ["p50", "p95", "p99"] {
+        assert!(h[p].is_number(), "{p} present and numeric");
+    }
+}
+
+fn chrome_trace_json_round_trips_through_serde() {
+    obs::reset();
+    {
+        let _s = obs::span("trace me \"quoted\" \\ back\u{1}", "test");
+    }
+    obs::sim_slice("rank 0", "slice", 5, 9);
+    let json = obs::chrome_trace_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    // Metadata events name both processes.
+    assert!(events.iter().any(|e| {
+        e["ph"] == "M" && e["name"] == "process_name" && e["args"]["name"] == "wall-clock"
+    }));
+    assert!(events.iter().any(|e| {
+        e["ph"] == "M" && e["name"] == "process_name" && e["args"]["name"] == "simulated-cycles"
+    }));
+    // The escaped span name survives the round trip verbatim.
+    assert!(events
+        .iter()
+        .any(|e| { e["ph"] == "X" && e["name"] == "trace me \"quoted\" \\ back\u{1}" }));
+    // Every X event carries the required complete-event fields.
+    for e in events.iter().filter(|e| e["ph"] == "X") {
+        for field in ["pid", "tid", "ts", "dur"] {
+            assert!(e[field].is_number(), "X event missing {field}: {e:?}");
+        }
+        assert!(e["name"].is_string() && e["cat"].is_string());
+    }
+}

@@ -48,11 +48,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Enumerate the APA instances explicitly (they are few).
     let inst = enumerate_instances(&graph, &apa, usize::MAX)?;
     for row in inst.iter() {
-        println!("  instance a{} - p{} - a{}", row[0] + 1, row[1] + 1, row[2] + 1);
+        println!(
+            "  instance a{} - p{} - a{}",
+            row[0] + 1,
+            row[1] + 1,
+            row[2] + 1
+        );
     }
 
     // --- The cartesian-like product view (§3.1). ---
-    println!("\ncartesian-like decomposition of APCPA: {:?}", product_plan(&apcpa));
+    println!(
+        "\ncartesian-like decomposition of APCPA: {:?}",
+        product_plan(&apcpa)
+    );
     for product in center_products(&graph, &apa)? {
         println!(
             "  center p{}: {} left x {} right = {} instances",

@@ -30,8 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.seconds * 1e3
     );
 
-    println!("{:<44} {:>10} {:>9}", "configuration", "time (ms)", "speedup");
-    let mut eval = |label: &str, cfg: NmpConfig| -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<44} {:>10} {:>9}",
+        "configuration", "time (ms)", "speedup"
+    );
+    let eval = |label: &str, cfg: NmpConfig| -> Result<(), Box<dyn std::error::Error>> {
         let r = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg)?;
         println!(
             "{label:<44} {:>10.3} {:>8.2}x",
@@ -42,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for (label, channels, dimms, ranks) in [
-        ("1 channel x 8 DIMMs (single-channel bus)", 1usize, 8usize, 2usize),
+        (
+            "1 channel x 8 DIMMs (single-channel bus)",
+            1usize,
+            8usize,
+            2usize,
+        ),
         ("2 channels x 2 DIMMs", 2, 2, 2),
         ("8 channels x 2 DIMMs", 8, 2, 2),
         ("4 channels x 2 DIMMs x 1 rank", 4, 2, 1),
@@ -61,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
     }
-    eval("naive communication (no broadcast)", base.with_comm(CommPolicy::Naive))?;
+    eval(
+        "naive communication (no broadcast)",
+        base.with_comm(CommPolicy::Naive),
+    )?;
     eval(
         "16 PE lanes per rank-AU",
         NmpConfig {

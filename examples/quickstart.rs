@@ -40,9 +40,7 @@ fn main() -> Result<(), MetanmpError> {
     );
     println!(
         "instances generated on the fly: {}, aggregations: {}, RCEU copies: {}",
-        outcome.nmp.counts.instances,
-        outcome.nmp.counts.aggregations,
-        outcome.nmp.counts.copies
+        outcome.nmp.counts.instances, outcome.nmp.counts.aggregations, outcome.nmp.counts.copies
     );
     for (mp, mem) in sim.dataset().metapaths.iter().zip(&outcome.memory) {
         println!(

@@ -36,7 +36,9 @@ fn engines_agree_on_every_dataset_and_model() {
         }
         let features = FeatureStore::random(&ds.graph, 1);
         for kind in ModelKind::ALL {
-            let config = ModelConfig::new(kind).with_hidden_dim(8).with_attention(false);
+            let config = ModelConfig::new(kind)
+                .with_hidden_dim(8)
+                .with_attention(false);
             let a = MaterializedEngine
                 .run(&ds.graph, &features, &config, &ds.metapaths)
                 .unwrap();

@@ -1,44 +1,65 @@
-//! Property-based tests on the core invariants of the reproduction:
+//! Randomized-input tests on the core invariants of the reproduction:
 //! instance generation equivalences, engine agreement, DRAM timing
-//! sanity, and ISA roundtrips — all over randomized inputs.
+//! sanity, and ISA roundtrips.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! network access to crates.io, so each property now draws its cases
+//! from a seeded `StdRng` (vendored, deterministic) instead of a
+//! shrinking strategy. Coverage is equivalent — 64 cases per property
+//! over the same input distributions — and failures are reproducible
+//! from the printed case seed.
 
 use hetgraph::cartesian::{center_products, walk_prefix_tree, InstanceStream, WalkEvent};
 use hetgraph::instances::{count_instances, count_instances_per_start, enumerate_instances};
 use hetgraph::{GraphSchema, HeteroGraph, HeteroGraphBuilder, Metapath, Vertex, VertexId};
 use hgnn::engine::{InferenceEngine, MaterializedEngine, OnTheFlyEngine};
 use hgnn::{FeatureStore, ModelConfig, ModelKind};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A random 3-type heterogeneous graph (A-B and B-C relations).
-fn arb_graph() -> impl Strategy<Value = HeteroGraph> {
-    let counts = (1u32..6, 1u32..6, 1u32..6);
-    (counts, proptest::collection::vec((0u32..6, 0u32..6), 0..24),
-     proptest::collection::vec((0u32..6, 0u32..6), 0..24))
-        .prop_map(|((na, nb, nc), ab, bc)| {
-            let mut schema = GraphSchema::new();
-            let a = schema.add_vertex_type("A", 'A', 4);
-            let b = schema.add_vertex_type("B", 'B', 4);
-            let c = schema.add_vertex_type("C", 'C', 4);
-            schema.add_relation(a, b);
-            schema.add_relation(b, c);
-            let mut builder = HeteroGraphBuilder::new(schema);
-            builder.set_vertex_count(a, na);
-            builder.set_vertex_count(b, nb);
-            builder.set_vertex_count(c, nc);
-            for (x, y) in ab {
-                let _ = builder.add_edge(
-                    Vertex::new(a, VertexId::new(x % na)),
-                    Vertex::new(b, VertexId::new(y % nb)),
-                );
-            }
-            for (x, y) in bc {
-                let _ = builder.add_edge(
-                    Vertex::new(b, VertexId::new(x % nb)),
-                    Vertex::new(c, VertexId::new(y % nc)),
-                );
-            }
-            builder.finish()
-        })
+const CASES: u64 = 64;
+
+/// Runs `body` once per case with a per-case deterministic RNG and a
+/// seed label for failure reproduction.
+fn for_each_case(tag: u64, body: impl Fn(&mut StdRng, u64)) {
+    for case in 0..CASES {
+        let seed = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        body(&mut rng, seed);
+    }
+}
+
+/// A random 3-type heterogeneous graph (A-B and B-C relations), same
+/// distribution as the original proptest strategy.
+fn rand_graph(rng: &mut StdRng) -> HeteroGraph {
+    let na = rng.gen_range(1u32..6);
+    let nb = rng.gen_range(1u32..6);
+    let nc = rng.gen_range(1u32..6);
+    let mut schema = GraphSchema::new();
+    let a = schema.add_vertex_type("A", 'A', 4);
+    let b = schema.add_vertex_type("B", 'B', 4);
+    let c = schema.add_vertex_type("C", 'C', 4);
+    schema.add_relation(a, b);
+    schema.add_relation(b, c);
+    let mut builder = HeteroGraphBuilder::new(schema);
+    builder.set_vertex_count(a, na);
+    builder.set_vertex_count(b, nb);
+    builder.set_vertex_count(c, nc);
+    for _ in 0..rng.gen_range(0usize..24) {
+        let (x, y) = (rng.gen_range(0u32..6), rng.gen_range(0u32..6));
+        let _ = builder.add_edge(
+            Vertex::new(a, VertexId::new(x % na)),
+            Vertex::new(b, VertexId::new(y % nb)),
+        );
+    }
+    for _ in 0..rng.gen_range(0usize..24) {
+        let (x, y) = (rng.gen_range(0u32..6), rng.gen_range(0u32..6));
+        let _ = builder.add_edge(
+            Vertex::new(b, VertexId::new(x % nb)),
+            Vertex::new(c, VertexId::new(y % nc)),
+        );
+    }
+    builder.finish()
 }
 
 fn metapaths(graph: &HeteroGraph) -> Vec<Metapath> {
@@ -48,31 +69,36 @@ fn metapaths(graph: &HeteroGraph) -> Vec<Metapath> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn counting_equals_enumeration_equals_streaming(graph in arb_graph()) {
+#[test]
+fn counting_equals_enumeration_equals_streaming() {
+    for_each_case(1, |rng, seed| {
+        let graph = rand_graph(rng);
         for mp in metapaths(&graph) {
             let counted = count_instances(&graph, &mp).unwrap();
             let enumerated = enumerate_instances(&graph, &mp, usize::MAX).unwrap();
             let streamed = InstanceStream::new(&graph, &mp).unwrap().count();
-            prop_assert_eq!(counted, enumerated.len() as u128);
-            prop_assert_eq!(counted, streamed as u128);
+            assert_eq!(counted, enumerated.len() as u128, "seed {seed}");
+            assert_eq!(counted, streamed as u128, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn per_start_counts_sum_to_total(graph in arb_graph()) {
+#[test]
+fn per_start_counts_sum_to_total() {
+    for_each_case(2, |rng, seed| {
+        let graph = rand_graph(rng);
         for mp in metapaths(&graph) {
             let per_start = count_instances_per_start(&graph, &mp).unwrap();
             let total: u128 = per_start.iter().sum();
-            prop_assert_eq!(total, count_instances(&graph, &mp).unwrap());
+            assert_eq!(total, count_instances(&graph, &mp).unwrap(), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn center_products_cover_two_hop_instances(graph in arb_graph()) {
+#[test]
+fn center_products_cover_two_hop_instances() {
+    for_each_case(3, |rng, seed| {
+        let graph = rand_graph(rng);
         for name in ["ABA", "ABC"] {
             let mp = Metapath::parse(name, graph.schema()).unwrap();
             let via_products: usize = center_products(&graph, &mp)
@@ -80,12 +106,19 @@ proptest! {
                 .iter()
                 .map(|p| p.instance_count())
                 .sum();
-            prop_assert_eq!(via_products as u128, count_instances(&graph, &mp).unwrap());
+            assert_eq!(
+                via_products as u128,
+                count_instances(&graph, &mp).unwrap(),
+                "seed {seed}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn walk_events_balance_and_count_leaves(graph in arb_graph()) {
+#[test]
+fn walk_events_balance_and_count_leaves() {
+    for_each_case(4, |rng, seed| {
+        let graph = rand_graph(rng);
         let mp = Metapath::parse("ABCBA", graph.schema()).unwrap();
         let per_start = count_instances_per_start(&graph, &mp).unwrap();
         for (s, &expected) in per_start.iter().enumerate() {
@@ -97,16 +130,20 @@ proptest! {
                 WalkEvent::Leaf => leaves += 1,
             })
             .unwrap();
-            prop_assert_eq!(depth, 0);
-            prop_assert_eq!(leaves, expected);
+            assert_eq!(depth, 0, "seed {seed}");
+            assert_eq!(leaves, expected, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn engines_agree_on_random_graphs(graph in arb_graph(), seed in 0u64..1000) {
+#[test]
+fn engines_agree_on_random_graphs() {
+    for_each_case(5, |rng, case_seed| {
+        let graph = rand_graph(rng);
+        let seed = rng.gen_range(0u64..1000);
         let mps = vec![Metapath::parse("ABA", graph.schema()).unwrap()];
         if count_instances(&graph, &mps[0]).unwrap() == 0 {
-            return Ok(());
+            return;
         }
         let features = FeatureStore::random(&graph, seed);
         for kind in ModelKind::ALL {
@@ -114,20 +151,32 @@ proptest! {
                 .with_hidden_dim(4)
                 .with_attention(false)
                 .with_seed(seed);
-            let a = MaterializedEngine.run(&graph, &features, &config, &mps).unwrap();
-            let b = OnTheFlyEngine.run(&graph, &features, &config, &mps).unwrap();
-            prop_assert!(a.embeddings.max_abs_diff(&b.embeddings) < 1e-4);
-            prop_assert!(
-                b.profile.performed_aggregations <= a.profile.performed_aggregations
+            let a = MaterializedEngine
+                .run(&graph, &features, &config, &mps)
+                .unwrap();
+            let b = OnTheFlyEngine
+                .run(&graph, &features, &config, &mps)
+                .unwrap();
+            assert!(
+                a.embeddings.max_abs_diff(&b.embeddings) < 1e-4,
+                "seed {case_seed}"
+            );
+            assert!(
+                b.profile.performed_aggregations <= a.profile.performed_aggregations,
+                "seed {case_seed}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn engines_agree_with_attention(graph in arb_graph(), seed in 0u64..500) {
+#[test]
+fn engines_agree_with_attention() {
+    for_each_case(6, |rng, case_seed| {
+        let graph = rand_graph(rng);
+        let seed = rng.gen_range(0u64..500);
         let mps = vec![Metapath::parse("ABCBA", graph.schema()).unwrap()];
         if count_instances(&graph, &mps[0]).unwrap() == 0 {
-            return Ok(());
+            return;
         }
         let features = FeatureStore::random(&graph, seed);
         for kind in [ModelKind::Magnn, ModelKind::Han] {
@@ -135,20 +184,28 @@ proptest! {
                 .with_hidden_dim(4)
                 .with_attention(true)
                 .with_seed(seed);
-            let a = MaterializedEngine.run(&graph, &features, &config, &mps).unwrap();
-            let b = OnTheFlyEngine.run(&graph, &features, &config, &mps).unwrap();
-            prop_assert!(a.embeddings.max_abs_diff(&b.embeddings) < 1e-4);
+            let a = MaterializedEngine
+                .run(&graph, &features, &config, &mps)
+                .unwrap();
+            let b = OnTheFlyEngine
+                .run(&graph, &features, &config, &mps)
+                .unwrap();
+            assert!(
+                a.embeddings.max_abs_diff(&b.embeddings) < 1e-4,
+                "seed {case_seed}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn dram_completions_are_sane(
-        addrs in proptest::collection::vec(0u64..(1 << 22), 1..64),
-        arrivals in proptest::collection::vec(0u64..200, 1..64),
-    ) {
-        use dramsim::{DramConfig, MemorySystem, Request};
+#[test]
+fn dram_completions_are_sane() {
+    use dramsim::{DramConfig, MemorySystem, Request};
+    for_each_case(7, |rng, seed| {
+        let n = rng.gen_range(1usize..64);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..(1 << 22))).collect();
+        let arrivals: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..200)).collect();
         let mut sys = MemorySystem::new(DramConfig::default());
-        let n = addrs.len().min(arrivals.len());
         for i in 0..n {
             let req = if i % 3 == 0 {
                 Request::write(addrs[i], 64)
@@ -160,80 +217,114 @@ proptest! {
             sys.enqueue(req.at_cycle(arrivals[i]));
         }
         let report = sys.service_all();
-        prop_assert_eq!(report.completions.len(), n);
+        assert_eq!(report.completions.len(), n, "seed {seed}");
         for (i, c) in report.completions.iter().enumerate() {
-            prop_assert!(c.data_start >= arrivals[i]);
-            prop_assert!(c.finish > c.data_start);
-            prop_assert!(c.finish <= report.stats.elapsed_cycles);
+            assert!(c.data_start >= arrivals[i], "seed {seed}");
+            assert!(c.finish > c.data_start, "seed {seed}");
+            assert!(c.finish <= report.stats.elapsed_cycles, "seed {seed}");
         }
-        prop_assert_eq!(report.stats.reads + report.stats.writes, n as u64);
-        prop_assert_eq!(
-            report.stats.row_hits + report.stats.row_misses,
-            n as u64
+        assert_eq!(
+            report.stats.reads + report.stats.writes,
+            n as u64,
+            "seed {seed}"
         );
-    }
+        assert_eq!(
+            report.stats.row_hits + report.stats.row_misses,
+            n as u64,
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn isa_roundtrips(vertex in any::<u32>(), addr in any::<u32>(), mask in 0u8..16) {
-        use nmp::isa::NmpInstruction;
+#[test]
+fn isa_roundtrips() {
+    use nmp::isa::NmpInstruction;
+    for_each_case(8, |rng, seed| {
+        let vertex: u32 = rng.gen();
+        let addr: u32 = rng.gen();
+        let mask = rng.gen_range(0u8..16);
         let instructions = [
-            NmpInstruction::ConfigSize { feature_length: vertex },
-            NmpInstruction::Evoke { vertex, feature_addr: addr },
+            NmpInstruction::ConfigSize {
+                feature_length: vertex,
+            },
+            NmpInstruction::Evoke {
+                vertex,
+                feature_addr: addr,
+            },
             NmpInstruction::Broadcast { mask, addr },
             NmpInstruction::BroadcastCore { vertex, mask, addr },
-            NmpInstruction::Aggregate { vertex, agg_addr: addr },
-            NmpInstruction::InterInstanceAgg { vertex, output_addr: addr },
-            NmpInstruction::Copy { agg_addr: vertex, dst_addr: addr },
+            NmpInstruction::Aggregate {
+                vertex,
+                agg_addr: addr,
+            },
+            NmpInstruction::InterInstanceAgg {
+                vertex,
+                output_addr: addr,
+            },
+            NmpInstruction::Copy {
+                agg_addr: vertex,
+                dst_addr: addr,
+            },
             NmpInstruction::ConfigWeight { weight: addr },
-            NmpInstruction::InterPathAgg { path1_addr: vertex, path2_addr: addr },
+            NmpInstruction::InterPathAgg {
+                path1_addr: vertex,
+                path2_addr: addr,
+            },
         ];
         for inst in instructions {
-            prop_assert_eq!(NmpInstruction::decode(inst.encode()).unwrap(), inst);
+            assert_eq!(
+                NmpInstruction::decode(inst.encode()).unwrap(),
+                inst,
+                "seed {seed}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn feature_cache_matches_reference_lru(
-        accesses in proptest::collection::vec((0u8..2, 0u32..40), 1..200),
-        lines in 2usize..12,
-    ) {
-        use nmp::buffers::FeatureCache;
+#[test]
+fn feature_cache_matches_reference_lru() {
+    use nmp::buffers::FeatureCache;
+    for_each_case(9, |rng, seed| {
+        let lines = rng.gen_range(2usize..12);
+        let n_accesses = rng.gen_range(1usize..200);
         let line_bytes = 64;
         let mut cache = FeatureCache::new(lines * line_bytes, line_bytes);
         // Reference model: a Vec kept in LRU order.
         let mut reference: Vec<(u8, u32)> = Vec::new();
-        for (ty, id) in accesses {
+        for _ in 0..n_accesses {
+            let ty = rng.gen_range(0u8..2);
+            let id = rng.gen_range(0u32..40);
             let hit = cache.access(ty, id);
             let ref_hit = reference.contains(&(ty, id));
-            prop_assert_eq!(hit, ref_hit, "cache diverged on ({}, {})", ty, id);
+            assert_eq!(hit, ref_hit, "cache diverged on ({ty}, {id}), seed {seed}");
             reference.retain(|&k| k != (ty, id));
             reference.push((ty, id));
             if reference.len() > lines {
                 reference.remove(0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn carpu_generates_exactly_the_product(
-        left in proptest::collection::vec(any::<u32>(), 0..12),
-        right in proptest::collection::vec(any::<u32>(), 0..12),
-        center in any::<u32>(),
-        capacity in 1usize..8,
-    ) {
-        use nmp::units::CarPu;
+#[test]
+fn carpu_generates_exactly_the_product() {
+    use nmp::units::CarPu;
+    for_each_case(10, |rng, seed| {
+        let left: Vec<u32> = (0..rng.gen_range(0usize..12)).map(|_| rng.gen()).collect();
+        let right: Vec<u32> = (0..rng.gen_range(0usize..12)).map(|_| rng.gen()).collect();
+        let center: u32 = rng.gen();
+        let capacity = rng.gen_range(1usize..8);
         let unit = CarPu::new(capacity);
         let run = unit.generate(&left, center, &right);
-        prop_assert_eq!(run.instances.len(), left.len() * right.len());
+        assert_eq!(run.instances.len(), left.len() * right.len(), "seed {seed}");
         // Every pair appears exactly once.
-        let mut pairs: Vec<(u32, u32)> =
-            run.instances.iter().map(|i| (i.left, i.right)).collect();
+        let mut pairs: Vec<(u32, u32)> = run.instances.iter().map(|i| (i.left, i.right)).collect();
         pairs.sort_unstable();
         let mut expected: Vec<(u32, u32)> = left
             .iter()
             .flat_map(|&l| right.iter().map(move |&r| (l, r)))
             .collect();
         expected.sort_unstable();
-        prop_assert_eq!(pairs, expected);
-    }
+        assert_eq!(pairs, expected, "seed {seed}");
+    });
 }

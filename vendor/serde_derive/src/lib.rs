@@ -1,0 +1,379 @@
+//! Vendored stand-in for `serde_derive`, written against the plain
+//! `proc_macro` API (no `syn`/`quote`) so the workspace builds without
+//! network access.
+//!
+//! The generated code targets the value-tree data model of the vendored
+//! `serde` crate: `Serialize::to_value` / `Deserialize::from_value`.
+//! Supported shapes are exactly what this repository uses: named-field
+//! structs, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. `#[serde(...)]` attributes and generic
+//! type parameters are intentionally not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, kind)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &kind),
+                Mode::Deserialize => gen_deserialize(&name, &kind),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<(String, Kind), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let item = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (type `{name}`)"
+        ));
+    }
+    match item.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Kind::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Kind::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Kind::UnitStruct)),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Kind::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+/// Skips outer attributes (`#[...]`, including expanded doc comments)
+/// and a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas, treating `<...>`
+/// angle brackets as nesting (they are not `Group`s in a token stream).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&field, &mut i);
+        match field.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("expected field name".to_string()),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for var in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&var, &mut i);
+        let name = match var.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected variant name".to_string()),
+        };
+        i += 1;
+        let shape = match var.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            // Unit variant, possibly with `= discriminant` (ignored).
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let _ = writeln!(
+                    s,
+                    "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            s.push_str("::serde::value::Value::Map(__m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} => ::serde::value::Value::Str({vn:?}.to_string()),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::value::Value::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn}({}) => ::serde::value::Value::Map(::std::vec![({vn:?}.to_string(), {inner})]),",
+                            binds.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Map(::std::vec![({vn:?}.to_string(), ::serde::value::Value::Map(::std::vec![{}]))]),",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::value::DeError::expected(\"map\", {name:?}))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let _ = writeln!(
+                    s,
+                    "{f}: ::serde::Deserialize::from_value(::serde::value::map_get(__m, {f:?}))?,"
+                );
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::value::DeError::expected(\"array\", {name:?}))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::value::DeError::expected(\"array of {n}\", {name:?})); }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            let _ = write!(s, "::std::result::Result::Ok({name}({}))", items.join(", "));
+            s
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut s = String::from(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {\nmatch __s {\n",
+            );
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    let vn = &v.name;
+                    let _ = writeln!(
+                        s,
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),"
+                    );
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str(
+                "if let ::std::option::Option::Some(__m) = __v.as_map() {\nif __m.len() == 1 {\nlet (__k, __inner) = &__m[0];\nmatch __k.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            s,
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{vn:?} => {{\nlet __a = __inner.as_array().ok_or_else(|| ::serde::value::DeError::expected(\"array\", {name:?}))?;\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::value::DeError::expected(\"array of {n}\", {name:?})); }}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({}));\n}}",
+                            items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::Deserialize::from_value(::serde::value::map_get(__mm, {f:?}))?")
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{vn:?} => {{\nlet __mm = __inner.as_map().ok_or_else(|| ::serde::value::DeError::expected(\"map\", {name:?}))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n}}",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n}\n");
+            let _ = write!(
+                s,
+                "::std::result::Result::Err(::serde::value::DeError::expected(\"variant of {name}\", {name:?}))"
+            );
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n}}"
+    )
+}
