@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod address;
 mod config;
@@ -43,3 +44,5 @@ pub use config::{DramConfig, EnergyParams, Timing};
 pub use request::{Completion, Locality, Request, RequestId, RequestKind};
 pub use stats::{EnergyBreakdown, MemoryStats};
 pub use system::{MemorySystem, Report};
+
+pub use faultsim::{FaultConfig, FaultError, FaultStats, MemError, MemErrorKind, WatchdogError};

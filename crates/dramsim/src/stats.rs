@@ -216,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_serialize_roundtrip() {
+    fn stats_serialize_roundtrip() -> Result<(), serde_json::Error> {
         let s = MemoryStats {
             reads: 3,
             row_hits: 2,
@@ -227,8 +227,9 @@ mod tests {
             },
             ..Default::default()
         };
-        let v = serde_json::to_string(&s).unwrap();
-        let back: MemoryStats = serde_json::from_str(&v).unwrap();
+        let v = serde_json::to_string(&s)?;
+        let back: MemoryStats = serde_json::from_str(&v)?;
         assert_eq!(back, s);
+        Ok(())
     }
 }

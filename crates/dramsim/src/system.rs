@@ -11,6 +11,12 @@
 
 use std::collections::VecDeque;
 
+use faultsim::ecc::{self, EccOutcome};
+use faultsim::{
+    FaultConfig, FaultError, FaultInjector, FaultStats, MemError, MemErrorKind, Watchdog,
+    WatchdogError,
+};
+
 use crate::address::{AddressMapper, Location};
 use crate::config::DramConfig;
 use crate::request::{Completion, Locality, Request, RequestId, RequestKind};
@@ -106,6 +112,9 @@ pub struct Report {
     pub completions: Vec<Completion>,
     /// Cumulative statistics after servicing.
     pub stats: MemoryStats,
+    /// Cumulative fault-injection accounting (all zero when no fault
+    /// model is attached).
+    pub faults: FaultStats,
 }
 
 /// A DDR4 memory system.
@@ -136,6 +145,13 @@ pub struct MemorySystem {
     queue_depth_hist: obs::Histogram,
     /// Telemetry: activates per bank index since last flush.
     bank_act_tally: Vec<u64>,
+    /// Optional fault model; `None` keeps every code path bit-identical
+    /// to a build without fault wiring.
+    injector: Option<FaultInjector>,
+    /// Cumulative fault-injection accounting.
+    fault_stats: FaultStats,
+    /// Telemetry: the fault stats already published as counter deltas.
+    flushed_faults: FaultStats,
 }
 
 impl MemorySystem {
@@ -161,8 +177,32 @@ impl MemorySystem {
             latency_hist: obs::Histogram::new(),
             queue_depth_hist: obs::Histogram::new(),
             bank_act_tally: vec![0; config.banks_per_rank()],
+            injector: None,
+            fault_stats: FaultStats::default(),
+            flushed_faults: FaultStats::default(),
             config,
         }
+    }
+
+    /// Creates a memory system with a fault model attached.
+    pub fn with_faults(config: DramConfig, faults: FaultConfig) -> Self {
+        let mut sys = MemorySystem::new(config);
+        sys.set_faults(faults);
+        sys
+    }
+
+    /// Attaches (or replaces) the fault model. An inactive
+    /// configuration (all rates zero, empty stall mask) detaches the
+    /// injector entirely, so zero-rate runs take the exact fault-free
+    /// code path.
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.injector = faults.is_active().then(|| FaultInjector::new(faults));
+    }
+
+    /// Cumulative fault-injection accounting (all zero when no fault
+    /// model is attached).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// The configuration this system was built with.
@@ -206,10 +246,33 @@ impl MemorySystem {
     ///
     /// Bank and bus state persists across calls, so a later
     /// `service_all` continues from the current timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attached fault model raises an unrecoverable fault;
+    /// use [`MemorySystem::try_service_all`] when faults are enabled.
     pub fn service_all(&mut self) -> Report {
+        self.try_service_all()
+            .expect("service_all requires a fault-free run; use try_service_all with faults")
+    }
+
+    /// Fallible variant of [`MemorySystem::service_all`]: an
+    /// unrecoverable injected fault (uncorrectable ECC beyond the retry
+    /// budget, watchdog trip on a deadlocked channel) aborts with a
+    /// structured [`FaultError`] instead of completing. Without an
+    /// active fault model this never fails.
+    ///
+    /// On error, bursts already serviced keep their timeline effects
+    /// and unserviced bursts stay queued; telemetry is flushed either
+    /// way so the trip is visible in the registry.
+    pub fn try_service_all(&mut self) -> Result<Report, FaultError> {
         let first_new = self.pending.iter().position(|&(n, _, _)| n > 0);
+        let mut aborted = None;
         for ch in 0..self.channels.len() {
-            self.service_channel(ch);
+            if let Err(e) = self.service_channel_faulty(ch) {
+                aborted = Some(e);
+                break;
+            }
         }
         // Background energy for the newly elapsed span.
         let elapsed_s = self.stats.elapsed_cycles as f64 * self.config.cycle_seconds();
@@ -217,6 +280,9 @@ impl MemorySystem {
         self.stats.energy.background_pj =
             self.config.energy.background_mw_per_rank * 1e-3 * ranks * elapsed_s * 1e12;
         self.flush_telemetry();
+        if let Some(e) = aborted {
+            return Err(e);
+        }
 
         let start = first_new.unwrap_or(self.pending.len());
         let completions = self.pending[start..]
@@ -228,10 +294,11 @@ impl MemorySystem {
                 finish,
             })
             .collect();
-        Report {
+        Ok(Report {
             completions,
             stats: self.stats,
-        }
+            faults: self.fault_stats,
+        })
     }
 
     /// Publishes accumulated telemetry tallies to the global registry.
@@ -302,6 +369,186 @@ impl MemorySystem {
             }
         }
         self.flushed = self.stats;
+        self.fault_stats.delta(&self.flushed_faults).publish();
+        self.flushed_faults = self.fault_stats;
+    }
+
+    /// Routes channel servicing through the fault pipeline when an
+    /// injector is attached; otherwise takes the exact fault-free path.
+    fn service_channel_faulty(&mut self, ch: usize) -> Result<(), FaultError> {
+        if self.injector.is_none() {
+            self.service_channel(ch);
+            return Ok(());
+        }
+        let cfg = *self.injector.as_ref().expect("checked above").config();
+        let mut watchdog = Watchdog::new(cfg.watchdog_limit);
+        while !self.channels[ch].queue.is_empty() {
+            self.queue_depth_hist
+                .record(self.channels[ch].queue.len() as u64);
+            let pick = self.pick_fr_fcfs(ch);
+            let burst = self.channels[ch].queue[pick];
+            let loc = self.mapper.map(burst.addr);
+            let bus_only = matches!(burst.locality, Locality::Broadcast | Locality::DirectSend);
+            let global_rank = self.global_rank(ch, &loc);
+
+            if !bus_only && self.injector_ref().rank_is_stalled(global_rank) {
+                // A permanently stalled rank never retires its bursts:
+                // rotate to the back of the queue and count a
+                // no-progress round. Without the watchdog this loop
+                // would spin forever once only stalled-rank bursts
+                // remain.
+                let b = self.channels[ch].queue.remove(pick).expect("pick in range");
+                self.channels[ch].queue.push_back(b);
+                if watchdog.stall() {
+                    self.fault_stats.watchdog_trips += 1;
+                    let mut stuck: Vec<u64> = self.channels[ch]
+                        .queue
+                        .iter()
+                        .map(|b| b.id.0 as u64)
+                        .collect();
+                    stuck.sort_unstable();
+                    stuck.dedup();
+                    return Err(WatchdogError {
+                        site: format!("dramsim.channel[{ch}]"),
+                        waited: watchdog.rounds_since_progress(),
+                        stuck_requests: stuck,
+                    }
+                    .into());
+                }
+                continue;
+            }
+
+            let b = self.channels[ch].queue.remove(pick).expect("pick in range");
+            let (data_start, finish) = self.issue_burst(ch, &b, loc);
+            let extra = self.apply_burst_faults(&b, &loc, global_rank, &cfg)?;
+            let finish = finish + extra;
+            let entry = &mut self.pending[b.id.0];
+            entry.0 -= 1;
+            entry.1 = entry.1.min(data_start);
+            entry.2 = entry.2.max(finish);
+            self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(finish);
+            watchdog.progress();
+        }
+        Ok(())
+    }
+
+    /// Global rank index of a location, unique across channels (used to
+    /// key persistent faults and the stall mask).
+    fn global_rank(&self, ch: usize, loc: &Location) -> usize {
+        let ranks_per_channel = self.config.dimms_per_channel * self.config.ranks_per_dimm;
+        ch * ranks_per_channel + loc.dimm * self.config.ranks_per_dimm + loc.rank
+    }
+
+    fn injector_ref(&self) -> &FaultInjector {
+        self.injector
+            .as_ref()
+            .expect("fault path requires an attached injector")
+    }
+
+    fn injector_mut(&mut self) -> &mut FaultInjector {
+        self.injector
+            .as_mut()
+            .expect("fault path requires an attached injector")
+    }
+
+    /// Runs one serviced burst through the transient/persistent fault
+    /// pipeline and returns the extra completion latency it incurred.
+    ///
+    /// * Read bursts draw transient bit flips; SEC-DED corrects
+    ///   single-bit errors in-line, detects double-bit errors and
+    ///   retries the access with exponential backoff (each retry
+    ///   re-drawing the fault schedule), and raises a
+    ///   [`MemErrorKind::UncorrectableEcc`] error once the retry budget
+    ///   is exhausted. Triple-bit flips escape silently.
+    /// * Accesses landing on a stuck-at row or failed bank are remapped
+    ///   to spare resources, costing an indirection penalty per access.
+    /// * Transient unit stalls add their configured cycle cost.
+    fn apply_burst_faults(
+        &mut self,
+        burst: &Burst,
+        loc: &Location,
+        global_rank: usize,
+        cfg: &FaultConfig,
+    ) -> Result<u64, FaultError> {
+        if matches!(burst.locality, Locality::Broadcast | Locality::DirectSend) {
+            // Bus-only transfers touch no DRAM array; their fault modes
+            // (drops/corruption) live in the broadcast layer upstream.
+            return Ok(0);
+        }
+        let t = self.config.timing;
+        let mut extra = 0u64;
+
+        // --- Transient bit flips under SEC-DED (reads only). ---
+        if burst.kind == RequestKind::Read {
+            let flips = self.injector_mut().next_read_flips();
+            if flips > 0 {
+                self.fault_stats.injected_bit_flips += u64::from(flips);
+                let mut outcome = ecc::outcome_for_flips(flips);
+                let mut attempt = 0u32;
+                loop {
+                    match outcome {
+                        EccOutcome::Clean => break,
+                        EccOutcome::Corrected => {
+                            self.fault_stats.ecc_corrected += 1;
+                            break;
+                        }
+                        EccOutcome::SilentMiss => {
+                            self.fault_stats.ecc_silent_miss += 1;
+                            break;
+                        }
+                        EccOutcome::DetectedUncorrectable => {
+                            self.fault_stats.ecc_detected += 1;
+                            if attempt >= cfg.retry_limit {
+                                self.fault_stats.mem_errors += 1;
+                                return Err(MemError {
+                                    request: burst.id.0 as u64,
+                                    rank: global_rank,
+                                    bank: loc.bank_in_rank(&self.config),
+                                    row: loc.row,
+                                    kind: MemErrorKind::UncorrectableEcc,
+                                }
+                                .into());
+                            }
+                            // Bounded retry with exponential backoff,
+                            // then a full re-read of the column.
+                            self.fault_stats.read_retries += 1;
+                            extra += (cfg.retry_backoff_cycles << attempt) + t.t_cl + t.t_bl;
+                            attempt += 1;
+                            let reflips = self.injector_mut().next_read_flips();
+                            if reflips > 0 {
+                                self.fault_stats.injected_bit_flips += u64::from(reflips);
+                            }
+                            outcome = ecc::outcome_for_flips(reflips);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Persistent stuck-at faults: remap to spares. ---
+        if self
+            .injector_ref()
+            .bank_is_failed(global_rank, loc.bank_in_rank(&self.config))
+        {
+            self.fault_stats.bank_remaps += 1;
+            extra += t.t_rc;
+        } else if self.injector_ref().row_is_stuck(
+            global_rank,
+            loc.bank_in_rank(&self.config),
+            loc.row,
+        ) {
+            self.fault_stats.row_remaps += 1;
+            extra += t.t_rp + t.t_rcd;
+        }
+
+        // --- Transient rank-AU stalls. ---
+        let stall = self.injector_mut().next_stall_cycles(global_rank as u64);
+        if stall > 0 {
+            self.fault_stats.stall_events += 1;
+            self.fault_stats.stall_cycles += stall;
+            extra += stall;
+        }
+        Ok(extra)
     }
 
     fn service_channel(&mut self, ch: usize) {
@@ -798,5 +1045,191 @@ mod tests {
         sys.enqueue(Request::read(0, 64).at_cycle(1000));
         let r = sys.service_all();
         assert!(r.completions[0].data_start >= 1000);
+    }
+
+    #[test]
+    fn zero_rate_faults_are_bit_identical_to_no_faults() {
+        let mut plain = MemorySystem::new(single_channel());
+        let mut faulty = MemorySystem::with_faults(single_channel(), FaultConfig::off());
+        for i in 0..64u64 {
+            plain.enqueue(Request::read(i * 64, 64));
+            faulty.enqueue(Request::read(i * 64, 64));
+        }
+        let a = plain.service_all();
+        let b = faulty.try_service_all().expect("zero-rate cannot fail");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!((x.data_start, x.finish), (y.data_start, y.finish));
+        }
+        assert!(b.faults.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_faulty_report() {
+        let cfg = FaultConfig {
+            seed: 42,
+            bit_flip_rate: 0.05,
+            stall_rate: 0.02,
+            stuck_row_rate: 0.01,
+            ..FaultConfig::off()
+        };
+        let run = || {
+            let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+            for i in 0..256u64 {
+                sys.enqueue(Request::read(i * 64, 64));
+            }
+            sys.try_service_all().expect("recoverable faults only")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.faults, b.faults);
+        assert!(a.faults.total_injected() > 0, "rates must inject something");
+    }
+
+    #[test]
+    fn ecc_detections_retry_and_add_latency() {
+        let cfg = FaultConfig {
+            seed: 7,
+            bit_flip_rate: 1.0, // every read faults; ~12 % double-bit
+            retry_limit: 50,    // high budget so the run completes
+            ..FaultConfig::off()
+        };
+        let mut faulty = MemorySystem::with_faults(single_channel(), cfg);
+        let mut plain = MemorySystem::new(single_channel());
+        for i in 0..512u64 {
+            faulty.enqueue(Request::read(i * 64, 64));
+            plain.enqueue(Request::read(i * 64, 64));
+        }
+        let f = faulty.try_service_all().expect("retry budget covers it");
+        let p = plain.service_all();
+        assert!(f.faults.ecc_corrected > 0);
+        assert!(f.faults.ecc_detected > 0);
+        assert!(f.faults.read_retries > 0);
+        assert!(
+            f.stats.elapsed_cycles > p.stats.elapsed_cycles,
+            "retries must cost cycles: {} vs {}",
+            f.stats.elapsed_cycles,
+            p.stats.elapsed_cycles
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_raise_mem_error() {
+        let cfg = FaultConfig {
+            seed: 3,
+            bit_flip_rate: 1.0,
+            retry_limit: 0, // first double-bit detection is fatal
+            ..FaultConfig::off()
+        };
+        let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+        for i in 0..512u64 {
+            sys.enqueue(Request::read(i * 64, 64));
+        }
+        match sys.try_service_all() {
+            Err(FaultError::Mem(e)) => {
+                assert_eq!(e.kind, MemErrorKind::UncorrectableEcc);
+                assert_eq!(sys.fault_stats().mem_errors, 1);
+            }
+            other => panic!("expected an uncorrectable ECC error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_rank_trips_watchdog_naming_stuck_requests() {
+        let cfg = FaultConfig {
+            stalled_rank_mask: 0b1, // global rank 0 never retires
+            watchdog_limit: 100,
+            ..FaultConfig::off()
+        };
+        let mapper = AddressMapper::new(single_channel());
+        let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+        let mut expected = Vec::new();
+        for col in 0..4 {
+            let loc = Location {
+                channel: 0,
+                dimm: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row: 0,
+                column: col,
+            };
+            expected.push(sys.enqueue(Request::read(mapper.compose(loc), 64)).0 as u64);
+        }
+        match sys.try_service_all() {
+            Err(FaultError::Watchdog(e)) => {
+                assert_eq!(e.site, "dramsim.channel[0]");
+                assert_eq!(e.waited, 100, "trips after exactly the limit");
+                assert_eq!(e.stuck_requests, expected, "names every stuck request");
+                assert_eq!(sys.fault_stats().watchdog_trips, 1);
+            }
+            other => panic!("expected a watchdog trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_rank_does_not_block_other_ranks() {
+        // Requests on rank 1 retire even while rank 0 is dead; only the
+        // stuck remainder trips the watchdog.
+        let cfg = FaultConfig {
+            stalled_rank_mask: 0b1,
+            watchdog_limit: 50,
+            ..FaultConfig::off()
+        };
+        let mapper = AddressMapper::new(single_channel());
+        let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+        let stuck = sys.enqueue(Request::read(
+            mapper.compose(Location {
+                channel: 0,
+                dimm: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row: 0,
+                column: 0,
+            }),
+            64,
+        ));
+        sys.enqueue(Request::read(
+            mapper.compose(Location {
+                channel: 0,
+                dimm: 0,
+                rank: 1,
+                bank_group: 0,
+                bank: 0,
+                row: 0,
+                column: 0,
+            }),
+            64,
+        ));
+        match sys.try_service_all() {
+            Err(FaultError::Watchdog(e)) => {
+                assert_eq!(e.stuck_requests, vec![stuck.0 as u64]);
+            }
+            other => panic!("expected a watchdog trip, got {other:?}"),
+        }
+        // The healthy rank's stats registered its read.
+        assert_eq!(sys.stats().reads, 1);
+    }
+
+    #[test]
+    fn persistent_remaps_are_counted() {
+        let cfg = FaultConfig {
+            seed: 11,
+            stuck_row_rate: 0.2,
+            failed_bank_rate: 0.1,
+            ..FaultConfig::off()
+        };
+        let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+        for i in 0..512u64 {
+            sys.enqueue(Request::read(i * 4096, 64)); // spread rows
+        }
+        let r = sys.try_service_all().expect("remaps are recoverable");
+        assert!(
+            r.faults.row_remaps + r.faults.bank_remaps > 0,
+            "high rates over 512 spread accesses must remap something"
+        );
     }
 }

@@ -8,10 +8,10 @@ use hetgraph::datasets::DatasetId;
 use hgnn::ModelKind;
 use nmp::{estimate, CommPolicy, NmpConfig};
 
-use crate::common::{analysis_dataset, fmt_x, TableWriter};
+use crate::common::{analysis_dataset, fmt_x, Ctx, ExpError, ExpResult, ResultExt, TableWriter};
 
 /// Runs the ablation table: one column per disabled mechanism.
-pub fn ablations() {
+pub fn ablations(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "ablations",
         "Design-choice ablations (slowdown vs the full design)",
@@ -31,38 +31,40 @@ pub fn ablations() {
     };
     for id in [DatasetId::Dblp, DatasetId::Imdb, DatasetId::Lastfm] {
         let ds = analysis_dataset(id);
-        let run = |cfg: &NmpConfig| {
-            estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, cfg)
-                .expect("estimate succeeds")
-                .seconds
+        let run = |cfg: &NmpConfig| -> Result<f64, ExpError> {
+            Ok(estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, cfg)
+                .ctx("ablations: estimate")?
+                .seconds)
         };
-        let full = run(&base);
-        let slowdown = |cfg: NmpConfig| fmt_x(run(&cfg) / full);
+        let full = run(&base)?;
+        let slowdown =
+            |cfg: NmpConfig| -> Result<String, ExpError> { Ok(fmt_x(run(&cfg)? / full)) };
         t.row(vec![
             format!("{}-MAGNN", id.abbrev()),
             "1.00x".to_string(),
             slowdown(NmpConfig {
                 reuse: false,
                 ..base
-            }),
-            slowdown(base.with_comm(CommPolicy::Naive)),
+            })?,
+            slowdown(base.with_comm(CommPolicy::Naive))?,
             slowdown(NmpConfig {
                 aggregate_in_nmp: false,
                 ..base
-            }),
+            })?,
             slowdown(NmpConfig {
                 dram: DramConfig {
                     ranks_per_dimm: 1,
                     ..DramConfig::default()
                 },
                 ..base
-            }),
+            })?,
             slowdown(NmpConfig {
                 pe_lanes: 4,
                 ..base
-            }),
+            })?,
         ]);
     }
     t.note("Each column disables one mechanism of the full design; larger is worse.");
     t.finish();
+    Ok(())
 }

@@ -49,6 +49,52 @@ pub fn execution_dataset(id: DatasetId, instance_budget: u128) -> Dataset {
 /// Default per-dataset instance budget for engine execution.
 pub const EXEC_BUDGET: u128 = 1_500_000;
 
+/// Error from a failed experiment, carrying human-readable context.
+///
+/// Experiments propagate these to `main`, which prints the message and
+/// exits non-zero — a bad preset or a diverged simulation reports what
+/// went wrong instead of panicking mid-table.
+#[derive(Debug)]
+pub struct ExpError(pub String);
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The result type every experiment returns.
+pub type ExpResult = Result<(), ExpError>;
+
+/// Per-invocation context threaded through every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Seed from `--seed`, consumed by seeded experiments — notably the
+    /// deterministic fault schedule of the `faults` sweep.
+    pub seed: u64,
+}
+
+/// Adds `.ctx("what")` to fallible calls on an experiment's result
+/// path, replacing `expect`-style panics with a propagated [`ExpError`].
+pub trait ResultExt<T> {
+    /// Wraps the error (or absence) with `what` as context.
+    fn ctx(self, what: &str) -> Result<T, ExpError>;
+}
+
+impl<T, E: std::fmt::Display> ResultExt<T> for Result<T, E> {
+    fn ctx(self, what: &str) -> Result<T, ExpError> {
+        self.map_err(|e| ExpError(format!("{what}: {e}")))
+    }
+}
+
+impl<T> ResultExt<T> for Option<T> {
+    fn ctx(self, what: &str) -> Result<T, ExpError> {
+        self.ok_or_else(|| ExpError(what.to_string()))
+    }
+}
+
 /// A rendered text table that prints to stdout and saves to
 /// `results/<name>.md`.
 pub struct TableWriter {

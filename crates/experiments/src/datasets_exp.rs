@@ -5,11 +5,13 @@ use hetgraph::datasets::DatasetId;
 use hetgraph::instances::count_instances;
 use hetgraph::stats::summarize;
 
-use crate::common::{analysis_dataset, analysis_scale, fmt_f, fmt_pct, TableWriter};
+use crate::common::{
+    analysis_dataset, analysis_scale, fmt_f, fmt_pct, Ctx, ExpResult, ResultExt, TableWriter,
+};
 
 /// Prints vertex/edge/metapath statistics per dataset (Table 3) plus
 /// degree-skew indicators per relation.
-pub fn table3() {
+pub fn table3(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "table3_datasets",
         "Table 3 — generated dataset statistics",
@@ -58,12 +60,18 @@ pub fn table3() {
     );
     for id in [DatasetId::Dblp, DatasetId::Imdb, DatasetId::Lastfm] {
         let ds = analysis_dataset(id);
-        for (src, dst, s) in summarize(&ds.graph).expect("presets are valid") {
+        for (src, dst, s) in summarize(&ds.graph).ctx("table3: degree summary on preset")? {
             let schema = ds.graph.schema();
             let name = format!(
                 "{}->{}",
-                schema.vertex_type(src).unwrap().mnemonic,
-                schema.vertex_type(dst).unwrap().mnemonic
+                schema
+                    .vertex_type(src)
+                    .ctx("table3: summarized source type is in the schema")?
+                    .mnemonic,
+                schema
+                    .vertex_type(dst)
+                    .ctx("table3: summarized destination type is in the schema")?
+                    .mnemonic
             );
             d.row(vec![
                 id.abbrev().to_string(),
@@ -78,4 +86,5 @@ pub fn table3() {
         "The heavy top-1% shares are what make metapath instance counts explode multiplicatively.",
     );
     d.finish();
+    Ok(())
 }

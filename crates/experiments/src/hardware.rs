@@ -7,7 +7,9 @@ use hetgraph::datasets::DatasetId;
 use hgnn::ModelKind;
 use nmp::{estimate, AreaPowerModel, CommPolicy, NmpConfig};
 
-use crate::common::{analysis_dataset, fmt_f, fmt_pct, fmt_x, TableWriter};
+use crate::common::{
+    analysis_dataset, fmt_f, fmt_pct, fmt_x, Ctx, ExpError, ExpResult, ResultExt, TableWriter,
+};
 
 fn cfg() -> NmpConfig {
     NmpConfig {
@@ -18,7 +20,7 @@ fn cfg() -> NmpConfig {
 
 /// Figure 15: MetaNMP with the broadcast mechanism vs naive
 /// point-to-point communication.
-pub fn fig15() {
+pub fn fig15(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "fig15_broadcast",
         "Figure 15 — broadcast vs naive communication",
@@ -33,14 +35,14 @@ pub fn fig15() {
     for id in DatasetId::ALL {
         let ds = analysis_dataset(id);
         let broadcast = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg())
-            .expect("estimate succeeds");
+            .ctx("fig15: broadcast estimate")?;
         let naive = estimate(
             &ds.graph,
             ModelKind::Magnn,
             &ds.metapaths,
             &cfg().with_comm(CommPolicy::Naive),
         )
-        .expect("estimate succeeds");
+        .ctx("fig15: naive-communication estimate")?;
         let s = naive.seconds / broadcast.seconds;
         speedups.push(s);
         t.row(vec![
@@ -56,11 +58,12 @@ pub fn fig15() {
         fmt_x(geo)
     ));
     t.finish();
+    Ok(())
 }
 
 /// Figure 16: scalability with the number of DIMMs, single channel vs
 /// multi-channel.
-pub fn fig16() {
+pub fn fig16(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "fig16_dimms",
         "Figure 16 — scalability with #DIMMs (normalized to 2 DIMMs)",
@@ -68,7 +71,7 @@ pub fn fig16() {
     );
     for id in [DatasetId::OgbMag, DatasetId::Oag] {
         let ds = analysis_dataset(id);
-        let run = |channels: usize, dpc: usize| {
+        let run = |channels: usize, dpc: usize| -> Result<f64, ExpError> {
             let c = NmpConfig {
                 dram: DramConfig {
                     channels,
@@ -77,15 +80,15 @@ pub fn fig16() {
                 },
                 ..cfg()
             };
-            estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &c)
-                .expect("estimate succeeds")
-                .seconds
+            Ok(estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &c)
+                .ctx("fig16: scalability estimate")?
+                .seconds)
         };
-        let base_single = run(1, 2);
-        let base_multi = run(1, 2);
+        let base_single = run(1, 2)?;
+        let base_multi = run(1, 2)?;
         for dimms in [2usize, 4, 8, 16, 32, 64] {
-            let single = run(1, dimms);
-            let multi = run((dimms / 2).max(1), 2);
+            let single = run(1, dimms)?;
+            let multi = run((dimms / 2).max(1), 2)?;
             t.row(vec![
                 format!("{}-MAGNN", id.abbrev()),
                 dimms.to_string(),
@@ -96,10 +99,11 @@ pub fn fig16() {
     }
     t.note("Paper: single-channel scaling flattens (the shared bus serializes broadcasts); multi-channel scaling stays near-linear.");
     t.finish();
+    Ok(())
 }
 
 /// Figure 17: scalability with the number of ranks per DIMM.
-pub fn fig17() {
+pub fn fig17(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "fig17_ranks",
         "Figure 17 — scalability with #ranks (normalized to 1 rank)",
@@ -107,7 +111,7 @@ pub fn fig17() {
     );
     for id in [DatasetId::Dblp, DatasetId::Lastfm, DatasetId::OgbMag] {
         let ds = analysis_dataset(id);
-        let run = |ranks: usize| {
+        let run = |ranks: usize| -> Result<f64, ExpError> {
             let c = NmpConfig {
                 dram: DramConfig {
                     ranks_per_dimm: ranks,
@@ -115,25 +119,26 @@ pub fn fig17() {
                 },
                 ..cfg()
             };
-            estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &c)
-                .expect("estimate succeeds")
-                .seconds
+            Ok(estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &c)
+                .ctx("fig17: rank-scalability estimate")?
+                .seconds)
         };
-        let r1 = run(1);
+        let r1 = run(1)?;
         t.row(vec![
             format!("{}-MAGNN", id.abbrev()),
             "1.00x".to_string(),
-            fmt_x(r1 / run(2)),
-            fmt_x(r1 / run(4)),
+            fmt_x(r1 / run(2)?),
+            fmt_x(r1 / run(4)?),
         ]);
     }
     t.note("Paper: 4 ranks are 1.96x faster than 2 ranks — rank-level AUs scale aggregation bandwidth.");
     t.finish();
+    Ok(())
 }
 
 /// Figure 18: bus energy under naive vs broadcast communication, and
 /// its share of the whole NMP DIMM system.
-pub fn fig18() {
+pub fn fig18(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "fig18_bus_energy",
         "Figure 18 — bus energy: naive vs broadcast communication",
@@ -150,14 +155,14 @@ pub fn fig18() {
     for id in DatasetId::ALL {
         let ds = analysis_dataset(id);
         let b = estimate(&ds.graph, ModelKind::Magnn, &ds.metapaths, &cfg())
-            .expect("estimate succeeds");
+            .ctx("fig18: broadcast estimate")?;
         let n = estimate(
             &ds.graph,
             ModelKind::Magnn,
             &ds.metapaths,
             &cfg().with_comm(CommPolicy::Naive),
         )
-        .expect("estimate succeeds");
+        .ctx("fig18: naive-communication estimate")?;
         // Figure 18 compares the *distribution* traffic (the
         // communication the two policies implement differently);
         // naive-mode demand fetches are ordinary memory reads.
@@ -188,10 +193,11 @@ pub fn fig18() {
         fmt_pct(avg_share)
     ));
     t.finish();
+    Ok(())
 }
 
 /// Table 5: area and power of the MetaNMP additions.
-pub fn table5() {
+pub fn table5(_cx: &Ctx) -> ExpResult {
     let m = AreaPowerModel::default();
     let mut t = TableWriter::new(
         "table5_area_power",
@@ -224,4 +230,5 @@ pub fn table5() {
         fmt_pct(m.power_fraction_of_lrdimm(2))
     ));
     t.finish();
+    Ok(())
 }

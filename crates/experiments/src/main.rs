@@ -5,19 +5,23 @@
 //! metanmp-experiments [OPTIONS] [EXPERIMENT ...]
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
-//!              fig14 fig15 fig16 fig17 fig18 ablate verify all
+//!              fig14 fig15 fig16 fig17 fig18 ablate verify faults all
 //!
 //! Options:
+//!   --seed <u64>          seed for seeded experiments (default 42)
 //!   --metrics-out <path>  write a JSON telemetry snapshot after the run
 //!   --trace-out <path>    write a Chrome trace-event file (Perfetto)
 //! ```
 //!
-//! Output tables print to stdout and are saved under `results/`.
+//! Output tables print to stdout and are saved under `results/`. An
+//! experiment that fails (bad preset, diverged simulation, I/O error)
+//! prints its error and exits non-zero instead of panicking.
 
 mod ablation;
 mod characterization;
 mod common;
 mod datasets_exp;
+mod faults;
 mod hardware;
 mod memory_exps;
 mod performance;
@@ -25,7 +29,11 @@ mod verification;
 
 use std::process::ExitCode;
 
-const EXPERIMENTS: &[(&str, fn())] = &[
+use common::{Ctx, ExpResult};
+
+type ExpFn = fn(&Ctx) -> ExpResult;
+
+const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("table1", memory_exps::table1),
     ("table3", datasets_exp::table3),
     ("table4", memory_exps::table4),
@@ -42,12 +50,14 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig18", hardware::fig18),
     ("ablate", ablation::ablations),
     ("verify", verification::verify),
+    ("faults", faults::faults),
 ];
 
 fn usage() {
     eprintln!("usage: metanmp-experiments [OPTIONS] [EXPERIMENT ...]");
     eprintln!("experiments: all {}", names().join(" "));
     eprintln!("options:");
+    eprintln!("  --seed <u64>          seed for seeded experiments (default 42)");
     eprintln!("  --metrics-out <path>  write a JSON telemetry snapshot after the run");
     eprintln!("  --trace-out <path>    write a Chrome trace-event file (Perfetto)");
 }
@@ -62,6 +72,7 @@ fn main() -> ExitCode {
     // Split option flags from experiment names.
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut seed: u64 = 42;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -77,6 +88,19 @@ fn main() -> ExitCode {
                     trace_out = Some(path);
                 }
             }
+            "--seed" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--seed requires an unsigned integer argument");
+                    return ExitCode::from(2);
+                };
+                seed = match v.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed requires an unsigned integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             _ if arg.starts_with("--") => {
                 eprintln!("unknown option {arg:?}");
                 usage();
@@ -90,13 +114,22 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let cx = Ctx { seed };
+    let run = |name: &str, f: fn(&Ctx) -> ExpResult| -> Result<(), ExitCode> {
+        banner(name);
+        f(&cx).map_err(|e| {
+            eprintln!("experiment {name} failed: {e}");
+            ExitCode::FAILURE
+        })
+    };
     let mut ran = std::collections::BTreeSet::new();
     for arg in &experiments {
         if arg == "all" {
             for (name, f) in EXPERIMENTS {
                 if ran.insert(*name) {
-                    banner(name);
-                    f();
+                    if let Err(code) = run(name, *f) {
+                        return code;
+                    }
                 }
             }
             continue;
@@ -107,8 +140,9 @@ fn main() -> ExitCode {
                 // running it twice when both are requested.
                 let key = if *name == "fig13" { "fig12" } else { name };
                 if ran.insert(key) {
-                    banner(name);
-                    f();
+                    if let Err(code) = run(name, *f) {
+                        return code;
+                    }
                 }
             }
             None => {

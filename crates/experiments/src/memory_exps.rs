@@ -5,10 +5,13 @@ use hetgraph::datasets::DatasetId;
 use hetgraph::instances::{instance_memory, InstanceStorage};
 use metanmp::memory_reductions;
 
-use crate::common::{analysis_dataset, analysis_scale, fmt_bytes, fmt_pct, fmt_x, TableWriter};
+use crate::common::{
+    analysis_dataset, analysis_scale, fmt_bytes, fmt_pct, fmt_x, Ctx, ExpResult, ResultExt,
+    TableWriter,
+};
 
 /// Table 1: memory for graph data vs materialized metapath instances.
-pub fn table1() {
+pub fn table1(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "table1_memory",
         "Table 1 — graph data vs metapath-instance memory",
@@ -21,7 +24,7 @@ pub fn table1() {
         let mut inst_bytes: u128 = 0;
         for mp in &ds.metapaths {
             inst_bytes += instance_memory(&ds.graph, mp, InstanceStorage::FullPath, 64)
-                .expect("preset metapaths are valid")
+                .ctx("table1: instance memory for preset metapath")?
                 .structure_bytes;
         }
         let ratio = inst_bytes as f64 / graph_bytes as f64;
@@ -41,11 +44,12 @@ pub fn table1() {
     ));
     t.note("Web-scale presets are generated at reduced scale (column 2); the ratio grows with scale, so full-scale ratios are higher.");
     t.finish();
+    Ok(())
 }
 
 /// Table 4: memory-consumption reduction of MetaNMP per
 /// dataset-metapath and model.
-pub fn table4() {
+pub fn table4(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "table4_reduction",
         "Table 4 — memory reduction ratio of MetaNMP",
@@ -54,7 +58,7 @@ pub fn table4() {
     let mut all = Vec::new();
     for id in DatasetId::ALL {
         let ds = analysis_dataset(id);
-        let rows = memory_reductions(&ds, 64, 8).expect("presets are valid");
+        let rows = memory_reductions(&ds, 64, 8).ctx("table4: memory reductions on preset")?;
         for (name, vals) in rows {
             all.extend_from_slice(&vals);
             t.row(vec![
@@ -71,4 +75,5 @@ pub fn table4() {
         fmt_pct(avg)
     ));
     t.finish();
+    Ok(())
 }

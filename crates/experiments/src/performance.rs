@@ -9,21 +9,25 @@ use hgnn::{FeatureStore, ModelConfig, ModelKind};
 use metanmp::compare;
 use nmp::{estimate, NmpConfig};
 
-use crate::common::{analysis_dataset, execution_dataset, fmt_x, TableWriter, EXEC_BUDGET};
+use crate::common::{
+    analysis_dataset, execution_dataset, fmt_x, Ctx, ExpError, ExpResult, ResultExt, TableWriter,
+    EXEC_BUDGET,
+};
 
 /// The GPU materializes instances in per-start-vertex batches; its
 /// working set is the graph, the features, and the largest batch with
 /// a framework safety factor.
-fn gpu_working_set(ds: &Dataset) -> u128 {
+fn gpu_working_set(ds: &Dataset) -> Result<u128, ExpError> {
     const BATCH_SAFETY: u128 = 8;
     let base = (ds.graph.topology_bytes() + ds.graph.raw_feature_bytes()) as u128;
     let mut peak_batch: u128 = 0;
     for mp in &ds.metapaths {
-        let per_start = count_instances_per_start(&ds.graph, mp).expect("presets are valid");
+        let per_start = count_instances_per_start(&ds.graph, mp)
+            .ctx("fig12/13: instance counts on preset metapath")?;
         let peak = per_start.iter().copied().max().unwrap_or(0);
         peak_batch = peak_batch.max(peak * mp.vertex_count() as u128 * 4);
     }
-    base + peak_batch * BATCH_SAFETY
+    Ok(base + peak_batch * BATCH_SAFETY)
 }
 
 fn nmp_config() -> NmpConfig {
@@ -35,7 +39,7 @@ fn nmp_config() -> NmpConfig {
 
 /// Figures 12 and 13, computed together: speedup and energy efficiency
 /// of MetaNMP vs CPU, GPU, AWB-GCN, HyGCN, RecNMP (normalized to CPU).
-pub fn fig12_13() {
+pub fn fig12_13(_cx: &Ctx) -> ExpResult {
     let mut speed = TableWriter::new(
         "fig12_speedup",
         "Figure 12 — speedup over the CPU baseline",
@@ -55,42 +59,42 @@ pub fn fig12_13() {
     let mut metanmp_energy = Vec::new();
     let cfg = nmp_config();
     for id in DatasetId::ALL {
-        let footprint = gpu_working_set(&analysis_dataset(id));
+        let footprint = gpu_working_set(&analysis_dataset(id))?;
         let ds = execution_dataset(id, EXEC_BUDGET);
         for kind in ModelKind::ALL {
             let c = compare(&ds, kind, 64, &cfg, Some(footprint))
-                .expect("comparison succeeds on presets");
-            let cell = |name: &str, energy_mode: bool| -> String {
+                .ctx("fig12/13: platform comparison on preset")?;
+            let cell = |name: &str, energy_mode: bool| -> Result<String, ExpError> {
                 let p = c
                     .platforms
                     .iter()
                     .find(|p| p.name == name)
-                    .expect("platform present");
-                if p.report.oom {
+                    .ctx("fig12/13: platform present in comparison")?;
+                Ok(if p.report.oom {
                     "OOM".to_string()
                 } else if energy_mode {
                     fmt_x(p.energy_gain_vs_cpu)
                 } else {
                     fmt_x(p.speedup_vs_cpu)
-                }
+                })
             };
             let label = format!("{}-{}", id.abbrev(), kind.name());
             speed.row(vec![
                 label.clone(),
-                cell("CPU", false),
-                cell("GPU", false),
-                cell("AWB-GCN", false),
-                cell("HyGCN", false),
-                cell("RecNMP", false),
+                cell("CPU", false)?,
+                cell("GPU", false)?,
+                cell("AWB-GCN", false)?,
+                cell("HyGCN", false)?,
+                cell("RecNMP", false)?,
                 fmt_x(c.metanmp_speedup),
             ]);
             energy.row(vec![
                 label,
-                cell("CPU", true),
-                cell("GPU", true),
-                cell("AWB-GCN", true),
-                cell("HyGCN", true),
-                cell("RecNMP", true),
+                cell("CPU", true)?,
+                cell("GPU", true)?,
+                cell("AWB-GCN", true)?,
+                cell("HyGCN", true)?,
+                cell("RecNMP", true)?,
                 fmt_x(c.metanmp_energy_gain),
             ]);
             metanmp_speedups.push(c.metanmp_speedup);
@@ -115,11 +119,12 @@ pub fn fig12_13() {
         fmt_x(geo(&metanmp_energy))
     ));
     energy.finish();
+    Ok(())
 }
 
 /// Figure 14: SoftwareOnly vs MetaNMP-w/o-NMPAggr vs full MetaNMP,
 /// normalized to the naive CPU.
-pub fn fig14() {
+pub fn fig14(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "fig14_ablation",
         "Figure 14 — software/hardware configurations (speedup vs naive CPU)",
@@ -144,10 +149,10 @@ pub fn fig14() {
                 .with_attention(false);
             let naive = MaterializedEngine
                 .run(&ds.graph, &features, &mc, &ds.metapaths)
-                .expect("engine run succeeds");
+                .ctx("fig14: materialized engine run")?;
             let reuse = OnTheFlyEngine
                 .run(&ds.graph, &features, &mc, &ds.metapaths)
-                .expect("engine run succeeds");
+                .ctx("fig14: on-the-fly engine run")?;
             let w = PlatformWorkload::new(naive.profile, reuse.profile, 0, 0.0);
             let naive_cpu = CpuModel::naive().evaluate(&w);
             let software = CpuModel::software_only().evaluate(&w);
@@ -160,8 +165,9 @@ pub fn fig14() {
                     ..cfg
                 },
             )
-            .expect("estimate succeeds");
-            let full = estimate(&ds.graph, kind, &ds.metapaths, &cfg).expect("estimate succeeds");
+            .ctx("fig14: estimate without NMP aggregation")?;
+            let full = estimate(&ds.graph, kind, &ds.metapaths, &cfg)
+                .ctx("fig14: full-design estimate")?;
             let s = naive_cpu.seconds / software.seconds;
             let w_x = naive_cpu.seconds / without.seconds;
             let f_x = naive_cpu.seconds / full.seconds;
@@ -185,4 +191,5 @@ pub fn fig14() {
         fmt_x(geo(&full_v))
     ));
     t.finish();
+    Ok(())
 }

@@ -12,10 +12,10 @@ use hetgraph::datasets::DatasetId;
 use hgnn::ModelKind;
 use metanmp::Simulator;
 
-use crate::common::{fmt_f, TableWriter};
+use crate::common::{fmt_f, Ctx, ExpError, ExpResult, ResultExt, TableWriter};
 
 /// Runs verified inferences and reports hardware-vs-reference fidelity.
-pub fn verify() {
+pub fn verify(_cx: &Ctx) -> ExpResult {
     let mut t = TableWriter::new(
         "verify",
         "End-to-end verification — functional NMP vs software reference",
@@ -35,15 +35,16 @@ pub fn verify() {
                 .model(kind)
                 .hidden_dim(16)
                 .build()
-                .expect("simulator config is valid");
-            let out = sim.run().expect("simulation succeeds");
-            assert!(
-                out.matches_reference,
-                "{}-{} diverged from reference by {}",
-                id.abbrev(),
-                kind.name(),
-                out.max_reference_diff
-            );
+                .ctx("verify: simulator configuration")?;
+            let out = sim.run().ctx("verify: end-to-end simulation")?;
+            if !out.matches_reference {
+                return Err(ExpError(format!(
+                    "verify: {}-{} diverged from reference by {}",
+                    id.abbrev(),
+                    kind.name(),
+                    out.max_reference_diff
+                )));
+            }
             t.row(vec![
                 format!("{}-{}", id.abbrev(), kind.name()),
                 if out.matches_reference { "yes" } else { "NO" }.to_string(),
@@ -55,4 +56,5 @@ pub fn verify() {
     }
     t.note("Hardware embeddings must match the software reference within float-reassociation tolerance (1e-3).");
     t.finish();
+    Ok(())
 }

@@ -1,0 +1,140 @@
+//! Fault-model configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the deterministic fault model.
+///
+/// All rates are probabilities per *event* (read burst, broadcast
+/// transfer, distinct row, …); the default is all-zero, which makes the
+/// injector a no-op and keeps every simulator bit-identical to a
+/// fault-free build. The struct is `Copy` so it can ride inside
+/// `NmpConfig` and be captured by value in sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule. Same seed ⇒ identical schedule.
+    pub seed: u64,
+    /// Probability a read burst suffers transient bit flips. The
+    /// severity split (1/2/3+ flips) is fixed: see
+    /// [`FaultInjector::next_read_flips`](crate::FaultInjector::next_read_flips).
+    pub bit_flip_rate: f64,
+    /// Probability a distinct `(rank, bank, row)` triple is stuck-at
+    /// (persistent; every access to it remaps to a spare row).
+    pub stuck_row_rate: f64,
+    /// Probability a distinct `(rank, bank)` pair has failed entirely
+    /// (persistent; every access remaps to a spare region).
+    pub failed_bank_rate: f64,
+    /// Probability an inter-DIMM broadcast transfer is dropped on the
+    /// bus (no DIMM latches it).
+    pub broadcast_drop_rate: f64,
+    /// Probability an inter-DIMM broadcast transfer arrives corrupted
+    /// (latched but fails its checksum; same recovery as a drop).
+    pub broadcast_corrupt_rate: f64,
+    /// Probability a rank-AU / CarPU work unit suffers a transient
+    /// stall while draining its queue.
+    pub stall_rate: f64,
+    /// Cycles one transient stall costs the afflicted unit.
+    pub stall_cycles: u64,
+    /// Bitmask of *permanently* stalled global ranks (bit `i` = global
+    /// rank `i` never retires requests). This is the hand-built
+    /// deadlock scenario the watchdog exists for.
+    pub stalled_rank_mask: u64,
+    /// Bounded-retry limit for recoverable faults (double-bit ECC
+    /// detections, dropped broadcasts). After this many consecutive
+    /// failures the operation escalates: reads raise a memory error,
+    /// broadcasts fall back to point-to-point sends.
+    pub retry_limit: u32,
+    /// Base backoff in cycles between retries; attempt `k` waits
+    /// `base << k` cycles.
+    pub retry_backoff_cycles: u64,
+    /// Watchdog limit: scheduler rounds without a retirement before
+    /// the run aborts with a [`WatchdogError`](crate::WatchdogError).
+    pub watchdog_limit: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x5EED,
+            bit_flip_rate: 0.0,
+            stuck_row_rate: 0.0,
+            failed_bank_rate: 0.0,
+            broadcast_drop_rate: 0.0,
+            broadcast_corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            stall_cycles: 256,
+            stalled_rank_mask: 0,
+            retry_limit: 3,
+            retry_backoff_cycles: 64,
+            watchdog_limit: 10_000,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free configuration (the default).
+    pub fn off() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Whether any fault source is enabled. Simulators skip the whole
+    /// injection path when this is `false`, which keeps zero-rate runs
+    /// bit-identical to builds without fault wiring.
+    pub fn is_active(&self) -> bool {
+        self.bit_flip_rate > 0.0
+            || self.stuck_row_rate > 0.0
+            || self.failed_bank_rate > 0.0
+            || self.broadcast_drop_rate > 0.0
+            || self.broadcast_corrupt_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.stalled_rank_mask != 0
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inactive() {
+        assert!(!FaultConfig::default().is_active());
+        assert!(!FaultConfig::off().is_active());
+    }
+
+    #[test]
+    fn any_rate_activates() {
+        for f in [
+            FaultConfig {
+                bit_flip_rate: 1e-6,
+                ..FaultConfig::off()
+            },
+            FaultConfig {
+                broadcast_drop_rate: 0.5,
+                ..FaultConfig::off()
+            },
+            FaultConfig {
+                stalled_rank_mask: 1,
+                ..FaultConfig::off()
+            },
+        ] {
+            assert!(f.is_active());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = FaultConfig {
+            seed: 42,
+            bit_flip_rate: 1e-3,
+            ..FaultConfig::off()
+        };
+        let s = serde_json::to_string(&f).expect("serializes");
+        let back: FaultConfig = serde_json::from_str(&s).expect("deserializes");
+        assert_eq!(back, f);
+    }
+}

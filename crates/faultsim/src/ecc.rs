@@ -1,0 +1,278 @@
+//! SEC-DED error-correcting-code model.
+//!
+//! Two layers:
+//!
+//! * A real Hamming (72,64) codec — [`encode`] / [`decode`] — used by
+//!   the unit tests to demonstrate the single-correct / double-detect /
+//!   triple-miss behavior bit by bit.
+//! * A statistical outcome model — [`outcome_for_flips`] — used by the
+//!   simulators on the per-burst hot path, where only the *number* of
+//!   injected flips is known, not their positions.
+
+use serde::{Deserialize, Serialize};
+
+/// What the ECC logic concluded about one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was detected and corrected in-line.
+    Corrected,
+    /// A double-bit error was detected but cannot be corrected; the
+    /// consumer must retry the access (or escalate).
+    DetectedUncorrectable,
+    /// Three or more flips aliased past SEC-DED: the word is silently
+    /// wrong (possibly "corrected" into a different wrong word).
+    SilentMiss,
+}
+
+impl EccOutcome {
+    /// Display name (used in tables and counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            EccOutcome::Clean => "clean",
+            EccOutcome::Corrected => "corrected",
+            EccOutcome::DetectedUncorrectable => "detected",
+            EccOutcome::SilentMiss => "silent-miss",
+        }
+    }
+}
+
+/// Statistical SEC-DED outcome given the number of flipped bits in a
+/// codeword: 0 → clean, 1 → corrected, 2 → detected-uncorrectable,
+/// ≥ 3 → silent miss. (A real triple flip is *sometimes* detected, but
+/// the conservative model treats all of them as escapes; the codec
+/// tests show concrete escaping triples.)
+pub fn outcome_for_flips(flips: u32) -> EccOutcome {
+    match flips {
+        0 => EccOutcome::Clean,
+        1 => EccOutcome::Corrected,
+        2 => EccOutcome::DetectedUncorrectable,
+        _ => EccOutcome::SilentMiss,
+    }
+}
+
+/// Number of codeword bits: 64 data + 7 Hamming check + 1 overall
+/// parity.
+pub const CODEWORD_BITS: u32 = 72;
+
+/// A (72,64) SEC-DED codeword: 64 data bits spread over the Hamming
+/// positions plus 8 check bits (7 syndrome + overall parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codeword {
+    /// Bits 0..=71; bit `i` of the u128 is codeword position `i + 1`
+    /// in classic 1-based Hamming numbering, with position 0 (the
+    /// 1-based "0th" slot) holding the overall parity bit.
+    bits: u128,
+}
+
+/// Returns `true` for 1-based positions that hold check bits (powers
+/// of two) rather than data bits.
+fn is_check_position(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// Encodes 64 data bits into a SEC-DED codeword.
+pub fn encode(data: u64) -> Codeword {
+    let mut bits: u128 = 0;
+    // Scatter data bits over non-power-of-two positions 3..=72.
+    let mut src = 0u32;
+    for pos in 1..=CODEWORD_BITS - 1 {
+        if is_check_position(pos) {
+            continue;
+        }
+        if (data >> src) & 1 == 1 {
+            bits |= 1u128 << pos;
+        }
+        src += 1;
+    }
+    // Hamming check bits: parity over every position containing that
+    // power of two.
+    let mut p = 1;
+    while p < CODEWORD_BITS {
+        let mut parity = 0u32;
+        for pos in 1..CODEWORD_BITS {
+            if pos & p != 0 && (bits >> pos) & 1 == 1 {
+                parity ^= 1;
+            }
+        }
+        if parity == 1 {
+            bits |= 1u128 << p;
+        }
+        p <<= 1;
+    }
+    // Overall parity (position 0) makes the whole word even.
+    if (bits.count_ones() & 1) == 1 {
+        bits |= 1;
+    }
+    Codeword { bits }
+}
+
+impl Codeword {
+    /// Flips one bit (0-based position in `0..72`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 72`.
+    pub fn flip(&mut self, pos: u32) {
+        assert!(pos < CODEWORD_BITS, "bit position {pos} out of range");
+        self.bits ^= 1u128 << pos;
+    }
+
+    /// The raw 72-bit word (low 72 bits).
+    pub fn raw(&self) -> u128 {
+        self.bits
+    }
+}
+
+/// Decodes a codeword, correcting a single-bit error if present.
+///
+/// Returns the recovered data and the ECC verdict. For ≥ 3 flips the
+/// verdict may falsely claim `Corrected` or `Clean` while the data is
+/// wrong — that is precisely the SEC-DED escape the fault model's
+/// `SilentMiss` outcome stands for.
+pub fn decode(word: Codeword) -> (u64, EccOutcome) {
+    let mut bits = word.bits;
+    // Recompute the syndrome.
+    let mut syndrome = 0u32;
+    let mut p = 1;
+    while p < CODEWORD_BITS {
+        let mut parity = 0u32;
+        for pos in 1..CODEWORD_BITS {
+            if pos & p != 0 && (bits >> pos) & 1 == 1 {
+                parity ^= 1;
+            }
+        }
+        if parity == 1 {
+            syndrome |= p;
+        }
+        p <<= 1;
+    }
+    let parity_ok = bits.count_ones() & 1 == 0;
+
+    let outcome = match (syndrome, parity_ok) {
+        (0, true) => EccOutcome::Clean,
+        (0, false) => {
+            // The overall parity bit itself flipped.
+            bits ^= 1;
+            EccOutcome::Corrected
+        }
+        (s, false) => {
+            // Odd number of flips with a nonzero syndrome: treated as
+            // a single-bit error at position `s` and corrected there.
+            if s < CODEWORD_BITS {
+                bits ^= 1u128 << s;
+            }
+            EccOutcome::Corrected
+        }
+        (_, true) => EccOutcome::DetectedUncorrectable,
+    };
+
+    // Gather data bits back out.
+    let mut data = 0u64;
+    let mut dst = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if is_check_position(pos) {
+            continue;
+        }
+        if (bits >> pos) & 1 == 1 {
+            data |= 1u64 << dst;
+        }
+        dst += 1;
+    }
+    (data, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: [u64; 4] = [0, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF];
+
+    #[test]
+    fn clean_roundtrip() {
+        for w in WORDS {
+            let (data, outcome) = decode(encode(w));
+            assert_eq!(data, w);
+            assert_eq!(outcome, EccOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn single_bit_errors_are_corrected() {
+        for w in WORDS {
+            for pos in 0..CODEWORD_BITS {
+                let mut cw = encode(w);
+                cw.flip(pos);
+                let (data, outcome) = decode(cw);
+                assert_eq!(outcome, EccOutcome::Corrected, "word {w:#x} bit {pos}");
+                assert_eq!(data, w, "word {w:#x} bit {pos} must decode clean");
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_detected() {
+        for w in WORDS {
+            for (a, b) in [(0u32, 1u32), (3, 40), (10, 71), (5, 6)] {
+                let mut cw = encode(w);
+                cw.flip(a);
+                cw.flip(b);
+                let (_, outcome) = decode(cw);
+                assert_eq!(
+                    outcome,
+                    EccOutcome::DetectedUncorrectable,
+                    "word {w:#x} bits ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn some_triple_bit_errors_escape_as_misses() {
+        // SEC-DED cannot distinguish a triple flip from a single flip:
+        // the decoder "corrects" the wrong bit and returns bad data
+        // without raising an error. Demonstrate at least one concrete
+        // escaping triple per word.
+        for w in WORDS {
+            let mut escaped = false;
+            'outer: for a in 0..CODEWORD_BITS {
+                for b in a + 1..CODEWORD_BITS {
+                    for c in b + 1..CODEWORD_BITS {
+                        let mut cw = encode(w);
+                        cw.flip(a);
+                        cw.flip(b);
+                        cw.flip(c);
+                        let (data, outcome) = decode(cw);
+                        if outcome != EccOutcome::DetectedUncorrectable && data != w {
+                            escaped = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            assert!(escaped, "word {w:#x}: no escaping triple found");
+        }
+    }
+
+    #[test]
+    fn statistical_model_matches_secded_contract() {
+        assert_eq!(outcome_for_flips(0), EccOutcome::Clean);
+        assert_eq!(outcome_for_flips(1), EccOutcome::Corrected);
+        assert_eq!(outcome_for_flips(2), EccOutcome::DetectedUncorrectable);
+        assert_eq!(outcome_for_flips(3), EccOutcome::SilentMiss);
+        assert_eq!(outcome_for_flips(9), EccOutcome::SilentMiss);
+    }
+
+    #[test]
+    fn outcome_names() {
+        assert_eq!(EccOutcome::Clean.name(), "clean");
+        assert_eq!(EccOutcome::SilentMiss.name(), "silent-miss");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        encode(0).flip(72);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structured fault errors surfaced to the simulators.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::watchdog::WatchdogError;
+
+/// Why a memory access became unrecoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemErrorKind {
+    /// ECC detected an uncorrectable error and the bounded retry
+    /// budget was exhausted without a clean read.
+    UncorrectableEcc,
+    /// A persistent fault (stuck row / failed bank) could not be
+    /// remapped — no spare resources left.
+    PersistentFault,
+}
+
+impl MemErrorKind {
+    /// Display name (used in tables and counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemErrorKind::UncorrectableEcc => "uncorrectable-ecc",
+            MemErrorKind::PersistentFault => "persistent-fault",
+        }
+    }
+}
+
+/// An unrecoverable memory error pinned to a physical location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemError {
+    /// Id of the request that failed.
+    pub request: u64,
+    /// Global rank of the failing access.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// What made the access unrecoverable.
+    pub kind: MemErrorKind,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unrecoverable memory error ({}) on request #{} at rank {} bank {} row {}",
+            self.kind.name(),
+            self.request,
+            self.rank,
+            self.bank,
+            self.row
+        )
+    }
+}
+
+impl Error for MemError {}
+
+/// Any fault the simulators cannot recover from in-line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// An unrecoverable memory error.
+    Mem(MemError),
+    /// The forward-progress watchdog tripped.
+    Watchdog(WatchdogError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Mem(e) => e.fmt(f),
+            FaultError::Watchdog(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Mem(e) => Some(e),
+            FaultError::Watchdog(e) => Some(e),
+        }
+    }
+}
+
+impl From<MemError> for FaultError {
+    fn from(e: MemError) -> Self {
+        FaultError::Mem(e)
+    }
+}
+
+impl From<WatchdogError> for FaultError {
+    fn from(e: WatchdogError) -> Self {
+        FaultError::Watchdog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_error_display() {
+        let e = MemError {
+            request: 99,
+            rank: 3,
+            bank: 7,
+            row: 0x1234,
+            kind: MemErrorKind::UncorrectableEcc,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("uncorrectable-ecc"), "{msg}");
+        assert!(msg.contains("#99"), "{msg}");
+        assert!(msg.contains("rank 3 bank 7"), "{msg}");
+    }
+
+    #[test]
+    fn fault_error_wraps_and_sources() {
+        let mem = MemError {
+            request: 1,
+            rank: 0,
+            bank: 0,
+            row: 0,
+            kind: MemErrorKind::PersistentFault,
+        };
+        let fe: FaultError = mem.into();
+        assert!(fe.source().is_some());
+        assert_eq!(fe, FaultError::Mem(mem));
+
+        let wd = WatchdogError {
+            site: "s".into(),
+            waited: 2,
+            stuck_requests: vec![5],
+        };
+        let fe: FaultError = wd.clone().into();
+        assert_eq!(fe.to_string(), wd.to_string());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fe = FaultError::Watchdog(WatchdogError {
+            site: "dramsim".into(),
+            waited: 3,
+            stuck_requests: vec![1, 2],
+        });
+        let s = serde_json::to_string(&fe).expect("serializes");
+        let back: FaultError = serde_json::from_str(&s).expect("deserializes");
+        assert_eq!(back, fe);
+    }
+}

@@ -1,0 +1,169 @@
+//! Forward-progress watchdog.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of stuck request ids a [`WatchdogError`] display
+/// lists before eliding the rest.
+const DISPLAY_LIMIT: usize = 16;
+
+/// A forward-progress monitor for event-driven schedulers.
+///
+/// The owner calls [`progress`](Watchdog::progress) whenever a request
+/// retires and [`stall`](Watchdog::stall) at the end of every scheduler
+/// round that retired nothing. Once `limit` consecutive no-progress
+/// rounds accumulate, `stall` returns `true` and the owner must abort
+/// with a [`WatchdogError`] naming the requests still in flight —
+/// turning a silent infinite loop into a structured, debuggable error.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    limit: u64,
+    since_progress: u64,
+    trips: u64,
+}
+
+impl Watchdog {
+    /// Creates a watchdog tripping after `limit` consecutive
+    /// no-progress rounds. A limit of 0 is clamped to 1 (a watchdog
+    /// that can never trip would defeat its purpose).
+    pub fn new(limit: u64) -> Self {
+        Watchdog {
+            limit: limit.max(1),
+            since_progress: 0,
+            trips: 0,
+        }
+    }
+
+    /// Records that at least one request retired this round.
+    pub fn progress(&mut self) {
+        self.since_progress = 0;
+    }
+
+    /// Records a round that retired nothing; returns `true` when the
+    /// no-progress streak has reached the limit and the caller must
+    /// abort.
+    pub fn stall(&mut self) -> bool {
+        self.since_progress += 1;
+        if self.since_progress >= self.limit {
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rounds elapsed since the last retirement.
+    pub fn rounds_since_progress(&self) -> u64 {
+        self.since_progress
+    }
+
+    /// Number of times the watchdog has tripped.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The configured no-progress limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// The structured error a tripped watchdog aborts with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogError {
+    /// Which scheduler tripped (e.g. `"dramsim.channel[2]"`).
+    pub site: String,
+    /// Consecutive no-progress rounds observed before aborting.
+    pub waited: u64,
+    /// Ids of the requests still in flight when the watchdog tripped.
+    pub stuck_requests: Vec<u64>,
+}
+
+impl fmt::Display for WatchdogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog tripped at {}: no forward progress for {} rounds; {} stuck request(s)",
+            self.site,
+            self.waited,
+            self.stuck_requests.len()
+        )?;
+        if !self.stuck_requests.is_empty() {
+            write!(f, " [")?;
+            for (i, id) in self.stuck_requests.iter().take(DISPLAY_LIMIT).enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "#{id}")?;
+            }
+            if self.stuck_requests.len() > DISPLAY_LIMIT {
+                write!(f, ", … {} more", self.stuck_requests.len() - DISPLAY_LIMIT)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for WatchdogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_exactly_limit_rounds() {
+        let mut w = Watchdog::new(5);
+        for round in 1..=4 {
+            assert!(!w.stall(), "round {round} must not trip yet");
+        }
+        assert!(w.stall(), "round 5 must trip");
+        assert_eq!(w.trips(), 1);
+    }
+
+    #[test]
+    fn progress_resets_the_streak() {
+        let mut w = Watchdog::new(3);
+        assert!(!w.stall());
+        assert!(!w.stall());
+        w.progress();
+        assert_eq!(w.rounds_since_progress(), 0);
+        assert!(!w.stall());
+        assert!(!w.stall());
+        assert!(w.stall());
+    }
+
+    #[test]
+    fn zero_limit_is_clamped() {
+        let mut w = Watchdog::new(0);
+        assert_eq!(w.limit(), 1);
+        assert!(w.stall(), "limit 1 trips on the first stalled round");
+    }
+
+    #[test]
+    fn error_display_names_stuck_requests() {
+        let err = WatchdogError {
+            site: "dramsim.channel[0]".into(),
+            waited: 10_000,
+            stuck_requests: vec![3, 7, 11],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("dramsim.channel[0]"), "{msg}");
+        assert!(msg.contains("10000 rounds"), "{msg}");
+        assert!(msg.contains("#3, #7, #11"), "{msg}");
+    }
+
+    #[test]
+    fn error_display_elides_long_lists() {
+        let err = WatchdogError {
+            site: "x".into(),
+            waited: 1,
+            stuck_requests: (0..40).collect(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("40 stuck request(s)"), "{msg}");
+        assert!(msg.contains("… 24 more"), "{msg}");
+    }
+}

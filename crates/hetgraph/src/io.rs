@@ -201,7 +201,9 @@ pub fn load_graph<R: Read>(mut r: R) -> Result<HeteroGraph, IoError> {
             )?;
         }
     }
-    Ok(builder.finish())
+    // Files written by `save_graph` hold a deduplicated simple graph;
+    // a repeated edge means the stream is corrupt, not a convenience.
+    Ok(builder.finish_checked()?)
 }
 
 /// Writes a dataset (graph + metapaths + provenance).
@@ -318,5 +320,33 @@ mod tests {
     fn errors_are_std_errors() {
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<IoError>();
+    }
+
+    #[test]
+    fn duplicate_edge_in_stream_rejected() {
+        // Hand-build an HGB1 stream whose edge list repeats one edge:
+        // two types of one vertex each, one relation, edge 0-0 twice.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_u32(&mut buf, 2).unwrap(); // vertex types
+        for name in ["A", "B"] {
+            write_str(&mut buf, name).unwrap();
+            write_u32(&mut buf, name.as_bytes()[0] as u32).unwrap(); // mnemonic
+            write_u64(&mut buf, 4).unwrap(); // feature_dim
+            write_u32(&mut buf, 1).unwrap(); // vertex count
+        }
+        write_u32(&mut buf, 1).unwrap(); // relations
+        write_u32(&mut buf, 0).unwrap(); // lo type
+        write_u32(&mut buf, 1).unwrap(); // hi type
+        write_u64(&mut buf, 2).unwrap(); // edges
+        for _ in 0..2 {
+            write_u32(&mut buf, 0).unwrap();
+            write_u32(&mut buf, 0).unwrap();
+        }
+        let err = load_graph(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IoError::Graph(GraphError::DuplicateEdge { .. })),
+            "{err}"
+        );
     }
 }

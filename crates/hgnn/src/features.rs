@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use hetgraph::{HeteroGraph, VertexTypeId};
+use hetgraph::{GraphError, HeteroGraph, VertexTypeId};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HgnnError;
@@ -34,6 +34,49 @@ impl FeatureStore {
             );
         }
         FeatureStore { per_type }
+    }
+
+    /// Builds a feature store from explicit per-type matrices,
+    /// validating them against the graph's schema.
+    ///
+    /// Use this instead of constructing matrices ad hoc when features
+    /// come from an external source: shapes must match the schema's
+    /// vertex counts and feature dimensions, and every value must be
+    /// finite — a NaN or infinity here would silently poison every
+    /// downstream aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgnnError::MissingFeatures`] if a vertex type has no
+    /// matrix, [`HgnnError::DimensionMismatch`] on a shape mismatch,
+    /// or [`GraphError::NonFiniteFeature`] (wrapped in
+    /// [`HgnnError::Graph`]) naming the first NaN/infinite value.
+    pub fn from_matrices(
+        graph: &HeteroGraph,
+        per_type: BTreeMap<VertexTypeId, Matrix>,
+    ) -> Result<Self, HgnnError> {
+        for (ty, decl) in graph.schema().vertex_types() {
+            let m = per_type.get(&ty).ok_or(HgnnError::MissingFeatures(ty))?;
+            let rows = graph.vertex_count(ty)? as usize;
+            if m.rows() != rows {
+                return Err(HgnnError::DimensionMismatch {
+                    expected: rows,
+                    actual: m.rows(),
+                });
+            }
+            if m.cols() != decl.feature_dim {
+                return Err(HgnnError::DimensionMismatch {
+                    expected: decl.feature_dim,
+                    actual: m.cols(),
+                });
+            }
+            for row in 0..m.rows() {
+                if let Some(col) = m.row(row).iter().position(|v| !v.is_finite()) {
+                    return Err(GraphError::NonFiniteFeature { ty, row, col }.into());
+                }
+            }
+        }
+        Ok(FeatureStore { per_type })
     }
 
     /// The feature matrix of one type.
@@ -240,6 +283,61 @@ mod tests {
             h1.matrix(ty).unwrap().max_abs_diff(h2.matrix(ty).unwrap()),
             0.0
         );
+    }
+
+    fn matrices_of(g: &HeteroGraph, fs: &FeatureStore) -> BTreeMap<VertexTypeId, Matrix> {
+        g.schema()
+            .vertex_types()
+            .map(|(ty, _)| (ty, fs.features(ty).unwrap().clone()))
+            .collect()
+    }
+
+    #[test]
+    fn from_matrices_accepts_valid_features() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        let checked = FeatureStore::from_matrices(&g, matrices_of(&g, &fs)).unwrap();
+        assert_eq!(checked, fs);
+    }
+
+    #[test]
+    fn from_matrices_rejects_non_finite_values() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut per_type = matrices_of(&g, &fs);
+            let (&ty, m) = per_type.iter_mut().next().unwrap();
+            m.row_mut(0)[1] = poison;
+            let err = FeatureStore::from_matrices(&g, per_type).unwrap_err();
+            match err {
+                HgnnError::Graph(hetgraph::GraphError::NonFiniteFeature { ty: t, row, col }) => {
+                    assert_eq!((t, row, col), (ty, 0, 1));
+                }
+                other => panic!("expected NonFiniteFeature, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_matrices_rejects_missing_and_misshapen_types() {
+        let g = small_graph();
+        let fs = FeatureStore::random(&g, 1);
+
+        let mut per_type = matrices_of(&g, &fs);
+        let (&first, _) = per_type.iter().next().unwrap();
+        per_type.remove(&first);
+        assert!(matches!(
+            FeatureStore::from_matrices(&g, per_type).unwrap_err(),
+            HgnnError::MissingFeatures(_)
+        ));
+
+        let mut per_type = matrices_of(&g, &fs);
+        let m = per_type.values_mut().next().unwrap();
+        *m = Matrix::zeros(m.rows() + 1, m.cols());
+        assert!(matches!(
+            FeatureStore::from_matrices(&g, per_type).unwrap_err(),
+            HgnnError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

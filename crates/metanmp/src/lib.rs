@@ -44,4 +44,5 @@ mod simulator;
 pub use comparison::{compare, memory_reductions, Comparison, PlatformEntry};
 pub use error::MetanmpError;
 pub use memory::{compare_memory, MemoryComparison, RESERVED_AGG_BYTES_PER_DIMM};
+pub use nmp::{FaultConfig, FaultStats};
 pub use simulator::{SimulationOutcome, Simulator, SimulatorBuilder};

@@ -4,7 +4,7 @@
 use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
 use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
 use hgnn::{FeatureStore, ModelConfig, ModelKind, OpCounters, Projection};
-use nmp::{FunctionalSim, NmpConfig, NmpReport};
+use nmp::{FaultConfig, FaultError, FunctionalSim, NmpConfig, NmpError, NmpReport};
 use serde::{Deserialize, Serialize};
 
 use crate::error::MetanmpError;
@@ -88,6 +88,12 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Sets the fault model for the hardware simulation.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.nmp.faults = faults;
+        self
+    }
+
     /// Generates the dataset and assembles the simulator.
     ///
     /// # Errors
@@ -146,6 +152,15 @@ pub struct SimulationOutcome {
     pub matches_reference: bool,
     /// Memory comparison per metapath.
     pub memory: Vec<MemoryComparison>,
+    /// `true` when an unrecoverable injected fault aborted the
+    /// cycle-accurate functional simulation and the report was produced
+    /// by the analytical estimator instead. Degraded outcomes skip the
+    /// reference check (`matches_reference` is `false`,
+    /// `max_reference_diff` is zero) and the memory analysis.
+    pub degraded: bool,
+    /// Human-readable cause of the degradation (the fault that tripped
+    /// it), when `degraded` is `true`.
+    pub degraded_reason: Option<String>,
 }
 
 impl Simulator {
@@ -198,7 +213,12 @@ impl Simulator {
                 &hidden,
                 self.model,
                 &self.dataset.metapaths,
-            )?
+            )
+        };
+        let run = match run {
+            Ok(run) => run,
+            Err(NmpError::Fault(fault)) => return self.degrade(fault),
+            Err(e) => return Err(e.into()),
         };
 
         let max_reference_diff = run.embeddings.max_abs_diff(&reference.embeddings);
@@ -224,6 +244,40 @@ impl Simulator {
             max_reference_diff,
             matches_reference: max_reference_diff < 1e-3,
             memory,
+            degraded: false,
+            degraded_reason: None,
+        })
+    }
+
+    /// Graceful-degradation path: when the cycle-accurate functional
+    /// simulation dies on an unrecoverable injected fault, fall back to
+    /// the analytical performance estimate (which does not execute the
+    /// faulty datapath) and mark the outcome degraded instead of
+    /// failing the whole run.
+    fn degrade(&self, fault: FaultError) -> Result<SimulationOutcome, MetanmpError> {
+        let _s = obs::span("metanmp.degraded_estimate", "metanmp");
+        obs::counter_add("faults.degraded_runs", 1);
+        let analytic = self.nmp.with_faults(FaultConfig::off());
+        let mut report = nmp::estimate(
+            &self.dataset.graph,
+            self.model,
+            &self.dataset.metapaths,
+            &analytic,
+        )?;
+        // Record what killed the functional run in the report's fault
+        // accounting so sweeps can see it.
+        match &fault {
+            FaultError::Watchdog(_) => report.faults.watchdog_trips = 1,
+            FaultError::Mem(_) => report.faults.mem_errors = 1,
+            _ => {}
+        }
+        Ok(SimulationOutcome {
+            nmp: report,
+            max_reference_diff: 0.0,
+            matches_reference: false,
+            memory: Vec::new(),
+            degraded: true,
+            degraded_reason: Some(fault.to_string()),
         })
     }
 }
@@ -266,6 +320,70 @@ mod tests {
     #[test]
     fn zero_hidden_dim_rejected() {
         assert!(Simulator::builder().hidden_dim(0).build().is_err());
+    }
+
+    #[test]
+    fn fault_free_outcome_is_not_degraded() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .hidden_dim(16)
+            .build()
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(!outcome.degraded);
+        assert!(outcome.degraded_reason.is_none());
+        assert!(outcome.nmp.faults.is_empty());
+    }
+
+    #[test]
+    fn unrecoverable_fault_degrades_to_estimate() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .hidden_dim(16)
+            .faults(nmp::FaultConfig {
+                stalled_rank_mask: u64::MAX,
+                watchdog_limit: 200,
+                ..nmp::FaultConfig::off()
+            })
+            .build()
+            .unwrap();
+        let outcome = sim.run().expect("degrades instead of failing");
+        assert!(outcome.degraded);
+        let reason = outcome.degraded_reason.expect("reason recorded");
+        assert!(reason.contains("watchdog"), "reason: {reason}");
+        assert_eq!(outcome.nmp.faults.watchdog_trips, 1);
+        assert!(!outcome.matches_reference, "reference check skipped");
+        assert!(outcome.memory.is_empty(), "memory analysis skipped");
+        assert!(
+            outcome.nmp.seconds > 0.0,
+            "analytical estimate still reports timing"
+        );
+    }
+
+    #[test]
+    fn recoverable_faults_do_not_degrade() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .hidden_dim(16)
+            .faults(nmp::FaultConfig {
+                seed: 5,
+                broadcast_drop_rate: 0.3,
+                bit_flip_rate: 0.005,
+                ..nmp::FaultConfig::off()
+            })
+            .build()
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(!outcome.degraded);
+        assert!(
+            outcome.matches_reference,
+            "recovered faults must not corrupt the result: diff = {}",
+            outcome.max_reference_diff
+        );
+        assert!(outcome.nmp.faults.total_injected() > 0);
     }
 
     #[test]

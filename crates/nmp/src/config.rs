@@ -1,6 +1,7 @@
 //! MetaNMP system configuration.
 
 use dramsim::DramConfig;
+use faultsim::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::comm::CommPolicy;
@@ -58,6 +59,9 @@ pub struct NmpConfig {
     pub host_active_watts: f64,
     /// Area/power constants.
     pub area_power: AreaPowerModel,
+    /// Fault model. Inactive (all rates zero) by default, which keeps
+    /// every simulator bit-identical to a fault-free build.
+    pub faults: FaultConfig,
 }
 
 impl Default for NmpConfig {
@@ -80,6 +84,7 @@ impl Default for NmpConfig {
             aggregate_in_nmp: true,
             host_active_watts: 5.0,
             area_power: AreaPowerModel::default(),
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -111,6 +116,12 @@ impl NmpConfig {
     /// Returns a copy with a different communication policy.
     pub fn with_comm(mut self, comm: CommPolicy) -> Self {
         self.comm = comm;
+        self
+    }
+
+    /// Returns a copy with a different fault model.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use faultsim::FaultError;
 use hetgraph::GraphError;
 
 /// Errors raised by the functional and analytic simulators.
@@ -14,6 +15,9 @@ pub enum NmpError {
     /// The requested model/configuration combination is not supported
     /// by the hardware dataflow.
     Unsupported(String),
+    /// The fault model raised an unrecoverable fault (uncorrectable
+    /// memory error or watchdog trip).
+    Fault(FaultError),
 }
 
 impl fmt::Display for NmpError {
@@ -21,6 +25,7 @@ impl fmt::Display for NmpError {
         match self {
             NmpError::Graph(e) => write!(f, "graph error: {e}"),
             NmpError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
+            NmpError::Fault(e) => write!(f, "unrecoverable fault: {e}"),
         }
     }
 }
@@ -29,6 +34,7 @@ impl Error for NmpError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             NmpError::Graph(e) => Some(e),
+            NmpError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -37,6 +43,12 @@ impl Error for NmpError {
 impl From<GraphError> for NmpError {
     fn from(e: GraphError) -> Self {
         NmpError::Graph(e)
+    }
+}
+
+impl From<FaultError> for NmpError {
+    fn from(e: FaultError) -> Self {
+        NmpError::Fault(e)
     }
 }
 

@@ -287,6 +287,7 @@ pub fn estimate(
         counts,
         energy,
         dram_stats: Default::default(),
+        faults: Default::default(),
     })
 }
 

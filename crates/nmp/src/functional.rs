@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 
 use dramsim::{MemorySystem, Request};
+use faultsim::{FaultInjector, FaultStats};
 use hetgraph::cartesian::walk_prefix_tree;
 use hetgraph::cartesian::WalkEvent;
 use hetgraph::{HeteroGraph, Metapath, VertexId, VertexTypeId};
@@ -32,6 +33,7 @@ use crate::distribution::distribute;
 use crate::error::NmpError;
 use crate::layout::{Home, Placement};
 use crate::report::{NmpCounts, NmpEnergy, NmpReport};
+use crate::resilience;
 
 /// Issues a rank-local vector transfer burst by burst so every burst
 /// stays within the vertex's home rank (§4.4) — consecutive physical
@@ -149,6 +151,14 @@ impl FunctionalSim {
         let ranks = cfg.dram.total_ranks();
         let placement = Placement::new(cfg.dram, d);
         let mut mem = MemorySystem::new(cfg.dram);
+        mem.set_faults(cfg.faults);
+        // The broadcast/unit fault layer runs above the DRAM simulator
+        // with its own injector over the same seeded schedule family.
+        let mut injector = cfg
+            .faults
+            .is_active()
+            .then(|| FaultInjector::new(cfg.faults));
+        let mut bcast_stats = FaultStats::default();
 
         let mut counts = NmpCounts::default();
         let mut gen = vec![0u64; dimms];
@@ -179,6 +189,31 @@ impl FunctionalSim {
             counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
             counts.normal_payload_bytes += dist.normal_bytes.iter().sum::<f64>() as u64;
             counts.broadcast_payload_bytes += dist.broadcast_bytes.iter().sum::<f64>() as u64;
+
+            // ---- Broadcast fault recovery: bounded retry with
+            // backoff, then p2p fallback (extra payload copies on the
+            // channel bus, charged proportionally to each channel's
+            // broadcast share). ----
+            if let Some(inj) = injector.as_mut() {
+                let total_bcast: f64 = dist.broadcast_bytes.iter().sum();
+                if dist.broadcast_transfers > 0 && total_bcast > 0.0 {
+                    let avg = total_bcast / dist.broadcast_transfers as f64;
+                    let out = resilience::apply_broadcast_faults(
+                        inj,
+                        &cfg.faults,
+                        dist.broadcast_transfers,
+                        avg,
+                        cfg.dram.dimms_per_channel as u64,
+                        &mut bcast_stats,
+                    );
+                    if out.extra_bytes > 0.0 {
+                        for (nb, bb) in normal_bytes.iter_mut().zip(&dist.broadcast_bytes) {
+                            *nb += out.extra_bytes * bb / total_bcast;
+                        }
+                    }
+                    host_extra_cycles += out.extra_host_cycles;
+                }
+            }
 
             // ---- Generation + aggregation, per start vertex. ----
             let _structural_span = obs::span(format!("nmp.structural.{}", mp.name()), "nmp");
@@ -483,10 +518,25 @@ impl FunctionalSim {
         let embeddings = Embeddings::from_per_type(per_type);
         drop(semantic_span);
 
+        // ---- Transient CarPU stalls: loaded DIMMs occasionally lose
+        // cycles to a stalled generation unit. ----
+        if let Some(inj) = injector.as_mut() {
+            for (unit, g) in gen.iter_mut().enumerate() {
+                if *g > 0 {
+                    let stall = inj.next_stall_cycles(unit as u64);
+                    if stall > 0 {
+                        bcast_stats.stall_events += 1;
+                        bcast_stats.stall_cycles += stall;
+                        *g += stall;
+                    }
+                }
+            }
+        }
+
         // ---- Timing composition. ----
         let dram_report = {
             let _s = obs::span("nmp.dram.service", "nmp");
-            mem.service_all()
+            mem.try_service_all()?
         };
         let t_bl = cfg.dram.timing.t_bl as f64;
         let burst = cfg.dram.burst_bytes as f64;
@@ -581,6 +631,13 @@ impl FunctionalSim {
         let host_seconds = host_cycles_total as f64 / (cfg.host_clock_mhz * 1e6);
         energy.host_pj = cfg.host_active_watts * host_seconds * 1e12;
 
+        // The DRAM layer publishes its own fault counters at flush
+        // time; publish only the broadcast/unit layer's here, then
+        // merge both into the report.
+        bcast_stats.publish();
+        let mut fault_totals = dram_report.faults;
+        fault_totals.merge(&bcast_stats);
+
         Ok(FunctionalRun {
             embeddings,
             report: NmpReport {
@@ -589,6 +646,7 @@ impl FunctionalSim {
                 counts,
                 energy,
                 dram_stats: dram_report.stats,
+                faults: fault_totals,
             },
         })
     }
@@ -836,5 +894,90 @@ mod tests {
         let (ds, h) = setup(0.02, 16);
         let sim = FunctionalSim::new(nmp_config(16));
         assert!(sim.run(&ds.graph, &h, ModelKind::Magnn, &[]).is_err());
+    }
+
+    #[test]
+    fn zero_rate_faults_leave_report_identical() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let plain = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let gated = FunctionalSim::new(nmp_config(16).with_faults(FaultConfig::off()))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        assert_eq!(plain.report, gated.report);
+        assert!(gated.report.faults.is_empty());
+        assert_eq!(plain.embeddings.max_abs_diff(&gated.embeddings), 0.0);
+    }
+
+    #[test]
+    fn broadcast_drops_recover_via_fallback_with_same_embeddings() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let clean = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let lossy = FunctionalSim::new(nmp_config(16).with_faults(FaultConfig {
+            seed: 42,
+            broadcast_drop_rate: 0.5,
+            broadcast_corrupt_rate: 0.1,
+            ..FaultConfig::off()
+        }))
+        .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+        let f = &lossy.report.faults;
+        assert!(f.broadcast_drops > 0, "50 % drop rate must drop transfers");
+        assert!(f.broadcast_retries > 0, "drops must be retried");
+        assert!(
+            f.broadcast_fallbacks > 0,
+            "some transfers must degrade to p2p"
+        );
+        assert!(
+            lossy.report.seconds >= clean.report.seconds,
+            "recovery cannot be faster than the clean run"
+        );
+        // Recovery is transparent to the computation.
+        assert_eq!(lossy.embeddings.max_abs_diff(&clean.embeddings), 0.0);
+        assert_eq!(lossy.report.counts.instances, clean.report.counts.instances);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let cfg = FaultConfig {
+            seed: 7,
+            bit_flip_rate: 0.01,
+            broadcast_drop_rate: 0.2,
+            stall_rate: 0.05,
+            ..FaultConfig::off()
+        };
+        let run = || {
+            FunctionalSim::new(nmp_config(16).with_faults(cfg))
+                .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report);
+        assert!(a.report.faults.total_injected() > 0);
+    }
+
+    #[test]
+    fn stalled_rank_surfaces_as_fault_error() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let sim = FunctionalSim::new(nmp_config(16).with_faults(FaultConfig {
+            stalled_rank_mask: u64::MAX, // every rank dead
+            watchdog_limit: 200,
+            ..FaultConfig::off()
+        }));
+        match sim.run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths) {
+            Err(NmpError::Fault(faultsim::FaultError::Watchdog(e))) => {
+                assert!(!e.stuck_requests.is_empty(), "must name stuck requests");
+            }
+            other => panic!("expected a watchdog fault, got {:?}", other.map(|_| ())),
+        }
     }
 }

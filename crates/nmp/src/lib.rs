@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod buffers;
 pub mod comm;
@@ -57,6 +58,7 @@ pub mod layout;
 pub mod power;
 pub mod program;
 mod report;
+pub mod resilience;
 pub mod units;
 
 pub use comm::CommPolicy;
@@ -66,3 +68,5 @@ pub use estimate::{calibrate_rank_local, estimate, RankCalibration};
 pub use functional::{FunctionalRun, FunctionalSim};
 pub use power::AreaPowerModel;
 pub use report::{NmpCounts, NmpEnergy, NmpReport};
+
+pub use faultsim::{FaultConfig, FaultError, FaultStats, MemErrorKind, WatchdogError};

@@ -1,6 +1,7 @@
 //! Simulation reports: operation counts, cycles, and energy.
 
 use dramsim::{EnergyBreakdown, MemoryStats};
+use faultsim::FaultStats;
 use serde::{Deserialize, Serialize};
 
 /// Operation counts collected during a MetaNMP run.
@@ -93,6 +94,9 @@ pub struct NmpReport {
     pub energy: NmpEnergy,
     /// DRAM statistics (empty in estimate mode).
     pub dram_stats: MemoryStats,
+    /// Fault-injection accounting across DRAM and broadcast layers
+    /// (all zero when the fault model is inactive).
+    pub faults: FaultStats,
 }
 
 impl NmpReport {

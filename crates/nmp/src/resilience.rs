@@ -1,0 +1,189 @@
+//! Broadcast-bus resilience: bounded retry with exponential backoff,
+//! degrading gracefully to point-to-point sends.
+//!
+//! The §4.2 inter-DIMM broadcast is the fragile link in the MetaNMP
+//! datapath: one bus transfer must be latched correctly by every DIMM
+//! buffer chip on the channel. The recovery policy modeled here:
+//!
+//! 1. A dropped or corrupted transfer is re-broadcast up to
+//!    [`FaultConfig::retry_limit`] times, waiting
+//!    `retry_backoff_cycles << attempt` host cycles between attempts.
+//! 2. A transfer that exhausts its retry budget **falls back** to
+//!    point-to-point sends: one copy per consumer DIMM over the same
+//!    bus, costing `(dimms_per_channel − 1) ×` extra payload bytes but
+//!    guaranteed to deliver (p2p sends are individually acknowledged).
+//! 3. After [`FaultConfig::retry_limit`] *consecutive* fallbacks the
+//!    channel degrades for the rest of the phase: remaining transfers
+//!    skip the doomed broadcast attempts and go straight to p2p. This
+//!    is the graceful-degradation path — throughput drops, but the run
+//!    completes and the computed embeddings are unaffected.
+
+use faultsim::{BroadcastFault, FaultConfig, FaultInjector, FaultStats};
+
+/// Outcome of pushing one phase's broadcast transfers through the
+/// fault pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BroadcastOutcome {
+    /// Extra payload bytes the channel buses must carry (p2p copies
+    /// replacing failed broadcasts).
+    pub extra_bytes: f64,
+    /// Extra host cycles spent waiting out retry backoffs and
+    /// re-issuing transfers.
+    pub extra_host_cycles: u64,
+    /// Transfers that ended up delivered by broadcast.
+    pub delivered_broadcast: u64,
+    /// Transfers that ended up delivered point-to-point.
+    pub delivered_p2p: u64,
+}
+
+/// Runs `transfers` broadcast transfers of `avg_payload_bytes` each
+/// through the drop/corrupt → retry → p2p-fallback pipeline.
+///
+/// `p2p_copies` is the number of point-to-point sends replacing one
+/// broadcast (the consumer DIMM count of the channel); the first copy
+/// re-uses the payload already accounted to the broadcast, so a
+/// fallback adds `(p2p_copies − 1) × avg_payload_bytes`.
+///
+/// Deterministic: all decisions come from `inj`'s seeded schedule.
+/// Recovery actions are tallied into `stats`.
+pub fn apply_broadcast_faults(
+    inj: &mut FaultInjector,
+    cfg: &FaultConfig,
+    transfers: u64,
+    avg_payload_bytes: f64,
+    p2p_copies: u64,
+    stats: &mut FaultStats,
+) -> BroadcastOutcome {
+    let mut out = BroadcastOutcome::default();
+    if transfers == 0 || (cfg.broadcast_drop_rate <= 0.0 && cfg.broadcast_corrupt_rate <= 0.0) {
+        out.delivered_broadcast = transfers;
+        return out;
+    }
+    let extra_copies = p2p_copies.saturating_sub(1) as f64;
+    let mut consecutive_fallbacks: u64 = 0;
+    let degradation_threshold = u64::from(cfg.retry_limit.max(1));
+
+    for _ in 0..transfers {
+        if consecutive_fallbacks >= degradation_threshold {
+            // Degraded mode: the channel has given up on broadcast for
+            // this phase; deliver point-to-point directly.
+            stats.broadcast_fallbacks += 1;
+            out.delivered_p2p += 1;
+            out.extra_bytes += extra_copies * avg_payload_bytes;
+            continue;
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match inj.next_broadcast() {
+                BroadcastFault::Delivered => {
+                    out.delivered_broadcast += 1;
+                    consecutive_fallbacks = 0;
+                    break;
+                }
+                fault => {
+                    match fault {
+                        BroadcastFault::Dropped => stats.broadcast_drops += 1,
+                        BroadcastFault::Corrupted => stats.broadcast_corruptions += 1,
+                        BroadcastFault::Delivered => unreachable!("handled above"),
+                    }
+                    if attempt < cfg.retry_limit {
+                        stats.broadcast_retries += 1;
+                        out.extra_host_cycles += cfg.retry_backoff_cycles << attempt;
+                        attempt += 1;
+                    } else {
+                        // Retry budget exhausted: point-to-point
+                        // fallback delivers this transfer.
+                        stats.broadcast_fallbacks += 1;
+                        consecutive_fallbacks += 1;
+                        out.delivered_p2p += 1;
+                        out.extra_bytes += extra_copies * avg_payload_bytes;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: FaultConfig, transfers: u64) -> (BroadcastOutcome, FaultStats) {
+        let mut inj = FaultInjector::new(cfg);
+        let mut stats = FaultStats::default();
+        let out = apply_broadcast_faults(&mut inj, &cfg, transfers, 1024.0, 4, &mut stats);
+        (out, stats)
+    }
+
+    #[test]
+    fn fault_free_is_all_broadcast() {
+        let (out, stats) = run(FaultConfig::off(), 100);
+        assert_eq!(out.delivered_broadcast, 100);
+        assert_eq!(out.delivered_p2p, 0);
+        assert_eq!(out.extra_bytes, 0.0);
+        assert_eq!(out.extra_host_cycles, 0);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn every_transfer_is_delivered_one_way_or_another() {
+        let cfg = FaultConfig {
+            seed: 9,
+            broadcast_drop_rate: 0.3,
+            broadcast_corrupt_rate: 0.1,
+            ..FaultConfig::off()
+        };
+        let (out, stats) = run(cfg, 500);
+        assert_eq!(out.delivered_broadcast + out.delivered_p2p, 500);
+        assert!(stats.broadcast_drops > 0);
+        assert!(stats.broadcast_corruptions > 0);
+        assert!(stats.broadcast_retries > 0);
+    }
+
+    #[test]
+    fn certain_loss_degrades_to_p2p() {
+        let cfg = FaultConfig {
+            broadcast_drop_rate: 1.0,
+            retry_limit: 2,
+            ..FaultConfig::off()
+        };
+        let (out, stats) = run(cfg, 50);
+        assert_eq!(out.delivered_broadcast, 0);
+        assert_eq!(out.delivered_p2p, 50, "p2p fallback still delivers all");
+        assert_eq!(stats.broadcast_fallbacks, 50);
+        // Degraded mode kicks in after retry_limit consecutive
+        // fallbacks: only the first two transfers burn retries.
+        assert_eq!(stats.broadcast_retries, 2 * 2);
+        // Each fallback carries (copies − 1) extra payloads.
+        assert_eq!(out.extra_bytes, 50.0 * 3.0 * 1024.0);
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let cfg = FaultConfig {
+            broadcast_drop_rate: 1.0,
+            retry_limit: 3,
+            retry_backoff_cycles: 10,
+            ..FaultConfig::off()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut stats = FaultStats::default();
+        let out = apply_broadcast_faults(&mut inj, &cfg, 1, 64.0, 2, &mut stats);
+        // Attempts back off 10, 20, 40 cycles before the fallback.
+        assert_eq!(out.extra_host_cycles, 10 + 20 + 40);
+        assert_eq!(stats.broadcast_retries, 3);
+        assert_eq!(stats.broadcast_fallbacks, 1);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let cfg = FaultConfig {
+            seed: 77,
+            broadcast_drop_rate: 0.25,
+            ..FaultConfig::off()
+        };
+        assert_eq!(run(cfg, 300), run(cfg, 300));
+    }
+}
