@@ -1,0 +1,128 @@
+//! Structured checkpoint errors.
+//!
+//! Every variant names the offending file and the reason, so a rejected
+//! resume tells the operator exactly what to delete or rerun. The type
+//! is `Clone + PartialEq + Eq` so higher-level error enums (e.g.
+//! `metanmp::MetanmpError`) can embed it without losing their derives;
+//! I/O errors are therefore carried as rendered strings.
+
+use std::fmt;
+
+/// Why a checkpoint could not be written or loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File or directory the operation targeted.
+        path: String,
+        /// Operation that failed (`"create"`, `"read"`, `"rename"`, ...).
+        op: &'static str,
+        /// Rendered `std::io::Error`.
+        err: String,
+    },
+    /// The file does not start with the checkpoint magic bytes.
+    BadMagic {
+        /// Offending file.
+        path: String,
+    },
+    /// The file was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// Offending file.
+        path: String,
+        /// Version found in the header.
+        found: u32,
+        /// Latest version this build understands.
+        supported: u32,
+    },
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// Offending file.
+        path: String,
+        /// Bytes the header promised.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload CRC does not match the header.
+    ChecksumMismatch {
+        /// Offending file.
+        path: String,
+        /// CRC-32 stored in the header.
+        stored: u32,
+        /// CRC-32 computed over the payload.
+        computed: u32,
+    },
+    /// The snapshot was taken under a different configuration.
+    ConfigMismatch {
+        /// Offending file.
+        path: String,
+        /// Configuration hash the caller expected.
+        expected: u64,
+        /// Configuration hash stored in the file.
+        found: u64,
+    },
+    /// The payload passed the CRC but failed to parse or restore.
+    Malformed {
+        /// Offending file.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, op, err } => {
+                write!(f, "checkpoint {path}: {op} failed: {err}")
+            }
+            Self::BadMagic { path } => {
+                write!(f, "checkpoint {path}: not a checkpoint file (bad magic)")
+            }
+            Self::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "checkpoint {path}: format version {found} is newer than supported ({supported})"
+            ),
+            Self::Truncated { path, needed, got } => write!(
+                f,
+                "checkpoint {path}: truncated ({got} bytes, header promises {needed})"
+            ),
+            Self::ChecksumMismatch {
+                path,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checkpoint {path}: payload checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            Self::ConfigMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {path}: taken under a different configuration (expected hash {expected:#018x}, file has {found:#018x})"
+            ),
+            Self::Malformed { path, detail } => {
+                write!(f, "checkpoint {path}: malformed payload: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CheckpointError {
+    /// Builds an [`CheckpointError::Io`] from a `std::io::Error`.
+    pub fn io(path: &std::path::Path, op: &'static str, err: &std::io::Error) -> Self {
+        Self::Io {
+            path: path.display().to_string(),
+            op,
+            err: err.to_string(),
+        }
+    }
+}

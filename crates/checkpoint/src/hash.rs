@@ -1,0 +1,55 @@
+//! Stable content hashing for checkpoint headers and manifests.
+//!
+//! FNV-1a (64-bit) — deterministic across runs and platforms, unlike
+//! `std::collections::hash_map::DefaultHasher`, which is seeded per
+//! process. Configuration hashes are computed over the canonical JSON
+//! rendering of the config, so any field change (and only a field
+//! change) invalidates old snapshots.
+
+use serde::Serialize;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash of a string (manifest result digests).
+pub fn digest_str(s: &str) -> u64 {
+    fnv1a64(s.as_bytes())
+}
+
+/// Hash of a serializable configuration, stable across runs.
+///
+/// The value is rendered to compact JSON first; two configs hash equal
+/// iff their JSON forms are identical. Panics only if the config fails
+/// to serialize, which for the plain config structs in this workspace
+/// cannot happen.
+pub fn config_hash<T: Serialize>(config: &T) -> u64 {
+    let json = serde_json::to_string(config).expect("config serializes to JSON");
+    fnv1a64(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn config_hash_tracks_fields() {
+        assert_eq!(config_hash(&(1u64, "x")), config_hash(&(1u64, "x")));
+        assert_ne!(config_hash(&(1u64, "x")), config_hash(&(2u64, "x")));
+    }
+}

@@ -1,0 +1,43 @@
+//! Crash-safe checkpoint/resume support for the MetaNMP simulation stack.
+//!
+//! Long sweeps (the paper's Figs. 9–15 matrix) are expensive to rerun
+//! from scratch after a crash or SIGINT. This crate provides the pieces
+//! every layer shares:
+//!
+//! * [`atomic_write`] — durable file replacement (write temp → fsync →
+//!   rename) so results, manifests, and snapshots are never observed
+//!   half-written, even across power loss.
+//! * A versioned, checksummed snapshot container ([`save`] / [`load`]):
+//!   magic, format version, configuration hash, payload length, and a
+//!   CRC-32 over the payload. Corrupt or config-mismatched files are
+//!   rejected with a structured [`CheckpointError`] naming the file and
+//!   the reason — never a panic.
+//! * [`Snapshot`] / [`Restore`] traits implemented by the stateful
+//!   simulation layers (`dramsim::MemorySystem`, the `nmp` functional
+//!   engine, the `faultsim` injector).
+//! * A JSONL [`manifest`] journal for sweep runners: one fsync'd record
+//!   per completed cell, tolerant of a torn trailing line after a crash.
+//!
+//! Determinism contract: a run restored from a snapshot must replay the
+//! exact operation sequence an uninterrupted run would have executed, so
+//! the final output is byte-identical. The container stores state as
+//! JSON via the workspace `serde`; `f64` values round-trip exactly
+//! (shortest-representation printing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod crc;
+mod error;
+mod format;
+mod hash;
+pub mod manifest;
+mod traits;
+
+pub use atomic::{atomic_write, atomic_write_str};
+pub use crc::crc32;
+pub use error::CheckpointError;
+pub use format::{decode, encode, load, save, try_load, FORMAT_VERSION, MAGIC};
+pub use hash::{config_hash, digest_str, fnv1a64};
+pub use traits::{Restore, RestoreError, Snapshot};

@@ -1,0 +1,315 @@
+//! Sweep run manifest: a JSONL journal of completed cells.
+//!
+//! Line 1 is a [`JournalHeader`] (format version, sweep config hash,
+//! seed); every subsequent line is one [`CellRecord`] appended — and
+//! fsynced — the moment its cell completes. A crash can therefore tear
+//! at most the final line, which [`Journal::open_resume`] tolerates by
+//! discarding an unparseable trailing fragment; torn or malformed lines
+//! anywhere else are structural corruption and are rejected.
+//!
+//! On resume, a runner replays `result_json` for every journaled cell
+//! instead of re-simulating it. Because cells are deterministic, the
+//! replayed bytes match what a rerun would produce, keeping the final
+//! results file byte-identical to an uninterrupted sweep.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CheckpointError;
+use crate::format::FORMAT_VERSION;
+use crate::hash::digest_str;
+
+/// First line of a journal: identifies the sweep the records belong to.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Container format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Hash of the whole sweep configuration (grid + seed + scale).
+    pub config_hash: u64,
+    /// Seed the sweep runs under.
+    pub seed: u64,
+}
+
+/// One completed sweep cell.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Unique cell key within the sweep (e.g. `"ecc/bitflip=1e-3"`).
+    pub key: String,
+    /// Hash of this cell's own configuration.
+    pub config_hash: u64,
+    /// FNV-1a digest of `result_json` (integrity of the replay data).
+    pub result_digest: u64,
+    /// The cell's result, as the JSON the sweep would emit for it.
+    pub result_json: String,
+}
+
+/// Append-only journal handle.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path`, truncating any previous one.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, CheckpointError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| CheckpointError::io(dir, "create dir", &e))?;
+            }
+        }
+        let mut file = File::create(path).map_err(|e| CheckpointError::io(path, "create", &e))?;
+        let line = render_line(path, header)?;
+        file.write_all(line.as_bytes())
+            .map_err(|e| CheckpointError::io(path, "write", &e))?;
+        file.sync_data()
+            .map_err(|e| CheckpointError::io(path, "fsync", &e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Reopens an existing journal for resumption.
+    ///
+    /// Validates the header against `expected` (version, config hash,
+    /// seed) and returns the completed cell records. A trailing line
+    /// that fails to parse is treated as a torn in-flight append and
+    /// dropped; a malformed line followed by further lines is corruption
+    /// and rejected.
+    pub fn open_resume(
+        path: &Path,
+        expected: &JournalHeader,
+    ) -> Result<(Self, Vec<CellRecord>), CheckpointError> {
+        let p = || path.display().to_string();
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::io(path, "read", &e))?;
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        // `split` yields a final empty segment when the file ends in a
+        // newline; an unterminated non-empty final segment is either a
+        // fully written but unsynced record (kept if it parses) or a
+        // torn append (dropped by the parse loop below).
+        if lines.last() == Some(&"") {
+            lines.pop();
+        }
+        let Some(first) = lines.first() else {
+            return Err(CheckpointError::Malformed {
+                path: p(),
+                detail: "journal is empty (no header line)".into(),
+            });
+        };
+        let header: JournalHeader =
+            serde_json::from_str(first).map_err(|e| CheckpointError::Malformed {
+                path: p(),
+                detail: format!("header line failed to parse: {e}"),
+            })?;
+        if header.version > FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                path: p(),
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if header.config_hash != expected.config_hash {
+            return Err(CheckpointError::ConfigMismatch {
+                path: p(),
+                expected: expected.config_hash,
+                found: header.config_hash,
+            });
+        }
+        if header.seed != expected.seed {
+            return Err(CheckpointError::Malformed {
+                path: p(),
+                detail: format!(
+                    "journal was recorded with seed {}, resume requested seed {}",
+                    header.seed, expected.seed
+                ),
+            });
+        }
+        let mut cells = Vec::new();
+        let body = &lines[1..];
+        for (i, line) in body.iter().enumerate() {
+            match serde_json::from_str::<CellRecord>(line) {
+                Ok(rec) => {
+                    if digest_str(&rec.result_json) != rec.result_digest {
+                        return Err(CheckpointError::Malformed {
+                            path: p(),
+                            detail: format!(
+                                "cell {:?}: stored result does not match its digest",
+                                rec.key
+                            ),
+                        });
+                    }
+                    cells.push(rec);
+                }
+                Err(e) if i + 1 == body.len() => {
+                    // Torn trailing append from a crash mid-write: the
+                    // cell will simply be re-run. Truncate it away so
+                    // new appends start on a clean boundary.
+                    let _ = e;
+                    break;
+                }
+                Err(e) => {
+                    return Err(CheckpointError::Malformed {
+                        path: p(),
+                        detail: format!("journal line {} failed to parse: {e}", i + 2),
+                    });
+                }
+            }
+        }
+        // Rewrite the journal with only the intact records so the next
+        // append lands after valid data (atomic via the shared helper).
+        let mut clean = render_line(path, &header)?;
+        for rec in &cells {
+            clean.push_str(&render_line(path, rec)?);
+        }
+        crate::atomic::atomic_write_str(path, &clean)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| CheckpointError::io(path, "open append", &e))?;
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+            },
+            cells,
+        ))
+    }
+
+    /// Appends one completed cell and fsyncs the journal.
+    pub fn append(&mut self, record: &CellRecord) -> Result<(), CheckpointError> {
+        let line = render_line(&self.path, record)?;
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| CheckpointError::io(&self.path, "append", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| CheckpointError::io(&self.path, "fsync", &e))?;
+        Ok(())
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Builds a [`CellRecord`], computing the result digest.
+pub fn cell_record(key: &str, config_hash: u64, result_json: String) -> CellRecord {
+    CellRecord {
+        key: key.to_string(),
+        config_hash,
+        result_digest: digest_str(&result_json),
+        result_json,
+    }
+}
+
+fn render_line<T: Serialize>(path: &Path, value: &T) -> Result<String, CheckpointError> {
+    let mut line = serde_json::to_string(value).map_err(|e| CheckpointError::Malformed {
+        path: path.display().to_string(),
+        detail: format!("record failed to serialize: {e}"),
+    })?;
+    line.push('\n');
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metanmp-manifest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: FORMAT_VERSION,
+            config_hash: 0xFEED,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        j.append(&cell_record("b", 2, "{\"x\":2}".into())).unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key, "a");
+        assert_eq!(cells[1].result_json, "{\"x\":2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerates_torn_trailing_line() {
+        let dir = scratch("torn");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&cell_record("a", 1, "{}".into())).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"key\":\"b\",\"config_ha");
+        fs::write(&path, &bytes).unwrap();
+        let (mut j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        // And appends continue on a clean line boundary.
+        j.append(&cell_record("b", 2, "{}".into())).unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_wrong_sweep() {
+        let dir = scratch("wrong");
+        let path = dir.join("sweep.manifest.jsonl");
+        let j = Journal::create(&path, &header()).unwrap();
+        drop(j);
+        let other = JournalHeader {
+            config_hash: 0xBEEF,
+            ..header()
+        };
+        let err = Journal::open_resume(&path, &other).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ConfigMismatch { .. }),
+            "{err}"
+        );
+        let seed_change = JournalHeader {
+            seed: 7,
+            ..header()
+        };
+        let err = Journal::open_resume(&path, &seed_change).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_tampered_result() {
+        let dir = scratch("tamper");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&cell_record("a", 1, "{\"cycles\":100}".into()))
+            .unwrap();
+        j.append(&cell_record("b", 2, "{\"cycles\":200}".into()))
+            .unwrap();
+        drop(j);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("100", "999")).unwrap();
+        let err = Journal::open_resume(&path, &header()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,48 @@
+//! The [`Snapshot`] / [`Restore`] pair implemented by every stateful
+//! simulation layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A layer whose progress can be captured as a serializable state value.
+///
+/// The state must be *complete*: restoring it into a freshly
+/// constructed instance (same configuration) and running to the end
+/// must produce output byte-identical to an uninterrupted run.
+pub trait Snapshot {
+    /// Serializable image of the layer's mutable state.
+    type State: Serialize + Deserialize;
+
+    /// Captures the current state.
+    fn snapshot(&self) -> Self::State;
+}
+
+/// A layer that can adopt a previously captured state.
+pub trait Restore: Snapshot {
+    /// Overwrites this instance's state with `state`.
+    ///
+    /// Fails (without modifying observable behavior guarantees) when the
+    /// state is inconsistent with this instance's configuration — e.g.
+    /// a snapshot taken under a different channel count.
+    fn restore(&mut self, state: &Self::State) -> Result<(), RestoreError>;
+}
+
+/// Why a state image could not be adopted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError(pub String);
+
+impl RestoreError {
+    /// Builds an error from any displayable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}

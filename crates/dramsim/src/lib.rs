@@ -36,12 +36,16 @@
 mod address;
 mod config;
 mod request;
+mod snapshot;
 mod stats;
 mod system;
 
 pub use address::{AddressMapper, Location};
 pub use config::{DramConfig, EnergyParams, Timing};
 pub use request::{Completion, Locality, Request, RequestId, RequestKind};
+pub use snapshot::{
+    BankSnapshot, BurstState, ChannelSnapshot, InjectorSnapshot, RankSnapshot, SystemState,
+};
 pub use stats::{EnergyBreakdown, MemoryStats};
 pub use system::{MemorySystem, Report};
 

@@ -20,6 +20,9 @@ use faultsim::{
 use crate::address::{AddressMapper, Location};
 use crate::config::DramConfig;
 use crate::request::{Completion, Locality, Request, RequestId, RequestKind};
+use crate::snapshot::{
+    BankSnapshot, BurstState, ChannelSnapshot, InjectorSnapshot, RankSnapshot, SystemState,
+};
 use crate::stats::MemoryStats;
 
 /// Simulated-time activity slices within this many cycles of each
@@ -761,6 +764,198 @@ impl MemorySystem {
         }
         (data_start, finish)
     }
+
+    /// Builds a system directly from a state image: `new` under the
+    /// image's configuration, then [`checkpoint::Restore::restore`].
+    pub fn from_state(state: &SystemState) -> Result<Self, checkpoint::RestoreError> {
+        let mut sys = MemorySystem::new(state.config);
+        checkpoint::Restore::restore(&mut sys, state)?;
+        Ok(sys)
+    }
+}
+
+impl checkpoint::Snapshot for MemorySystem {
+    type State = SystemState;
+
+    /// Captures the complete scheduler state.
+    ///
+    /// Sound only at a `service_all` boundary (the natural checkpoint
+    /// site): the telemetry-local accumulators are flushed there, so
+    /// dropping them from the image loses nothing.
+    fn snapshot(&self) -> SystemState {
+        SystemState {
+            config: self.config,
+            stats: self.stats,
+            flushed: self.flushed,
+            fault_stats: self.fault_stats,
+            flushed_faults: self.flushed_faults,
+            pending: self.pending.clone(),
+            next_id: self.next_id,
+            injector: self.injector.as_ref().map(|inj| InjectorSnapshot {
+                config: *inj.config(),
+                state: checkpoint::Snapshot::snapshot(inj),
+            }),
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| ChannelSnapshot {
+                    ranks: ch
+                        .ranks
+                        .iter()
+                        .map(|r| RankSnapshot {
+                            banks: r
+                                .banks
+                                .iter()
+                                .map(|b| BankSnapshot {
+                                    open_row: b.open_row,
+                                    next_act: b.next_act,
+                                    next_col: b.next_col,
+                                    next_pre: b.next_pre,
+                                })
+                                .collect(),
+                            act_window: r.act_window.iter().copied().collect(),
+                            next_act_any: r.next_act_any,
+                            next_act_group: r.next_act_group.clone(),
+                            next_col_any: r.next_col_any,
+                            next_col_group: r.next_col_group.clone(),
+                            local_bus_free: r.local_bus_free,
+                            refresh_epoch: r.refresh_epoch,
+                        })
+                        .collect(),
+                    bus_free: ch.bus_free,
+                    queue: ch
+                        .queue
+                        .iter()
+                        .map(|b| BurstState {
+                            id: b.id.0,
+                            addr: b.addr,
+                            kind: b.kind,
+                            locality: b.locality,
+                            arrival: b.arrival,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl checkpoint::Restore for MemorySystem {
+    fn restore(&mut self, state: &SystemState) -> Result<(), checkpoint::RestoreError> {
+        use checkpoint::RestoreError;
+        if state.config != self.config {
+            return Err(RestoreError::new(
+                "memory-system snapshot was taken under a different DRAM configuration",
+            ));
+        }
+        if state.channels.len() != self.config.channels {
+            return Err(RestoreError::new(format!(
+                "snapshot has {} channels, configuration expects {}",
+                state.channels.len(),
+                self.config.channels
+            )));
+        }
+        let ranks_per_channel = self.config.dimms_per_channel * self.config.ranks_per_dimm;
+        let banks = self.config.banks_per_rank();
+        let groups = self.config.bank_groups;
+        if state.next_id != state.pending.len() {
+            return Err(RestoreError::new(format!(
+                "snapshot next_id {} disagrees with {} pending entries",
+                state.next_id,
+                state.pending.len()
+            )));
+        }
+        for (c, ch) in state.channels.iter().enumerate() {
+            if ch.ranks.len() != ranks_per_channel {
+                return Err(RestoreError::new(format!(
+                    "channel {c}: snapshot has {} ranks, configuration expects {ranks_per_channel}",
+                    ch.ranks.len()
+                )));
+            }
+            for (r, rank) in ch.ranks.iter().enumerate() {
+                if rank.banks.len() != banks
+                    || rank.next_act_group.len() != groups
+                    || rank.next_col_group.len() != groups
+                {
+                    return Err(RestoreError::new(format!(
+                        "channel {c} rank {r}: bank/group layout disagrees with configuration"
+                    )));
+                }
+            }
+            for b in &ch.queue {
+                if b.id >= state.pending.len() {
+                    return Err(RestoreError::new(format!(
+                        "channel {c}: queued burst references unknown request {}",
+                        b.id
+                    )));
+                }
+            }
+        }
+
+        self.injector = match &state.injector {
+            Some(snap) => {
+                let mut inj = FaultInjector::new(snap.config);
+                checkpoint::Restore::restore(&mut inj, &snap.state)?;
+                Some(inj)
+            }
+            None => None,
+        };
+        self.stats = state.stats;
+        self.flushed = state.flushed;
+        self.fault_stats = state.fault_stats;
+        self.flushed_faults = state.flushed_faults;
+        self.pending = state.pending.clone();
+        self.next_id = state.next_id;
+        self.channels = state
+            .channels
+            .iter()
+            .map(|ch| ChannelState {
+                ranks: ch
+                    .ranks
+                    .iter()
+                    .map(|r| RankState {
+                        banks: r
+                            .banks
+                            .iter()
+                            .map(|b| BankState {
+                                open_row: b.open_row,
+                                next_act: b.next_act,
+                                next_col: b.next_col,
+                                next_pre: b.next_pre,
+                            })
+                            .collect(),
+                        act_window: r.act_window.iter().copied().collect(),
+                        next_act_any: r.next_act_any,
+                        next_act_group: r.next_act_group.clone(),
+                        next_col_any: r.next_col_any,
+                        next_col_group: r.next_col_group.clone(),
+                        local_bus_free: r.local_bus_free,
+                        refresh_epoch: r.refresh_epoch,
+                        activity: None,
+                        busy_tally: 0,
+                    })
+                    .collect(),
+                bus_free: ch.bus_free,
+                queue: ch
+                    .queue
+                    .iter()
+                    .map(|b| Burst {
+                        id: RequestId(b.id),
+                        addr: b.addr,
+                        kind: b.kind,
+                        locality: b.locality,
+                        arrival: b.arrival,
+                    })
+                    .collect(),
+                tally: ChanTally::default(),
+            })
+            .collect();
+        // Telemetry-only accumulators restart empty (see `snapshot`).
+        self.latency_hist = obs::Histogram::new();
+        self.queue_depth_hist = obs::Histogram::new();
+        self.bank_act_tally = vec![0; banks];
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1212,6 +1407,55 @@ mod tests {
         }
         // The healthy rank's stats registered its read.
         assert_eq!(sys.stats().reads, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_timeline_exactly() {
+        use checkpoint::Snapshot;
+        let faults = FaultConfig {
+            seed: 42,
+            bit_flip_rate: 0.05,
+            stall_rate: 0.02,
+            stuck_row_rate: 0.01,
+            ..FaultConfig::off()
+        };
+        // Reference: one system services two batches back to back.
+        let mut reference = MemorySystem::with_faults(single_channel(), faults);
+        for i in 0..128u64 {
+            reference.enqueue(Request::read(i * 64, 64));
+        }
+        reference.try_service_all().expect("recoverable faults");
+
+        // Snapshot at the service boundary, restore into a fresh
+        // system, then feed both the second batch.
+        let state = reference.snapshot();
+        let mut resumed = MemorySystem::from_state(&state).expect("valid state");
+        for i in 128..256u64 {
+            reference.enqueue(Request::read(i * 64, 64));
+            resumed.enqueue(Request::read(i * 64, 64));
+        }
+        let a = reference.try_service_all().expect("recoverable faults");
+        let b = resumed.try_service_all().expect("recoverable faults");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch() {
+        use checkpoint::{Restore, Snapshot};
+        let sys = MemorySystem::new(single_channel());
+        let state = sys.snapshot();
+        let mut other = MemorySystem::new(DramConfig::default());
+        assert!(other.restore(&state).is_err(), "channel count differs");
+
+        let mut tampered = state.clone();
+        tampered.channels[0].ranks.pop();
+        let mut same_cfg = MemorySystem::new(single_channel());
+        assert!(same_cfg.restore(&tampered).is_err(), "rank layout differs");
     }
 
     #[test]

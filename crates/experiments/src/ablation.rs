@@ -65,6 +65,6 @@ pub fn ablations(_cx: &Ctx) -> ExpResult {
         ]);
     }
     t.note("Each column disables one mechanism of the full design; larger is worse.");
-    t.finish();
+    t.finish()?;
     Ok(())
 }

@@ -70,7 +70,7 @@ pub fn fig3(_cx: &Ctx) -> ExpResult {
         roof_rows.push((id, p));
     }
     t.note("Paper: matching is 8129x the inference time on average; the shape to reproduce is matching >> inference.");
-    t.finish();
+    t.finish()?;
 
     let mut r = TableWriter::new(
         "fig3b_roofline",
@@ -94,7 +94,7 @@ pub fn fig3(_cx: &Ctx) -> ExpResult {
         "CPU ridge point: {:.1} flop/B — matching sits far left of it.",
         cpu_roof.ridge_intensity()
     ));
-    r.finish();
+    r.finish()?;
     Ok(())
 }
 
@@ -130,7 +130,7 @@ pub fn fig4(_cx: &Ctx) -> ExpResult {
         "Average structural share: {} (paper: 83.56%).",
         fmt_pct(avg)
     ));
-    t.finish();
+    t.finish()?;
 
     let mut r = TableWriter::new(
         "fig4b_roofline",
@@ -153,7 +153,7 @@ pub fn fig4(_cx: &Ctx) -> ExpResult {
     r.note(
         "Paper: structural and semantic aggregation are memory-bound; projection is compute-bound.",
     );
-    r.finish();
+    r.finish()?;
     Ok(())
 }
 
@@ -192,6 +192,6 @@ pub fn fig5(_cx: &Ctx) -> ExpResult {
         "Average redundancy: {} (paper: up to 44.56% in MAGNN).",
         fmt_pct(avg)
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }

@@ -49,17 +49,36 @@ pub fn execution_dataset(id: DatasetId, instance_budget: u128) -> Dataset {
 /// Default per-dataset instance budget for engine execution.
 pub const EXEC_BUDGET: u128 = 1_500_000;
 
-/// Error from a failed experiment, carrying human-readable context.
+/// Error from an experiment that did not complete, carrying
+/// human-readable context.
 ///
-/// Experiments propagate these to `main`, which prints the message and
-/// exits non-zero — a bad preset or a diverged simulation reports what
-/// went wrong instead of panicking mid-table.
+/// Experiments propagate these to `main`: a [`ExpError::Failed`] prints
+/// its message and exits 1 — a bad preset or a diverged simulation
+/// reports what went wrong instead of panicking mid-table — while an
+/// [`ExpError::Interrupted`] sweep exits 3, telling the operator where
+/// to point `--resume`.
 #[derive(Debug)]
-pub struct ExpError(pub String);
+pub enum ExpError {
+    /// The experiment failed outright.
+    Failed(String),
+    /// A journaled sweep was stopped by SIGINT/SIGTERM (or the test
+    /// hook); completed cells and in-flight state live under `dir`.
+    Interrupted {
+        /// Sweep state directory to pass to `--resume`.
+        dir: std::path::PathBuf,
+    },
+}
 
 impl std::fmt::Display for ExpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            ExpError::Failed(msg) => f.write_str(msg),
+            ExpError::Interrupted { dir } => write!(
+                f,
+                "interrupted; state saved — resume with --resume {}",
+                dir.display()
+            ),
+        }
     }
 }
 
@@ -68,12 +87,28 @@ impl std::error::Error for ExpError {}
 /// The result type every experiment returns.
 pub type ExpResult = Result<(), ExpError>;
 
+/// Journaling/resumption settings for sweep experiments, from
+/// `--sweep-dir` / `--resume` / `--ckpt-interval`.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Directory holding the cell journal and in-flight checkpoint.
+    pub dir: std::path::PathBuf,
+    /// `true` when started via `--resume`: replay journaled cells and
+    /// pick up the in-flight checkpoint instead of truncating.
+    pub resume: bool,
+    /// In-run checkpoint granularity in start vertices.
+    pub interval: u64,
+}
+
 /// Per-invocation context threaded through every experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Ctx {
     /// Seed from `--seed`, consumed by seeded experiments — notably the
     /// deterministic fault schedule of the `faults` sweep.
     pub seed: u64,
+    /// When set, sweep experiments journal completed cells under
+    /// [`SweepOptions::dir`] and honor interrupts between cells.
+    pub sweep: Option<SweepOptions>,
 }
 
 /// Adds `.ctx("what")` to fallible calls on an experiment's result
@@ -85,13 +120,13 @@ pub trait ResultExt<T> {
 
 impl<T, E: std::fmt::Display> ResultExt<T> for Result<T, E> {
     fn ctx(self, what: &str) -> Result<T, ExpError> {
-        self.map_err(|e| ExpError(format!("{what}: {e}")))
+        self.map_err(|e| ExpError::Failed(format!("{what}: {e}")))
     }
 }
 
 impl<T> ResultExt<T> for Option<T> {
     fn ctx(self, what: &str) -> Result<T, ExpError> {
-        self.ok_or_else(|| ExpError(what.to_string()))
+        self.ok_or_else(|| ExpError::Failed(what.to_string()))
     }
 }
 
@@ -129,7 +164,14 @@ impl TableWriter {
     }
 
     /// Renders, prints, and saves the table.
-    pub fn finish(self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Failed`] naming the target path when the
+    /// `results/` file cannot be written — a full disk or missing
+    /// permissions must fail the experiment, not silently drop its
+    /// artifact.
+    pub fn finish(self) -> Result<(), ExpError> {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -159,8 +201,15 @@ impl TableWriter {
         }
         println!("{out}");
         let dir = Path::new("results");
-        let _ = fs::create_dir_all(dir);
-        let _ = fs::write(dir.join(format!("{}.md", self.name)), out);
+        let path = dir.join(format!("{}.md", self.name));
+        fs::create_dir_all(dir).ctx(&format!(
+            "creating {} for table {:?}",
+            dir.display(),
+            self.name
+        ))?;
+        checkpoint::atomic_write_str(&path, &out)
+            .ctx(&format!("writing table to {}", path.display()))?;
+        Ok(())
     }
 }
 

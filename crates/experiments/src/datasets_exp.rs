@@ -45,7 +45,7 @@ pub fn table3(_cx: &Ctx) -> ExpResult {
         ]);
     }
     t.note("Counts follow Table 3's schemas; web-scale presets are scaled per column 2.");
-    t.finish();
+    t.finish()?;
 
     let mut d = TableWriter::new(
         "table3_degrees",
@@ -85,6 +85,6 @@ pub fn table3(_cx: &Ctx) -> ExpResult {
     d.note(
         "The heavy top-1% shares are what make metapath instance counts explode multiplicatively.",
     );
-    d.finish();
+    d.finish()?;
     Ok(())
 }

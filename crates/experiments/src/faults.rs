@@ -18,13 +18,21 @@
 //! writes `results/faults.json` containing only simulation-derived
 //! values (no wall-clock), so two runs with the same seed produce
 //! byte-identical files.
+//!
+//! The experiment is a *resumable sweep*: with `--sweep-dir` each
+//! simulation is one journaled cell and the in-flight cell checkpoints
+//! through [`metanmp::SimulatorBuilder::checkpoint`], so a SIGINT'd run
+//! restarted with `--resume` replays completed cells, picks the
+//! interrupted simulation up mid-flight, and still produces a
+//! `results/faults.json` byte-identical to an uninterrupted run.
 
 use hetgraph::datasets::DatasetId;
 use hgnn::ModelKind;
-use metanmp::{FaultConfig, FaultStats, SimulationOutcome, Simulator};
+use metanmp::{FaultConfig, FaultStats, RunStatus, SimulationOutcome, Simulator};
 use serde::Serialize;
 
 use crate::common::{fmt_x, Ctx, ExpError, ExpResult, ResultExt, TableWriter};
+use crate::sweep::{self, SweepRunner};
 
 const DATASET: DatasetId = DatasetId::Imdb;
 const SCALE: f64 = 0.02;
@@ -32,6 +40,50 @@ const HIDDEN: usize = 16;
 
 const BIT_FLIP_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
 const DROP_RATES: [f64; 4] = [0.0, 0.05, 0.2, 0.5];
+
+/// Everything that determines one cell's result; hashed into the
+/// journal so a stale record never masquerades as the current config.
+#[derive(Serialize)]
+struct CellCfg {
+    dataset: DatasetId,
+    scale_bits: u64,
+    hidden: u64,
+    seed: u64,
+    faults: FaultConfig,
+}
+
+fn cell_hash(cx: &Ctx, faults: &FaultConfig) -> u64 {
+    checkpoint::config_hash(&CellCfg {
+        dataset: DATASET,
+        scale_bits: SCALE.to_bits(),
+        hidden: HIDDEN as u64,
+        seed: cx.seed,
+        faults: *faults,
+    })
+}
+
+/// The whole sweep's identity: grid plus shared parameters. Changing
+/// any of these invalidates an existing journal.
+#[derive(Serialize)]
+struct SweepCfg {
+    dataset: DatasetId,
+    scale_bits: u64,
+    hidden: u64,
+    seed: u64,
+    bit_flip_bits: Vec<u64>,
+    drop_bits: Vec<u64>,
+}
+
+fn sweep_hash(cx: &Ctx) -> u64 {
+    checkpoint::config_hash(&SweepCfg {
+        dataset: DATASET,
+        scale_bits: SCALE.to_bits(),
+        hidden: HIDDEN as u64,
+        seed: cx.seed,
+        bit_flip_bits: BIT_FLIP_RATES.iter().map(|r| r.to_bits()).collect(),
+        drop_bits: DROP_RATES.iter().map(|r| r.to_bits()).collect(),
+    })
+}
 
 /// One sweep point, serialized into `results/faults.json`. Every field
 /// is derived from the (deterministic) simulation — no timestamps or
@@ -62,16 +114,43 @@ struct JsonDoc {
     rows: Vec<JsonRow>,
 }
 
-fn run_one(faults: FaultConfig) -> Result<SimulationOutcome, ExpError> {
-    let sim = Simulator::builder()
+fn run_one(cx: &Ctx, faults: FaultConfig) -> Result<SimulationOutcome, ExpError> {
+    let mut builder = Simulator::builder()
         .dataset(DATASET)
         .scale(SCALE)
         .model(ModelKind::Magnn)
         .hidden_dim(HIDDEN)
-        .faults(faults)
-        .build()
-        .ctx("faults: simulator configuration")?;
-    sim.run().ctx("faults: end-to-end simulation")
+        .faults(faults);
+    if let Some(sweep) = &cx.sweep {
+        builder = builder
+            .checkpoint(sweep.dir.join("inflight.ckpt"))
+            .checkpoint_interval(sweep.interval);
+    }
+    let sim = builder.build().ctx("faults: simulator configuration")?;
+    match sim
+        .run_interruptible(sweep::interrupt_flag())
+        .ctx("faults: end-to-end simulation")?
+    {
+        RunStatus::Complete(outcome) => Ok(outcome),
+        RunStatus::Interrupted => Err(match &cx.sweep {
+            Some(sweep) => ExpError::Interrupted {
+                dir: sweep.dir.clone(),
+            },
+            None => {
+                ExpError::Failed("faults: interrupted (no --sweep-dir, nothing persisted)".into())
+            }
+        }),
+    }
+}
+
+/// Runs (or replays) one simulation cell of the sweep.
+fn sim_cell(
+    runner: &mut SweepRunner,
+    cx: &Ctx,
+    key: &str,
+    faults: FaultConfig,
+) -> Result<SimulationOutcome, ExpError> {
+    runner.cell(key, cell_hash(cx, &faults), || run_one(cx, faults))
 }
 
 fn json_row(sweep: &str, rate: f64, base_cycles: u64, out: &SimulationOutcome) -> JsonRow {
@@ -91,7 +170,8 @@ fn json_row(sweep: &str, rate: f64, base_cycles: u64, out: &SimulationOutcome) -
 
 /// Runs the fault-rate sweeps and writes `results/faults.json`.
 pub fn faults(cx: &Ctx) -> ExpResult {
-    let base = run_one(FaultConfig::off())?;
+    let mut runner = SweepRunner::open(cx, "faults", sweep_hash(cx))?;
+    let base = sim_cell(&mut runner, cx, "baseline", FaultConfig::off())?;
     let base_cycles = base.nmp.cycles;
     let mut rows: Vec<JsonRow> = Vec::new();
 
@@ -111,11 +191,16 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         ],
     );
     for rate in BIT_FLIP_RATES {
-        let out = run_one(FaultConfig {
-            seed: cx.seed,
-            bit_flip_rate: rate,
-            ..FaultConfig::off()
-        })?;
+        let out = sim_cell(
+            &mut runner,
+            cx,
+            &format!("bit_flip/{rate:e}"),
+            FaultConfig {
+                seed: cx.seed,
+                bit_flip_rate: rate,
+                ..FaultConfig::off()
+            },
+        )?;
         let f = out.nmp.faults;
         t.row(vec![
             format!("{rate:.0e}"),
@@ -130,7 +215,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         rows.push(json_row("bit_flip", rate, base_cycles, &out));
     }
     t.note("SEC-DED corrects single-bit flips and retries detected double-bit flips; embeddings stay verified while latency absorbs the recovery cost.");
-    t.finish();
+    t.finish()?;
 
     // ---- 2. Broadcast sweep: dropped inter-DIMM transfers --------
     let mut t = TableWriter::new(
@@ -147,11 +232,16 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         ],
     );
     for rate in DROP_RATES {
-        let out = run_one(FaultConfig {
-            seed: cx.seed,
-            broadcast_drop_rate: rate,
-            ..FaultConfig::off()
-        })?;
+        let out = sim_cell(
+            &mut runner,
+            cx,
+            &format!("broadcast_drop/{rate:e}"),
+            FaultConfig {
+                seed: cx.seed,
+                broadcast_drop_rate: rate,
+                ..FaultConfig::off()
+            },
+        )?;
         let f = out.nmp.faults;
         t.row(vec![
             format!("{rate}"),
@@ -165,7 +255,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         rows.push(json_row("broadcast_drop", rate, base_cycles, &out));
     }
     t.note("Dropped broadcasts are retried with exponential backoff; transfers that exhaust the budget fall back to point-to-point sends, so every run completes verified.");
-    t.finish();
+    t.finish()?;
 
     // ---- 3. Watchdog demo: all ranks stalled ---------------------
     let mut t = TableWriter::new(
@@ -173,14 +263,19 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         "Faults — watchdog trip and graceful degradation (all ranks stalled)",
         &["Scenario", "Degraded", "Watchdog trips", "Reason"],
     );
-    let out = run_one(FaultConfig {
-        seed: cx.seed,
-        stalled_rank_mask: u64::MAX,
-        watchdog_limit: 200,
-        ..FaultConfig::off()
-    })?;
+    let out = sim_cell(
+        &mut runner,
+        cx,
+        "watchdog_stall",
+        FaultConfig {
+            seed: cx.seed,
+            stalled_rank_mask: u64::MAX,
+            watchdog_limit: 200,
+            ..FaultConfig::off()
+        },
+    )?;
     if !out.degraded {
-        return Err(ExpError(
+        return Err(ExpError::Failed(
             "faults: stalled-rank scenario was expected to degrade but did not".to_string(),
         ));
     }
@@ -191,7 +286,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         out.degraded_reason.clone().unwrap_or_default(),
     ]);
     t.note("The forward-progress watchdog aborts the wedged cycle simulation with a structured error; the simulator falls back to the analytical estimate and marks the outcome degraded.");
-    t.finish();
+    t.finish()?;
     rows.push(json_row("watchdog_stall", 1.0, base_cycles, &out));
 
     // ---- Deterministic JSON artifact -----------------------------
@@ -207,7 +302,8 @@ pub fn faults(cx: &Ctx) -> ExpResult {
     };
     let json = serde_json::to_string_pretty(&doc).ctx("faults: serializing results")?;
     std::fs::create_dir_all("results").ctx("faults: creating results/")?;
-    std::fs::write("results/faults.json", json).ctx("faults: writing results/faults.json")?;
+    checkpoint::atomic_write_str(std::path::Path::new("results/faults.json"), &json)
+        .ctx("faults: writing results/faults.json")?;
     eprintln!("faults: deterministic sweep written to results/faults.json");
     Ok(())
 }

@@ -57,7 +57,7 @@ pub fn fig15(_cx: &Ctx) -> ExpResult {
         "Geomean broadcast speedup: {} (paper: 2.35x).",
         fmt_x(geo)
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }
 
@@ -98,7 +98,7 @@ pub fn fig16(_cx: &Ctx) -> ExpResult {
         }
     }
     t.note("Paper: single-channel scaling flattens (the shared bus serializes broadcasts); multi-channel scaling stays near-linear.");
-    t.finish();
+    t.finish()?;
     Ok(())
 }
 
@@ -132,7 +132,7 @@ pub fn fig17(_cx: &Ctx) -> ExpResult {
         ]);
     }
     t.note("Paper: 4 ranks are 1.96x faster than 2 ranks — rank-level AUs scale aggregation bandwidth.");
-    t.finish();
+    t.finish()?;
     Ok(())
 }
 
@@ -192,7 +192,7 @@ pub fn fig18(_cx: &Ctx) -> ExpResult {
         fmt_x(avg_ratio),
         fmt_pct(avg_share)
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }
 
@@ -229,6 +229,6 @@ pub fn table5(_cx: &Ctx) -> ExpResult {
         fmt_pct(m.area_fraction_of_dram_chip(2)),
         fmt_pct(m.power_fraction_of_lrdimm(2))
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }

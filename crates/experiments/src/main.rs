@@ -11,11 +11,20 @@
 //!   --seed <u64>          seed for seeded experiments (default 42)
 //!   --metrics-out <path>  write a JSON telemetry snapshot after the run
 //!   --trace-out <path>    write a Chrome trace-event file (Perfetto)
+//!   --sweep-dir <dir>     journal sweep cells under <dir> (fresh sweep)
+//!   --resume <dir>        resume a journaled sweep from <dir>
+//!   --ckpt-interval <n>   in-run checkpoint granularity in start
+//!                         vertices (default 256)
 //! ```
 //!
 //! Output tables print to stdout and are saved under `results/`. An
 //! experiment that fails (bad preset, diverged simulation, I/O error)
 //! prints its error and exits non-zero instead of panicking.
+//!
+//! With `--sweep-dir`/`--resume`, SIGINT and SIGTERM are handled
+//! cooperatively: the in-flight simulation is checkpointed, the run
+//! exits with code 3 ("interrupted, resumable"), and a rerun with
+//! `--resume <dir>` continues to a byte-identical result.
 
 mod ablation;
 mod characterization;
@@ -25,11 +34,12 @@ mod faults;
 mod hardware;
 mod memory_exps;
 mod performance;
+mod sweep;
 mod verification;
 
 use std::process::ExitCode;
 
-use common::{Ctx, ExpResult};
+use common::{Ctx, ExpError, ExpResult, SweepOptions};
 
 type ExpFn = fn(&Ctx) -> ExpResult;
 
@@ -60,6 +70,9 @@ fn usage() {
     eprintln!("  --seed <u64>          seed for seeded experiments (default 42)");
     eprintln!("  --metrics-out <path>  write a JSON telemetry snapshot after the run");
     eprintln!("  --trace-out <path>    write a Chrome trace-event file (Perfetto)");
+    eprintln!("  --sweep-dir <dir>     journal sweep cells under <dir> (fresh sweep)");
+    eprintln!("  --resume <dir>        resume a journaled sweep from <dir>");
+    eprintln!("  --ckpt-interval <n>   in-run checkpoint granularity (default 256)");
 }
 
 fn main() -> ExitCode {
@@ -73,33 +86,46 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut seed: u64 = 42;
+    let mut sweep_dir: Option<String> = None;
+    let mut resume = false;
+    let mut ckpt_interval: u64 = 256;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--metrics-out" | "--trace-out" => {
+            "--metrics-out" | "--trace-out" | "--sweep-dir" | "--resume" => {
                 let Some(path) = it.next() else {
                     eprintln!("{arg} requires a path argument");
                     return ExitCode::from(2);
                 };
-                if arg == "--metrics-out" {
-                    metrics_out = Some(path);
-                } else {
-                    trace_out = Some(path);
+                match arg.as_str() {
+                    "--metrics-out" => metrics_out = Some(path),
+                    "--trace-out" => trace_out = Some(path),
+                    "--sweep-dir" => sweep_dir = Some(path),
+                    _ => {
+                        sweep_dir = Some(path);
+                        resume = true;
+                    }
                 }
             }
-            "--seed" => {
+            "--seed" | "--ckpt-interval" => {
                 let Some(v) = it.next() else {
-                    eprintln!("--seed requires an unsigned integer argument");
+                    eprintln!("{arg} requires an unsigned integer argument");
                     return ExitCode::from(2);
                 };
-                seed = match v.parse() {
-                    Ok(s) => s,
-                    Err(_) => {
-                        eprintln!("--seed requires an unsigned integer, got {v:?}");
+                let Ok(n) = v.parse::<u64>() else {
+                    eprintln!("{arg} requires an unsigned integer, got {v:?}");
+                    return ExitCode::from(2);
+                };
+                if arg == "--seed" {
+                    seed = n;
+                } else {
+                    if n == 0 {
+                        eprintln!("--ckpt-interval must be positive");
                         return ExitCode::from(2);
                     }
-                };
+                    ckpt_interval = n;
+                }
             }
             _ if arg.starts_with("--") => {
                 eprintln!("unknown option {arg:?}");
@@ -114,12 +140,47 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let cx = Ctx { seed };
+    let sweep_opts = sweep_dir.map(|dir| SweepOptions {
+        dir: dir.into(),
+        resume,
+        interval: ckpt_interval,
+    });
+    if let Some(opts) = &sweep_opts {
+        if let Err(e) = std::fs::create_dir_all(&opts.dir) {
+            eprintln!("failed to create sweep dir {}: {e}", opts.dir.display());
+            return ExitCode::FAILURE;
+        }
+        sweep::install_signal_handlers();
+        // Deterministic interruption for the resume soak test.
+        if let Ok(v) = std::env::var("METANMP_INTERRUPT_AFTER_CELLS") {
+            match v.parse::<u64>() {
+                Ok(n) => sweep::set_interrupt_after_cells(n),
+                Err(_) => {
+                    eprintln!("METANMP_INTERRUPT_AFTER_CELLS must be an unsigned integer");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let cx = Ctx {
+        seed,
+        sweep: sweep_opts,
+    };
     let run = |name: &str, f: fn(&Ctx) -> ExpResult| -> Result<(), ExitCode> {
         banner(name);
-        f(&cx).map_err(|e| {
-            eprintln!("experiment {name} failed: {e}");
-            ExitCode::FAILURE
+        f(&cx).map_err(|e| match e {
+            ExpError::Interrupted { dir } => {
+                eprintln!(
+                    "experiment {name} interrupted, resumable: rerun with --resume {}",
+                    dir.display()
+                );
+                ExitCode::from(3)
+            }
+            e => {
+                eprintln!("experiment {name} failed: {e}");
+                ExitCode::FAILURE
+            }
         })
     };
     let mut ran = std::collections::BTreeSet::new();
@@ -157,14 +218,16 @@ fn main() -> ExitCode {
 
     phase_summary();
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, obs::snapshot_json()) {
+        let p = std::path::Path::new(path);
+        if let Err(e) = checkpoint::atomic_write_str(p, &obs::snapshot_json()) {
             eprintln!("failed to write metrics snapshot to {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("telemetry: metrics snapshot written to {path}");
     }
     if let Some(path) = &trace_out {
-        if let Err(e) = std::fs::write(path, obs::chrome_trace_json()) {
+        let p = std::path::Path::new(path);
+        if let Err(e) = checkpoint::atomic_write_str(p, &obs::chrome_trace_json()) {
             eprintln!("failed to write Chrome trace to {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -195,7 +258,9 @@ fn phase_summary() {
         ]);
     }
     table.note("Spans nest, so totals across phases can exceed wall time.");
-    table.finish();
+    if let Err(e) = table.finish() {
+        eprintln!("telemetry: failed to save phase summary: {e}");
+    }
 }
 
 fn names() -> Vec<&'static str> {

@@ -43,7 +43,7 @@ pub fn table1(_cx: &Ctx) -> ExpResult {
         fmt_x(avg)
     ));
     t.note("Web-scale presets are generated at reduced scale (column 2); the ratio grows with scale, so full-scale ratios are higher.");
-    t.finish();
+    t.finish()?;
     Ok(())
 }
 
@@ -74,6 +74,6 @@ pub fn table4(_cx: &Ctx) -> ExpResult {
         "Average reduction: {} (paper: 51.9% average).",
         fmt_pct(avg)
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }

@@ -113,12 +113,12 @@ pub fn fig12_13(_cx: &Ctx) -> ExpResult {
         fmt_x(geo(&gpu_speedups))
     ));
     speed.note("OM/OG are generated at reduced scale; GPU OOM is decided from the analysis-scale working set like the paper's full-scale runs.");
-    speed.finish();
+    speed.finish()?;
     energy.note(&format!(
         "Geomean MetaNMP energy gain over CPU: {} (paper: 3563.25x).",
         fmt_x(geo(&metanmp_energy))
     ));
-    energy.finish();
+    energy.finish()?;
     Ok(())
 }
 
@@ -190,6 +190,6 @@ pub fn fig14(_cx: &Ctx) -> ExpResult {
         fmt_x(geo(&wo)),
         fmt_x(geo(&full_v))
     ));
-    t.finish();
+    t.finish()?;
     Ok(())
 }

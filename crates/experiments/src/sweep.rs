@@ -1,0 +1,197 @@
+//! Resumable sweep execution: cell journaling and interrupt plumbing.
+//!
+//! A sweep experiment wraps each unit of work (a "cell") in
+//! [`SweepRunner::cell`]. With `--sweep-dir` set, every completed cell
+//! is appended to a JSONL journal ([`checkpoint::manifest::Journal`])
+//! keyed by the cell's configuration hash; `--resume` replays journaled
+//! cells from their stored result JSON instead of re-simulating, so an
+//! interrupted sweep picks up exactly where it stopped and the final
+//! artifacts are byte-identical to an uninterrupted run.
+//!
+//! Interruption is cooperative: SIGINT/SIGTERM (or the
+//! `METANMP_INTERRUPT_AFTER_CELLS` test hook) set a process-global
+//! flag. The runner checks it before each cell; the end-to-end
+//! simulator checks the same flag between checkpoint chunks via
+//! [`metanmp::Simulator::run_interruptible`], persisting an in-flight
+//! snapshot so even a half-finished cell resumes mid-simulation.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use checkpoint::manifest::{cell_record, CellRecord, Journal, JournalHeader};
+use checkpoint::FORMAT_VERSION;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{Ctx, ExpError, ResultExt};
+
+/// Process-global interrupt request, set by the signal handlers and the
+/// test hook, checked between sweep cells and simulation chunks.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Test hook: number of freshly computed cells after which an interrupt
+/// is requested automatically (0 = disabled).
+static INTERRUPT_AFTER: AtomicU64 = AtomicU64::new(0);
+
+/// Whether an interrupt has been requested.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Requests a cooperative interrupt (what the signal handlers do).
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// The interrupt flag itself, for
+/// [`metanmp::Simulator::run_interruptible`].
+pub fn interrupt_flag() -> &'static AtomicBool {
+    &INTERRUPTED
+}
+
+/// Deterministic interruption for tests: request an interrupt after `n`
+/// freshly computed (non-replayed) cells complete. `0` disables.
+pub fn set_interrupt_after_cells(n: u64) {
+    INTERRUPT_AFTER.store(n, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the interrupt flag.
+///
+/// Only the async-signal-safe atomic store happens in the handler; the
+/// sweep loop notices the flag at the next cell or checkpoint-chunk
+/// boundary, persists state, and exits with code 3.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op on platforms without POSIX signals; `--sweep-dir` still
+/// journals and the test hook still interrupts.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// Runs a sweep's cells, journaling completions and replaying them on
+/// resume. With no sweep options configured every cell just runs
+/// directly (no journal, no interrupt checks between cells).
+#[derive(Debug)]
+pub struct SweepRunner {
+    journal: Option<Journal>,
+    cached: BTreeMap<String, CellRecord>,
+    dir: Option<PathBuf>,
+    fresh_cells: u64,
+}
+
+impl SweepRunner {
+    /// Opens (or resumes) the journal for sweep `name`.
+    ///
+    /// `sweep_hash` must cover everything that determines the sweep's
+    /// cell grid and results; a journal recorded under a different hash
+    /// or seed is refused rather than replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O and validation failures as
+    /// [`ExpError::Failed`].
+    pub fn open(cx: &Ctx, name: &str, sweep_hash: u64) -> Result<Self, ExpError> {
+        let Some(sweep) = &cx.sweep else {
+            return Ok(SweepRunner {
+                journal: None,
+                cached: BTreeMap::new(),
+                dir: None,
+                fresh_cells: 0,
+            });
+        };
+        let path = sweep.dir.join(format!("{name}.manifest.jsonl"));
+        let header = JournalHeader {
+            version: FORMAT_VERSION,
+            config_hash: sweep_hash,
+            seed: cx.seed,
+        };
+        let what = format!("sweep {name}: journal {}", path.display());
+        let (journal, cells) = if sweep.resume && path.exists() {
+            Journal::open_resume(&path, &header).ctx(&what)?
+        } else {
+            (Journal::create(&path, &header).ctx(&what)?, Vec::new())
+        };
+        if !cells.is_empty() {
+            eprintln!(
+                "sweep {name}: resuming, {} completed cell(s) replayed from {}",
+                cells.len(),
+                path.display()
+            );
+        }
+        Ok(SweepRunner {
+            journal: Some(journal),
+            cached: cells.into_iter().map(|c| (c.key.clone(), c)).collect(),
+            dir: Some(sweep.dir.clone()),
+            fresh_cells: 0,
+        })
+    }
+
+    /// Runs (or replays) one cell.
+    ///
+    /// A journaled completion with a matching configuration hash is
+    /// deserialized from its stored result JSON; otherwise `run` is
+    /// invoked and its serialized result journaled. Before computing a
+    /// fresh cell, a pending interrupt aborts the sweep with
+    /// [`ExpError::Interrupted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `run` failures, journal failures, and interruption.
+    pub fn cell<T, F>(&mut self, key: &str, cell_hash: u64, run: F) -> Result<T, ExpError>
+    where
+        T: Serialize + Deserialize,
+        F: FnOnce() -> Result<T, ExpError>,
+    {
+        if let Some(rec) = self.cached.get(key) {
+            if rec.config_hash != cell_hash {
+                return Err(ExpError::Failed(format!(
+                    "sweep cell {key:?}: journaled under config hash {:#018x}, \
+                     sweep now expects {cell_hash:#018x} — delete the sweep dir to start over",
+                    rec.config_hash
+                )));
+            }
+            return serde_json::from_str(&rec.result_json)
+                .ctx(&format!("sweep cell {key:?}: replaying journaled result"));
+        }
+        if self.journal.is_some() && interrupted() {
+            return Err(self.interrupted_error());
+        }
+        let value = run()?;
+        if let Some(journal) = &mut self.journal {
+            let json = serde_json::to_string(&value)
+                .ctx(&format!("sweep cell {key:?}: serializing result"))?;
+            journal
+                .append(&cell_record(key, cell_hash, json))
+                .ctx(&format!("sweep cell {key:?}: journaling completion"))?;
+            self.fresh_cells += 1;
+            let after = INTERRUPT_AFTER.load(Ordering::SeqCst);
+            if after != 0 && self.fresh_cells >= after {
+                request_interrupt();
+            }
+        }
+        Ok(value)
+    }
+
+    /// The error a pending interrupt turns into.
+    pub fn interrupted_error(&self) -> ExpError {
+        match &self.dir {
+            Some(dir) => ExpError::Interrupted { dir: dir.clone() },
+            // Interrupted without journaling: nothing was persisted, so
+            // this is a plain failure rather than a resumable stop.
+            None => ExpError::Failed("interrupted (no --sweep-dir, nothing persisted)".into()),
+        }
+    }
+}

@@ -38,7 +38,7 @@ pub fn verify(_cx: &Ctx) -> ExpResult {
                 .ctx("verify: simulator configuration")?;
             let out = sim.run().ctx("verify: end-to-end simulation")?;
             if !out.matches_reference {
-                return Err(ExpError(format!(
+                return Err(ExpError::Failed(format!(
                     "verify: {}-{} diverged from reference by {}",
                     id.abbrev(),
                     kind.name(),
@@ -55,6 +55,6 @@ pub fn verify(_cx: &Ctx) -> ExpResult {
         }
     }
     t.note("Hardware embeddings must match the software reference within float-reassociation tolerance (1e-3).");
-    t.finish();
+    t.finish()?;
     Ok(())
 }

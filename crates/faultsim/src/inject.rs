@@ -184,6 +184,53 @@ impl FaultInjector {
     }
 }
 
+/// Serializable image of an injector's progress: the event counter of
+/// each stochastic stream, plus the seed as a consistency guard.
+///
+/// Persistent faults (stuck rows, failed banks, stalled ranks) are
+/// stateless coordinate hashes and need no state; restoring the three
+/// counters makes the remaining fault schedule continue exactly where
+/// the snapshot left off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorState {
+    /// Seed of the configuration the counters were advanced under.
+    pub seed: u64,
+    /// Events consumed from the read-burst stream.
+    pub read_events: u64,
+    /// Events consumed from the broadcast stream.
+    pub broadcast_events: u64,
+    /// Events consumed from the stall stream.
+    pub stall_events: u64,
+}
+
+impl checkpoint::Snapshot for FaultInjector {
+    type State = InjectorState;
+
+    fn snapshot(&self) -> InjectorState {
+        InjectorState {
+            seed: self.config.seed,
+            read_events: self.read_events,
+            broadcast_events: self.broadcast_events,
+            stall_events: self.stall_events,
+        }
+    }
+}
+
+impl checkpoint::Restore for FaultInjector {
+    fn restore(&mut self, state: &InjectorState) -> Result<(), checkpoint::RestoreError> {
+        if state.seed != self.config.seed {
+            return Err(checkpoint::RestoreError::new(format!(
+                "injector snapshot was taken under seed {}, this injector uses seed {}",
+                state.seed, self.config.seed
+            )));
+        }
+        self.read_events = state.read_events;
+        self.broadcast_events = state.broadcast_events;
+        self.stall_events = state.stall_events;
+        Ok(())
+    }
+}
+
 /// Counters for every fault injected and every recovery action taken.
 ///
 /// Lives in simulator reports (serde) and publishes to the `obs`
@@ -421,6 +468,32 @@ mod tests {
             any_stuck |= first;
         }
         assert!(any_stuck, "rate 0.1 over 2000 rows hits some row");
+    }
+
+    #[test]
+    fn snapshot_resumes_stream_positions() {
+        use checkpoint::{Restore, Snapshot};
+        let mut a = active(42);
+        for _ in 0..137 {
+            a.next_read_flips();
+        }
+        for _ in 0..55 {
+            a.next_broadcast();
+        }
+        for _ in 0..19 {
+            a.next_stall_cycles(2);
+        }
+        let state = a.snapshot();
+        let mut b = active(42);
+        b.restore(&state).expect("same seed restores");
+        for _ in 0..500 {
+            assert_eq!(a.next_read_flips(), b.next_read_flips());
+            assert_eq!(a.next_broadcast(), b.next_broadcast());
+            assert_eq!(a.next_stall_cycles(7), b.next_stall_cycles(7));
+        }
+        // A different seed must refuse the snapshot.
+        let mut c = active(43);
+        assert!(c.restore(&state).is_err());
     }
 
     #[test]

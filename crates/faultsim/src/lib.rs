@@ -36,5 +36,5 @@ mod watchdog;
 
 pub use config::FaultConfig;
 pub use error::{FaultError, MemError, MemErrorKind};
-pub use inject::{BroadcastFault, FaultInjector, FaultStats};
+pub use inject::{BroadcastFault, FaultInjector, FaultStats, InjectorState};
 pub use watchdog::{Watchdog, WatchdogError};

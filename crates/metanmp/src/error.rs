@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use checkpoint::{CheckpointError, RestoreError};
 use hetgraph::GraphError;
 use hgnn::HgnnError;
 use nmp::NmpError;
@@ -19,6 +20,12 @@ pub enum MetanmpError {
     Nmp(NmpError),
     /// Invalid simulator configuration.
     Config(String),
+    /// Checkpoint container error: I/O, corruption, or a snapshot
+    /// written under a different configuration.
+    Checkpoint(CheckpointError),
+    /// A checkpoint decoded fine but its state image is inconsistent
+    /// with the configured run.
+    Restore(RestoreError),
 }
 
 impl fmt::Display for MetanmpError {
@@ -28,6 +35,8 @@ impl fmt::Display for MetanmpError {
             MetanmpError::Hgnn(e) => write!(f, "model error: {e}"),
             MetanmpError::Nmp(e) => write!(f, "simulator error: {e}"),
             MetanmpError::Config(why) => write!(f, "invalid configuration: {why}"),
+            MetanmpError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            MetanmpError::Restore(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -39,6 +48,8 @@ impl Error for MetanmpError {
             MetanmpError::Hgnn(e) => Some(e),
             MetanmpError::Nmp(e) => Some(e),
             MetanmpError::Config(_) => None,
+            MetanmpError::Checkpoint(e) => Some(e),
+            MetanmpError::Restore(e) => Some(e),
         }
     }
 }
@@ -58,6 +69,18 @@ impl From<HgnnError> for MetanmpError {
 impl From<NmpError> for MetanmpError {
     fn from(e: NmpError) -> Self {
         MetanmpError::Nmp(e)
+    }
+}
+
+impl From<CheckpointError> for MetanmpError {
+    fn from(e: CheckpointError) -> Self {
+        MetanmpError::Checkpoint(e)
+    }
+}
+
+impl From<RestoreError> for MetanmpError {
+    fn from(e: RestoreError) -> Self {
+        MetanmpError::Restore(e)
     }
 }
 

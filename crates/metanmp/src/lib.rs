@@ -45,4 +45,4 @@ pub use comparison::{compare, memory_reductions, Comparison, PlatformEntry};
 pub use error::MetanmpError;
 pub use memory::{compare_memory, MemoryComparison, RESERVED_AGG_BYTES_PER_DIMM};
 pub use nmp::{FaultConfig, FaultStats};
-pub use simulator::{SimulationOutcome, Simulator, SimulatorBuilder};
+pub use simulator::{RunStatus, SimulationOutcome, Simulator, SimulatorBuilder};

@@ -1,10 +1,19 @@
 //! The high-level simulator façade: pick a dataset, a model, and a
 //! hardware configuration; run a verified end-to-end inference.
+//!
+//! With [`SimulatorBuilder::checkpoint`] configured, the functional
+//! simulation advances in bounded chunks, persists a snapshot after
+//! each one, and [`Simulator::run_interruptible`] can be stopped
+//! between chunks; the next run under the same configuration resumes
+//! from the snapshot and produces a bit-identical outcome.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
 use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
-use hgnn::{FeatureStore, ModelConfig, ModelKind, OpCounters, Projection};
-use nmp::{FaultConfig, FaultError, FunctionalSim, NmpConfig, NmpError, NmpReport};
+use hgnn::{FeatureStore, HiddenFeatures, ModelConfig, ModelKind, OpCounters, Projection};
+use nmp::{FaultConfig, FaultError, FunctionalState, NmpConfig, NmpError, NmpReport, ResumableRun};
 use serde::{Deserialize, Serialize};
 
 use crate::error::MetanmpError;
@@ -35,6 +44,8 @@ pub struct SimulatorBuilder {
     model: ModelKind,
     hidden_dim: usize,
     nmp: NmpConfig,
+    checkpoint: Option<PathBuf>,
+    checkpoint_interval: u64,
 }
 
 impl Default for SimulatorBuilder {
@@ -46,6 +57,8 @@ impl Default for SimulatorBuilder {
             model: ModelKind::Magnn,
             hidden_dim: 64,
             nmp: NmpConfig::default(),
+            checkpoint: None,
+            checkpoint_interval: 1024,
         }
     }
 }
@@ -94,6 +107,25 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Persists run progress to `path`: a checksummed snapshot is
+    /// written after every [`SimulatorBuilder::checkpoint_interval`]
+    /// start vertices, an existing valid snapshot at `path` is resumed
+    /// from, and the file is removed once the run completes. Snapshots
+    /// carry a configuration fingerprint, so a checkpoint written
+    /// under different settings is refused rather than resumed.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint granularity in start vertices (default
+    /// 1024). Also the interruption latency of
+    /// [`Simulator::run_interruptible`].
+    pub fn checkpoint_interval(mut self, vertices: u64) -> Self {
+        self.checkpoint_interval = vertices;
+        self
+    }
+
     /// Generates the dataset and assembles the simulator.
     ///
     /// # Errors
@@ -110,6 +142,11 @@ impl SimulatorBuilder {
         if self.hidden_dim == 0 {
             return Err(MetanmpError::Config("hidden_dim must be positive".into()));
         }
+        if self.checkpoint_interval == 0 {
+            return Err(MetanmpError::Config(
+                "checkpoint_interval must be positive".into(),
+            ));
+        }
         self.nmp.hidden_dim = self.hidden_dim;
         let dataset = generate(
             self.dataset,
@@ -121,10 +158,14 @@ impl SimulatorBuilder {
         );
         Ok(Simulator {
             dataset,
+            dataset_id: self.dataset,
+            scale: self.scale,
             seed: self.seed,
             model: self.model,
             hidden_dim: self.hidden_dim,
             nmp: self.nmp,
+            checkpoint: self.checkpoint,
+            checkpoint_interval: self.checkpoint_interval,
         })
     }
 }
@@ -133,10 +174,14 @@ impl SimulatorBuilder {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     dataset: Dataset,
+    dataset_id: DatasetId,
+    scale: f64,
     seed: u64,
     model: ModelKind,
     hidden_dim: usize,
     nmp: NmpConfig,
+    checkpoint: Option<PathBuf>,
+    checkpoint_interval: u64,
 }
 
 /// Everything one simulated inference produces.
@@ -163,6 +208,49 @@ pub struct SimulationOutcome {
     pub degraded_reason: Option<String>,
 }
 
+/// Result of [`Simulator::run_interruptible`].
+// One value exists per simulation run, so the size gap between the
+// variants costs nothing; boxing would only hurt the call sites.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// The run finished; the outcome is verified as usual.
+    Complete(SimulationOutcome),
+    /// A stop was requested between chunks. When a checkpoint path is
+    /// configured, progress (including the telemetry registry) was
+    /// persisted and the next run resumes from it.
+    Interrupted,
+}
+
+/// What one checkpoint file holds: the functional-simulator state
+/// plus a telemetry image that the resuming process merges back in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointImage {
+    state: FunctionalState,
+    telemetry: String,
+}
+
+/// Everything that must agree for a checkpoint to be resumable.
+/// Hashed (not stored) — the snapshot header carries the hash.
+#[derive(Serialize, Deserialize)]
+struct Fingerprint {
+    dataset: DatasetId,
+    scale_bits: u64,
+    seed: u64,
+    model: ModelKind,
+    hidden_dim: u64,
+    nmp: NmpConfig,
+}
+
+/// Internal outcome of [`Simulator::drive_functional`]: either the
+/// functional engine ran to completion (successfully or not), or a
+/// stop was requested between chunks.
+#[allow(clippy::large_enum_variant)]
+enum Driven {
+    Done(Result<nmp::FunctionalRun, NmpError>),
+    Stopped,
+}
+
 impl Simulator {
     /// Starts building a simulator.
     pub fn builder() -> SimulatorBuilder {
@@ -174,13 +262,53 @@ impl Simulator {
         &self.dataset
     }
 
+    /// Hash of every input that determines the run's result; written
+    /// into checkpoint headers so a snapshot from different settings
+    /// is refused at load time.
+    fn fingerprint(&self) -> u64 {
+        checkpoint::config_hash(&Fingerprint {
+            dataset: self.dataset_id,
+            scale_bits: self.scale.to_bits(),
+            seed: self.seed,
+            model: self.model,
+            hidden_dim: self.hidden_dim as u64,
+            nmp: self.nmp,
+        })
+    }
+
     /// Runs one verified inference: functional NMP simulation, checked
     /// against the software reference, plus the memory analysis.
     ///
     /// # Errors
     ///
-    /// Propagates engine and simulator errors.
+    /// Propagates engine and simulator errors, and checkpoint errors
+    /// when a checkpoint path is configured.
     pub fn run(&self) -> Result<SimulationOutcome, MetanmpError> {
+        match self.run_core(None)? {
+            RunStatus::Complete(outcome) => Ok(outcome),
+            // Unreachable: with no stop flag the loop only exits by
+            // completing or erroring.
+            RunStatus::Interrupted => Err(MetanmpError::Config(
+                "run() interrupted without a stop flag".into(),
+            )),
+        }
+    }
+
+    /// [`Simulator::run`], but checks `stop` between chunks of
+    /// [`SimulatorBuilder::checkpoint_interval`] start vertices. When
+    /// `stop` becomes `true`, the current progress is checkpointed (if
+    /// a path is configured) and [`RunStatus::Interrupted`] is
+    /// returned; a later run under the same configuration resumes from
+    /// the snapshot and produces a bit-identical outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_interruptible(&self, stop: &AtomicBool) -> Result<RunStatus, MetanmpError> {
+        self.run_core(Some(stop))
+    }
+
+    fn run_core(&self, stop: Option<&AtomicBool>) -> Result<RunStatus, MetanmpError> {
         let _span = obs::span("metanmp.simulate", "metanmp");
         let features = FeatureStore::random(&self.dataset.graph, self.seed);
         let model_config = ModelConfig::new(self.model)
@@ -206,18 +334,16 @@ impl Simulator {
             let _s = obs::span("metanmp.projection", "metanmp");
             projection.project(&self.dataset.graph, &features, &mut counters)?
         };
-        let run = {
-            let _s = obs::span("metanmp.functional", "metanmp");
-            FunctionalSim::new(self.nmp).run(
-                &self.dataset.graph,
-                &hidden,
-                self.model,
-                &self.dataset.metapaths,
-            )
+        let run = match self.drive_functional(&hidden, stop)? {
+            Driven::Done(result) => result,
+            Driven::Stopped => return Ok(RunStatus::Interrupted),
         };
         let run = match run {
             Ok(run) => run,
-            Err(NmpError::Fault(fault)) => return self.degrade(fault),
+            Err(NmpError::Fault(fault)) => {
+                self.clear_checkpoint();
+                return self.degrade(fault).map(RunStatus::Complete);
+            }
             Err(e) => return Err(e.into()),
         };
 
@@ -239,14 +365,81 @@ impl Simulator {
                 .collect::<Result<Vec<_>, _>>()?
         };
 
-        Ok(SimulationOutcome {
+        self.clear_checkpoint();
+        Ok(RunStatus::Complete(SimulationOutcome {
             nmp: run.report,
             max_reference_diff,
             matches_reference: max_reference_diff < 1e-3,
             memory,
             degraded: false,
             degraded_reason: None,
-        })
+        }))
+    }
+
+    /// Drives the resumable functional engine chunk by chunk: resume
+    /// from a valid checkpoint when one exists, snapshot after every
+    /// chunk, honor `stop` between chunks.
+    fn drive_functional(
+        &self,
+        hidden: &HiddenFeatures,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Driven, MetanmpError> {
+        let _s = obs::span("metanmp.functional", "metanmp");
+        let fingerprint = self.fingerprint();
+        let mut run = match &self.checkpoint {
+            Some(path) => match checkpoint::try_load::<CheckpointImage>(path, fingerprint)? {
+                Some(image) => {
+                    obs::merge_checkpoint_json(&image.telemetry).map_err(|detail| {
+                        checkpoint::CheckpointError::Malformed {
+                            path: path.display().to_string(),
+                            detail,
+                        }
+                    })?;
+                    obs::counter_add("checkpoint.resumes", 1);
+                    ResumableRun::from_state(&image.state)?
+                }
+                None => ResumableRun::new(self.nmp),
+            },
+            None => ResumableRun::new(self.nmp),
+        };
+        loop {
+            match run.step(
+                &self.dataset.graph,
+                hidden,
+                self.model,
+                &self.dataset.metapaths,
+                self.checkpoint_interval,
+            ) {
+                Ok(true) => {
+                    return Ok(Driven::Done(
+                        run.finish(&self.dataset.graph, &self.dataset.metapaths),
+                    ))
+                }
+                Ok(false) => {
+                    if let Some(path) = &self.checkpoint {
+                        let image = CheckpointImage {
+                            state: checkpoint::Snapshot::snapshot(&run),
+                            telemetry: obs::checkpoint_json(),
+                        };
+                        checkpoint::save(path, fingerprint, &image)?;
+                        obs::counter_add("checkpoint.saves", 1);
+                    }
+                    if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                        return Ok(Driven::Stopped);
+                    }
+                }
+                Err(e) => return Ok(Driven::Done(Err(e))),
+            }
+        }
+    }
+
+    /// Removes the checkpoint file once a run completes, so a stale
+    /// snapshot never shadows finished work. Best-effort: the file may
+    /// already be gone.
+    fn clear_checkpoint(&self) {
+        if let Some(path) = &self.checkpoint {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Graceful-degradation path: when the cycle-accurate functional
@@ -384,6 +577,138 @@ mod tests {
             outcome.max_reference_diff
         );
         assert!(outcome.nmp.faults.total_injected() > 0);
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metanmp-simulator-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    // Deliberately tiny: the resume test below re-runs the software
+    // reference and reloads/saves the full snapshot once per interrupt,
+    // so a large scale or small interval makes it quadratically slow.
+    fn small_sim(checkpoint: Option<PathBuf>) -> Simulator {
+        let mut b = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.005)
+            .hidden_dim(8)
+            .faults(nmp::FaultConfig {
+                seed: 11,
+                broadcast_drop_rate: 0.2,
+                bit_flip_rate: 0.003,
+                ..nmp::FaultConfig::off()
+            })
+            .checkpoint_interval(5);
+        if let Some(path) = checkpoint {
+            b = b.checkpoint(path);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_byte_identical() {
+        let dir = scratch("resume");
+        let ckpt = dir.join("run.ckpt");
+        let straight = small_sim(None).run().unwrap();
+        let expected = serde_json::to_string(&straight).unwrap();
+
+        // A stop flag that is always set: every call makes exactly one
+        // chunk of progress, checkpoints, and returns Interrupted —
+        // the harshest possible kill schedule.
+        let sim = small_sim(Some(ckpt.clone()));
+        let stop = AtomicBool::new(true);
+        let mut interruptions = 0u32;
+        let outcome = loop {
+            match sim.run_interruptible(&stop).unwrap() {
+                RunStatus::Complete(outcome) => break outcome,
+                RunStatus::Interrupted => {
+                    interruptions += 1;
+                    assert!(ckpt.exists(), "interrupt persists a snapshot");
+                    assert!(interruptions < 10_000, "run never completes");
+                }
+            }
+        };
+        assert!(interruptions > 2, "test must actually interrupt the run");
+        assert_eq!(
+            serde_json::to_string(&outcome).unwrap(),
+            expected,
+            "resumed outcome must be byte-identical to an uninterrupted run"
+        );
+        assert!(!ckpt.exists(), "checkpoint removed after completion");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_structured_error() {
+        let dir = scratch("corrupt");
+        let ckpt = dir.join("run.ckpt");
+        let sim = small_sim(Some(ckpt.clone()));
+
+        // Leave a real snapshot behind, then corrupt it.
+        let stop = AtomicBool::new(true);
+        assert!(matches!(
+            sim.run_interruptible(&stop).unwrap(),
+            RunStatus::Interrupted
+        ));
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        match sim.run() {
+            Err(MetanmpError::Checkpoint(_)) => {}
+            other => panic!("bit flip must surface as a checkpoint error, got {other:?}"),
+        }
+
+        // Truncation likewise.
+        let bytes = std::fs::read(&ckpt).unwrap();
+        std::fs::write(&ckpt, &bytes[..20]).unwrap();
+        assert!(matches!(sim.run(), Err(MetanmpError::Checkpoint(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_config_checkpoint_is_refused() {
+        let dir = scratch("fingerprint");
+        let ckpt = dir.join("run.ckpt");
+        let stop = AtomicBool::new(true);
+        let sim = small_sim(Some(ckpt.clone()));
+        assert!(matches!(
+            sim.run_interruptible(&stop).unwrap(),
+            RunStatus::Interrupted
+        ));
+
+        // Same checkpoint path, same shape, different seed → different
+        // fingerprint.
+        let other = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.005)
+            .hidden_dim(8)
+            .seed(0xD1FF)
+            .checkpoint(ckpt.clone())
+            .build()
+            .unwrap();
+        match other.run() {
+            Err(MetanmpError::Checkpoint(checkpoint::CheckpointError::ConfigMismatch {
+                ..
+            })) => {}
+            other => panic!("foreign snapshot must be refused, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_without_checkpoint_path_still_completes_interruptible() {
+        // No checkpoint path: interruption still works (state is just
+        // not persisted), and an unset stop flag runs to completion.
+        let sim = small_sim(None);
+        let stop = AtomicBool::new(false);
+        match sim.run_interruptible(&stop).unwrap() {
+            RunStatus::Complete(outcome) => assert!(outcome.matches_reference),
+            RunStatus::Interrupted => panic!("unset stop flag must not interrupt"),
+        }
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! The hardware aggregates with means and fixed weights
 //! (`ConfigWeight` and `Inter_path_agg`), so the functional model
 //! corresponds to the software engines with attention disabled.
+//!
+//! Execution is driven by [`ResumableRun`]: the engine advances one
+//! start vertex at a time, can be paused at any vertex boundary,
+//! snapshotted to a [`FunctionalState`], and resumed later — in the
+//! same process or another one — with bit-identical results.
+//! [`FunctionalSim::run`] is the one-shot wrapper (a single unbounded
+//! step followed by [`ResumableRun::finish`]).
 
 use std::collections::BTreeMap;
 
@@ -28,12 +35,15 @@ use hgnn::engine::Embeddings;
 use hgnn::tensor::{vec_add, vec_axpy, vec_scale, Matrix};
 use hgnn::{HiddenFeatures, ModelKind};
 
+use checkpoint::RestoreError;
+
 use crate::config::NmpConfig;
 use crate::distribution::distribute;
 use crate::error::NmpError;
 use crate::layout::{Home, Placement};
 use crate::report::{NmpCounts, NmpEnergy, NmpReport};
 use crate::resilience;
+use crate::snapshot::FunctionalState;
 
 /// Issues a rank-local vector transfer burst by burst so every burst
 /// stays within the vertex's home rank (§4.4) — consecutive physical
@@ -131,7 +141,125 @@ impl FunctionalSim {
     where
         F: Fn(usize, u32) -> bool,
     {
-        let cfg = &self.config;
+        let _run_span = obs::span("nmp.functional.run", "nmp");
+        let mut run = ResumableRun::new(self.config);
+        run.step_where(graph, hidden, kind, metapaths, include, u64::MAX)?;
+        run.finish(graph, metapaths)
+    }
+}
+
+/// Per-metapath context threaded through the stepping methods.
+#[derive(Clone, Copy)]
+struct PathCtx<'a> {
+    mp: &'a Metapath,
+    types: &'a [VertexTypeId],
+    hops: usize,
+    t0: VertexTypeId,
+}
+
+/// An in-flight functional run that advances in bounded chunks of
+/// start vertices.
+///
+/// The run owns every piece of loop-carried state — the DRAM
+/// scheduler, both fault injectors, per-resource cycle budgets, byte
+/// tallies, the structural matrices, and a cursor
+/// `(metapath index, next start vertex)`. [`ResumableRun::step_where`]
+/// advances the cursor by at most `budget` start vertices and reports
+/// whether the structural phase is complete;
+/// [`ResumableRun::finish`] then performs semantic aggregation, DRAM
+/// service, and timing/energy composition.
+///
+/// Between steps the run can be captured with
+/// [`checkpoint::Snapshot::snapshot`] and later rebuilt with
+/// [`ResumableRun::from_state`]. A restored run replays the exact
+/// operation sequence of an uninterrupted one — same walk order, same
+/// fault schedule, same floating-point accumulation order — so the
+/// final [`FunctionalRun`] is bit-identical.
+#[derive(Debug)]
+pub struct ResumableRun {
+    config: NmpConfig,
+    mem: MemorySystem,
+    injector: Option<FaultInjector>,
+    bcast_stats: FaultStats,
+    counts: NmpCounts,
+    gen: Vec<u64>,
+    compute: Vec<u64>,
+    slots: Vec<u64>,
+    normal_bytes: Vec<f64>,
+    broadcast_bytes: Vec<f64>,
+    edge_bytes: Vec<f64>,
+    host_agg_bytes: Vec<f64>,
+    demand_bytes: Vec<f64>,
+    host_extra_cycles: u64,
+    structural: Vec<Matrix>,
+    current: Option<Matrix>,
+    mp_index: usize,
+    next_start: u32,
+}
+
+impl ResumableRun {
+    /// Creates a run positioned before the first metapath.
+    pub fn new(config: NmpConfig) -> Self {
+        let mut mem = MemorySystem::new(config.dram);
+        mem.set_faults(config.faults);
+        // The broadcast/unit fault layer runs above the DRAM simulator
+        // with its own injector over the same seeded schedule family.
+        let injector = config
+            .faults
+            .is_active()
+            .then(|| FaultInjector::new(config.faults));
+        let dimms = config.dram.total_dimms();
+        let ranks = config.dram.total_ranks();
+        let channels = config.dram.channels;
+        ResumableRun {
+            config,
+            mem,
+            injector,
+            bcast_stats: FaultStats::default(),
+            counts: NmpCounts::default(),
+            gen: vec![0u64; dimms],
+            compute: vec![0u64; ranks],
+            slots: vec![0u64; ranks],
+            normal_bytes: vec![0f64; channels],
+            broadcast_bytes: vec![0f64; channels],
+            edge_bytes: vec![0f64; channels],
+            host_agg_bytes: vec![0f64; channels],
+            demand_bytes: vec![0f64; channels],
+            host_extra_cycles: 0,
+            structural: Vec::new(),
+            current: None,
+            mp_index: 0,
+            next_start: 0,
+        }
+    }
+
+    /// The configuration the run executes under.
+    pub fn config(&self) -> &NmpConfig {
+        &self.config
+    }
+
+    /// The cursor: `(metapath index, next start vertex)`.
+    pub fn cursor(&self) -> (usize, u32) {
+        (self.mp_index, self.next_start)
+    }
+
+    /// Rebuilds a run from a persisted state image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the image was taken under a
+    /// different configuration or is internally inconsistent.
+    pub fn from_state(state: &FunctionalState) -> Result<Self, RestoreError> {
+        let mut run = ResumableRun::new(state.config);
+        checkpoint::Restore::restore(&mut run, state)?;
+        Ok(run)
+    }
+
+    fn validate(
+        cfg: &NmpConfig,
+        hidden: &HiddenFeatures,
+        metapaths: &[Metapath],
+    ) -> Result<(), NmpError> {
         if hidden.hidden_dim() != cfg.hidden_dim {
             return Err(NmpError::Unsupported(format!(
                 "hidden dim {} does not match configured {}",
@@ -142,7 +270,449 @@ impl FunctionalSim {
         if metapaths.is_empty() {
             return Err(NmpError::Unsupported("no metapaths given".into()));
         }
-        let _run_span = obs::span("nmp.functional.run", "nmp");
+        Ok(())
+    }
+
+    /// Advances the structural phase by at most `budget` start
+    /// vertices. Returns `Ok(true)` once every metapath is complete.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FunctionalSim::run`].
+    pub fn step(
+        &mut self,
+        graph: &HeteroGraph,
+        hidden: &HiddenFeatures,
+        kind: ModelKind,
+        metapaths: &[Metapath],
+        budget: u64,
+    ) -> Result<bool, NmpError> {
+        self.step_where(graph, hidden, kind, metapaths, |_, _| true, budget)
+    }
+
+    /// Advances the structural phase by at most `budget` start
+    /// vertices (examined, whether or not `include` selects them).
+    /// Returns `Ok(true)` once every metapath is complete, `Ok(false)`
+    /// when the budget ran out first; call again to continue.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FunctionalSim::run`].
+    pub fn step_where<F>(
+        &mut self,
+        graph: &HeteroGraph,
+        hidden: &HiddenFeatures,
+        kind: ModelKind,
+        metapaths: &[Metapath],
+        include: F,
+        budget: u64,
+    ) -> Result<bool, NmpError>
+    where
+        F: Fn(usize, u32) -> bool,
+    {
+        Self::validate(&self.config, hidden, metapaths)?;
+        let placement = Placement::new(self.config.dram, self.config.hidden_dim);
+        let mut remaining = budget;
+        while self.mp_index < metapaths.len() {
+            let mp = &metapaths[self.mp_index];
+            if self.current.is_none() {
+                self.begin_metapath(graph, mp, &placement)?;
+            }
+            // ---- Generation + aggregation, per start vertex. ----
+            let _structural_span = obs::span(format!("nmp.structural.{}", mp.name()), "nmp");
+            let ctx = PathCtx {
+                mp,
+                types: mp.vertex_types(),
+                hops: mp.length(),
+                t0: mp.start_type(),
+            };
+            let start_count = graph.vertex_count(ctx.t0)?;
+            while self.next_start < start_count {
+                if remaining == 0 {
+                    return Ok(false);
+                }
+                let start = self.next_start;
+                if include(self.mp_index, start) {
+                    self.visit_start(graph, hidden, kind, &ctx, &placement, start)?;
+                }
+                self.next_start += 1;
+                remaining -= 1;
+            }
+            let finished = self.current.take().expect("metapath matrix in flight");
+            self.structural.push(finished);
+            self.mp_index += 1;
+            self.next_start = 0;
+        }
+        Ok(true)
+    }
+
+    /// Host distribution (evoke + broadcast) for the metapath the
+    /// cursor points at, plus allocation of its structural matrix.
+    fn begin_metapath(
+        &mut self,
+        graph: &HeteroGraph,
+        mp: &Metapath,
+        placement: &Placement,
+    ) -> Result<(), NmpError> {
+        let Self {
+            config: cfg,
+            injector,
+            bcast_stats,
+            counts,
+            normal_bytes,
+            broadcast_bytes,
+            edge_bytes,
+            host_extra_cycles,
+            current,
+            ..
+        } = self;
+        let dist = {
+            let _s = obs::span(format!("nmp.distribute.{}", mp.name()), "nmp");
+            distribute(graph, mp, cfg, placement)?
+        };
+        for ch in 0..cfg.dram.channels {
+            normal_bytes[ch] += dist.normal_bytes[ch];
+            broadcast_bytes[ch] += dist.broadcast_bytes[ch];
+            edge_bytes[ch] += dist.edge_read_bytes[ch];
+        }
+        counts.host_cycles += dist.host_cycles;
+        counts.broadcast_transfers += dist.broadcast_transfers;
+        counts.normal_transfers += dist.normal_transfers;
+        counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
+        counts.normal_payload_bytes += dist.normal_bytes.iter().sum::<f64>() as u64;
+        counts.broadcast_payload_bytes += dist.broadcast_bytes.iter().sum::<f64>() as u64;
+
+        // ---- Broadcast fault recovery: bounded retry with backoff,
+        // then p2p fallback (extra payload copies on the channel bus,
+        // charged proportionally to each channel's broadcast share).
+        // ----
+        if let Some(inj) = injector.as_mut() {
+            let total_bcast: f64 = dist.broadcast_bytes.iter().sum();
+            if dist.broadcast_transfers > 0 && total_bcast > 0.0 {
+                let avg = total_bcast / dist.broadcast_transfers as f64;
+                let out = resilience::apply_broadcast_faults(
+                    inj,
+                    &cfg.faults,
+                    dist.broadcast_transfers,
+                    avg,
+                    cfg.dram.dimms_per_channel as u64,
+                    bcast_stats,
+                );
+                if out.extra_bytes > 0.0 {
+                    for (nb, bb) in normal_bytes.iter_mut().zip(&dist.broadcast_bytes) {
+                        *nb += out.extra_bytes * bb / total_bcast;
+                    }
+                }
+                *host_extra_cycles += out.extra_host_cycles;
+            }
+        }
+
+        let start_count = graph.vertex_count(mp.start_type())?;
+        *current = Some(Matrix::zeros(start_count as usize, cfg.hidden_dim));
+        Ok(())
+    }
+
+    /// Instance generation and aggregation for one start vertex.
+    fn visit_start(
+        &mut self,
+        graph: &HeteroGraph,
+        hidden: &HiddenFeatures,
+        kind: ModelKind,
+        ctx: &PathCtx<'_>,
+        placement: &Placement,
+        start: u32,
+    ) -> Result<(), NmpError> {
+        let PathCtx {
+            mp,
+            types,
+            hops,
+            t0,
+        } = *ctx;
+        let Self {
+            config: cfg,
+            mem,
+            counts,
+            gen,
+            compute,
+            slots,
+            host_agg_bytes,
+            demand_bytes,
+            host_extra_cycles,
+            current: current_matrix,
+            ..
+        } = self;
+        let d = cfg.hidden_dim;
+        let vb = cfg.vector_bytes();
+        let vec_op = cfg.vector_op_cycles();
+        let s = current_matrix.as_mut().expect("metapath matrix in flight");
+
+        let home = placement.home(t0.index() as u8, start);
+        let dimm = home.global_dimm(&cfg.dram);
+        let rank = home.global_rank(&cfg.dram);
+        let base_slot = slots[rank];
+
+        let mut prefix: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
+        let mut child_sum: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
+        let mut child_count = vec![0usize; hops + 1];
+        let mut child_seq = vec![0u64; hops + 1];
+        let mut slot_stack = vec![0u64; hops + 1];
+        let mut current = vec![0u32; hops + 1];
+        let mut acc = vec![0f32; d];
+        let mut n_inst: u64 = 0;
+        let aggs_before = counts.aggregations;
+
+        // The start vertex's own feature is read from its home rank
+        // once per wave.
+        enqueue_rank_vec(
+            mem,
+            placement,
+            home,
+            placement.feature_offset(start),
+            vb,
+            false,
+        );
+
+        walk_prefix_tree(graph, mp, VertexId::new(start), |ev| match ev {
+            WalkEvent::Enter(depth, u) => {
+                current[depth] = u;
+                child_seq[depth] = 0;
+                if depth == 0 {
+                    match kind {
+                        ModelKind::Magnn => prefix[0].copy_from_slice(hidden.vector(types[0], u)),
+                        ModelKind::Shgnn => {
+                            child_sum[0].fill(0.0);
+                            child_count[0] = 0;
+                        }
+                        ModelKind::Han => {}
+                    }
+                    return;
+                }
+                // One CarPU emission per prefix-tree node.
+                gen[dimm] += 1;
+                child_seq[depth - 1] += 1;
+                if cfg.reuse && child_seq[depth - 1] >= 2 {
+                    counts.copies += 1;
+                }
+                match kind {
+                    ModelKind::Magnn => {
+                        let h = hidden.vector(types[depth], u);
+                        let (lo, hi) = prefix.split_at_mut(depth);
+                        hi[0].copy_from_slice(&lo[depth - 1]);
+                        vec_add(&mut hi[0], h);
+                        if cfg.reuse {
+                            counts.aggregations += 1;
+                            let slot = slots[rank];
+                            slots[rank] += 1;
+                            slot_stack[depth] = slot;
+                            if cfg.aggregate_in_nmp {
+                                // The running prefix lives in the AU
+                                // buffer; only the instance's result
+                                // is written to the reserved region
+                                // (it is re-read by the
+                                // inter-instance pass).
+                                compute[rank] += vec_op;
+                                enqueue_rank_vec(
+                                    mem,
+                                    placement,
+                                    home,
+                                    placement.agg_offset(slot),
+                                    vb,
+                                    true,
+                                );
+                            } else {
+                                host_agg_bytes[home.channel] += 2.0 * vb as f64;
+                                *host_extra_cycles += d as u64 / 4 + 4;
+                            }
+                        }
+                    }
+                    ModelKind::Shgnn => {
+                        child_sum[depth].fill(0.0);
+                        child_count[depth] = 0;
+                        counts.aggregations += 1;
+                        let slot = slots[rank];
+                        slots[rank] += 1;
+                        slot_stack[depth] = slot;
+                        if cfg.aggregate_in_nmp {
+                            compute[rank] += 2 * vec_op;
+                            enqueue_rank_vec(
+                                mem,
+                                placement,
+                                home,
+                                placement.agg_offset(slot),
+                                vb,
+                                true,
+                            );
+                        } else {
+                            host_agg_bytes[home.channel] += 2.0 * vb as f64;
+                            *host_extra_cycles += d as u64 / 2 + 4;
+                        }
+                    }
+                    ModelKind::Han => {}
+                }
+            }
+            WalkEvent::Leaf => {
+                n_inst += 1;
+                match kind {
+                    ModelKind::Magnn => {
+                        vec_add(&mut acc, &prefix[hops]);
+                        if !cfg.reuse {
+                            counts.aggregations += hops as u128;
+                            if cfg.aggregate_in_nmp {
+                                compute[rank] += hops as u64 * vec_op;
+                                let slot = slots[rank];
+                                slots[rank] += 1;
+                                enqueue_rank_vec(
+                                    mem,
+                                    placement,
+                                    home,
+                                    placement.agg_offset(slot),
+                                    vb,
+                                    true,
+                                );
+                            } else {
+                                host_agg_bytes[home.channel] += (hops + 1) as f64 * vb as f64;
+                                *host_extra_cycles += hops as u64 * (d as u64 / 4 + 4);
+                            }
+                        }
+                    }
+                    ModelKind::Han => {
+                        let h = hidden.vector(types[hops], current[hops]);
+                        vec_add(&mut acc, h);
+                        counts.aggregations += 1;
+                        if cfg.aggregate_in_nmp {
+                            compute[rank] += vec_op;
+                        } else {
+                            host_agg_bytes[home.channel] += vb as f64;
+                            *host_extra_cycles += d as u64 / 4 + 4;
+                        }
+                    }
+                    ModelKind::Shgnn => {}
+                }
+            }
+            WalkEvent::Exit(depth) => {
+                if kind != ModelKind::Shgnn {
+                    return;
+                }
+                let v = current[depth];
+                if depth == hops {
+                    let h = hidden.vector(types[depth], v);
+                    vec_add(&mut child_sum[depth - 1], h);
+                    child_count[depth - 1] += 1;
+                } else if child_count[depth] > 0 {
+                    let h = hidden.vector(types[depth], v);
+                    let mut value = std::mem::take(&mut child_sum[depth]);
+                    vec_scale(&mut value, 0.5 / child_count[depth] as f32);
+                    vec_axpy(&mut value, 0.5, h);
+                    if depth == 0 {
+                        s.row_mut(v as usize).copy_from_slice(&value);
+                    } else {
+                        vec_add(&mut child_sum[depth - 1], &value);
+                        child_count[depth - 1] += 1;
+                    }
+                    child_sum[depth] = value;
+                }
+            }
+        })?;
+
+        counts.instances += n_inst as u128;
+        if cfg.comm == crate::comm::CommPolicy::Naive && cfg.aggregate_in_nmp {
+            // Demand-fetch most aggregation operands over the channel
+            // (no broadcast pre-fill).
+            let aggs = (counts.aggregations - aggs_before) as f64;
+            let fetched = aggs * vb as f64 * cfg.naive_demand_fraction;
+            demand_bytes[home.channel] += fetched;
+            counts.demand_fetch_bytes += fetched as u64;
+        }
+
+        if kind != ModelKind::Shgnn && n_inst > 0 {
+            counts.inter_instance_ops += n_inst as u128;
+            let scale = match kind {
+                ModelKind::Magnn => 1.0 / (n_inst as f32 * (hops + 1) as f32),
+                _ => 1.0 / n_inst as f32,
+            };
+            vec_scale(&mut acc, scale);
+            s.row_mut(start as usize).copy_from_slice(&acc);
+            if cfg.aggregate_in_nmp {
+                compute[rank] += n_inst * vec_op + vec_op;
+                if cfg.reuse || kind == ModelKind::Magnn {
+                    enqueue_rank_vec(
+                        mem,
+                        placement,
+                        home,
+                        placement.agg_offset(base_slot),
+                        (n_inst as usize).max(1) * vb,
+                        false,
+                    );
+                }
+                enqueue_rank_vec(
+                    mem,
+                    placement,
+                    home,
+                    placement.output_offset(start),
+                    vb,
+                    true,
+                );
+            } else {
+                host_agg_bytes[home.channel] += (n_inst + 1) as f64 * vb as f64;
+                *host_extra_cycles += n_inst * (d as u64 / 4 + 4);
+            }
+        } else if kind == ModelKind::Shgnn && cfg.aggregate_in_nmp && n_inst > 0 {
+            enqueue_rank_vec(
+                mem,
+                placement,
+                home,
+                placement.output_offset(start),
+                vb,
+                true,
+            );
+        }
+
+        // The reserved region is recycled once the start vertex's
+        // instances are folded into its output.
+        slots[rank] = base_slot;
+        Ok(())
+    }
+
+    /// Completes the run: semantic (inter-path) aggregation, CarPU
+    /// stall injection, DRAM service, and timing/energy composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NmpError::Unsupported`] when the structural phase is
+    /// not complete (step until it reports done), and propagates graph
+    /// and fault errors.
+    pub fn finish(
+        self,
+        graph: &HeteroGraph,
+        metapaths: &[Metapath],
+    ) -> Result<FunctionalRun, NmpError> {
+        if self.mp_index < metapaths.len() || self.structural.len() != metapaths.len() {
+            return Err(NmpError::Unsupported(format!(
+                "finish called with {} of {} metapaths complete",
+                self.structural.len(),
+                metapaths.len()
+            )));
+        }
+        let ResumableRun {
+            config: cfg,
+            mut mem,
+            mut injector,
+            mut bcast_stats,
+            mut counts,
+            mut gen,
+            mut compute,
+            slots: _,
+            normal_bytes,
+            broadcast_bytes,
+            edge_bytes,
+            mut host_agg_bytes,
+            demand_bytes,
+            mut host_extra_cycles,
+            structural,
+            current: _,
+            mp_index: _,
+            next_start: _,
+        } = self;
         let d = cfg.hidden_dim;
         let vb = cfg.vector_bytes();
         let vec_op = cfg.vector_op_cycles();
@@ -150,314 +720,6 @@ impl FunctionalSim {
         let dimms = cfg.dram.total_dimms();
         let ranks = cfg.dram.total_ranks();
         let placement = Placement::new(cfg.dram, d);
-        let mut mem = MemorySystem::new(cfg.dram);
-        mem.set_faults(cfg.faults);
-        // The broadcast/unit fault layer runs above the DRAM simulator
-        // with its own injector over the same seeded schedule family.
-        let mut injector = cfg
-            .faults
-            .is_active()
-            .then(|| FaultInjector::new(cfg.faults));
-        let mut bcast_stats = FaultStats::default();
-
-        let mut counts = NmpCounts::default();
-        let mut gen = vec![0u64; dimms];
-        let mut compute = vec![0u64; ranks];
-        let mut slots = vec![0u64; ranks];
-        let mut normal_bytes = vec![0f64; channels];
-        let mut broadcast_bytes = vec![0f64; channels];
-        let mut edge_bytes = vec![0f64; channels];
-        let mut host_agg_bytes = vec![0f64; channels];
-        let mut demand_bytes = vec![0f64; channels];
-        let mut host_extra_cycles: u64 = 0;
-        let mut structural: Vec<Matrix> = Vec::with_capacity(metapaths.len());
-
-        for (mp_index, mp) in metapaths.iter().enumerate() {
-            // ---- Host distribution (evoke + broadcast). ----
-            let dist = {
-                let _s = obs::span(format!("nmp.distribute.{}", mp.name()), "nmp");
-                distribute(graph, mp, cfg, &placement)?
-            };
-            for ch in 0..channels {
-                normal_bytes[ch] += dist.normal_bytes[ch];
-                broadcast_bytes[ch] += dist.broadcast_bytes[ch];
-                edge_bytes[ch] += dist.edge_read_bytes[ch];
-            }
-            counts.host_cycles += dist.host_cycles;
-            counts.broadcast_transfers += dist.broadcast_transfers;
-            counts.normal_transfers += dist.normal_transfers;
-            counts.bus_payload_bytes += dist.total_payload_bytes() as u64;
-            counts.normal_payload_bytes += dist.normal_bytes.iter().sum::<f64>() as u64;
-            counts.broadcast_payload_bytes += dist.broadcast_bytes.iter().sum::<f64>() as u64;
-
-            // ---- Broadcast fault recovery: bounded retry with
-            // backoff, then p2p fallback (extra payload copies on the
-            // channel bus, charged proportionally to each channel's
-            // broadcast share). ----
-            if let Some(inj) = injector.as_mut() {
-                let total_bcast: f64 = dist.broadcast_bytes.iter().sum();
-                if dist.broadcast_transfers > 0 && total_bcast > 0.0 {
-                    let avg = total_bcast / dist.broadcast_transfers as f64;
-                    let out = resilience::apply_broadcast_faults(
-                        inj,
-                        &cfg.faults,
-                        dist.broadcast_transfers,
-                        avg,
-                        cfg.dram.dimms_per_channel as u64,
-                        &mut bcast_stats,
-                    );
-                    if out.extra_bytes > 0.0 {
-                        for (nb, bb) in normal_bytes.iter_mut().zip(&dist.broadcast_bytes) {
-                            *nb += out.extra_bytes * bb / total_bcast;
-                        }
-                    }
-                    host_extra_cycles += out.extra_host_cycles;
-                }
-            }
-
-            // ---- Generation + aggregation, per start vertex. ----
-            let _structural_span = obs::span(format!("nmp.structural.{}", mp.name()), "nmp");
-            let types = mp.vertex_types().to_vec();
-            let hops = mp.length();
-            let t0 = mp.start_type();
-            let start_count = graph.vertex_count(t0)?;
-            let mut s = Matrix::zeros(start_count as usize, d);
-
-            for start in 0..start_count {
-                if !include(mp_index, start) {
-                    continue;
-                }
-                let home = placement.home(t0.index() as u8, start);
-                let dimm = home.global_dimm(&cfg.dram);
-                let rank = home.global_rank(&cfg.dram);
-                let base_slot = slots[rank];
-
-                let mut prefix: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-                let mut child_sum: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-                let mut child_count = vec![0usize; hops + 1];
-                let mut child_seq = vec![0u64; hops + 1];
-                let mut slot_stack = vec![0u64; hops + 1];
-                let mut current = vec![0u32; hops + 1];
-                let mut acc = vec![0f32; d];
-                let mut n_inst: u64 = 0;
-                let aggs_before = counts.aggregations;
-
-                // The start vertex's own feature is read from its home
-                // rank once per wave.
-                enqueue_rank_vec(
-                    &mut mem,
-                    &placement,
-                    home,
-                    placement.feature_offset(start),
-                    vb,
-                    false,
-                );
-
-                walk_prefix_tree(graph, mp, VertexId::new(start), |ev| match ev {
-                    WalkEvent::Enter(depth, u) => {
-                        current[depth] = u;
-                        child_seq[depth] = 0;
-                        if depth == 0 {
-                            match kind {
-                                ModelKind::Magnn => {
-                                    prefix[0].copy_from_slice(hidden.vector(types[0], u))
-                                }
-                                ModelKind::Shgnn => {
-                                    child_sum[0].fill(0.0);
-                                    child_count[0] = 0;
-                                }
-                                ModelKind::Han => {}
-                            }
-                            return;
-                        }
-                        // One CarPU emission per prefix-tree node.
-                        gen[dimm] += 1;
-                        child_seq[depth - 1] += 1;
-                        if cfg.reuse && child_seq[depth - 1] >= 2 {
-                            counts.copies += 1;
-                        }
-                        match kind {
-                            ModelKind::Magnn => {
-                                let h = hidden.vector(types[depth], u);
-                                let (lo, hi) = prefix.split_at_mut(depth);
-                                hi[0].copy_from_slice(&lo[depth - 1]);
-                                vec_add(&mut hi[0], h);
-                                if cfg.reuse {
-                                    counts.aggregations += 1;
-                                    let slot = slots[rank];
-                                    slots[rank] += 1;
-                                    slot_stack[depth] = slot;
-                                    if cfg.aggregate_in_nmp {
-                                        // The running prefix lives in
-                                        // the AU buffer; only the
-                                        // instance's result is written
-                                        // to the reserved region (it
-                                        // is re-read by the
-                                        // inter-instance pass).
-                                        compute[rank] += vec_op;
-                                        enqueue_rank_vec(
-                                            &mut mem,
-                                            &placement,
-                                            home,
-                                            placement.agg_offset(slot),
-                                            vb,
-                                            true,
-                                        );
-                                    } else {
-                                        host_agg_bytes[home.channel] += 2.0 * vb as f64;
-                                        host_extra_cycles += d as u64 / 4 + 4;
-                                    }
-                                }
-                            }
-                            ModelKind::Shgnn => {
-                                child_sum[depth].fill(0.0);
-                                child_count[depth] = 0;
-                                counts.aggregations += 1;
-                                let slot = slots[rank];
-                                slots[rank] += 1;
-                                slot_stack[depth] = slot;
-                                if cfg.aggregate_in_nmp {
-                                    compute[rank] += 2 * vec_op;
-                                    enqueue_rank_vec(
-                                        &mut mem,
-                                        &placement,
-                                        home,
-                                        placement.agg_offset(slot),
-                                        vb,
-                                        true,
-                                    );
-                                } else {
-                                    host_agg_bytes[home.channel] += 2.0 * vb as f64;
-                                    host_extra_cycles += d as u64 / 2 + 4;
-                                }
-                            }
-                            ModelKind::Han => {}
-                        }
-                    }
-                    WalkEvent::Leaf => {
-                        n_inst += 1;
-                        match kind {
-                            ModelKind::Magnn => {
-                                vec_add(&mut acc, &prefix[hops]);
-                                if !cfg.reuse {
-                                    counts.aggregations += hops as u128;
-                                    if cfg.aggregate_in_nmp {
-                                        compute[rank] += hops as u64 * vec_op;
-                                        let slot = slots[rank];
-                                        slots[rank] += 1;
-                                        enqueue_rank_vec(
-                                            &mut mem,
-                                            &placement,
-                                            home,
-                                            placement.agg_offset(slot),
-                                            vb,
-                                            true,
-                                        );
-                                    } else {
-                                        host_agg_bytes[home.channel] +=
-                                            (hops + 1) as f64 * vb as f64;
-                                        host_extra_cycles += hops as u64 * (d as u64 / 4 + 4);
-                                    }
-                                }
-                            }
-                            ModelKind::Han => {
-                                let h = hidden.vector(types[hops], current[hops]);
-                                vec_add(&mut acc, h);
-                                counts.aggregations += 1;
-                                if cfg.aggregate_in_nmp {
-                                    compute[rank] += vec_op;
-                                } else {
-                                    host_agg_bytes[home.channel] += vb as f64;
-                                    host_extra_cycles += d as u64 / 4 + 4;
-                                }
-                            }
-                            ModelKind::Shgnn => {}
-                        }
-                    }
-                    WalkEvent::Exit(depth) => {
-                        if kind != ModelKind::Shgnn {
-                            return;
-                        }
-                        let v = current[depth];
-                        if depth == hops {
-                            let h = hidden.vector(types[depth], v);
-                            vec_add(&mut child_sum[depth - 1], h);
-                            child_count[depth - 1] += 1;
-                        } else if child_count[depth] > 0 {
-                            let h = hidden.vector(types[depth], v);
-                            let mut value = std::mem::take(&mut child_sum[depth]);
-                            vec_scale(&mut value, 0.5 / child_count[depth] as f32);
-                            vec_axpy(&mut value, 0.5, h);
-                            if depth == 0 {
-                                s.row_mut(v as usize).copy_from_slice(&value);
-                            } else {
-                                vec_add(&mut child_sum[depth - 1], &value);
-                                child_count[depth - 1] += 1;
-                            }
-                            child_sum[depth] = value;
-                        }
-                    }
-                })?;
-
-                counts.instances += n_inst as u128;
-                if cfg.comm == crate::comm::CommPolicy::Naive && cfg.aggregate_in_nmp {
-                    // Demand-fetch most aggregation operands over the
-                    // channel (no broadcast pre-fill).
-                    let aggs = (counts.aggregations - aggs_before) as f64;
-                    let fetched = aggs * vb as f64 * cfg.naive_demand_fraction;
-                    demand_bytes[home.channel] += fetched;
-                    counts.demand_fetch_bytes += fetched as u64;
-                }
-
-                if kind != ModelKind::Shgnn && n_inst > 0 {
-                    counts.inter_instance_ops += n_inst as u128;
-                    let scale = match kind {
-                        ModelKind::Magnn => 1.0 / (n_inst as f32 * (hops + 1) as f32),
-                        _ => 1.0 / n_inst as f32,
-                    };
-                    vec_scale(&mut acc, scale);
-                    s.row_mut(start as usize).copy_from_slice(&acc);
-                    if cfg.aggregate_in_nmp {
-                        compute[rank] += n_inst * vec_op + vec_op;
-                        if cfg.reuse || kind == ModelKind::Magnn {
-                            enqueue_rank_vec(
-                                &mut mem,
-                                &placement,
-                                home,
-                                placement.agg_offset(base_slot),
-                                (n_inst as usize).max(1) * vb,
-                                false,
-                            );
-                        }
-                        enqueue_rank_vec(
-                            &mut mem,
-                            &placement,
-                            home,
-                            placement.output_offset(start),
-                            vb,
-                            true,
-                        );
-                    } else {
-                        host_agg_bytes[home.channel] += (n_inst + 1) as f64 * vb as f64;
-                        host_extra_cycles += n_inst * (d as u64 / 4 + 4);
-                    }
-                } else if kind == ModelKind::Shgnn && cfg.aggregate_in_nmp && n_inst > 0 {
-                    enqueue_rank_vec(
-                        &mut mem,
-                        &placement,
-                        home,
-                        placement.output_offset(start),
-                        vb,
-                        true,
-                    );
-                }
-
-                // The reserved region is recycled once the start
-                // vertex's instances are folded into its output.
-                slots[rank] = base_slot;
-            }
-            structural.push(s);
-        }
 
         // ---- Semantic (inter-path) aggregation: the host programs
         // the per-metapath weights with `ConfigWeight` and triggers
@@ -649,6 +911,105 @@ impl FunctionalSim {
                 faults: fault_totals,
             },
         })
+    }
+}
+
+impl checkpoint::Snapshot for ResumableRun {
+    type State = FunctionalState;
+
+    fn snapshot(&self) -> FunctionalState {
+        FunctionalState {
+            config: self.config,
+            mem: checkpoint::Snapshot::snapshot(&self.mem),
+            injector: self.injector.as_ref().map(checkpoint::Snapshot::snapshot),
+            bcast_stats: self.bcast_stats,
+            counts: self.counts,
+            gen: self.gen.clone(),
+            compute: self.compute.clone(),
+            slots: self.slots.clone(),
+            normal_bytes: self.normal_bytes.clone(),
+            broadcast_bytes: self.broadcast_bytes.clone(),
+            edge_bytes: self.edge_bytes.clone(),
+            host_agg_bytes: self.host_agg_bytes.clone(),
+            demand_bytes: self.demand_bytes.clone(),
+            host_extra_cycles: self.host_extra_cycles,
+            structural: self.structural.clone(),
+            current: self.current.clone(),
+            mp_index: self.mp_index,
+            next_start: self.next_start,
+        }
+    }
+}
+
+impl checkpoint::Restore for ResumableRun {
+    fn restore(&mut self, state: &FunctionalState) -> Result<(), RestoreError> {
+        if state.config != self.config {
+            return Err(RestoreError::new(
+                "snapshot was taken under a different NMP configuration",
+            ));
+        }
+        let dimms = self.config.dram.total_dimms();
+        let ranks = self.config.dram.total_ranks();
+        let channels = self.config.dram.channels;
+        if state.gen.len() != dimms || state.compute.len() != ranks || state.slots.len() != ranks {
+            return Err(RestoreError::new(format!(
+                "per-unit cycle vectors do not match the topology ({dimms} dimms, {ranks} ranks)"
+            )));
+        }
+        let per_channel = [
+            &state.normal_bytes,
+            &state.broadcast_bytes,
+            &state.edge_bytes,
+            &state.host_agg_bytes,
+            &state.demand_bytes,
+        ];
+        if per_channel.iter().any(|v| v.len() != channels) {
+            return Err(RestoreError::new(format!(
+                "per-channel byte tallies do not match {channels} channels"
+            )));
+        }
+        let d = self.config.hidden_dim;
+        if state
+            .structural
+            .iter()
+            .chain(state.current.iter())
+            .any(|m| m.cols() != d)
+        {
+            return Err(RestoreError::new(format!(
+                "structural matrices do not match hidden dim {d}"
+            )));
+        }
+        if state.current.is_none() && state.next_start != 0 {
+            return Err(RestoreError::new(
+                "cursor points into a metapath with no in-flight matrix",
+            ));
+        }
+        checkpoint::Restore::restore(&mut self.mem, &state.mem)?;
+        match (self.injector.as_mut(), state.injector.as_ref()) {
+            (Some(inj), Some(is)) => checkpoint::Restore::restore(inj, is)?,
+            (None, None) => {}
+            _ => {
+                return Err(RestoreError::new(
+                    "fault-injector presence disagrees with the configuration",
+                ))
+            }
+        }
+        self.bcast_stats = state.bcast_stats;
+        self.counts = state.counts;
+        self.gen.clone_from(&state.gen);
+        self.compute.clone_from(&state.compute);
+        self.slots.clone_from(&state.slots);
+        self.normal_bytes.clone_from(&state.normal_bytes);
+        self.broadcast_bytes.clone_from(&state.broadcast_bytes);
+        self.edge_bytes.clone_from(&state.edge_bytes);
+        self.host_agg_bytes.clone_from(&state.host_agg_bytes);
+        self.demand_bytes.clone_from(&state.demand_bytes);
+        self.host_extra_cycles = state.host_extra_cycles;
+        self.structural = state.structural.clone();
+        self.current = state.current.clone();
+        self.mp_index = state.mp_index;
+        self.next_start = state.next_start;
+        Ok(())
     }
 }
 
@@ -979,5 +1340,95 @@ mod tests {
             }
             other => panic!("expected a watchdog fault, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn chunked_stepping_with_snapshots_is_byte_identical() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.005, 16);
+        let cfg = nmp_config(16).with_faults(FaultConfig {
+            seed: 9,
+            bit_flip_rate: 0.01,
+            broadcast_drop_rate: 0.2,
+            stall_rate: 0.05,
+            ..FaultConfig::off()
+        });
+        let straight = FunctionalSim::new(cfg)
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+
+        // Step in chunks; at every boundary rebuild the run from its
+        // snapshot, and every few boundaries push the snapshot through
+        // JSON too — exactly what a kill-and-resume does. (The DRAM
+        // request log grows with progress, so serializing at *every*
+        // boundary would make this test quadratic in request count.)
+        let mut run = ResumableRun::new(cfg);
+        let mut boundary = 0u32;
+        loop {
+            let done = run
+                .step(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, 7)
+                .unwrap();
+            let state = checkpoint::Snapshot::snapshot(&run);
+            let state = if boundary.is_multiple_of(5) || done {
+                let json = serde_json::to_string(&state).unwrap();
+                serde_json::from_str::<FunctionalState>(&json).unwrap()
+            } else {
+                state
+            };
+            run = ResumableRun::from_state(&state).unwrap();
+            boundary += 1;
+            if done {
+                break;
+            }
+        }
+        let resumed = run.finish(&ds.graph, &ds.metapaths).unwrap();
+        assert_eq!(resumed.report, straight.report);
+        assert_eq!(
+            resumed.embeddings.max_abs_diff(&straight.embeddings),
+            0.0,
+            "resumed embeddings must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn finish_before_done_is_rejected() {
+        let (ds, h) = setup(0.02, 16);
+        let mut run = ResumableRun::new(nmp_config(16));
+        let done = run
+            .step(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, 1)
+            .unwrap();
+        assert!(!done);
+        assert!(matches!(
+            run.finish(&ds.graph, &ds.metapaths),
+            Err(NmpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_state() {
+        let (ds, h) = setup(0.02, 16);
+        let mut run = ResumableRun::new(nmp_config(16));
+        run.step(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, 5)
+            .unwrap();
+        let good = checkpoint::Snapshot::snapshot(&run);
+
+        // Different configuration.
+        let mut other = good.clone();
+        other.config.hidden_dim = 32;
+        assert!(ResumableRun::from_state(&other).is_err());
+
+        // Topology-inconsistent per-unit vectors.
+        let mut other = good.clone();
+        other.gen.pop();
+        assert!(ResumableRun::from_state(&other).is_err());
+
+        // Cursor into a metapath without an in-flight matrix.
+        let mut other = good.clone();
+        other.current = None;
+        assert!(other.next_start != 0, "step(5) must be mid-metapath");
+        assert!(ResumableRun::from_state(&other).is_err());
+
+        // The unmodified image restores fine.
+        assert!(ResumableRun::from_state(&good).is_ok());
     }
 }

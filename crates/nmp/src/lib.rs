@@ -59,14 +59,16 @@ pub mod power;
 pub mod program;
 mod report;
 pub mod resilience;
+mod snapshot;
 pub mod units;
 
 pub use comm::CommPolicy;
 pub use config::NmpConfig;
 pub use error::NmpError;
 pub use estimate::{calibrate_rank_local, estimate, RankCalibration};
-pub use functional::{FunctionalRun, FunctionalSim};
+pub use functional::{FunctionalRun, FunctionalSim, ResumableRun};
 pub use power::AreaPowerModel;
 pub use report::{NmpCounts, NmpEnergy, NmpReport};
+pub use snapshot::FunctionalState;
 
 pub use faultsim::{FaultConfig, FaultError, FaultStats, MemErrorKind, WatchdogError};

@@ -8,7 +8,7 @@
 //! the requested rank (a conservative estimate with ≤ 2× relative
 //! error, the standard trade-off for log-bucketed summaries).
 
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A fixed-size log₂-bucketed histogram of `u64` samples.
 #[derive(Debug, Clone)]
@@ -77,6 +77,31 @@ impl Histogram {
         self.sum += v as u128 * n as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Raw internal fields, for the checkpoint image:
+    /// `(counts, count, sum, min, max)`. `min` is the untranslated
+    /// sentinel (`u64::MAX` when empty), unlike [`Histogram::min`].
+    pub(crate) fn raw_parts(&self) -> (&[u64; BUCKETS], u64, u128, u64, u64) {
+        (&self.counts, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from raw fields captured by
+    /// [`Histogram::raw_parts`].
+    pub(crate) fn from_raw_parts(
+        counts: [u64; BUCKETS],
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Folds another histogram into this one.

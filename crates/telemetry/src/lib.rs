@@ -13,6 +13,10 @@
 //! * **Exporters** — a JSON metrics snapshot ([`snapshot_json`]) and a
 //!   Chrome trace-event file ([`chrome_trace_json`]) loadable in
 //!   Perfetto or `chrome://tracing`.
+//! * **Checkpointing** — a lossless metrics image ([`checkpoint_json`])
+//!   that a resumed process folds back in with
+//!   [`merge_checkpoint_json`], so counters, histograms, and phase
+//!   totals survive a kill-and-resume.
 //!
 //! The `enabled` feature (on by default) selects the real backend.
 //! With `--no-default-features` every entry point is an empty
@@ -39,14 +43,14 @@ pub use snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
 pub use hist::Histogram;
 #[cfg(feature = "enabled")]
 pub use state::{
-    counter_add, gauge_set, hist_merge, hist_record, reset, sim_slice, snapshot, span, trace_data,
-    SpanGuard,
+    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json, reset,
+    sim_slice, snapshot, span, trace_data, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, gauge_set, hist_merge, hist_record, reset, sim_slice, snapshot, span, trace_data,
-    Histogram, SpanGuard,
+    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json, reset,
+    sim_slice, snapshot, span, trace_data, Histogram, SpanGuard,
 };
 
 /// Whether the real backend is compiled in.

@@ -132,6 +132,18 @@ pub fn trace_data() -> TraceData {
     TraceData::default()
 }
 
+/// Always the empty image (`"{}"`), which merges as a no-op.
+#[inline(always)]
+pub fn checkpoint_json() -> String {
+    "{}".to_string()
+}
+
+/// No-op; any image is accepted.
+#[inline(always)]
+pub fn merge_checkpoint_json(_json: &str) -> Result<(), String> {
+    Ok(())
+}
+
 /// No-op.
 #[inline(always)]
 pub fn reset() {}

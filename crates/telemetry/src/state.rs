@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{Histogram, BUCKETS};
 use crate::snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
 
 /// Trace process id for wall-clock spans.
@@ -236,6 +238,104 @@ pub fn trace_data() -> TraceData {
             thread_names,
         }
     })
+}
+
+/// Raw image of one histogram inside a checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HistImage {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// The metrics half of the registry, as persisted by
+/// [`checkpoint_json`]. Trace events and sim tracks are wall-clock
+/// diagnostics of one process and are deliberately not carried across
+/// a resume.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RegistryImage {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, HistImage>,
+    phases: BTreeMap<String, (u64, f64)>,
+}
+
+/// Serializes the registry's metrics — counters, gauges, histograms
+/// (full bucket arrays, not summaries), and per-phase totals — as a
+/// JSON checkpoint image for [`merge_checkpoint_json`].
+pub fn checkpoint_json() -> String {
+    let image = with_state(|s| RegistryImage {
+        counters: s.counters.clone(),
+        gauges: s.gauges.clone(),
+        hists: s
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let (counts, count, sum, min, max) = h.raw_parts();
+                (
+                    k.clone(),
+                    HistImage {
+                        counts: counts.to_vec(),
+                        count,
+                        sum,
+                        min,
+                        max,
+                    },
+                )
+            })
+            .collect(),
+        phases: s.phase_totals.clone(),
+    });
+    serde_json::to_string(&image).unwrap_or_else(|e| {
+        // The image is built from plain maps of plain values; encoding
+        // cannot fail, but telemetry must never take a process down.
+        debug_assert!(false, "checkpoint image encoding failed: {e:?}");
+        "{}".to_string()
+    })
+}
+
+/// Folds a [`checkpoint_json`] image into the registry: counters and
+/// phase totals add, histograms merge bucket-wise, and gauges from the
+/// image fill in only where the live registry has no value (last write
+/// wins, and the live process is later than the checkpoint).
+///
+/// # Errors
+///
+/// Returns a description of the problem when `json` is not a valid
+/// image; the registry is left untouched in that case.
+pub fn merge_checkpoint_json(json: &str) -> Result<(), String> {
+    let image: RegistryImage =
+        serde_json::from_str(json).map_err(|e| format!("malformed telemetry checkpoint: {e:?}"))?;
+    let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+    for (name, h) in image.hists {
+        let counts: [u64; BUCKETS] = h
+            .counts
+            .try_into()
+            .map_err(|v: Vec<u64>| format!("histogram {name:?} has {} buckets", v.len()))?;
+        hists.insert(
+            name,
+            Histogram::from_raw_parts(counts, h.count, h.sum, h.min, h.max),
+        );
+    }
+    with_state(|s| {
+        for (name, v) in image.counters {
+            *s.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in image.gauges {
+            s.gauges.entry(name).or_insert(v);
+        }
+        for (name, h) in hists {
+            s.hists.entry(name).or_default().merge(&h);
+        }
+        for (name, (calls, ms)) in image.phases {
+            let entry = s.phase_totals.entry(name).or_insert((0, 0.0));
+            entry.0 += calls;
+            entry.1 += ms;
+        }
+    });
+    Ok(())
 }
 
 /// Clears all metrics, spans, and the wall-clock epoch.

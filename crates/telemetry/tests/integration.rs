@@ -17,6 +17,45 @@ fn registry_spans_and_exporters() {
     sim_slices_land_on_their_own_tracks();
     snapshot_json_round_trips_through_serde();
     chrome_trace_json_round_trips_through_serde();
+    checkpoint_merge_restores_metrics();
+}
+
+fn checkpoint_merge_restores_metrics() {
+    obs::reset();
+    obs::counter_add("ckpt.counter", 41);
+    obs::gauge_set("ckpt.gauge", 1.25);
+    for v in [1u64, 7, 7, 4096] {
+        obs::hist_record("ckpt.hist", v);
+    }
+    {
+        let _s = obs::span("ckpt.phase", "test");
+    }
+    let image = obs::checkpoint_json();
+    let before = obs::snapshot();
+
+    // A fresh process (registry) merges the image and continues.
+    obs::reset();
+    obs::counter_add("ckpt.counter", 1);
+    obs::gauge_set("ckpt.gauge", 9.0); // live value must win
+    obs::merge_checkpoint_json(&image).expect("image merges");
+    let after = obs::snapshot();
+    assert_eq!(after.counter("ckpt.counter"), Some(42));
+    assert_eq!(after.gauge("ckpt.gauge"), Some(9.0));
+    let (h0, h1) = (
+        before.histogram("ckpt.hist").unwrap(),
+        after.histogram("ckpt.hist").unwrap(),
+    );
+    assert_eq!(h0, h1, "histogram survives losslessly");
+    let phase = after
+        .phases
+        .iter()
+        .find(|p| p.name == "ckpt.phase")
+        .expect("phase totals carried over");
+    assert_eq!(phase.calls, 1);
+
+    // Garbage is rejected without touching the registry.
+    assert!(obs::merge_checkpoint_json("not json").is_err());
+    assert_eq!(obs::snapshot(), after);
 }
 
 fn span_nesting_and_ordering() {

@@ -307,6 +307,147 @@ fn feature_cache_matches_reference_lru() {
 }
 
 #[test]
+fn dram_snapshot_round_trips_mid_stream() {
+    use checkpoint::Snapshot;
+    use dramsim::{DramConfig, FaultConfig, MemorySystem, Request};
+    for_each_case(11, |rng, seed| {
+        let faults = if rng.gen_bool(0.5) {
+            FaultConfig {
+                seed: rng.gen(),
+                bit_flip_rate: 0.02,
+                stall_rate: 0.01,
+                ..FaultConfig::off()
+            }
+        } else {
+            FaultConfig::off()
+        };
+        let mut reference = MemorySystem::with_faults(DramConfig::default(), faults);
+        let first = rng.gen_range(1usize..48);
+        for _ in 0..first {
+            reference.enqueue(Request::read(rng.gen_range(0u64..(1 << 22)), 64));
+        }
+        reference.try_service_all().expect("recoverable");
+
+        // Round-trip the snapshot through the serialized form, then
+        // feed both systems an identical second batch.
+        let state = reference.snapshot();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: dramsim::SystemState = serde_json::from_str(&json).unwrap();
+        let mut resumed = MemorySystem::from_state(&back).expect("valid state");
+        let second = rng.gen_range(1usize..48);
+        let batch: Vec<u64> = (0..second)
+            .map(|_| rng.gen_range(0u64..(1 << 22)))
+            .collect();
+        for &addr in &batch {
+            reference.enqueue(Request::read(addr, 64));
+            resumed.enqueue(Request::read(addr, 64));
+        }
+        let a = reference.try_service_all().expect("recoverable");
+        let b = resumed.try_service_all().expect("recoverable");
+        assert_eq!(a.stats, b.stats, "seed {seed}");
+        assert_eq!(a.faults, b.faults, "seed {seed}");
+        assert_eq!(a.completions, b.completions, "seed {seed}");
+    });
+}
+
+#[test]
+fn fault_injector_snapshot_resumes_identical_schedules() {
+    use checkpoint::{Restore, Snapshot};
+    use faultsim::{FaultConfig, FaultInjector};
+    for_each_case(12, |rng, seed| {
+        let cfg = FaultConfig {
+            seed: rng.gen(),
+            bit_flip_rate: 0.1,
+            broadcast_drop_rate: 0.3,
+            stall_rate: 0.2,
+            ..FaultConfig::off()
+        };
+        let mut reference = FaultInjector::new(cfg);
+        for _ in 0..rng.gen_range(0usize..64) {
+            match rng.gen_range(0u8..3) {
+                0 => {
+                    reference.next_read_flips();
+                }
+                1 => {
+                    reference.next_broadcast();
+                }
+                _ => {
+                    reference.next_stall_cycles(100);
+                }
+            }
+        }
+
+        // Serialize the counters, restore into a fresh injector, and
+        // verify both produce the same remaining fault schedule.
+        let state = reference.snapshot();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: faultsim::InjectorState = serde_json::from_str(&json).unwrap();
+        let mut resumed = FaultInjector::new(cfg);
+        resumed.restore(&back).expect("same seed restores");
+        for _ in 0..32 {
+            assert_eq!(
+                reference.next_read_flips(),
+                resumed.next_read_flips(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                reference.next_broadcast(),
+                resumed.next_broadcast(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                reference.next_stall_cycles(100),
+                resumed.next_stall_cycles(100),
+                "seed {seed}"
+            );
+        }
+    });
+}
+
+#[test]
+fn functional_chunked_stepping_matches_straight_run() {
+    use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+    use hgnn::{OpCounters, Projection};
+    use nmp::{FunctionalSim, NmpConfig, ResumableRun};
+    // Simulation cases are expensive; a handful of random budgets
+    // still cover boundary-straddling chunk sizes.
+    for case in 0..4u64 {
+        let seed = 13 * (case + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.005));
+        let features = FeatureStore::random(&ds.graph, seed);
+        let proj = Projection::random(&ds.graph, 8, seed);
+        let mut counters = OpCounters::default();
+        let hidden = proj.project(&ds.graph, &features, &mut counters).unwrap();
+        let cfg = NmpConfig {
+            hidden_dim: 8,
+            ..NmpConfig::default()
+        };
+        let straight = FunctionalSim::new(cfg)
+            .run(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let budget = rng.gen_range(1u64..200);
+        let mut run = ResumableRun::new(cfg);
+        while !run
+            .step(&ds.graph, &hidden, ModelKind::Magnn, &ds.metapaths, budget)
+            .unwrap()
+        {
+            // Rebuild from the snapshot at every chunk boundary, as a
+            // resume would.
+            let state = checkpoint::Snapshot::snapshot(&run);
+            run = ResumableRun::from_state(&state).unwrap();
+        }
+        let resumed = run.finish(&ds.graph, &ds.metapaths).unwrap();
+        assert_eq!(resumed.report, straight.report, "budget {budget}");
+        assert_eq!(
+            resumed.embeddings.max_abs_diff(&straight.embeddings),
+            0.0,
+            "budget {budget}"
+        );
+    }
+}
+
+#[test]
 fn carpu_generates_exactly_the_product() {
     use nmp::units::CarPu;
     for_each_case(10, |rng, seed| {

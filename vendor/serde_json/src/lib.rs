@@ -331,12 +331,24 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid UTF-8", self.pos))?;
-                    let c = text.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 char. Validate at
+                    // most 4 bytes — validating the whole remaining
+                    // input here would make parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let prefix = match std::str::from_utf8(rest) {
+                        Ok(text) => text,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(Error::new("invalid UTF-8", self.pos)),
+                    };
+                    let c = prefix.chars().next().unwrap();
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -442,6 +454,20 @@ mod tests {
         assert_eq!(s, "1.0");
         let v: Value = from_str(&s).unwrap();
         assert_eq!(v, Value::Float(1.0));
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        // é (2 bytes), → (3 bytes), 🎉 (4 bytes), plus a trailing
+        // multi-byte char at end-of-input (exercises the bounded
+        // 4-byte decode window at the buffer edge).
+        let v: Value = from_str("\"héllo → 🎉\"").unwrap();
+        assert_eq!(v, Value::Str("héllo → 🎉".to_string()));
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let err = from_str::<Value>("\"\u{80}").map(|_| ()).unwrap_err();
+        let _ = err; // truncated: unterminated string, not a panic
     }
 
     #[test]
