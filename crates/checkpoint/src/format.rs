@@ -32,7 +32,11 @@ use crate::error::CheckpointError;
 pub const MAGIC: [u8; 8] = *b"MNMPCKPT";
 
 /// Current container format version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 2 — the DRAM fault-injector image became per-channel
+/// (`InjectorSnapshot.states`, one counter-mode stream position per
+/// channel lane, replacing the single shared `state`).
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 32;
 

@@ -31,16 +31,19 @@ pub struct Location {
 
 impl Location {
     /// Flat rank index across the whole system.
+    #[inline]
     pub fn global_rank(&self, config: &DramConfig) -> usize {
         ((self.channel * config.dimms_per_channel) + self.dimm) * config.ranks_per_dimm + self.rank
     }
 
     /// Flat DIMM index across the whole system.
+    #[inline]
     pub fn global_dimm(&self, config: &DramConfig) -> usize {
         self.channel * config.dimms_per_channel + self.dimm
     }
 
     /// Flat bank index within the rank.
+    #[inline]
     pub fn bank_in_rank(&self, config: &DramConfig) -> usize {
         self.bank_group * config.banks_per_group + self.bank
     }
@@ -59,6 +62,7 @@ impl AddressMapper {
     }
 
     /// Decodes a physical byte address.
+    #[inline]
     pub fn map(&self, addr: u64) -> Location {
         let c = &self.config;
         let mut blk = addr / c.burst_bytes as u64;
@@ -88,6 +92,7 @@ impl AddressMapper {
 
     /// Composes an address that decodes to the given coordinates
     /// (inverse of [`AddressMapper::map`]).
+    #[inline]
     pub fn compose(&self, loc: Location) -> u64 {
         let c = &self.config;
         let cols_per_row = (c.row_bytes / c.burst_bytes) as u64;

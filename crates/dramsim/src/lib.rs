@@ -35,6 +35,7 @@
 
 mod address;
 mod config;
+pub mod parallel;
 mod request;
 mod snapshot;
 mod stats;

@@ -22,14 +22,16 @@ use crate::config::DramConfig;
 use crate::request::{Locality, RequestKind};
 use crate::stats::MemoryStats;
 
-/// Fault-model image: the configuration the injector ran under plus
-/// its stream positions, enough to rebuild it from scratch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Fault-model image: the configuration the injectors ran under plus
+/// each channel lane's stream positions, enough to rebuild them from
+/// scratch. One entry per channel, in channel order (lane = index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InjectorSnapshot {
-    /// Fault configuration (rates, seed, retry budget).
+    /// Fault configuration (rates, seed, retry budget), shared by all
+    /// lanes.
     pub config: FaultConfig,
-    /// Counter-mode stream positions.
-    pub state: InjectorState,
+    /// Counter-mode stream positions, one per channel lane.
+    pub states: Vec<InjectorState>,
 }
 
 /// One queued burst (mirror of the scheduler's internal entry).

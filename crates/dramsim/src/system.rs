@@ -148,13 +148,20 @@ pub struct MemorySystem {
     queue_depth_hist: obs::Histogram,
     /// Telemetry: activates per bank index since last flush.
     bank_act_tally: Vec<u64>,
-    /// Optional fault model; `None` keeps every code path bit-identical
-    /// to a build without fault wiring.
-    injector: Option<FaultInjector>,
+    /// Per-channel fault injectors, one stream lane per channel (lane =
+    /// channel index, so a single-channel system reproduces the legacy
+    /// single-injector schedule exactly). Empty when no fault model is
+    /// attached, which keeps every code path bit-identical to a build
+    /// without fault wiring.
+    injectors: Vec<FaultInjector>,
     /// Cumulative fault-injection accounting.
     fault_stats: FaultStats,
     /// Telemetry: the fault stats already published as counter deltas.
     flushed_faults: FaultStats,
+    /// Telemetry: closed per-rank activity windows awaiting emission,
+    /// accumulated in channel order — `(channel, linear rank, start
+    /// cycle, duration)`.
+    slice_buffer: Vec<(usize, usize, u64, u64)>,
 }
 
 impl MemorySystem {
@@ -180,9 +187,10 @@ impl MemorySystem {
             latency_hist: obs::Histogram::new(),
             queue_depth_hist: obs::Histogram::new(),
             bank_act_tally: vec![0; config.banks_per_rank()],
-            injector: None,
+            injectors: Vec::new(),
             fault_stats: FaultStats::default(),
             flushed_faults: FaultStats::default(),
+            slice_buffer: Vec::new(),
             config,
         }
     }
@@ -196,10 +204,20 @@ impl MemorySystem {
 
     /// Attaches (or replaces) the fault model. An inactive
     /// configuration (all rates zero, empty stall mask) detaches the
-    /// injector entirely, so zero-rate runs take the exact fault-free
+    /// injectors entirely, so zero-rate runs take the exact fault-free
     /// code path.
+    ///
+    /// One injector is created per channel, each drawing from its own
+    /// stream lane, so channels can be serviced concurrently without
+    /// sharing an event counter (see [`FaultInjector::with_lane`]).
     pub fn set_faults(&mut self, faults: FaultConfig) {
-        self.injector = faults.is_active().then(|| FaultInjector::new(faults));
+        self.injectors = if faults.is_active() {
+            (0..self.config.channels)
+                .map(|ch| FaultInjector::with_lane(faults, ch as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
     }
 
     /// Cumulative fault-injection accounting (all zero when no fault
@@ -252,11 +270,17 @@ impl MemorySystem {
     ///
     /// # Panics
     ///
-    /// Panics if an attached fault model raises an unrecoverable fault;
-    /// use [`MemorySystem::try_service_all`] when faults are enabled.
+    /// Panics (with the structured [`FaultError`] in the message) if an
+    /// attached fault model raises an unrecoverable fault; use
+    /// [`MemorySystem::try_service_all`] when faults are enabled.
     pub fn service_all(&mut self) -> Report {
-        self.try_service_all()
-            .expect("service_all requires a fault-free run; use try_service_all with faults")
+        match self.try_service_all() {
+            Ok(report) => report,
+            Err(e) => panic!(
+                "service_all aborted on an injected fault ({e}); \
+                 use try_service_all for fault-aware runs"
+            ),
+        }
     }
 
     /// Fallible variant of [`MemorySystem::service_all`]: an
@@ -265,16 +289,43 @@ impl MemorySystem {
     /// structured [`FaultError`] instead of completing. Without an
     /// active fault model this never fails.
     ///
+    /// Channels share no timing state, so each channel's service loop
+    /// runs as an independent worker — on scoped threads when the host
+    /// thread budget ([`crate::parallel`]) and queue depth warrant it —
+    /// and the workers' deltas are folded back in fixed channel order.
+    /// The serial and threaded paths execute the same worker code and
+    /// the same ordered merge, so the report is byte-identical at every
+    /// thread count.
+    ///
     /// On error, bursts already serviced keep their timeline effects
-    /// and unserviced bursts stay queued; telemetry is flushed either
-    /// way so the trip is visible in the registry.
+    /// and unserviced bursts stay queued; every channel is still
+    /// serviced (faults abort their own channel only) and the
+    /// lowest-indexed channel's error is reported. Telemetry is flushed
+    /// either way so the trip is visible in the registry.
     pub fn try_service_all(&mut self) -> Result<Report, FaultError> {
         let first_new = self.pending.iter().position(|&(n, _, _)| n > 0);
         let mut aborted = None;
-        for ch in 0..self.channels.len() {
-            if let Err(e) = self.service_channel_faulty(ch) {
-                aborted = Some(e);
-                break;
+        for out in self.service_channels() {
+            // Ordered merge: outcomes arrive in channel order, so every
+            // accumulator — including the f64 energy tallies — sees the
+            // same fold sequence regardless of the thread count.
+            self.stats.merge(&out.stats);
+            self.fault_stats.merge(&out.fault_stats);
+            self.latency_hist.merge(&out.latency_hist);
+            self.queue_depth_hist.merge(&out.queue_depth_hist);
+            for (bank, n) in out.bank_act_tally.iter().enumerate() {
+                self.bank_act_tally[bank] += n;
+            }
+            for &(idx, data_start, finish) in &out.bursts {
+                let entry = &mut self.pending[idx];
+                entry.0 -= 1;
+                entry.1 = entry.1.min(data_start);
+                entry.2 = entry.2.max(finish);
+            }
+            self.slice_buffer
+                .extend(out.slices.iter().map(|&(r, s, d)| (out.ch, r, s, d)));
+            if aborted.is_none() {
+                aborted = out.error;
             }
         }
         // Background energy for the newly elapsed span.
@@ -347,6 +398,16 @@ impl MemorySystem {
             *n = 0;
         }
         let rpd = self.config.ranks_per_dimm;
+        // Closed activity windows, buffered by the channel workers and
+        // already ordered by channel at the merge barrier.
+        for (ch, r, start, dur) in self.slice_buffer.drain(..) {
+            obs::sim_slice(
+                &format!("dram ch{ch} dimm{} rank{}", r / rpd, r % rpd),
+                "data",
+                start,
+                dur,
+            );
+        }
         for (ch, channel) in self.channels.iter_mut().enumerate() {
             let t = std::mem::take(&mut channel.tally);
             obs::counter_add(&format!("dram.ch{ch}.bursts"), t.bursts);
@@ -376,23 +437,191 @@ impl MemorySystem {
         self.flushed_faults = self.fault_stats;
     }
 
-    /// Routes channel servicing through the fault pipeline when an
-    /// injector is attached; otherwise takes the exact fault-free path.
-    fn service_channel_faulty(&mut self, ch: usize) -> Result<(), FaultError> {
-        if self.injector.is_none() {
-            self.service_channel(ch);
-            return Ok(());
+    /// Services every channel and returns one outcome per channel, in
+    /// channel order.
+    ///
+    /// The thread budget changes only the execution strategy: with a
+    /// budget of one — or too little queued work to amortize thread
+    /// spawns — the workers run inline on this thread; otherwise each
+    /// channel's worker runs on a scoped thread. Both paths execute the
+    /// same per-channel accumulation and return outcomes in channel
+    /// order, so the caller's merge is identical at every thread count.
+    fn service_channels(&mut self) -> Vec<ChannelOutcome> {
+        let queued: usize = self.channels.iter().map(|c| c.queue.len()).sum();
+        let busy = self.channels.iter().filter(|c| !c.queue.is_empty()).count();
+        let banks = self.config.banks_per_rank();
+        let injectors: Vec<Option<&mut FaultInjector>> = if self.injectors.is_empty() {
+            (0..self.channels.len()).map(|_| None).collect()
+        } else {
+            self.injectors.iter_mut().map(Some).collect()
+        };
+        let config = &self.config;
+        let mapper = &self.mapper;
+        let workers: Vec<ChannelWorker<'_>> = self
+            .channels
+            .iter_mut()
+            .zip(injectors)
+            .enumerate()
+            .map(|(ch, (state, injector))| ChannelWorker {
+                config,
+                mapper,
+                ch,
+                state,
+                injector,
+                out: ChannelOutcome::new(ch, banks),
+            })
+            .collect();
+        let threads = crate::parallel::threads().min(busy.max(1));
+        if threads <= 1 || queued < PAR_MIN_QUEUED_BURSTS {
+            workers.into_iter().map(ChannelWorker::run).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .map(|w| scope.spawn(move || w.run()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            })
         }
-        let cfg = *self.injector.as_ref().expect("checked above").config();
+    }
+
+    /// Builds a system directly from a state image: `new` under the
+    /// image's configuration, then [`checkpoint::Restore::restore`].
+    pub fn from_state(state: &SystemState) -> Result<Self, checkpoint::RestoreError> {
+        let mut sys = MemorySystem::new(state.config);
+        checkpoint::Restore::restore(&mut sys, state)?;
+        Ok(sys)
+    }
+}
+
+/// Channel servicing fans out to scoped worker threads only when at
+/// least this many bursts are queued system-wide; below it the spawn
+/// cost exceeds the service cost. Purely a wall-clock heuristic — both
+/// paths run the same worker code and ordered merge.
+const PAR_MIN_QUEUED_BURSTS: usize = 2048;
+
+/// Everything one channel's service loop produced, accumulated locally
+/// on whatever thread ran it and folded into the shared system state in
+/// fixed channel order at the `try_service_all` barrier.
+struct ChannelOutcome {
+    ch: usize,
+    /// Stats delta for this service call (`elapsed_cycles` is the local
+    /// max finish; [`MemoryStats::merge`] max-merges it).
+    stats: MemoryStats,
+    /// Fault-accounting delta.
+    fault_stats: FaultStats,
+    latency_hist: obs::Histogram,
+    queue_depth_hist: obs::Histogram,
+    bank_act_tally: Vec<u64>,
+    /// `(request index, data_start, finish)` per serviced burst, in
+    /// service order.
+    bursts: Vec<(usize, u64, u64)>,
+    /// Closed activity windows: `(linear rank, start cycle, duration)`.
+    slices: Vec<(usize, u64, u64)>,
+    /// Abort raised by the fault pipeline, if any; bursts serviced
+    /// before it keep their timeline effects.
+    error: Option<FaultError>,
+}
+
+impl ChannelOutcome {
+    fn new(ch: usize, banks: usize) -> Self {
+        ChannelOutcome {
+            ch,
+            stats: MemoryStats::default(),
+            fault_stats: FaultStats::default(),
+            latency_hist: obs::Histogram::new(),
+            queue_depth_hist: obs::Histogram::new(),
+            bank_act_tally: vec![0; banks],
+            bursts: Vec::new(),
+            slices: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// One channel's FR-FCFS service loop, detached from the shared
+/// [`MemorySystem`] so it can run on any thread: it holds mutable
+/// access to exactly its channel's state (and that channel's injector
+/// lane) and accumulates everything shared into a private
+/// [`ChannelOutcome`]. Telemetry is buffered in the outcome — workers
+/// never touch the global registry, which keeps the registry contents
+/// independent of thread scheduling.
+struct ChannelWorker<'a> {
+    config: &'a DramConfig,
+    mapper: &'a AddressMapper,
+    ch: usize,
+    state: &'a mut ChannelState,
+    injector: Option<&'a mut FaultInjector>,
+    out: ChannelOutcome,
+}
+
+impl ChannelWorker<'_> {
+    fn run(mut self) -> ChannelOutcome {
+        if self.injector.is_some() {
+            if let Err(e) = self.service_faulty() {
+                self.out.error = Some(e);
+            }
+        } else {
+            self.service_clean();
+        }
+        self.out
+    }
+
+    fn injector_ref(&self) -> &FaultInjector {
+        self.injector
+            .as_deref()
+            .expect("fault path requires an attached injector")
+    }
+
+    fn injector_mut(&mut self) -> &mut FaultInjector {
+        self.injector
+            .as_deref_mut()
+            .expect("fault path requires an attached injector")
+    }
+
+    /// Global rank index of a location, unique across channels (used to
+    /// key persistent faults and the stall mask).
+    fn global_rank(&self, loc: &Location) -> usize {
+        let ranks_per_channel = self.config.dimms_per_channel * self.config.ranks_per_dimm;
+        self.ch * ranks_per_channel + loc.dimm * self.config.ranks_per_dimm + loc.rank
+    }
+
+    fn record_serviced(&mut self, id: RequestId, data_start: u64, finish: u64) {
+        self.out.bursts.push((id.0, data_start, finish));
+        self.out.stats.elapsed_cycles = self.out.stats.elapsed_cycles.max(finish);
+    }
+
+    fn service_clean(&mut self) {
+        while !self.state.queue.is_empty() {
+            self.out
+                .queue_depth_hist
+                .record(self.state.queue.len() as u64);
+            let pick = self.pick_fr_fcfs();
+            let burst = self.state.queue.remove(pick).expect("pick is in range");
+            let loc = self.mapper.map(burst.addr);
+            let (data_start, finish) = self.issue_burst(&burst, loc);
+            self.record_serviced(burst.id, data_start, finish);
+        }
+    }
+
+    /// The fault-aware service loop: every burst runs through the
+    /// transient/persistent fault pipeline after issue, and a watchdog
+    /// bounds no-progress rounds once only stalled-rank bursts remain.
+    fn service_faulty(&mut self) -> Result<(), FaultError> {
+        let cfg = *self.injector_ref().config();
         let mut watchdog = Watchdog::new(cfg.watchdog_limit);
-        while !self.channels[ch].queue.is_empty() {
-            self.queue_depth_hist
-                .record(self.channels[ch].queue.len() as u64);
-            let pick = self.pick_fr_fcfs(ch);
-            let burst = self.channels[ch].queue[pick];
+        while !self.state.queue.is_empty() {
+            self.out
+                .queue_depth_hist
+                .record(self.state.queue.len() as u64);
+            let pick = self.pick_fr_fcfs();
+            let burst = self.state.queue[pick];
             let loc = self.mapper.map(burst.addr);
             let bus_only = matches!(burst.locality, Locality::Broadcast | Locality::DirectSend);
-            let global_rank = self.global_rank(ch, &loc);
+            let global_rank = self.global_rank(&loc);
 
             if !bus_only && self.injector_ref().rank_is_stalled(global_rank) {
                 // A permanently stalled rank never retires its bursts:
@@ -400,19 +629,16 @@ impl MemorySystem {
                 // no-progress round. Without the watchdog this loop
                 // would spin forever once only stalled-rank bursts
                 // remain.
-                let b = self.channels[ch].queue.remove(pick).expect("pick in range");
-                self.channels[ch].queue.push_back(b);
+                let b = self.state.queue.remove(pick).expect("pick in range");
+                self.state.queue.push_back(b);
                 if watchdog.stall() {
-                    self.fault_stats.watchdog_trips += 1;
-                    let mut stuck: Vec<u64> = self.channels[ch]
-                        .queue
-                        .iter()
-                        .map(|b| b.id.0 as u64)
-                        .collect();
+                    self.out.fault_stats.watchdog_trips += 1;
+                    let mut stuck: Vec<u64> =
+                        self.state.queue.iter().map(|b| b.id.0 as u64).collect();
                     stuck.sort_unstable();
                     stuck.dedup();
                     return Err(WatchdogError {
-                        site: format!("dramsim.channel[{ch}]"),
+                        site: format!("dramsim.channel[{}]", self.ch),
                         waited: watchdog.rounds_since_progress(),
                         stuck_requests: stuck,
                     }
@@ -421,37 +647,14 @@ impl MemorySystem {
                 continue;
             }
 
-            let b = self.channels[ch].queue.remove(pick).expect("pick in range");
-            let (data_start, finish) = self.issue_burst(ch, &b, loc);
+            let b = self.state.queue.remove(pick).expect("pick in range");
+            let (data_start, finish) = self.issue_burst(&b, loc);
             let extra = self.apply_burst_faults(&b, &loc, global_rank, &cfg)?;
             let finish = finish + extra;
-            let entry = &mut self.pending[b.id.0];
-            entry.0 -= 1;
-            entry.1 = entry.1.min(data_start);
-            entry.2 = entry.2.max(finish);
-            self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(finish);
+            self.record_serviced(b.id, data_start, finish);
             watchdog.progress();
         }
         Ok(())
-    }
-
-    /// Global rank index of a location, unique across channels (used to
-    /// key persistent faults and the stall mask).
-    fn global_rank(&self, ch: usize, loc: &Location) -> usize {
-        let ranks_per_channel = self.config.dimms_per_channel * self.config.ranks_per_dimm;
-        ch * ranks_per_channel + loc.dimm * self.config.ranks_per_dimm + loc.rank
-    }
-
-    fn injector_ref(&self) -> &FaultInjector {
-        self.injector
-            .as_ref()
-            .expect("fault path requires an attached injector")
-    }
-
-    fn injector_mut(&mut self) -> &mut FaultInjector {
-        self.injector
-            .as_mut()
-            .expect("fault path requires an attached injector")
     }
 
     /// Runs one serviced burst through the transient/persistent fault
@@ -485,28 +688,28 @@ impl MemorySystem {
         if burst.kind == RequestKind::Read {
             let flips = self.injector_mut().next_read_flips();
             if flips > 0 {
-                self.fault_stats.injected_bit_flips += u64::from(flips);
+                self.out.fault_stats.injected_bit_flips += u64::from(flips);
                 let mut outcome = ecc::outcome_for_flips(flips);
                 let mut attempt = 0u32;
                 loop {
                     match outcome {
                         EccOutcome::Clean => break,
                         EccOutcome::Corrected => {
-                            self.fault_stats.ecc_corrected += 1;
+                            self.out.fault_stats.ecc_corrected += 1;
                             break;
                         }
                         EccOutcome::SilentMiss => {
-                            self.fault_stats.ecc_silent_miss += 1;
+                            self.out.fault_stats.ecc_silent_miss += 1;
                             break;
                         }
                         EccOutcome::DetectedUncorrectable => {
-                            self.fault_stats.ecc_detected += 1;
+                            self.out.fault_stats.ecc_detected += 1;
                             if attempt >= cfg.retry_limit {
-                                self.fault_stats.mem_errors += 1;
+                                self.out.fault_stats.mem_errors += 1;
                                 return Err(MemError {
                                     request: burst.id.0 as u64,
                                     rank: global_rank,
-                                    bank: loc.bank_in_rank(&self.config),
+                                    bank: loc.bank_in_rank(self.config),
                                     row: loc.row,
                                     kind: MemErrorKind::UncorrectableEcc,
                                 }
@@ -514,12 +717,12 @@ impl MemorySystem {
                             }
                             // Bounded retry with exponential backoff,
                             // then a full re-read of the column.
-                            self.fault_stats.read_retries += 1;
+                            self.out.fault_stats.read_retries += 1;
                             extra += (cfg.retry_backoff_cycles << attempt) + t.t_cl + t.t_bl;
                             attempt += 1;
                             let reflips = self.injector_mut().next_read_flips();
                             if reflips > 0 {
-                                self.fault_stats.injected_bit_flips += u64::from(reflips);
+                                self.out.fault_stats.injected_bit_flips += u64::from(reflips);
                             }
                             outcome = ecc::outcome_for_flips(reflips);
                         }
@@ -531,60 +734,40 @@ impl MemorySystem {
         // --- Persistent stuck-at faults: remap to spares. ---
         if self
             .injector_ref()
-            .bank_is_failed(global_rank, loc.bank_in_rank(&self.config))
+            .bank_is_failed(global_rank, loc.bank_in_rank(self.config))
         {
-            self.fault_stats.bank_remaps += 1;
+            self.out.fault_stats.bank_remaps += 1;
             extra += t.t_rc;
         } else if self.injector_ref().row_is_stuck(
             global_rank,
-            loc.bank_in_rank(&self.config),
+            loc.bank_in_rank(self.config),
             loc.row,
         ) {
-            self.fault_stats.row_remaps += 1;
+            self.out.fault_stats.row_remaps += 1;
             extra += t.t_rp + t.t_rcd;
         }
 
         // --- Transient rank-AU stalls. ---
         let stall = self.injector_mut().next_stall_cycles(global_rank as u64);
         if stall > 0 {
-            self.fault_stats.stall_events += 1;
-            self.fault_stats.stall_cycles += stall;
+            self.out.fault_stats.stall_events += 1;
+            self.out.fault_stats.stall_cycles += stall;
             extra += stall;
         }
         Ok(extra)
     }
 
-    fn service_channel(&mut self, ch: usize) {
-        while !self.channels[ch].queue.is_empty() {
-            self.queue_depth_hist
-                .record(self.channels[ch].queue.len() as u64);
-            let pick = self.pick_fr_fcfs(ch);
-            let burst = self.channels[ch]
-                .queue
-                .remove(pick)
-                .expect("pick is in range");
-            let loc = self.mapper.map(burst.addr);
-            let (data_start, finish) = self.issue_burst(ch, &burst, loc);
-            let entry = &mut self.pending[burst.id.0];
-            entry.0 -= 1;
-            entry.1 = entry.1.min(data_start);
-            entry.2 = entry.2.max(finish);
-            self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(finish);
-        }
-    }
-
     /// FR-FCFS: the oldest row-hit burst within the scheduling window,
     /// else the oldest burst.
-    fn pick_fr_fcfs(&self, ch: usize) -> usize {
-        let channel = &self.channels[ch];
-        let window = self.config.sched_window.min(channel.queue.len());
-        for (i, b) in channel.queue.iter().take(window).enumerate() {
+    fn pick_fr_fcfs(&self) -> usize {
+        let window = self.config.sched_window.min(self.state.queue.len());
+        for (i, b) in self.state.queue.iter().take(window).enumerate() {
             if matches!(b.locality, Locality::Broadcast | Locality::DirectSend) {
                 continue; // bus-only transfers have no row to hit
             }
             let loc = self.mapper.map(b.addr);
-            let rank = &channel.ranks[loc.dimm * self.config.ranks_per_dimm + loc.rank];
-            let bank = &rank.banks[loc.bank_in_rank(&self.config)];
+            let rank = &self.state.ranks[loc.dimm * self.config.ranks_per_dimm + loc.rank];
+            let bank = &rank.banks[loc.bank_in_rank(self.config)];
             if bank.open_row == Some(loc.row) {
                 return i;
             }
@@ -592,7 +775,7 @@ impl MemorySystem {
         0
     }
 
-    fn issue_burst(&mut self, ch: usize, burst: &Burst, loc: Location) -> (u64, u64) {
+    fn issue_burst(&mut self, burst: &Burst, loc: Location) -> (u64, u64) {
         let t = self.config.timing;
         let e = self.config.energy;
         let bits = (self.config.burst_bytes * 8) as f64;
@@ -600,31 +783,32 @@ impl MemorySystem {
         if matches!(burst.locality, Locality::Broadcast | Locality::DirectSend) {
             // Pure bus transfer latched by DIMM buffer chips; no DRAM
             // bank activity.
-            let channel = &mut self.channels[ch];
-            let data_start = channel.bus_free.max(burst.arrival);
+            let data_start = self.state.bus_free.max(burst.arrival);
             let finish = data_start + t.t_bl;
-            channel.bus_free = finish;
-            self.stats.writes += 1;
-            self.stats.channel_bus_busy_cycles += t.t_bl;
-            self.stats.channel_bytes += self.config.burst_bytes as u64;
+            self.state.bus_free = finish;
+            self.out.stats.writes += 1;
+            self.out.stats.channel_bus_busy_cycles += t.t_bl;
+            self.out.stats.channel_bytes += self.config.burst_bytes as u64;
             if burst.locality == Locality::Broadcast {
-                self.stats.broadcast_transfers += 1;
-                self.stats.energy.broadcast_io_pj += bits * e.io_pj_per_bit * e.broadcast_io_factor;
+                self.out.stats.broadcast_transfers += 1;
+                self.out.stats.energy.broadcast_io_pj +=
+                    bits * e.io_pj_per_bit * e.broadcast_io_factor;
             } else {
-                self.stats.energy.io_pj += bits * e.io_pj_per_bit;
+                self.out.stats.energy.io_pj += bits * e.io_pj_per_bit;
             }
-            channel.tally.bursts += 1;
-            channel.tally.bytes += self.config.burst_bytes as u64;
-            self.latency_hist
+            self.state.tally.bursts += 1;
+            self.state.tally.bytes += self.config.burst_bytes as u64;
+            self.out
+                .latency_hist
                 .record(finish.saturating_sub(burst.arrival));
             return (data_start, finish);
         }
 
         let ranks_per_dimm = self.config.ranks_per_dimm;
-        let bank_idx = loc.bank_in_rank(&self.config);
+        let bank_idx = loc.bank_in_rank(self.config);
         let group = loc.bank_group;
-        let channel = &mut self.channels[ch];
-        let rank = &mut channel.ranks[loc.dimm * ranks_per_dimm + loc.rank];
+        let rank_idx = loc.dimm * ranks_per_dimm + loc.rank;
+        let rank = &mut self.state.ranks[rank_idx];
 
         // --- Periodic refresh (tREFI/tRFC): when the burst's epoch
         // advances past the rank's last observed refresh, the rank
@@ -643,7 +827,7 @@ impl MemorySystem {
                     bank.open_row = None;
                     bank.next_act = bank.next_act.max(resume);
                 }
-                self.stats.energy.refresh_pj += refreshes as f64 * e.refresh_pj;
+                self.out.stats.energy.refresh_pj += refreshes as f64 * e.refresh_pj;
             }
         }
 
@@ -656,7 +840,7 @@ impl MemorySystem {
                 // Conflict: precharge first.
                 let pre = bank.next_pre.max(burst.arrival);
                 act_earliest = act_earliest.max(pre + t.t_rp);
-                self.stats.precharges += 1;
+                self.out.stats.precharges += 1;
             }
             // Rank-level activation constraints.
             act_earliest = act_earliest
@@ -678,16 +862,16 @@ impl MemorySystem {
             while rank.act_window.len() > 4 {
                 rank.act_window.pop_front();
             }
-            self.stats.activates += 1;
-            self.stats.row_misses += 1;
-            self.stats.energy.activate_pj += e.act_pre_pj;
+            self.out.stats.activates += 1;
+            self.out.stats.row_misses += 1;
+            self.out.stats.energy.activate_pj += e.act_pre_pj;
         } else {
-            self.stats.row_hits += 1;
+            self.out.stats.row_hits += 1;
         }
 
         // --- Column command. ---
         let bus_free = match burst.locality {
-            Locality::Channel => channel.bus_free,
+            Locality::Channel => self.state.bus_free,
             Locality::RankLocal => rank.local_bus_free,
             Locality::Broadcast | Locality::DirectSend => {
                 unreachable!("handled above")
@@ -706,71 +890,60 @@ impl MemorySystem {
         if burst.kind == RequestKind::Write {
             let bank = &mut rank.banks[bank_idx];
             bank.next_pre = bank.next_pre.max(finish + t.t_wr);
-            self.stats.writes += 1;
+            self.out.stats.writes += 1;
         } else {
-            self.stats.reads += 1;
+            self.out.stats.reads += 1;
         }
 
         match burst.locality {
             Locality::Channel => {
-                channel.bus_free = finish;
-                self.stats.channel_bus_busy_cycles += t.t_bl;
-                self.stats.channel_bytes += self.config.burst_bytes as u64;
-                self.stats.energy.io_pj += bits * e.io_pj_per_bit;
+                self.state.bus_free = finish;
+                self.out.stats.channel_bus_busy_cycles += t.t_bl;
+                self.out.stats.channel_bytes += self.config.burst_bytes as u64;
+                self.out.stats.energy.io_pj += bits * e.io_pj_per_bit;
             }
             Locality::RankLocal => {
+                let rank = &mut self.state.ranks[rank_idx];
                 rank.local_bus_free = finish;
-                self.stats.local_bus_busy_cycles += t.t_bl;
-                self.stats.local_bytes += self.config.burst_bytes as u64;
-                self.stats.energy.local_io_pj += bits * e.local_pj_per_bit;
+                self.out.stats.local_bus_busy_cycles += t.t_bl;
+                self.out.stats.local_bytes += self.config.burst_bytes as u64;
+                self.out.stats.energy.local_io_pj += bits * e.local_pj_per_bit;
             }
             Locality::Broadcast | Locality::DirectSend => unreachable!(),
         }
-        self.stats.energy.array_pj += bits * e.array_pj_per_bit;
+        self.out.stats.energy.array_pj += bits * e.array_pj_per_bit;
 
-        self.latency_hist
+        self.out
+            .latency_hist
             .record(finish.saturating_sub(burst.arrival));
         if !hit {
-            self.bank_act_tally[bank_idx] += 1;
+            self.out.bank_act_tally[bank_idx] += 1;
         }
-        let channel = &mut self.channels[ch];
-        channel.tally.bursts += 1;
-        channel.tally.bytes += self.config.burst_bytes as u64;
+        self.state.tally.bursts += 1;
+        self.state.tally.bytes += self.config.burst_bytes as u64;
         if hit {
-            channel.tally.row_hits += 1;
+            self.state.tally.row_hits += 1;
         } else {
-            channel.tally.row_misses += 1;
+            self.state.tally.row_misses += 1;
         }
-        let rank = &mut channel.ranks[loc.dimm * ranks_per_dimm + loc.rank];
+        let rank = &mut self.state.ranks[rank_idx];
         rank.busy_tally += t.t_bl;
         if obs::is_enabled() {
             // Coalesce per-rank busy windows into gap-merged segments
-            // so the simulated-time trace stays compact.
+            // so the simulated-time trace stays compact; closed windows
+            // are buffered and emitted at the flush barrier.
             match rank.activity {
                 Some((s, e)) if data_start <= e + ACTIVITY_GAP => {
                     rank.activity = Some((s, e.max(finish)));
                 }
                 Some((s, e)) => {
-                    obs::sim_slice(
-                        &format!("dram ch{ch} dimm{} rank{}", loc.dimm, loc.rank),
-                        "data",
-                        s,
-                        e - s,
-                    );
+                    self.out.slices.push((rank_idx, s, e - s));
                     rank.activity = Some((data_start, finish));
                 }
                 None => rank.activity = Some((data_start, finish)),
             }
         }
         (data_start, finish)
-    }
-
-    /// Builds a system directly from a state image: `new` under the
-    /// image's configuration, then [`checkpoint::Restore::restore`].
-    pub fn from_state(state: &SystemState) -> Result<Self, checkpoint::RestoreError> {
-        let mut sys = MemorySystem::new(state.config);
-        checkpoint::Restore::restore(&mut sys, state)?;
-        Ok(sys)
     }
 }
 
@@ -791,9 +964,13 @@ impl checkpoint::Snapshot for MemorySystem {
             flushed_faults: self.flushed_faults,
             pending: self.pending.clone(),
             next_id: self.next_id,
-            injector: self.injector.as_ref().map(|inj| InjectorSnapshot {
-                config: *inj.config(),
-                state: checkpoint::Snapshot::snapshot(inj),
+            injector: self.injectors.first().map(|first| InjectorSnapshot {
+                config: *first.config(),
+                states: self
+                    .injectors
+                    .iter()
+                    .map(checkpoint::Snapshot::snapshot)
+                    .collect(),
             }),
             channels: self
                 .channels
@@ -892,13 +1069,25 @@ impl checkpoint::Restore for MemorySystem {
             }
         }
 
-        self.injector = match &state.injector {
+        self.injectors = match &state.injector {
             Some(snap) => {
-                let mut inj = FaultInjector::new(snap.config);
-                checkpoint::Restore::restore(&mut inj, &snap.state)?;
-                Some(inj)
+                if snap.states.len() != self.config.channels {
+                    return Err(RestoreError::new(format!(
+                        "snapshot has {} injector lanes, configuration expects {}",
+                        snap.states.len(),
+                        self.config.channels
+                    )));
+                }
+                snap.states
+                    .iter()
+                    .enumerate()
+                    .map(|(ch, s)| {
+                        let mut inj = FaultInjector::with_lane(snap.config, ch as u64);
+                        checkpoint::Restore::restore(&mut inj, s).map(|()| inj)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
             }
-            None => None,
+            None => Vec::new(),
         };
         self.stats = state.stats;
         self.flushed = state.flushed;
@@ -1456,6 +1645,40 @@ mod tests {
         tampered.channels[0].ranks.pop();
         let mut same_cfg = MemorySystem::new(single_channel());
         assert!(same_cfg.restore(&tampered).is_err(), "rank layout differs");
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_results() {
+        // Enough queued bursts to clear the spawn threshold, spread
+        // over every channel, with an active fault model so the
+        // per-channel injector lanes are exercised too.
+        let faults = FaultConfig {
+            seed: 11,
+            bit_flip_rate: 0.002,
+            stall_rate: 0.01,
+            ..FaultConfig::off()
+        };
+        let run_with = |threads: usize| {
+            crate::parallel::set_threads(threads);
+            let mut sys = MemorySystem::with_faults(DramConfig::default(), faults);
+            for i in 0..4096u64 {
+                if i % 3 == 0 {
+                    sys.enqueue(Request::write(i * 64, 64));
+                } else {
+                    sys.enqueue(Request::read(i * 64, 64));
+                }
+            }
+            let report = sys
+                .try_service_all()
+                .expect("low fault rates stay recoverable");
+            crate::parallel::set_threads(0);
+            report
+        };
+        let serial = run_with(1);
+        let threaded = run_with(4);
+        assert_eq!(serial.stats, threaded.stats);
+        assert_eq!(serial.faults, threaded.faults);
+        assert_eq!(serial.completions, threaded.completions);
     }
 
     #[test]

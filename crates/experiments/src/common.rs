@@ -43,7 +43,7 @@ pub fn execution_dataset(id: DatasetId, instance_budget: u128) -> Dataset {
             return ds;
         }
     }
-    generate(id, GeneratorConfig::at_scale(*LADDER.last().unwrap()))
+    generate(id, GeneratorConfig::at_scale(LADDER[LADDER.len() - 1]))
 }
 
 /// Default per-dataset instance budget for engine execution.
@@ -109,6 +109,20 @@ pub struct Ctx {
     /// When set, sweep experiments journal completed cells under
     /// [`SweepOptions::dir`] and honor interrupts between cells.
     pub sweep: Option<SweepOptions>,
+    /// Host thread budget from `--jobs` (`0` = auto). Sweeps use it for
+    /// the cell-level worker pool; everything else inherits it through
+    /// [`dramsim::parallel::set_threads`]. Results never depend on it.
+    pub jobs: usize,
+}
+
+/// Resolves a `--jobs` value to a concrete worker count: `0` ("auto")
+/// becomes one worker per available core.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    }
 }
 
 /// Adds `.ctx("what")` to fallible calls on an experiment's result

@@ -32,7 +32,7 @@ use metanmp::{FaultConfig, FaultStats, RunStatus, SimulationOutcome, Simulator};
 use serde::Serialize;
 
 use crate::common::{fmt_x, Ctx, ExpError, ExpResult, ResultExt, TableWriter};
-use crate::sweep::{self, SweepRunner};
+use crate::sweep::{self, CellSpec, SweepRunner};
 
 const DATASET: DatasetId = DatasetId::Imdb;
 const SCALE: f64 = 0.02;
@@ -114,7 +114,22 @@ struct JsonDoc {
     rows: Vec<JsonRow>,
 }
 
-fn run_one(cx: &Ctx, faults: FaultConfig) -> Result<SimulationOutcome, ExpError> {
+/// Filesystem-safe image of a cell key, used to give every cell its
+/// own in-flight checkpoint file (cells run concurrently under
+/// `--jobs`, so a shared path would interleave snapshots).
+fn sanitize_key(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn run_one(cx: &Ctx, key: &str, faults: FaultConfig) -> Result<SimulationOutcome, ExpError> {
     let mut builder = Simulator::builder()
         .dataset(DATASET)
         .scale(SCALE)
@@ -123,7 +138,11 @@ fn run_one(cx: &Ctx, faults: FaultConfig) -> Result<SimulationOutcome, ExpError>
         .faults(faults);
     if let Some(sweep) = &cx.sweep {
         builder = builder
-            .checkpoint(sweep.dir.join("inflight.ckpt"))
+            .checkpoint(
+                sweep
+                    .dir
+                    .join(format!("inflight-{}.ckpt", sanitize_key(key))),
+            )
             .checkpoint_interval(sweep.interval);
     }
     let sim = builder.build().ctx("faults: simulator configuration")?;
@@ -143,14 +162,40 @@ fn run_one(cx: &Ctx, faults: FaultConfig) -> Result<SimulationOutcome, ExpError>
     }
 }
 
-/// Runs (or replays) one simulation cell of the sweep.
-fn sim_cell(
-    runner: &mut SweepRunner,
-    cx: &Ctx,
-    key: &str,
-    faults: FaultConfig,
-) -> Result<SimulationOutcome, ExpError> {
-    runner.cell(key, cell_hash(cx, &faults), || run_one(cx, faults))
+/// The sweep's cell grid in canonical (journal) order: baseline, the
+/// ECC sweep, the broadcast sweep, the watchdog demo.
+fn cell_grid(cx: &Ctx) -> Vec<(String, FaultConfig)> {
+    let mut defs = vec![("baseline".to_string(), FaultConfig::off())];
+    for rate in BIT_FLIP_RATES {
+        defs.push((
+            format!("bit_flip/{rate:e}"),
+            FaultConfig {
+                seed: cx.seed,
+                bit_flip_rate: rate,
+                ..FaultConfig::off()
+            },
+        ));
+    }
+    for rate in DROP_RATES {
+        defs.push((
+            format!("broadcast_drop/{rate:e}"),
+            FaultConfig {
+                seed: cx.seed,
+                broadcast_drop_rate: rate,
+                ..FaultConfig::off()
+            },
+        ));
+    }
+    defs.push((
+        "watchdog_stall".to_string(),
+        FaultConfig {
+            seed: cx.seed,
+            stalled_rank_mask: u64::MAX,
+            watchdog_limit: 200,
+            ..FaultConfig::off()
+        },
+    ));
+    defs
 }
 
 fn json_row(sweep: &str, rate: f64, base_cycles: u64, out: &SimulationOutcome) -> JsonRow {
@@ -169,9 +214,31 @@ fn json_row(sweep: &str, rate: f64, base_cycles: u64, out: &SimulationOutcome) -
 }
 
 /// Runs the fault-rate sweeps and writes `results/faults.json`.
+///
+/// All cells go through [`SweepRunner::cells`]: under `--jobs N` they
+/// fan out over N workers, journaled and presented in the same
+/// canonical order a serial run uses, so every artifact is
+/// byte-identical at any worker count.
 pub fn faults(cx: &Ctx) -> ExpResult {
     let mut runner = SweepRunner::open(cx, "faults", sweep_hash(cx))?;
-    let base = sim_cell(&mut runner, cx, "baseline", FaultConfig::off())?;
+    let defs = cell_grid(cx);
+    let specs: Vec<CellSpec<'_, SimulationOutcome>> = defs
+        .iter()
+        .map(|(key, faults)| CellSpec {
+            key: key.clone(),
+            hash: cell_hash(cx, faults),
+            run: Box::new({
+                let (key, faults) = (key.clone(), *faults);
+                move || run_one(cx, &key, faults)
+            }),
+        })
+        .collect();
+    let outs = runner.cells(cx.jobs, specs)?;
+
+    let base = &outs[0];
+    let bit_flip = &outs[1..1 + BIT_FLIP_RATES.len()];
+    let drops = &outs[1 + BIT_FLIP_RATES.len()..1 + BIT_FLIP_RATES.len() + DROP_RATES.len()];
+    let watchdog = &outs[outs.len() - 1];
     let base_cycles = base.nmp.cycles;
     let mut rows: Vec<JsonRow> = Vec::new();
 
@@ -190,17 +257,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
             "Degraded",
         ],
     );
-    for rate in BIT_FLIP_RATES {
-        let out = sim_cell(
-            &mut runner,
-            cx,
-            &format!("bit_flip/{rate:e}"),
-            FaultConfig {
-                seed: cx.seed,
-                bit_flip_rate: rate,
-                ..FaultConfig::off()
-            },
-        )?;
+    for (rate, out) in BIT_FLIP_RATES.into_iter().zip(bit_flip) {
         let f = out.nmp.faults;
         t.row(vec![
             format!("{rate:.0e}"),
@@ -212,7 +269,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
             if out.matches_reference { "yes" } else { "NO" }.to_string(),
             out.degraded.to_string(),
         ]);
-        rows.push(json_row("bit_flip", rate, base_cycles, &out));
+        rows.push(json_row("bit_flip", rate, base_cycles, out));
     }
     t.note("SEC-DED corrects single-bit flips and retries detected double-bit flips; embeddings stay verified while latency absorbs the recovery cost.");
     t.finish()?;
@@ -231,17 +288,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
             "Verified",
         ],
     );
-    for rate in DROP_RATES {
-        let out = sim_cell(
-            &mut runner,
-            cx,
-            &format!("broadcast_drop/{rate:e}"),
-            FaultConfig {
-                seed: cx.seed,
-                broadcast_drop_rate: rate,
-                ..FaultConfig::off()
-            },
-        )?;
+    for (rate, out) in DROP_RATES.into_iter().zip(drops) {
         let f = out.nmp.faults;
         t.row(vec![
             format!("{rate}"),
@@ -252,7 +299,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
             f.broadcast_fallbacks.to_string(),
             if out.matches_reference { "yes" } else { "NO" }.to_string(),
         ]);
-        rows.push(json_row("broadcast_drop", rate, base_cycles, &out));
+        rows.push(json_row("broadcast_drop", rate, base_cycles, out));
     }
     t.note("Dropped broadcasts are retried with exponential backoff; transfers that exhaust the budget fall back to point-to-point sends, so every run completes verified.");
     t.finish()?;
@@ -263,17 +310,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
         "Faults — watchdog trip and graceful degradation (all ranks stalled)",
         &["Scenario", "Degraded", "Watchdog trips", "Reason"],
     );
-    let out = sim_cell(
-        &mut runner,
-        cx,
-        "watchdog_stall",
-        FaultConfig {
-            seed: cx.seed,
-            stalled_rank_mask: u64::MAX,
-            watchdog_limit: 200,
-            ..FaultConfig::off()
-        },
-    )?;
+    let out = watchdog;
     if !out.degraded {
         return Err(ExpError::Failed(
             "faults: stalled-rank scenario was expected to degrade but did not".to_string(),
@@ -287,7 +324,7 @@ pub fn faults(cx: &Ctx) -> ExpResult {
     ]);
     t.note("The forward-progress watchdog aborts the wedged cycle simulation with a structured error; the simulator falls back to the analytical estimate and marks the outcome degraded.");
     t.finish()?;
-    rows.push(json_row("watchdog_stall", 1.0, base_cycles, &out));
+    rows.push(json_row("watchdog_stall", 1.0, base_cycles, out));
 
     // ---- Deterministic JSON artifact -----------------------------
     let doc = JsonDoc {

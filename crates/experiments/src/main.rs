@@ -9,7 +9,15 @@
 //!
 //! Options:
 //!   --seed <u64>          seed for seeded experiments (default 42)
+//!   --jobs <n>            host thread budget: sweep cells fan out over
+//!                         n workers, other experiments parallelize at
+//!                         the DRAM-channel/DIMM level (0 = auto, one
+//!                         per core; default auto). Results are
+//!                         byte-identical at every value.
 //!   --metrics-out <path>  write a JSON telemetry snapshot after the run
+//!   --deterministic-metrics
+//!                         strip wall-clock phases from the snapshot so
+//!                         it is byte-reproducible across runs
 //!   --trace-out <path>    write a Chrome trace-event file (Perfetto)
 //!   --sweep-dir <dir>     journal sweep cells under <dir> (fresh sweep)
 //!   --resume <dir>        resume a journaled sweep from <dir>
@@ -68,7 +76,10 @@ fn usage() {
     eprintln!("experiments: all {}", names().join(" "));
     eprintln!("options:");
     eprintln!("  --seed <u64>          seed for seeded experiments (default 42)");
+    eprintln!("  --jobs <n>            host thread budget, 0 = one per core (default auto);");
+    eprintln!("                        results are byte-identical at every value");
     eprintln!("  --metrics-out <path>  write a JSON telemetry snapshot after the run");
+    eprintln!("  --deterministic-metrics  strip wall-clock phases from the snapshot");
     eprintln!("  --trace-out <path>    write a Chrome trace-event file (Perfetto)");
     eprintln!("  --sweep-dir <dir>     journal sweep cells under <dir> (fresh sweep)");
     eprintln!("  --resume <dir>        resume a journaled sweep from <dir>");
@@ -86,6 +97,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut seed: u64 = 42;
+    let mut jobs: usize = 0;
+    let mut deterministic_metrics = false;
     let mut sweep_dir: Option<String> = None;
     let mut resume = false;
     let mut ckpt_interval: u64 = 256;
@@ -93,6 +106,7 @@ fn main() -> ExitCode {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--deterministic-metrics" => deterministic_metrics = true,
             "--metrics-out" | "--trace-out" | "--sweep-dir" | "--resume" => {
                 let Some(path) = it.next() else {
                     eprintln!("{arg} requires a path argument");
@@ -108,7 +122,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--seed" | "--ckpt-interval" => {
+            "--seed" | "--ckpt-interval" | "--jobs" => {
                 let Some(v) = it.next() else {
                     eprintln!("{arg} requires an unsigned integer argument");
                     return ExitCode::from(2);
@@ -117,14 +131,16 @@ fn main() -> ExitCode {
                     eprintln!("{arg} requires an unsigned integer, got {v:?}");
                     return ExitCode::from(2);
                 };
-                if arg == "--seed" {
-                    seed = n;
-                } else {
-                    if n == 0 {
-                        eprintln!("--ckpt-interval must be positive");
-                        return ExitCode::from(2);
+                match arg.as_str() {
+                    "--seed" => seed = n,
+                    "--jobs" => jobs = n as usize,
+                    _ => {
+                        if n == 0 {
+                            eprintln!("--ckpt-interval must be positive");
+                            return ExitCode::from(2);
+                        }
+                        ckpt_interval = n;
                     }
-                    ckpt_interval = n;
                 }
             }
             _ if arg.starts_with("--") => {
@@ -163,9 +179,14 @@ fn main() -> ExitCode {
         }
     }
 
+    // One budget for every deterministic fan-out point in the stack
+    // (DRAM channels, DIMM-level instance generation); the sweep runner
+    // additionally uses it for its cell-level worker pool.
+    dramsim::parallel::set_threads(jobs);
     let cx = Ctx {
         seed,
         sweep: sweep_opts,
+        jobs,
     };
     let run = |name: &str, f: fn(&Ctx) -> ExpResult| -> Result<(), ExitCode> {
         banner(name);
@@ -218,8 +239,13 @@ fn main() -> ExitCode {
 
     phase_summary();
     if let Some(path) = &metrics_out {
+        let json = if deterministic_metrics {
+            obs::deterministic_snapshot_json()
+        } else {
+            obs::snapshot_json()
+        };
         let p = std::path::Path::new(path);
-        if let Err(e) = checkpoint::atomic_write_str(p, &obs::snapshot_json()) {
+        if let Err(e) = checkpoint::atomic_write_str(p, &json) {
             eprintln!("failed to write metrics snapshot to {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -14,16 +14,23 @@
 //! simulator checks the same flag between checkpoint chunks via
 //! [`metanmp::Simulator::run_interruptible`], persisting an in-flight
 //! snapshot so even a half-finished cell resumes mid-simulation.
+//!
+//! [`SweepRunner::cells`] runs a whole batch of cells over a worker
+//! pool sized by `--jobs`. Workers only compute; the folding thread
+//! journals, merges telemetry, and reports in canonical (spec) order,
+//! so every artifact — journal, tables, JSON, telemetry snapshot — is
+//! byte-identical at any worker count.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use checkpoint::manifest::{cell_record, CellRecord, Journal, JournalHeader};
 use checkpoint::FORMAT_VERSION;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{Ctx, ExpError, ResultExt};
+use crate::common::{effective_jobs, Ctx, ExpError, ResultExt};
 
 /// Process-global interrupt request, set by the signal handlers and the
 /// test hook, checked between sweep cells and simulation chunks.
@@ -156,15 +163,7 @@ impl SweepRunner {
         F: FnOnce() -> Result<T, ExpError>,
     {
         if let Some(rec) = self.cached.get(key) {
-            if rec.config_hash != cell_hash {
-                return Err(ExpError::Failed(format!(
-                    "sweep cell {key:?}: journaled under config hash {:#018x}, \
-                     sweep now expects {cell_hash:#018x} — delete the sweep dir to start over",
-                    rec.config_hash
-                )));
-            }
-            return serde_json::from_str(&rec.result_json)
-                .ctx(&format!("sweep cell {key:?}: replaying journaled result"));
+            return replay(key, cell_hash, rec);
         }
         if self.journal.is_some() && interrupted() {
             return Err(self.interrupted_error());
@@ -185,6 +184,180 @@ impl SweepRunner {
         Ok(value)
     }
 
+    /// Runs (or replays) a whole batch of cells, fanning fresh cells
+    /// out over a worker pool.
+    ///
+    /// Results come back in spec order and are bit-identical at every
+    /// worker count: workers only *compute*; journal appends, telemetry
+    /// merges ([`obs::merge_sink`]), the fresh-cell interrupt threshold,
+    /// and error selection all happen on this thread while folding the
+    /// contiguous completed prefix in canonical (spec) order — exactly
+    /// the order a sequential run produces. On any failure the error of
+    /// the lowest-index failing cell is returned.
+    ///
+    /// `jobs` is the raw `--jobs` value (`0` = auto). While the pool is
+    /// active the [`dramsim::parallel`] budget is pinned to 1 so
+    /// cell-level and channel-level parallelism do not oversubscribe
+    /// the host; it is restored to `jobs` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell failures, journal failures, and interruption.
+    pub fn cells<T>(&mut self, jobs: usize, specs: Vec<CellSpec<'_, T>>) -> Result<Vec<T>, ExpError>
+    where
+        T: Serialize + Deserialize + Send,
+    {
+        let workers = effective_jobs(jobs).min(specs.len().max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(specs.len());
+            for spec in specs {
+                out.push(self.cell(&spec.key, spec.hash, || (spec.run)())?);
+            }
+            return Ok(out);
+        }
+        dramsim::parallel::set_threads(1);
+        let result = self.cells_parallel(workers, &specs);
+        dramsim::parallel::set_threads(jobs);
+        result
+    }
+
+    fn cells_parallel<T>(
+        &mut self,
+        workers: usize,
+        specs: &[CellSpec<'_, T>],
+    ) -> Result<Vec<T>, ExpError>
+    where
+        T: Serialize + Deserialize + Send,
+    {
+        /// What a worker hands the folding thread for one cell.
+        enum Msg<T> {
+            /// Replayed from the journal (or refused while trying to).
+            Replayed(Result<T, ExpError>),
+            /// Freshly computed: the value, its serialized form for the
+            /// journal, and the telemetry captured while computing it.
+            Fresh(T, String, obs::SinkImage),
+            /// The cell failed; claiming stops.
+            Failed(ExpError),
+            /// The worker observed a pending interrupt (or a failure
+            /// elsewhere) and did not start the cell.
+            Skipped,
+        }
+
+        let n = specs.len();
+        let journaling = self.journal.is_some();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Msg<T>)>();
+        let SweepRunner {
+            journal,
+            cached,
+            dir,
+            fresh_cells,
+        } = self;
+        let cached = &*cached;
+        let dir = &*dir;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, stop) = (&next, &stop);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let spec = &specs[i];
+                    let msg = if let Some(rec) = cached.get(&spec.key) {
+                        Msg::Replayed(replay(&spec.key, spec.hash, rec))
+                    } else if stop.load(Ordering::SeqCst) || (journaling && interrupted()) {
+                        Msg::Skipped
+                    } else {
+                        let (res, sink) = obs::scoped_sink(|| (spec.run)());
+                        match res {
+                            Ok(value) => match serde_json::to_string(&value) {
+                                Ok(json) => Msg::Fresh(value, json, sink),
+                                Err(e) => Msg::Failed(ExpError::Failed(format!(
+                                    "sweep cell {:?}: serializing result: {e}",
+                                    spec.key
+                                ))),
+                            },
+                            Err(e) => {
+                                stop.store(true, Ordering::SeqCst);
+                                Msg::Failed(e)
+                            }
+                        }
+                    };
+                    if tx.send((i, msg)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Fold the contiguous completed prefix in canonical order.
+            // Out-of-order completions park in `pending` until their
+            // turn; the first failure (in canonical order, not arrival
+            // order) wins and stops both folding and claiming.
+            let mut pending: BTreeMap<usize, Msg<T>> = BTreeMap::new();
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            let mut failure: Option<ExpError> = None;
+            let mut next_fold = 0usize;
+            let interrupted_err = || match dir {
+                Some(d) => ExpError::Interrupted { dir: d.clone() },
+                None => ExpError::Failed("interrupted (no --sweep-dir, nothing persisted)".into()),
+            };
+            for (i, msg) in rx {
+                pending.insert(i, msg);
+                while failure.is_none() {
+                    let Some(msg) = pending.remove(&next_fold) else {
+                        break;
+                    };
+                    let spec = &specs[next_fold];
+                    next_fold += 1;
+                    match msg {
+                        Msg::Replayed(Ok(value)) => out.push(value),
+                        Msg::Replayed(Err(e)) | Msg::Failed(e) => failure = Some(e),
+                        Msg::Skipped => failure = Some(interrupted_err()),
+                        // A fresh result folding after the interrupt
+                        // threshold tripped is discarded, exactly as a
+                        // sequential run refuses to start it.
+                        Msg::Fresh(..) if journaling && interrupted() => {
+                            failure = Some(interrupted_err());
+                        }
+                        Msg::Fresh(value, json, sink) => {
+                            obs::merge_sink(sink);
+                            let appended = journal
+                                .as_mut()
+                                .map(|j| j.append(&cell_record(&spec.key, spec.hash, json)));
+                            if let Some(Err(e)) = appended {
+                                failure = Some(ExpError::Failed(format!(
+                                    "sweep cell {:?}: journaling completion: {e}",
+                                    spec.key
+                                )));
+                            } else {
+                                out.push(value);
+                                if journaling {
+                                    *fresh_cells += 1;
+                                    let after = INTERRUPT_AFTER.load(Ordering::SeqCst);
+                                    if after != 0 && *fresh_cells >= after {
+                                        request_interrupt();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if failure.is_some() {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
+        })
+    }
+
     /// The error a pending interrupt turns into.
     pub fn interrupted_error(&self) -> ExpError {
         match &self.dir {
@@ -194,4 +367,35 @@ impl SweepRunner {
             None => ExpError::Failed("interrupted (no --sweep-dir, nothing persisted)".into()),
         }
     }
+}
+
+/// One unit of work for [`SweepRunner::cells`]: a stable journal key,
+/// the configuration hash journaled with the result, and the closure
+/// that computes it.
+///
+/// The closure may run on a worker thread. Telemetry it emits is
+/// captured in a scoped sink and merged in canonical order at the fold,
+/// so it needs no coordination; it must not otherwise depend on or
+/// mutate process-global state.
+pub struct CellSpec<'a, T> {
+    /// Stable journal key, unique within the sweep.
+    pub key: String,
+    /// Everything that determines the cell's result, hashed.
+    pub hash: u64,
+    /// Computes the cell.
+    pub run: Box<dyn Fn() -> Result<T, ExpError> + Sync + 'a>,
+}
+
+/// Deserializes a journaled completion, refusing a record whose
+/// configuration hash no longer matches the sweep.
+fn replay<T: Deserialize>(key: &str, cell_hash: u64, rec: &CellRecord) -> Result<T, ExpError> {
+    if rec.config_hash != cell_hash {
+        return Err(ExpError::Failed(format!(
+            "sweep cell {key:?}: journaled under config hash {:#018x}, \
+             sweep now expects {cell_hash:#018x} — delete the sweep dir to start over",
+            rec.config_hash
+        )));
+    }
+    serde_json::from_str(&rec.result_json)
+        .ctx(&format!("sweep cell {key:?}: replaying journaled result"))
 }

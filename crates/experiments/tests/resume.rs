@@ -135,10 +135,15 @@ fn corrupt_sweep_state_is_refused() {
     );
     fs::write(&manifest, &pristine).unwrap();
 
-    // Tamper with the in-flight simulator checkpoint: CRC validation
-    // must turn the flipped bit into a checkpoint error.
-    let ckpt = dir.join("sweep/inflight.ckpt");
-    if ckpt.is_file() {
+    // Tamper with an in-flight simulator checkpoint (cells checkpoint
+    // under per-cell `inflight-<key>.ckpt` paths; one exists only if a
+    // cell was stopped mid-flight): CRC validation must turn the
+    // flipped bit into a checkpoint error.
+    let ckpt = fs::read_dir(dir.join("sweep"))
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "ckpt"));
+    if let Some(ckpt) = ckpt {
         let mut bytes = fs::read(&ckpt).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;

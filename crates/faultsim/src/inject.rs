@@ -45,16 +45,33 @@ fn splitmix64(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     config: FaultConfig,
+    lane: u64,
     read_events: u64,
     broadcast_events: u64,
     stall_events: u64,
 }
 
 impl FaultInjector {
-    /// Creates an injector over a configuration.
+    /// Creates an injector over a configuration (lane 0).
     pub fn new(config: FaultConfig) -> Self {
+        FaultInjector::with_lane(config, 0)
+    }
+
+    /// Creates an injector drawing from the given *lane*.
+    ///
+    /// Lanes partition the stochastic streams: injectors with the same
+    /// seed but different lanes produce statistically independent
+    /// schedules, so parallel domains (e.g. one DRAM channel each) can
+    /// consume events concurrently without sharing a counter — the
+    /// schedule of each lane depends only on `(seed, lane, event
+    /// index)`, never on thread interleaving. Persistent faults (stuck
+    /// rows, failed banks, stalled ranks) are coordinate-keyed and
+    /// deliberately lane-independent: every lane sees the same broken
+    /// hardware.
+    pub fn with_lane(config: FaultConfig, lane: u64) -> Self {
         FaultInjector {
             config,
+            lane,
             read_events: 0,
             broadcast_events: 0,
             stall_events: 0,
@@ -66,25 +83,52 @@ impl FaultInjector {
         &self.config
     }
 
+    /// The stream lane this injector draws from.
+    pub fn lane(&self) -> u64 {
+        self.lane
+    }
+
     /// Whether any fault source is enabled (see
     /// [`FaultConfig::is_active`]).
     pub fn is_active(&self) -> bool {
         self.config.is_active()
     }
 
+    /// Mix for the counter-indexed (stochastic) streams; includes the
+    /// lane so parallel domains draw independent schedules.
     fn mix(&self, stream: u64, index: u64) -> u64 {
         splitmix64(
             self.config
                 .seed
                 .wrapping_mul(0xA24B_AED4_963E_E407)
-                .wrapping_add(splitmix64(stream))
+                .wrapping_add(splitmix64(
+                    stream ^ self.lane.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+                ))
                 .wrapping_add(index.wrapping_mul(0x9FB2_1C65_1E98_DF25)),
         )
     }
 
-    /// A uniform draw in `[0, 1)` for `(stream, index)`.
+    /// Mix for the coordinate-keyed (persistent) streams; lane-blind so
+    /// the same physical component is faulty from every lane's view.
+    fn mix_persistent(&self, stream: u64, key: u64) -> u64 {
+        splitmix64(
+            self.config
+                .seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(splitmix64(stream))
+                .wrapping_add(key.wrapping_mul(0x9FB2_1C65_1E98_DF25)),
+        )
+    }
+
+    /// A uniform draw in `[0, 1)` for `(stream, lane, index)`.
     fn unit(&self, stream: u64, index: u64) -> f64 {
         (self.mix(stream, index) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw in `[0, 1)` for a persistent `(stream, key)` —
+    /// identical across lanes.
+    fn unit_persistent(&self, stream: u64, key: u64) -> f64 {
+        (self.mix_persistent(stream, key) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Number of bit flips injected into the next read burst: usually
@@ -116,7 +160,7 @@ impl FaultInjector {
             return false;
         }
         let key = (rank as u64) << 48 ^ (bank as u64) << 40 ^ row;
-        self.unit(STREAM_STUCK_ROW, key) < self.config.stuck_row_rate
+        self.unit_persistent(STREAM_STUCK_ROW, key) < self.config.stuck_row_rate
     }
 
     /// Whether a distinct `(rank, bank)` pair has failed entirely.
@@ -125,7 +169,7 @@ impl FaultInjector {
             return false;
         }
         let key = (rank as u64) << 16 ^ bank as u64;
-        self.unit(STREAM_BANK, key) < self.config.failed_bank_rate
+        self.unit_persistent(STREAM_BANK, key) < self.config.failed_bank_rate
     }
 
     /// Whether a global rank is permanently stalled (deadlock
@@ -195,6 +239,9 @@ impl FaultInjector {
 pub struct InjectorState {
     /// Seed of the configuration the counters were advanced under.
     pub seed: u64,
+    /// Stream lane the counters were advanced on (see
+    /// [`FaultInjector::with_lane`]).
+    pub lane: u64,
     /// Events consumed from the read-burst stream.
     pub read_events: u64,
     /// Events consumed from the broadcast stream.
@@ -209,6 +256,7 @@ impl checkpoint::Snapshot for FaultInjector {
     fn snapshot(&self) -> InjectorState {
         InjectorState {
             seed: self.config.seed,
+            lane: self.lane,
             read_events: self.read_events,
             broadcast_events: self.broadcast_events,
             stall_events: self.stall_events,
@@ -222,6 +270,12 @@ impl checkpoint::Restore for FaultInjector {
             return Err(checkpoint::RestoreError::new(format!(
                 "injector snapshot was taken under seed {}, this injector uses seed {}",
                 state.seed, self.config.seed
+            )));
+        }
+        if state.lane != self.lane {
+            return Err(checkpoint::RestoreError::new(format!(
+                "injector snapshot was taken on lane {}, this injector draws from lane {}",
+                state.lane, self.lane
             )));
         }
         self.read_events = state.read_events;
@@ -399,6 +453,49 @@ mod tests {
         let a = active(1);
         let b = active(2);
         assert_ne!(a.schedule_fingerprint(256), b.schedule_fingerprint(256));
+    }
+
+    #[test]
+    fn lanes_partition_stochastic_streams() {
+        let cfg = *active(42).config();
+        // Lane 0 is exactly the legacy (lane-less) schedule.
+        let mut legacy = FaultInjector::new(cfg);
+        let mut lane0 = FaultInjector::with_lane(cfg, 0);
+        for _ in 0..1000 {
+            assert_eq!(legacy.next_read_flips(), lane0.next_read_flips());
+            assert_eq!(legacy.next_broadcast(), lane0.next_broadcast());
+        }
+        // Distinct lanes draw independent schedules from the same seed.
+        let a = FaultInjector::with_lane(cfg, 1);
+        let b = FaultInjector::with_lane(cfg, 2);
+        assert_ne!(a.schedule_fingerprint(256), b.schedule_fingerprint(256));
+        assert_ne!(lane0.schedule_fingerprint(256), a.schedule_fingerprint(256));
+        // ... but agree on the persistent (hardware-coordinate) faults.
+        for rank in 0..8 {
+            for bank in 0..16 {
+                assert_eq!(a.bank_is_failed(rank, bank), b.bank_is_failed(rank, bank));
+                for row in 0..64 {
+                    assert_eq!(
+                        a.row_is_stuck(rank, bank, row),
+                        b.row_is_stuck(rank, bank, row)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mismatch_refuses_snapshot() {
+        use checkpoint::{Restore, Snapshot};
+        let cfg = *active(42).config();
+        let mut a = FaultInjector::with_lane(cfg, 3);
+        a.next_read_flips();
+        let state = a.snapshot();
+        assert_eq!(state.lane, 3);
+        let mut same = FaultInjector::with_lane(cfg, 3);
+        assert!(same.restore(&state).is_ok());
+        let mut other = FaultInjector::with_lane(cfg, 4);
+        assert!(other.restore(&state).is_err());
     }
 
     #[test]

@@ -89,10 +89,10 @@ impl Csr {
     /// offset equals the target count, and every neighbor list is
     /// sorted.
     pub fn validate(&self) -> bool {
-        if self.offsets.is_empty() {
+        let Some(&last) = self.offsets.last() else {
             return self.targets.is_empty();
-        }
-        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+        };
+        if last as usize != self.targets.len() {
             return false;
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {

@@ -116,9 +116,18 @@ pub fn enumerate_instances(
                 }
                 continue;
             }
-            let v = Vertex::new(types[depth], VertexId::new(*stack.last().unwrap()));
+            let v = Vertex::new(
+                types[depth],
+                VertexId::new(
+                    *stack
+                        .last()
+                        .expect("DFS stack is non-empty inside the loop"),
+                ),
+            );
             let neighbors = graph.typed_neighbors(v, types[depth + 1])?;
-            let cursor = cursors.last_mut().unwrap();
+            let cursor = cursors
+                .last_mut()
+                .expect("cursor stack mirrors the DFS stack");
             if *cursor < neighbors.len() {
                 let next = neighbors[*cursor];
                 *cursor += 1;

@@ -70,6 +70,440 @@ fn enqueue_rank_vec(
     }
 }
 
+/// Mirror of [`enqueue_rank_vec`] that records the requests instead of
+/// enqueuing them, for the deferred-apply structural phase.
+fn push_rank_vec(
+    requests: &mut Vec<Request>,
+    placement: &Placement,
+    home: Home,
+    offset: u64,
+    bytes: usize,
+    write: bool,
+) {
+    let burst = 64u64;
+    let mut off = offset;
+    let end = offset + bytes as u64;
+    while off < end {
+        let addr = placement.rank_local_addr(home, off);
+        requests.push(if write {
+            Request::local_write(addr, 64)
+        } else {
+            Request::local_read(addr, 64)
+        });
+        off += burst;
+    }
+}
+
+/// Batches smaller than this run inline: a prefix-tree walk per vertex
+/// is cheap enough that thread spawns only amortize across many start
+/// vertices. Wall-clock heuristic only — both paths run the same visit
+/// code and the same ordered apply.
+const PAR_MIN_BATCH_VISITS: usize = 32;
+
+/// Per-worker scratch for [`compute_visit`], sized once per
+/// (metapath, worker) and reused across every start vertex the worker
+/// visits, so the structural walk itself allocates only its delta.
+#[derive(Debug)]
+struct VisitScratch {
+    prefix: Vec<Vec<f32>>,
+    child_sum: Vec<Vec<f32>>,
+    child_count: Vec<usize>,
+    child_seq: Vec<u64>,
+    slot_stack: Vec<u64>,
+    current: Vec<u32>,
+    acc: Vec<f32>,
+}
+
+impl VisitScratch {
+    fn new(hops: usize, d: usize) -> Self {
+        VisitScratch {
+            prefix: vec![vec![0.0; d]; hops + 1],
+            child_sum: vec![vec![0.0; d]; hops + 1],
+            child_count: vec![0; hops + 1],
+            child_seq: vec![0; hops + 1],
+            slot_stack: vec![0; hops + 1],
+            current: vec![0; hops + 1],
+            acc: vec![0.0; d],
+        }
+    }
+}
+
+/// Everything one start vertex's visit produces. Visits are pure with
+/// respect to the run (vertices touch disjoint embedding rows, and the
+/// reserved aggregation region is recycled per vertex), so deltas can
+/// be computed on any thread and applied in ascending vertex order —
+/// the canonical order that makes the run independent of both the
+/// thread count and the stepping-budget boundaries.
+#[derive(Debug)]
+struct VisitDelta {
+    start: u32,
+    /// Rank-local DRAM requests, in issue order.
+    requests: Vec<Request>,
+    instances: u128,
+    aggregations: u128,
+    copies: u128,
+    inter_instance_ops: u128,
+    demand_fetch_bytes: u64,
+    /// CarPU emissions on the home DIMM.
+    gen: u64,
+    /// Rank-AU cycles on the home rank.
+    compute: u64,
+    host_agg_bytes: f64,
+    demand_bytes: f64,
+    host_extra_cycles: u64,
+    dimm: usize,
+    rank: usize,
+    channel: usize,
+    /// The embedding row for `start`, when the visit produced one.
+    row: Option<Vec<f32>>,
+}
+
+/// Instance generation and aggregation for one start vertex, as a pure
+/// function of the run's immutable inputs. The hardware analogue is
+/// one CarPU wave on the vertex's home DIMM: the walk emits prefix-tree
+/// nodes, the rank-AU aggregates, and the reserved region is recycled
+/// when the wave completes (so `base_slot` is both the first slot used
+/// and the slot watermark after the visit).
+#[allow(clippy::too_many_arguments)]
+fn compute_visit(
+    cfg: &NmpConfig,
+    graph: &HeteroGraph,
+    hidden: &HiddenFeatures,
+    kind: ModelKind,
+    ctx: &PathCtx<'_>,
+    placement: &Placement,
+    base_slot: u64,
+    start: u32,
+    scratch: &mut VisitScratch,
+) -> Result<VisitDelta, NmpError> {
+    let PathCtx {
+        mp,
+        types,
+        hops,
+        t0,
+    } = *ctx;
+    let d = cfg.hidden_dim;
+    let vb = cfg.vector_bytes();
+    let vec_op = cfg.vector_op_cycles();
+
+    let home = placement.home(t0.index() as u8, start);
+    let VisitScratch {
+        prefix,
+        child_sum,
+        child_count,
+        child_seq,
+        slot_stack,
+        current,
+        acc,
+    } = scratch;
+    acc.fill(0.0);
+
+    let mut delta = VisitDelta {
+        start,
+        requests: Vec::new(),
+        instances: 0,
+        aggregations: 0,
+        copies: 0,
+        inter_instance_ops: 0,
+        demand_fetch_bytes: 0,
+        gen: 0,
+        compute: 0,
+        host_agg_bytes: 0.0,
+        demand_bytes: 0.0,
+        host_extra_cycles: 0,
+        dimm: home.global_dimm(&cfg.dram),
+        rank: home.global_rank(&cfg.dram),
+        channel: home.channel,
+        row: None,
+    };
+    let mut next_slot = base_slot;
+    let mut n_inst: u64 = 0;
+    let mut row_out: Option<Vec<f32>> = None;
+
+    // The start vertex's own feature is read from its home rank once
+    // per wave.
+    push_rank_vec(
+        &mut delta.requests,
+        placement,
+        home,
+        placement.feature_offset(start),
+        vb,
+        false,
+    );
+
+    walk_prefix_tree(graph, mp, VertexId::new(start), |ev| match ev {
+        WalkEvent::Enter(depth, u) => {
+            current[depth] = u;
+            child_seq[depth] = 0;
+            if depth == 0 {
+                match kind {
+                    ModelKind::Magnn => prefix[0].copy_from_slice(hidden.vector(types[0], u)),
+                    ModelKind::Shgnn => {
+                        child_sum[0].fill(0.0);
+                        child_count[0] = 0;
+                    }
+                    ModelKind::Han => {}
+                }
+                return;
+            }
+            // One CarPU emission per prefix-tree node.
+            delta.gen += 1;
+            child_seq[depth - 1] += 1;
+            if cfg.reuse && child_seq[depth - 1] >= 2 {
+                delta.copies += 1;
+            }
+            match kind {
+                ModelKind::Magnn => {
+                    let h = hidden.vector(types[depth], u);
+                    let (lo, hi) = prefix.split_at_mut(depth);
+                    hi[0].copy_from_slice(&lo[depth - 1]);
+                    vec_add(&mut hi[0], h);
+                    if cfg.reuse {
+                        delta.aggregations += 1;
+                        let slot = next_slot;
+                        next_slot += 1;
+                        slot_stack[depth] = slot;
+                        if cfg.aggregate_in_nmp {
+                            // The running prefix lives in the AU
+                            // buffer; only the instance's result is
+                            // written to the reserved region (it is
+                            // re-read by the inter-instance pass).
+                            delta.compute += vec_op;
+                            push_rank_vec(
+                                &mut delta.requests,
+                                placement,
+                                home,
+                                placement.agg_offset(slot),
+                                vb,
+                                true,
+                            );
+                        } else {
+                            delta.host_agg_bytes += 2.0 * vb as f64;
+                            delta.host_extra_cycles += d as u64 / 4 + 4;
+                        }
+                    }
+                }
+                ModelKind::Shgnn => {
+                    child_sum[depth].fill(0.0);
+                    child_count[depth] = 0;
+                    delta.aggregations += 1;
+                    let slot = next_slot;
+                    next_slot += 1;
+                    slot_stack[depth] = slot;
+                    if cfg.aggregate_in_nmp {
+                        delta.compute += 2 * vec_op;
+                        push_rank_vec(
+                            &mut delta.requests,
+                            placement,
+                            home,
+                            placement.agg_offset(slot),
+                            vb,
+                            true,
+                        );
+                    } else {
+                        delta.host_agg_bytes += 2.0 * vb as f64;
+                        delta.host_extra_cycles += d as u64 / 2 + 4;
+                    }
+                }
+                ModelKind::Han => {}
+            }
+        }
+        WalkEvent::Leaf => {
+            n_inst += 1;
+            match kind {
+                ModelKind::Magnn => {
+                    vec_add(acc, &prefix[hops]);
+                    if !cfg.reuse {
+                        delta.aggregations += hops as u128;
+                        if cfg.aggregate_in_nmp {
+                            delta.compute += hops as u64 * vec_op;
+                            let slot = next_slot;
+                            next_slot += 1;
+                            push_rank_vec(
+                                &mut delta.requests,
+                                placement,
+                                home,
+                                placement.agg_offset(slot),
+                                vb,
+                                true,
+                            );
+                        } else {
+                            delta.host_agg_bytes += (hops + 1) as f64 * vb as f64;
+                            delta.host_extra_cycles += hops as u64 * (d as u64 / 4 + 4);
+                        }
+                    }
+                }
+                ModelKind::Han => {
+                    let h = hidden.vector(types[hops], current[hops]);
+                    vec_add(acc, h);
+                    delta.aggregations += 1;
+                    if cfg.aggregate_in_nmp {
+                        delta.compute += vec_op;
+                    } else {
+                        delta.host_agg_bytes += vb as f64;
+                        delta.host_extra_cycles += d as u64 / 4 + 4;
+                    }
+                }
+                ModelKind::Shgnn => {}
+            }
+        }
+        WalkEvent::Exit(depth) => {
+            if kind != ModelKind::Shgnn {
+                return;
+            }
+            let v = current[depth];
+            if depth == hops {
+                let h = hidden.vector(types[depth], v);
+                vec_add(&mut child_sum[depth - 1], h);
+                child_count[depth - 1] += 1;
+            } else if child_count[depth] > 0 {
+                let h = hidden.vector(types[depth], v);
+                let mut value = std::mem::take(&mut child_sum[depth]);
+                vec_scale(&mut value, 0.5 / child_count[depth] as f32);
+                vec_axpy(&mut value, 0.5, h);
+                if depth == 0 {
+                    row_out = Some(value.clone());
+                } else {
+                    vec_add(&mut child_sum[depth - 1], &value);
+                    child_count[depth - 1] += 1;
+                }
+                child_sum[depth] = value;
+            }
+        }
+    })?;
+
+    delta.instances = u128::from(n_inst);
+    if cfg.comm == crate::comm::CommPolicy::Naive && cfg.aggregate_in_nmp {
+        // Demand-fetch most aggregation operands over the channel (no
+        // broadcast pre-fill).
+        let aggs = delta.aggregations as f64;
+        let fetched = aggs * vb as f64 * cfg.naive_demand_fraction;
+        delta.demand_bytes += fetched;
+        delta.demand_fetch_bytes += fetched as u64;
+    }
+
+    if kind != ModelKind::Shgnn && n_inst > 0 {
+        delta.inter_instance_ops += u128::from(n_inst);
+        let scale = match kind {
+            ModelKind::Magnn => 1.0 / (n_inst as f32 * (hops + 1) as f32),
+            _ => 1.0 / n_inst as f32,
+        };
+        vec_scale(acc, scale);
+        row_out = Some(acc.clone());
+        if cfg.aggregate_in_nmp {
+            delta.compute += n_inst * vec_op + vec_op;
+            if cfg.reuse || kind == ModelKind::Magnn {
+                push_rank_vec(
+                    &mut delta.requests,
+                    placement,
+                    home,
+                    placement.agg_offset(base_slot),
+                    (n_inst as usize).max(1) * vb,
+                    false,
+                );
+            }
+            push_rank_vec(
+                &mut delta.requests,
+                placement,
+                home,
+                placement.output_offset(start),
+                vb,
+                true,
+            );
+        } else {
+            delta.host_agg_bytes += (n_inst + 1) as f64 * vb as f64;
+            delta.host_extra_cycles += n_inst * (d as u64 / 4 + 4);
+        }
+    } else if kind == ModelKind::Shgnn && cfg.aggregate_in_nmp && n_inst > 0 {
+        push_rank_vec(
+            &mut delta.requests,
+            placement,
+            home,
+            placement.output_offset(start),
+            vb,
+            true,
+        );
+    }
+    delta.row = row_out;
+    Ok(delta)
+}
+
+/// Computes the visit deltas for the `count` start vertices beginning
+/// at `first`, fanning the vertices out across the host thread budget
+/// when the batch is large enough.
+///
+/// Start vertices hash round-robin across DIMMs by placement, so a
+/// contiguous vertex chunk is an interleaving of every DIMM's waves —
+/// each worker behaves like a slice of all the CarPUs running ahead of
+/// the apply cursor. Deltas come back indexed by vertex regardless of
+/// which worker produced them, the fold is in ascending vertex order,
+/// and a walk error surfaces for the lowest-numbered failing vertex
+/// with no delta applied, so results and errors are identical at every
+/// thread count and batch boundary.
+#[allow(clippy::too_many_arguments)]
+fn compute_batch<F>(
+    cfg: &NmpConfig,
+    graph: &HeteroGraph,
+    hidden: &HiddenFeatures,
+    kind: ModelKind,
+    ctx: &PathCtx<'_>,
+    placement: &Placement,
+    slots: &[u64],
+    include: &F,
+    mp_index: usize,
+    first: u32,
+    count: u32,
+) -> Result<Vec<VisitDelta>, NmpError>
+where
+    F: Fn(usize, u32) -> bool + Sync,
+{
+    let d = cfg.hidden_dim;
+    let hops = ctx.hops;
+    let visit = |start: u32, scratch: &mut VisitScratch| {
+        let home = placement.home(ctx.t0.index() as u8, start);
+        let base_slot = slots[home.global_rank(&cfg.dram)];
+        compute_visit(
+            cfg, graph, hidden, kind, ctx, placement, base_slot, start, scratch,
+        )
+    };
+    let mut results: Vec<Result<Option<VisitDelta>, NmpError>> =
+        (0..count).map(|_| Ok(None)).collect();
+    let workers = dramsim::parallel::threads().min(count as usize).max(1);
+    if workers <= 1 || (count as usize) < PAR_MIN_BATCH_VISITS {
+        let mut scratch = VisitScratch::new(hops, d);
+        for (i, slot) in results.iter_mut().enumerate() {
+            let start = first + i as u32;
+            if include(mp_index, start) {
+                *slot = visit(start, &mut scratch).map(Some);
+            }
+        }
+    } else {
+        let chunk = (count as usize).div_ceil(workers);
+        let visit = &visit;
+        std::thread::scope(|scope| {
+            for (ci, res_chunk) in results.chunks_mut(chunk).enumerate() {
+                let base = first + (ci * chunk) as u32;
+                scope.spawn(move || {
+                    let mut scratch = VisitScratch::new(hops, d);
+                    for (i, slot) in res_chunk.iter_mut().enumerate() {
+                        let start = base + i as u32;
+                        if include(mp_index, start) {
+                            *slot = visit(start, &mut scratch).map(Some);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        if let Some(dv) = r? {
+            out.push(dv);
+        }
+    }
+    Ok(out)
+}
+
 /// Result of a functional run: real embeddings plus the timing/energy
 /// report.
 #[derive(Debug, Clone)]
@@ -139,7 +573,7 @@ impl FunctionalSim {
         include: F,
     ) -> Result<FunctionalRun, NmpError>
     where
-        F: Fn(usize, u32) -> bool,
+        F: Fn(usize, u32) -> bool + Sync,
     {
         let _run_span = obs::span("nmp.functional.run", "nmp");
         let mut run = ResumableRun::new(self.config);
@@ -308,7 +742,7 @@ impl ResumableRun {
         budget: u64,
     ) -> Result<bool, NmpError>
     where
-        F: Fn(usize, u32) -> bool,
+        F: Fn(usize, u32) -> bool + Sync,
     {
         Self::validate(&self.config, hidden, metapaths)?;
         let placement = Placement::new(self.config.dram, self.config.hidden_dim);
@@ -331,12 +765,30 @@ impl ResumableRun {
                 if remaining == 0 {
                     return Ok(false);
                 }
-                let start = self.next_start;
-                if include(self.mp_index, start) {
-                    self.visit_start(graph, hidden, kind, &ctx, &placement, start)?;
+                // Visit the next budget's worth of start vertices as
+                // one batch: deltas are computed (possibly on worker
+                // threads) and applied in ascending vertex order, so
+                // the run is identical at every thread count and for
+                // every chunking of the budget.
+                let batch = u64::from(start_count - self.next_start).min(remaining) as u32;
+                let deltas = compute_batch(
+                    &self.config,
+                    graph,
+                    hidden,
+                    kind,
+                    &ctx,
+                    &placement,
+                    &self.slots,
+                    &include,
+                    self.mp_index,
+                    self.next_start,
+                    batch,
+                )?;
+                for delta in deltas {
+                    self.apply_visit(delta);
                 }
-                self.next_start += 1;
-                remaining -= 1;
+                self.next_start += batch;
+                remaining -= u64::from(batch);
             }
             let finished = self.current.take().expect("metapath matrix in flight");
             self.structural.push(finished);
@@ -412,265 +864,28 @@ impl ResumableRun {
         Ok(())
     }
 
-    /// Instance generation and aggregation for one start vertex.
-    fn visit_start(
-        &mut self,
-        graph: &HeteroGraph,
-        hidden: &HiddenFeatures,
-        kind: ModelKind,
-        ctx: &PathCtx<'_>,
-        placement: &Placement,
-        start: u32,
-    ) -> Result<(), NmpError> {
-        let PathCtx {
-            mp,
-            types,
-            hops,
-            t0,
-        } = *ctx;
-        let Self {
-            config: cfg,
-            mem,
-            counts,
-            gen,
-            compute,
-            slots,
-            host_agg_bytes,
-            demand_bytes,
-            host_extra_cycles,
-            current: current_matrix,
-            ..
-        } = self;
-        let d = cfg.hidden_dim;
-        let vb = cfg.vector_bytes();
-        let vec_op = cfg.vector_op_cycles();
-        let s = current_matrix.as_mut().expect("metapath matrix in flight");
-
-        let home = placement.home(t0.index() as u8, start);
-        let dimm = home.global_dimm(&cfg.dram);
-        let rank = home.global_rank(&cfg.dram);
-        let base_slot = slots[rank];
-
-        let mut prefix: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-        let mut child_sum: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-        let mut child_count = vec![0usize; hops + 1];
-        let mut child_seq = vec![0u64; hops + 1];
-        let mut slot_stack = vec![0u64; hops + 1];
-        let mut current = vec![0u32; hops + 1];
-        let mut acc = vec![0f32; d];
-        let mut n_inst: u64 = 0;
-        let aggs_before = counts.aggregations;
-
-        // The start vertex's own feature is read from its home rank
-        // once per wave.
-        enqueue_rank_vec(
-            mem,
-            placement,
-            home,
-            placement.feature_offset(start),
-            vb,
-            false,
-        );
-
-        walk_prefix_tree(graph, mp, VertexId::new(start), |ev| match ev {
-            WalkEvent::Enter(depth, u) => {
-                current[depth] = u;
-                child_seq[depth] = 0;
-                if depth == 0 {
-                    match kind {
-                        ModelKind::Magnn => prefix[0].copy_from_slice(hidden.vector(types[0], u)),
-                        ModelKind::Shgnn => {
-                            child_sum[0].fill(0.0);
-                            child_count[0] = 0;
-                        }
-                        ModelKind::Han => {}
-                    }
-                    return;
-                }
-                // One CarPU emission per prefix-tree node.
-                gen[dimm] += 1;
-                child_seq[depth - 1] += 1;
-                if cfg.reuse && child_seq[depth - 1] >= 2 {
-                    counts.copies += 1;
-                }
-                match kind {
-                    ModelKind::Magnn => {
-                        let h = hidden.vector(types[depth], u);
-                        let (lo, hi) = prefix.split_at_mut(depth);
-                        hi[0].copy_from_slice(&lo[depth - 1]);
-                        vec_add(&mut hi[0], h);
-                        if cfg.reuse {
-                            counts.aggregations += 1;
-                            let slot = slots[rank];
-                            slots[rank] += 1;
-                            slot_stack[depth] = slot;
-                            if cfg.aggregate_in_nmp {
-                                // The running prefix lives in the AU
-                                // buffer; only the instance's result
-                                // is written to the reserved region
-                                // (it is re-read by the
-                                // inter-instance pass).
-                                compute[rank] += vec_op;
-                                enqueue_rank_vec(
-                                    mem,
-                                    placement,
-                                    home,
-                                    placement.agg_offset(slot),
-                                    vb,
-                                    true,
-                                );
-                            } else {
-                                host_agg_bytes[home.channel] += 2.0 * vb as f64;
-                                *host_extra_cycles += d as u64 / 4 + 4;
-                            }
-                        }
-                    }
-                    ModelKind::Shgnn => {
-                        child_sum[depth].fill(0.0);
-                        child_count[depth] = 0;
-                        counts.aggregations += 1;
-                        let slot = slots[rank];
-                        slots[rank] += 1;
-                        slot_stack[depth] = slot;
-                        if cfg.aggregate_in_nmp {
-                            compute[rank] += 2 * vec_op;
-                            enqueue_rank_vec(
-                                mem,
-                                placement,
-                                home,
-                                placement.agg_offset(slot),
-                                vb,
-                                true,
-                            );
-                        } else {
-                            host_agg_bytes[home.channel] += 2.0 * vb as f64;
-                            *host_extra_cycles += d as u64 / 2 + 4;
-                        }
-                    }
-                    ModelKind::Han => {}
-                }
-            }
-            WalkEvent::Leaf => {
-                n_inst += 1;
-                match kind {
-                    ModelKind::Magnn => {
-                        vec_add(&mut acc, &prefix[hops]);
-                        if !cfg.reuse {
-                            counts.aggregations += hops as u128;
-                            if cfg.aggregate_in_nmp {
-                                compute[rank] += hops as u64 * vec_op;
-                                let slot = slots[rank];
-                                slots[rank] += 1;
-                                enqueue_rank_vec(
-                                    mem,
-                                    placement,
-                                    home,
-                                    placement.agg_offset(slot),
-                                    vb,
-                                    true,
-                                );
-                            } else {
-                                host_agg_bytes[home.channel] += (hops + 1) as f64 * vb as f64;
-                                *host_extra_cycles += hops as u64 * (d as u64 / 4 + 4);
-                            }
-                        }
-                    }
-                    ModelKind::Han => {
-                        let h = hidden.vector(types[hops], current[hops]);
-                        vec_add(&mut acc, h);
-                        counts.aggregations += 1;
-                        if cfg.aggregate_in_nmp {
-                            compute[rank] += vec_op;
-                        } else {
-                            host_agg_bytes[home.channel] += vb as f64;
-                            *host_extra_cycles += d as u64 / 4 + 4;
-                        }
-                    }
-                    ModelKind::Shgnn => {}
-                }
-            }
-            WalkEvent::Exit(depth) => {
-                if kind != ModelKind::Shgnn {
-                    return;
-                }
-                let v = current[depth];
-                if depth == hops {
-                    let h = hidden.vector(types[depth], v);
-                    vec_add(&mut child_sum[depth - 1], h);
-                    child_count[depth - 1] += 1;
-                } else if child_count[depth] > 0 {
-                    let h = hidden.vector(types[depth], v);
-                    let mut value = std::mem::take(&mut child_sum[depth]);
-                    vec_scale(&mut value, 0.5 / child_count[depth] as f32);
-                    vec_axpy(&mut value, 0.5, h);
-                    if depth == 0 {
-                        s.row_mut(v as usize).copy_from_slice(&value);
-                    } else {
-                        vec_add(&mut child_sum[depth - 1], &value);
-                        child_count[depth - 1] += 1;
-                    }
-                    child_sum[depth] = value;
-                }
-            }
-        })?;
-
-        counts.instances += n_inst as u128;
-        if cfg.comm == crate::comm::CommPolicy::Naive && cfg.aggregate_in_nmp {
-            // Demand-fetch most aggregation operands over the channel
-            // (no broadcast pre-fill).
-            let aggs = (counts.aggregations - aggs_before) as f64;
-            let fetched = aggs * vb as f64 * cfg.naive_demand_fraction;
-            demand_bytes[home.channel] += fetched;
-            counts.demand_fetch_bytes += fetched as u64;
+    /// Folds one visit's delta into the run, in canonical (ascending
+    /// start vertex) order: DRAM requests enqueue in issue order, the
+    /// per-unit cycle and byte tallies accumulate, and the vertex's
+    /// embedding row lands in the in-flight structural matrix.
+    fn apply_visit(&mut self, delta: VisitDelta) {
+        for req in &delta.requests {
+            self.mem.enqueue(*req);
         }
-
-        if kind != ModelKind::Shgnn && n_inst > 0 {
-            counts.inter_instance_ops += n_inst as u128;
-            let scale = match kind {
-                ModelKind::Magnn => 1.0 / (n_inst as f32 * (hops + 1) as f32),
-                _ => 1.0 / n_inst as f32,
-            };
-            vec_scale(&mut acc, scale);
-            s.row_mut(start as usize).copy_from_slice(&acc);
-            if cfg.aggregate_in_nmp {
-                compute[rank] += n_inst * vec_op + vec_op;
-                if cfg.reuse || kind == ModelKind::Magnn {
-                    enqueue_rank_vec(
-                        mem,
-                        placement,
-                        home,
-                        placement.agg_offset(base_slot),
-                        (n_inst as usize).max(1) * vb,
-                        false,
-                    );
-                }
-                enqueue_rank_vec(
-                    mem,
-                    placement,
-                    home,
-                    placement.output_offset(start),
-                    vb,
-                    true,
-                );
-            } else {
-                host_agg_bytes[home.channel] += (n_inst + 1) as f64 * vb as f64;
-                *host_extra_cycles += n_inst * (d as u64 / 4 + 4);
-            }
-        } else if kind == ModelKind::Shgnn && cfg.aggregate_in_nmp && n_inst > 0 {
-            enqueue_rank_vec(
-                mem,
-                placement,
-                home,
-                placement.output_offset(start),
-                vb,
-                true,
-            );
+        self.counts.instances += delta.instances;
+        self.counts.aggregations += delta.aggregations;
+        self.counts.copies += delta.copies;
+        self.counts.inter_instance_ops += delta.inter_instance_ops;
+        self.counts.demand_fetch_bytes += delta.demand_fetch_bytes;
+        self.gen[delta.dimm] += delta.gen;
+        self.compute[delta.rank] += delta.compute;
+        self.host_agg_bytes[delta.channel] += delta.host_agg_bytes;
+        self.demand_bytes[delta.channel] += delta.demand_bytes;
+        self.host_extra_cycles += delta.host_extra_cycles;
+        if let Some(row) = delta.row {
+            let s = self.current.as_mut().expect("metapath matrix in flight");
+            s.row_mut(delta.start as usize).copy_from_slice(&row);
         }
-
-        // The reserved region is recycled once the start vertex's
-        // instances are folded into its output.
-        slots[rank] = base_slot;
-        Ok(())
     }
 
     /// Completes the run: semantic (inter-path) aggregation, CarPU
@@ -1387,6 +1602,35 @@ mod tests {
             resumed.embeddings.max_abs_diff(&straight.embeddings),
             0.0,
             "resumed embeddings must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_results() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let cfg = nmp_config(16).with_faults(FaultConfig {
+            seed: 7,
+            bit_flip_rate: 0.01,
+            broadcast_drop_rate: 0.2,
+            stall_rate: 0.05,
+            ..FaultConfig::off()
+        });
+        let run_with = |threads: usize| {
+            dramsim::parallel::set_threads(threads);
+            let run = FunctionalSim::new(cfg)
+                .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+                .unwrap();
+            dramsim::parallel::set_threads(0);
+            run
+        };
+        let serial = run_with(1);
+        let threaded = run_with(4);
+        assert_eq!(serial.report, threaded.report);
+        assert_eq!(
+            serial.embeddings.max_abs_diff(&threaded.embeddings),
+            0.0,
+            "embeddings must be bit-identical at every thread count"
         );
     }
 

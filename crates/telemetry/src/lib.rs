@@ -43,14 +43,15 @@ pub use snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
 pub use hist::Histogram;
 #[cfg(feature = "enabled")]
 pub use state::{
-    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json, reset,
-    sim_slice, snapshot, span, trace_data, SpanGuard,
+    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json,
+    merge_sink, reset, scoped_sink, sim_slice, snapshot, span, trace_data, SinkImage, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json, reset,
-    sim_slice, snapshot, span, trace_data, Histogram, SpanGuard,
+    checkpoint_json, counter_add, gauge_set, hist_merge, hist_record, merge_checkpoint_json,
+    merge_sink, reset, scoped_sink, sim_slice, snapshot, span, trace_data, Histogram, SinkImage,
+    SpanGuard,
 };
 
 /// Whether the real backend is compiled in.
@@ -68,4 +69,17 @@ pub fn snapshot_json() -> String {
 /// trace-event JSON file.
 pub fn chrome_trace_json() -> String {
     render_chrome_trace_json(&trace_data())
+}
+
+/// Renders the registry as a JSON snapshot with every wall-clock
+/// quantity stripped (the `phases` section is emptied).
+///
+/// Counters, gauges, and histograms are all simulated-domain values,
+/// so two runs of the same workload — at any `--jobs`/thread count —
+/// must produce byte-identical output. This is the artifact the
+/// determinism regression checks compare.
+pub fn deterministic_snapshot_json() -> String {
+    let mut snap = snapshot();
+    snap.phases.clear();
+    render_snapshot_json(&snap)
 }

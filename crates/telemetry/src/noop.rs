@@ -147,3 +147,17 @@ pub fn merge_checkpoint_json(_json: &str) -> Result<(), String> {
 /// No-op.
 #[inline(always)]
 pub fn reset() {}
+
+/// Zero-sized stand-in for a captured sink image.
+#[derive(Debug, Default)]
+pub struct SinkImage;
+
+/// Runs `f`; nothing is captured.
+#[inline(always)]
+pub fn scoped_sink<R>(f: impl FnOnce() -> R) -> (R, SinkImage) {
+    (f(), SinkImage)
+}
+
+/// No-op.
+#[inline(always)]
+pub fn merge_sink(_image: SinkImage) {}

@@ -5,6 +5,7 @@
 //! see `dramsim::system` — so a single `Mutex` is plenty: the lock is
 //! taken a few times per simulation phase, not per memory burst.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -41,7 +42,14 @@ struct State {
 
 static STATE: Mutex<Option<State>> = Mutex::new(None);
 
-fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+thread_local! {
+    /// Stack of scoped sinks installed on this thread. When non-empty,
+    /// every telemetry write lands in the innermost sink instead of the
+    /// process-global registry; see [`scoped_sink`].
+    static SINK: RefCell<Vec<State>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_global_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let state = guard.get_or_insert_with(State::default);
     if state.epoch.is_none() {
@@ -50,8 +58,24 @@ fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
     f(state)
 }
 
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    SINK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        match stack.last_mut() {
+            Some(local) => f(local),
+            None => {
+                drop(stack);
+                with_global_state(f)
+            }
+        }
+    })
+}
+
 thread_local! {
-    static THREAD_TID: u64 = with_state(|s| {
+    // Thread ids are always allocated from the global registry so that
+    // trace tids stay coherent even when a thread's first telemetry
+    // call happens inside a scoped sink.
+    static THREAD_TID: u64 = with_global_state(|s| {
         s.next_tid += 1;
         s.next_tid
     });
@@ -338,7 +362,127 @@ pub fn merge_checkpoint_json(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Everything a scoped sink captured, ready to be folded into the
+/// registry (or an enclosing sink) with [`merge_sink`].
+///
+/// The image is `Send`, so worker threads can hand their telemetry to
+/// the thread that owns the canonical merge order.
+#[derive(Default)]
+pub struct SinkImage {
+    inner: Option<Box<State>>,
+}
+
+impl std::fmt::Debug for SinkImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkImage")
+            .field("captured", &self.inner.is_some())
+            .finish()
+    }
+}
+
+/// Pops the sink on drop so a panic inside the captured closure cannot
+/// leave a stale sink redirecting the thread's telemetry forever.
+struct SinkGuard;
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with every telemetry write on *this thread* captured into a
+/// private sink instead of the process-global registry, and returns the
+/// captured image alongside `f`'s result.
+///
+/// This is the building block for deterministic parallelism: each
+/// worker captures into its own sink, and the coordinating thread folds
+/// the images back with [`merge_sink`] in a canonical order, making the
+/// registry contents independent of thread scheduling. Sinks nest
+/// (innermost wins) and are per-thread; spawned threads are *not*
+/// redirected — capture on the thread that does the work.
+pub fn scoped_sink<R>(f: impl FnOnce() -> R) -> (R, SinkImage) {
+    let epoch = with_global_state(|s| s.epoch.expect("epoch set on first access"));
+    SINK.with(|stack| {
+        stack.borrow_mut().push(State {
+            // Share the global epoch so captured wall-clock events merge
+            // onto the same timeline without timestamp rebasing.
+            epoch: Some(epoch),
+            ..State::default()
+        });
+    });
+    let guard = SinkGuard;
+    let result = f();
+    std::mem::forget(guard);
+    let state = SINK.with(|stack| stack.borrow_mut().pop());
+    let state = state.expect("scoped_sink pushed a sink above");
+    (
+        result,
+        SinkImage {
+            inner: Some(Box::new(state)),
+        },
+    )
+}
+
+/// Folds a captured [`SinkImage`] into the current telemetry
+/// destination (the global registry, or the enclosing sink when called
+/// inside [`scoped_sink`]).
+///
+/// Counters, phase totals, and dropped-event tallies add; histograms
+/// merge bucket-wise; **gauges overwrite** (the merge order defines
+/// "last write", mirroring what a serial run would have produced);
+/// trace events append with simulated-time tracks re-keyed by name.
+pub fn merge_sink(image: SinkImage) {
+    let Some(src) = image.inner else { return };
+    let src = *src;
+    with_state(|dst| {
+        for (name, v) in src.counters {
+            *dst.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in src.gauges {
+            dst.gauges.insert(name, v);
+        }
+        for (name, h) in src.hists {
+            dst.hists.entry(name).or_default().merge(&h);
+        }
+        for (name, (calls, ms)) in src.phase_totals {
+            let entry = dst.phase_totals.entry(name).or_insert((0, 0.0));
+            entry.0 += calls;
+            entry.1 += ms;
+        }
+        let mut tid_map: BTreeMap<u64, u64> = BTreeMap::new();
+        for (name, src_tid) in src.sim_tracks {
+            let dst_tid = match dst.sim_tracks.get(&name) {
+                Some(&tid) => tid,
+                None => {
+                    let tid = dst.sim_tracks.len() as u64 + 1;
+                    dst.sim_tracks.insert(name, tid);
+                    tid
+                }
+            };
+            tid_map.insert(src_tid, dst_tid);
+        }
+        for mut e in src.events {
+            if dst.events.len() >= MAX_TRACE_EVENTS {
+                dst.dropped_events += 1;
+                continue;
+            }
+            if e.pid == PID_SIM {
+                if let Some(&tid) = tid_map.get(&e.tid) {
+                    e.tid = tid;
+                }
+            }
+            dst.events.push(e);
+        }
+        dst.dropped_events += src.dropped_events;
+    });
+}
+
 /// Clears all metrics, spans, and the wall-clock epoch.
+///
+/// Only the process-global registry is cleared; sinks installed by
+/// [`scoped_sink`] on other threads are unaffected.
 pub fn reset() {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     // Preserve the tid counter: live threads keep their cached tids.

@@ -18,6 +18,53 @@ fn registry_spans_and_exporters() {
     snapshot_json_round_trips_through_serde();
     chrome_trace_json_round_trips_through_serde();
     checkpoint_merge_restores_metrics();
+    scoped_sinks_capture_and_merge_in_order();
+}
+
+fn scoped_sinks_capture_and_merge_in_order() {
+    obs::reset();
+    obs::counter_add("sink.counter", 1);
+
+    // Worker-style capture: nothing lands globally until the merge.
+    let ((), a) = obs::scoped_sink(|| {
+        obs::counter_add("sink.counter", 10);
+        obs::gauge_set("sink.gauge", 1.0);
+        obs::hist_record("sink.hist", 8);
+        obs::sim_slice("sink.track", "w", 0, 4);
+    });
+    let ((), b) = obs::scoped_sink(|| {
+        obs::counter_add("sink.counter", 100);
+        obs::gauge_set("sink.gauge", 2.0);
+        obs::hist_record("sink.hist", 16);
+    });
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("sink.counter"), Some(1));
+    assert_eq!(snap.gauge("sink.gauge"), None);
+
+    // Canonical-order merge: counters add, gauges last-merged-wins.
+    obs::merge_sink(a);
+    obs::merge_sink(b);
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("sink.counter"), Some(111));
+    assert_eq!(snap.gauge("sink.gauge"), Some(2.0));
+    assert_eq!(snap.histogram("sink.hist").unwrap().count, 2);
+    let trace = obs::trace_data();
+    assert!(
+        trace
+            .thread_names
+            .iter()
+            .any(|(_, _, name)| name == "sink.track"),
+        "sim tracks are re-keyed into the destination registry"
+    );
+
+    // The deterministic exporter strips the wall-clock phases section.
+    {
+        let _s = obs::span("sink.phase", "test");
+    }
+    let det: serde_json::Value =
+        serde_json::from_str(&obs::deterministic_snapshot_json()).expect("valid JSON");
+    assert_eq!(det["phases"].as_array().map(Vec::len), Some(0));
+    assert!(det["counters"]["sink.counter"].as_u64().is_some());
 }
 
 fn checkpoint_merge_restores_metrics() {
