@@ -1,0 +1,414 @@
+//! Seeded structure-aware mutation fuzzer for the repository's three
+//! untrusted input boundaries:
+//!
+//! 1. **ckpt** — checkpoint container bytes through [`checkpoint::load`]
+//!    (magic / version / length / CRC / config-hash / JSON validation);
+//! 2. **manifest** — JSONL sweep journals through
+//!    [`checkpoint::manifest::Journal::open_resume`];
+//! 3. **graph** — `HGB1` graph and dataset streams through
+//!    [`hetgraph::io::load_graph`] / [`hetgraph::io::load_dataset`].
+//!
+//! Each iteration takes a known-valid input, applies one randomly
+//! chosen structural mutation (bit flip, field overwrite with extreme
+//! values, truncation, splice, deletion, append), and asserts the
+//! loader returns a structured error — never panics. The identity
+//! mutation is kept in the pool so the happy path is continuously
+//! re-proven too.
+//!
+//! Everything is derived from `(seed, boundary, iteration)` via a
+//! counter-mode splitmix64 stream, so a failure reported as
+//! `boundary=B iter=N seed=S` reproduces exactly with
+//! `fuzz --boundary B --seed S --iters N+1` regardless of wall clock
+//! or the other boundaries.
+//!
+//! ```text
+//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph]
+//! ```
+//!
+//! `--seconds` is a wall-clock cap for CI smoke runs; because the
+//! iteration stream is deterministic, a time-capped run is a prefix of
+//! the corresponding `--iters` run. Exits non-zero on the first panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use checkpoint::manifest::{cell_record, Journal, JournalHeader};
+use checkpoint::FORMAT_VERSION;
+use hetgraph::datasets::{generate, DatasetId, GeneratorConfig};
+use hetgraph::io::{load_dataset, load_graph, save_dataset, save_graph};
+
+const DEFAULT_ITERS: u64 = 5_000;
+const DEFAULT_SEED: u64 = 42;
+const CKPT_CONFIG_HASH: u64 = 0xF00D_CAFE;
+
+/// Deterministic counter-mode stream: one independent generator per
+/// `(seed, lane, iteration)` triple.
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64, lane: u64, iter: u64) -> Self {
+        let mut r = Rng {
+            state: seed ^ lane.rotate_left(24) ^ iter.rotate_left(48),
+        };
+        // Warm the mixer so nearby (lane, iter) pairs decorrelate.
+        r.next();
+        r
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n == 0` returns 0).
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// One structural mutation of `bytes`; kind 0 is the identity.
+///
+/// Returns whether the output is byte-identical to the valid input
+/// (identity mutations must still load successfully).
+fn mutate(rng: &mut Rng, bytes: &mut Vec<u8>) -> bool {
+    let kind = rng.below(9);
+    if bytes.is_empty() {
+        return kind == 0;
+    }
+    match kind {
+        0 => return true,
+        1 => {
+            // Single bit flip.
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        2 => {
+            // Byte overwrite.
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] = rng.next() as u8;
+        }
+        3 => {
+            // Truncate.
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes.truncate(at);
+        }
+        4 | 5 => {
+            // Overwrite a 4- or 8-byte window with an extreme value —
+            // the mutation most likely to land on a length/count field.
+            let width = if kind == 4 { 4 } else { 8 };
+            if bytes.len() >= width {
+                let i = rng.below((bytes.len() - width + 1) as u64) as usize;
+                let v: u64 = match rng.below(4) {
+                    0 => 0,
+                    1 => 1,
+                    2 => u64::MAX,
+                    _ => rng.next(),
+                };
+                bytes[i..i + width].copy_from_slice(&v.to_le_bytes()[..width]);
+            }
+        }
+        6 => {
+            // Duplicate a slice and splice it back in.
+            let start = rng.below(bytes.len() as u64) as usize;
+            let len = (rng.below(64) as usize + 1).min(bytes.len() - start);
+            let slice = bytes[start..start + len].to_vec();
+            let at = rng.below(bytes.len() as u64 + 1) as usize;
+            bytes.splice(at..at, slice);
+        }
+        7 => {
+            // Delete a slice.
+            let start = rng.below(bytes.len() as u64) as usize;
+            let len = (rng.below(64) as usize + 1).min(bytes.len() - start);
+            bytes.drain(start..start + len);
+        }
+        _ => {
+            // Append garbage.
+            for _ in 0..=rng.below(32) {
+                bytes.push(rng.next() as u8);
+            }
+        }
+    }
+    false
+}
+
+/// What one loader invocation did with a mutated input.
+enum Outcome {
+    Accepted,
+    Rejected,
+    Panicked,
+    /// The identity mutation failed to load — the loader broke on
+    /// known-good input, which is as fatal as a panic.
+    RejectedValid(String),
+}
+
+/// One fuzz iteration against scratch dir + rng, returning the
+/// observed outcome.
+type BoundaryFn = Box<dyn FnMut(&Path, &mut Rng) -> Outcome>;
+
+struct Boundary {
+    name: &'static str,
+    lane: u64,
+    run: BoundaryFn,
+}
+
+fn outcome_of<T, E: std::fmt::Display>(
+    identity: bool,
+    result: std::thread::Result<Result<T, E>>,
+) -> Outcome {
+    match result {
+        Err(_) => Outcome::Panicked,
+        Ok(Ok(_)) => Outcome::Accepted,
+        Ok(Err(e)) if identity => Outcome::RejectedValid(e.to_string()),
+        Ok(Err(_)) => Outcome::Rejected,
+    }
+}
+
+/// Checkpoint container boundary: a valid framed snapshot, mutated,
+/// through the full `load` pipeline (header, CRC, UTF-8, JSON).
+fn ckpt_boundary() -> Boundary {
+    let payload = br#"{"cursor":7,"values":[0.5,1.25,-3.0],"note":"fuzz"}"#;
+    let valid = checkpoint::encode(CKPT_CONFIG_HASH, payload);
+    Boundary {
+        name: "ckpt",
+        lane: 1,
+        run: Box::new(move |dir, rng| {
+            let mut bytes = valid.clone();
+            let identity = mutate(rng, &mut bytes);
+            let path = dir.join("fuzz.ckpt");
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("fuzz: scratch write failed: {e}");
+                return Outcome::Panicked;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                checkpoint::load::<serde_json::Value>(&path, CKPT_CONFIG_HASH)
+            }));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
+/// JSONL sweep manifest boundary through `Journal::open_resume`.
+fn manifest_boundary(scratch: &Path) -> Boundary {
+    let header = JournalHeader {
+        version: FORMAT_VERSION,
+        config_hash: 0xBEEF,
+        seed: 7,
+    };
+    // Build a valid two-cell journal once; its bytes are the seed input.
+    let base = scratch.join("seed.manifest.jsonl");
+    let valid = (|| -> Result<Vec<u8>, checkpoint::CheckpointError> {
+        let mut j = Journal::create(&base, &header)?;
+        j.append(&cell_record("cell/a", 1, r#"{"cycles":100}"#.into()))?;
+        j.append(&cell_record("cell/b", 2, r#"{"cycles":200}"#.into()))?;
+        drop(j);
+        std::fs::read(&base).map_err(|e| checkpoint::CheckpointError::io(&base, "read", &e))
+    })()
+    .expect("building the seed journal in the scratch dir cannot fail");
+    Boundary {
+        name: "manifest",
+        lane: 2,
+        run: Box::new(move |dir, rng| {
+            let mut bytes = valid.clone();
+            let identity = mutate(rng, &mut bytes);
+            let path = dir.join("fuzz.manifest.jsonl");
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("fuzz: scratch write failed: {e}");
+                return Outcome::Panicked;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| Journal::open_resume(&path, &header)));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
+/// HGB1 graph/dataset boundary through `load_graph` / `load_dataset`.
+fn graph_boundary() -> Boundary {
+    let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.02));
+    let mut graph_bytes = Vec::new();
+    save_graph(&ds.graph, &mut graph_bytes).expect("in-memory save cannot fail");
+    let mut dataset_bytes = Vec::new();
+    save_dataset(&ds, &mut dataset_bytes).expect("in-memory save cannot fail");
+    Boundary {
+        name: "graph",
+        lane: 3,
+        run: Box::new(move |_dir, rng| {
+            let as_dataset = rng.below(2) == 1;
+            let mut bytes = if as_dataset {
+                dataset_bytes.clone()
+            } else {
+                graph_bytes.clone()
+            };
+            let identity = mutate(rng, &mut bytes);
+            if as_dataset {
+                let result = catch_unwind(AssertUnwindSafe(|| load_dataset(bytes.as_slice())));
+                outcome_of(identity, result)
+            } else {
+                let result = catch_unwind(AssertUnwindSafe(|| load_graph(bytes.as_slice())));
+                outcome_of(identity, result)
+            }
+        }),
+    }
+}
+
+struct Options {
+    iters: u64,
+    seed: u64,
+    seconds: Option<u64>,
+    boundary: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        iters: DEFAULT_ITERS,
+        seed: DEFAULT_SEED,
+        seconds: None,
+        boundary: "all".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" | "--seed" | "--seconds" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires an unsigned integer"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("{arg} requires an unsigned integer, got {v:?}"))?;
+                match arg.as_str() {
+                    "--iters" => opts.iters = n,
+                    "--seed" => opts.seed = n,
+                    _ => opts.seconds = Some(n),
+                }
+            }
+            "--boundary" => {
+                let v = it.next().ok_or("--boundary requires a name")?;
+                if !["all", "ckpt", "manifest", "graph"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown boundary {v:?}; known: all ckpt manifest graph"
+                    ));
+                }
+                opts.boundary = v;
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("metanmp-fuzz-{}", std::process::id()))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("fuzz: {msg}");
+            }
+            eprintln!(
+                "usage: fuzz [--iters N] [--seed S] [--seconds T] \
+                 [--boundary all|ckpt|manifest|graph]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let dir = scratch_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("fuzz: cannot create scratch dir {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut boundaries: Vec<Boundary> = Vec::new();
+    if matches!(opts.boundary.as_str(), "all" | "ckpt") {
+        boundaries.push(ckpt_boundary());
+    }
+    if matches!(opts.boundary.as_str(), "all" | "manifest") {
+        boundaries.push(manifest_boundary(&dir));
+    }
+    if matches!(opts.boundary.as_str(), "all" | "graph") {
+        boundaries.push(graph_boundary());
+    }
+
+    let start = Instant::now();
+    let deadline = opts.seconds.map(std::time::Duration::from_secs);
+    let mut failed = false;
+    let mut completed: u64 = 0;
+    'outer: for b in &mut boundaries {
+        let mut accepted: u64 = 0;
+        let mut rejected: u64 = 0;
+        for iter in 0..opts.iters {
+            if let Some(budget) = deadline {
+                if start.elapsed() >= budget {
+                    eprintln!(
+                        "fuzz: wall-clock budget reached at {}/{} iters on {}",
+                        iter, opts.iters, b.name
+                    );
+                    break 'outer;
+                }
+            }
+            let mut rng = Rng::new(opts.seed, b.lane, iter);
+            let outcome = (b.run)(&dir, &mut rng);
+            completed += 1;
+            match outcome {
+                Outcome::Accepted => accepted += 1,
+                Outcome::Rejected => rejected += 1,
+                Outcome::Panicked => {
+                    eprintln!(
+                        "fuzz: PANIC boundary={} iter={iter} seed={}; reproduce with: \
+                         fuzz --boundary {} --seed {} --iters {}",
+                        b.name,
+                        opts.seed,
+                        b.name,
+                        opts.seed,
+                        iter + 1
+                    );
+                    failed = true;
+                    break 'outer;
+                }
+                Outcome::RejectedValid(e) => {
+                    eprintln!(
+                        "fuzz: loader rejected KNOWN-GOOD input: boundary={} iter={iter} \
+                         seed={}: {e}",
+                        b.name, opts.seed
+                    );
+                    failed = true;
+                    break 'outer;
+                }
+            }
+        }
+        println!(
+            "fuzz: {:<8} {} iters: {} accepted, {} structured rejections, 0 panics",
+            b.name,
+            accepted + rejected,
+            accepted,
+            rejected
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fuzz: clean — {completed} total iterations across {} boundary(ies) in {:.1}s \
+         (seed {})",
+        boundaries.len(),
+        start.elapsed().as_secs_f64(),
+        opts.seed
+    );
+    ExitCode::SUCCESS
+}

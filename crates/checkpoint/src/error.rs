@@ -34,7 +34,7 @@ pub enum CheckpointError {
         /// Latest version this build understands.
         supported: u32,
     },
-    /// The file is shorter than its header claims.
+    /// The file is too short to hold the fixed-size header.
     Truncated {
         /// Offending file.
         path: String,
@@ -42,6 +42,21 @@ pub enum CheckpointError {
         needed: u64,
         /// Bytes actually present.
         got: u64,
+    },
+    /// A header length field claims more bytes than the input holds.
+    ///
+    /// Raised *before* any buffer sized by the untrusted field is
+    /// allocated or sliced, so a header claiming a 16 EiB payload is
+    /// rejected in constant time.
+    LengthOverrun {
+        /// Offending file.
+        path: String,
+        /// Header field at fault (e.g. `"payload_len"`).
+        field: &'static str,
+        /// Bytes the field claims.
+        claimed: u64,
+        /// Bytes actually available for it.
+        available: u64,
     },
     /// The payload CRC does not match the header.
     ChecksumMismatch {
@@ -90,6 +105,16 @@ impl fmt::Display for CheckpointError {
             Self::Truncated { path, needed, got } => write!(
                 f,
                 "checkpoint {path}: truncated ({got} bytes, header promises {needed})"
+            ),
+            Self::LengthOverrun {
+                path,
+                field,
+                claimed,
+                available,
+            } => write!(
+                f,
+                "checkpoint {path}: header field {field} claims {claimed} bytes \
+                 but only {available} remain (rejected before allocation)"
             ),
             Self::ChecksumMismatch {
                 path,

@@ -87,11 +87,16 @@ pub fn decode<'a>(
     let payload_len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
     let stored_crc = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
     let avail = (bytes.len() - HEADER_LEN) as u64;
+    // Validate the untrusted length against the bytes actually present
+    // BEFORE slicing (or letting a caller allocate) anything sized by
+    // it: a corrupted header claiming a 16 EiB payload must fail here
+    // in constant time, not via an attempted allocation.
     if avail < payload_len {
-        return Err(CheckpointError::Truncated {
+        return Err(CheckpointError::LengthOverrun {
             path: p(),
-            needed: HEADER_LEN as u64 + payload_len,
-            got: bytes.len() as u64,
+            field: "payload_len",
+            claimed: payload_len,
+            available: avail,
         });
     }
     let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
@@ -209,9 +214,51 @@ mod tests {
         };
         save(&path, 9, &state).unwrap();
         let bytes = fs::read(&path).unwrap();
+        // Cut into the payload: the header's payload_len now claims
+        // more bytes than the file holds.
         fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
         let err = load::<Demo>(&path, 9).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::LengthOverrun { .. }),
+            "{err}"
+        );
+        // Cut into the fixed header itself.
+        fs::write(&path, &bytes[..HEADER_LEN - 4]).unwrap();
+        let err = load::<Demo>(&path, 9).unwrap_err();
         assert!(matches!(err, CheckpointError::Truncated { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_absurd_length_claim_before_allocating() {
+        let dir = scratch("overrun");
+        let path = dir.join("snap.ckpt");
+        let state = Demo {
+            cursor: 1,
+            values: vec![1.0; 4],
+        };
+        save(&path, 9, &state).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let real_payload = (bytes.len() - HEADER_LEN) as u64;
+        // Claim a 16 EiB payload. If anything sized a buffer or slice
+        // by this field before validating it, this test would abort the
+        // process instead of returning the structured error.
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = load::<Demo>(&path, 9).unwrap_err();
+        match err {
+            CheckpointError::LengthOverrun {
+                field,
+                claimed,
+                available,
+                ..
+            } => {
+                assert_eq!(field, "payload_len");
+                assert_eq!(claimed, u64::MAX);
+                assert_eq!(available, real_payload);
+            }
+            other => panic!("expected LengthOverrun, got {other}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

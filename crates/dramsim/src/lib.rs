@@ -34,6 +34,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod address;
+pub mod audit;
 mod config;
 pub mod parallel;
 mod request;
@@ -42,6 +43,7 @@ mod stats;
 mod system;
 
 pub use address::{AddressMapper, Location};
+pub use audit::{AuditError, AuditReport, CmdEvent, CmdKind, Constraint, Perturbation};
 pub use config::{DramConfig, EnergyParams, Timing};
 pub use request::{Completion, Locality, Request, RequestId, RequestKind};
 pub use snapshot::{

@@ -18,6 +18,7 @@ use faultsim::{
 };
 
 use crate::address::{AddressMapper, Location};
+use crate::audit;
 use crate::config::DramConfig;
 use crate::request::{Completion, Locality, Request, RequestId, RequestKind};
 use crate::snapshot::{
@@ -97,6 +98,13 @@ struct ChannelState {
     bus_free: u64,
     queue: VecDeque<Burst>,
     tally: ChanTally,
+    /// Protocol-checker mirror for this channel (zero-sized no-op
+    /// without the `audit` feature). Worker-local like everything else
+    /// here, so violations accumulate deterministically per channel.
+    checker: audit::ChannelChecker,
+    /// One-shot scheduler perturbation (audit test hook).
+    #[cfg(feature = "audit")]
+    perturb: audit::Perturbation,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -162,19 +170,54 @@ pub struct MemorySystem {
     /// accumulated in channel order — `(channel, linear rank, start
     /// cycle, duration)`.
     slice_buffer: Vec<(usize, usize, u64, u64)>,
+    /// System-level audit accumulators (violations drained from the
+    /// per-channel checkers in channel order, plus the retirement
+    /// ledger).
+    #[cfg(feature = "audit")]
+    audit: AuditAccum,
+}
+
+/// Audit-layer accumulators owned by the system (as opposed to the
+/// per-channel checker mirrors). Not part of a snapshot: audit state is
+/// per-process diagnostics; a restored system re-seeds its mirrors
+/// conservatively and restarts the ledger from the queued remainder.
+#[cfg(feature = "audit")]
+#[derive(Debug, Default)]
+struct AuditAccum {
+    violations: Vec<audit::AuditError>,
+    commands: u64,
+    refreshes: u64,
+    /// Violations already published as telemetry counter deltas.
+    flushed_violations: u64,
+    /// Bursts expected per request id (parallel to `pending`).
+    expected: Vec<usize>,
+    /// Bursts actually retired per request id.
+    serviced: Vec<usize>,
+    /// Refresh energy already accounted before this process observed
+    /// the system (non-zero only after a snapshot restore).
+    refresh_pj_base: f64,
 }
 
 impl MemorySystem {
     /// Creates an idle memory system.
     pub fn new(config: DramConfig) -> Self {
+        let ranks_per_channel = config.dimms_per_channel * config.ranks_per_dimm;
         let channels = (0..config.channels)
-            .map(|_| ChannelState {
-                ranks: (0..config.dimms_per_channel * config.ranks_per_dimm)
+            .map(|ch| ChannelState {
+                ranks: (0..ranks_per_channel)
                     .map(|_| RankState::new(&config))
                     .collect(),
                 bus_free: 0,
                 queue: VecDeque::new(),
                 tally: ChanTally::default(),
+                checker: audit::ChannelChecker::new(
+                    ch,
+                    ranks_per_channel,
+                    config.banks_per_rank(),
+                    config.bank_groups,
+                ),
+                #[cfg(feature = "audit")]
+                perturb: audit::Perturbation::None,
             })
             .collect();
         MemorySystem {
@@ -191,6 +234,8 @@ impl MemorySystem {
             fault_stats: FaultStats::default(),
             flushed_faults: FaultStats::default(),
             slice_buffer: Vec::new(),
+            #[cfg(feature = "audit")]
+            audit: AuditAccum::default(),
             config,
         }
     }
@@ -248,6 +293,11 @@ impl MemorySystem {
         self.next_id += 1;
         let bursts = req.bytes.div_ceil(self.config.burst_bytes);
         self.pending.push((bursts, u64::MAX, 0));
+        #[cfg(feature = "audit")]
+        {
+            self.audit.expected.push(bursts);
+            self.audit.serviced.push(0);
+        }
         for i in 0..bursts {
             let addr = req.addr + (i * self.config.burst_bytes) as u64;
             let channel = self.mapper.map(addr).channel;
@@ -321,12 +371,25 @@ impl MemorySystem {
                 entry.0 -= 1;
                 entry.1 = entry.1.min(data_start);
                 entry.2 = entry.2.max(finish);
+                #[cfg(feature = "audit")]
+                {
+                    self.audit.serviced[idx] += 1;
+                }
             }
             self.slice_buffer
                 .extend(out.slices.iter().map(|&(r, s, d)| (out.ch, r, s, d)));
             if aborted.is_none() {
                 aborted = out.error;
             }
+        }
+        // Drain the per-channel checkers in channel order so the
+        // violation list is identical at every thread count.
+        #[cfg(feature = "audit")]
+        for ch in &mut self.channels {
+            let (mut violations, commands, refreshes) = ch.checker.take_delta();
+            self.audit.violations.append(&mut violations);
+            self.audit.commands += commands;
+            self.audit.refreshes += refreshes;
         }
         // Background energy for the newly elapsed span.
         let elapsed_s = self.stats.elapsed_cycles as f64 * self.config.cycle_seconds();
@@ -363,6 +426,15 @@ impl MemorySystem {
     fn flush_telemetry(&mut self) {
         if !obs::is_enabled() {
             return;
+        }
+        #[cfg(feature = "audit")]
+        {
+            let total = self.audit.violations.len() as u64;
+            obs::counter_add(
+                "audit.protocol_violations",
+                total - self.audit.flushed_violations,
+            );
+            self.audit.flushed_violations = total;
         }
         let (d, f) = (&self.stats, &self.flushed);
         obs::counter_add("dram.reads", d.reads - f.reads);
@@ -494,6 +566,165 @@ impl MemorySystem {
         let mut sys = MemorySystem::new(state.config);
         checkpoint::Restore::restore(&mut sys, state)?;
         Ok(sys)
+    }
+
+    /// Installs a one-shot scheduler perturbation on channel 0 — the
+    /// audit layer's self-test hook (see [`audit::Perturbation`]): the
+    /// next eligible command on that channel actually issues with the
+    /// perturbed timing, so a working checker must flag it.
+    #[cfg(feature = "audit")]
+    pub fn audit_perturb(&mut self, perturbation: audit::Perturbation) {
+        if let Some(ch) = self.channels.first_mut() {
+            ch.perturb = perturbation;
+        }
+    }
+
+    /// The audit layer's verdict on everything observed so far:
+    /// protocol violations drained from the per-channel checkers plus
+    /// the conservation invariants (every enqueued burst retires
+    /// exactly once, energy components match their per-command closed
+    /// forms). With `expect_drained`, bursts still queued — e.g. behind
+    /// a tripped watchdog — are violations too.
+    ///
+    /// Without the `audit` feature this returns a default report with
+    /// `enabled == false`; callers should treat that as "not audited",
+    /// not as "clean" (see [`audit::AuditReport::is_clean`]).
+    ///
+    /// Sound at a `service_all` boundary. Audit state is per-process:
+    /// a system restored from a snapshot re-seeds its mirrors from the
+    /// image and audits from that point on.
+    pub fn audit_report(&self, expect_drained: bool) -> audit::AuditReport {
+        #[cfg(feature = "audit")]
+        {
+            let mut report = audit::AuditReport {
+                enabled: true,
+                commands_checked: self.audit.commands,
+                refresh_events: self.audit.refreshes,
+                violations: self.audit.violations.clone(),
+            };
+            self.check_retirement(expect_drained, &mut report);
+            self.check_energy(&mut report);
+            report
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            let _ = expect_drained;
+            audit::AuditReport::default()
+        }
+    }
+
+    /// Conservation: every request's bursts are either retired exactly
+    /// once or still queued, and the completion ledger agrees with the
+    /// queues.
+    #[cfg(feature = "audit")]
+    fn check_retirement(&self, expect_drained: bool, report: &mut audit::AuditReport) {
+        let mut queued = vec![0usize; self.audit.expected.len()];
+        for ch in &self.channels {
+            for b in &ch.queue {
+                if let Some(q) = queued.get_mut(b.id.0) {
+                    *q += 1;
+                }
+            }
+        }
+        let ledger = self.audit.expected.iter().zip(&self.audit.serviced);
+        for (id, ((&expected, &serviced), &in_queue)) in ledger.zip(&queued).enumerate() {
+            let violation = if serviced > expected {
+                Some(format!(
+                    "request {id} retired {serviced} bursts but only {expected} were enqueued"
+                ))
+            } else if serviced + in_queue != expected {
+                Some(format!(
+                    "request {id}: {expected} bursts enqueued, {serviced} retired, \
+                     {in_queue} queued — {} lost",
+                    expected - serviced - in_queue
+                ))
+            } else if self.pending[id].0 != in_queue {
+                Some(format!(
+                    "request {id}: completion ledger says {} bursts outstanding \
+                     but {in_queue} are queued",
+                    self.pending[id].0
+                ))
+            } else if expect_drained && in_queue != 0 {
+                Some(format!(
+                    "request {id} still has {in_queue} of {expected} bursts queued \
+                     at end of run"
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = violation {
+                report.violations.push(audit::AuditError {
+                    constraint: audit::Constraint::Retirement,
+                    message,
+                    trace: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Conservation: each energy component equals its per-command
+    /// closed form over the cumulative counters (1 ppm relative
+    /// tolerance for float re-association).
+    #[cfg(feature = "audit")]
+    fn check_energy(&self, report: &mut audit::AuditReport) {
+        let s = &self.stats;
+        let e = &self.config.energy;
+        let bits = (self.config.burst_bytes * 8) as f64;
+        let bank_bursts = (s.row_hits + s.row_misses) as f64;
+        let channel_transfers = (s.channel_bytes / self.config.burst_bytes as u64) as f64;
+        let elapsed_s = s.elapsed_cycles as f64 * self.config.cycle_seconds();
+        let checks = [
+            (
+                "activate_pj",
+                s.energy.activate_pj,
+                s.activates as f64 * e.act_pre_pj,
+            ),
+            (
+                "array_pj",
+                s.energy.array_pj,
+                bank_bursts * bits * e.array_pj_per_bit,
+            ),
+            (
+                "io_pj",
+                s.energy.io_pj,
+                (channel_transfers - s.broadcast_transfers as f64) * bits * e.io_pj_per_bit,
+            ),
+            (
+                "broadcast_io_pj",
+                s.energy.broadcast_io_pj,
+                s.broadcast_transfers as f64 * bits * e.io_pj_per_bit * e.broadcast_io_factor,
+            ),
+            (
+                "local_io_pj",
+                s.energy.local_io_pj,
+                s.local_bytes as f64 * 8.0 * e.local_pj_per_bit,
+            ),
+            (
+                "refresh_pj",
+                s.energy.refresh_pj - self.audit.refresh_pj_base,
+                self.audit.refreshes as f64 * e.refresh_pj,
+            ),
+            (
+                "background_pj",
+                s.energy.background_pj,
+                e.background_mw_per_rank
+                    * 1e-3
+                    * self.config.total_ranks() as f64
+                    * elapsed_s
+                    * 1e12,
+            ),
+        ];
+        for (name, actual, closed_form) in checks {
+            if (actual - closed_form).abs() > 1e-6 * closed_form.abs().max(1.0) {
+                report.violations.push(audit::AuditError {
+                    constraint: audit::Constraint::Energy,
+                    message: format!(
+                        "{name} = {actual} diverges from its closed form {closed_form}"
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+        }
     }
 }
 
@@ -801,6 +1032,7 @@ impl ChannelWorker<'_> {
             self.out
                 .latency_hist
                 .record(finish.saturating_sub(burst.arrival));
+            self.state.checker.observe_bus_only(data_start, finish);
             return (data_start, finish);
         }
 
@@ -828,6 +1060,9 @@ impl ChannelWorker<'_> {
                     bank.next_act = bank.next_act.max(resume);
                 }
                 self.out.stats.energy.refresh_pj += refreshes as f64 * e.refresh_pj;
+                self.state
+                    .checker
+                    .observe_refresh(rank_idx, epoch, refreshes, resume, &t);
             }
         }
 
@@ -836,11 +1071,26 @@ impl ChannelWorker<'_> {
         if !hit {
             let bank = &mut rank.banks[bank_idx];
             let mut act_earliest = bank.next_act.max(burst.arrival);
-            if bank.open_row.is_some() {
+            #[cfg(feature = "audit")]
+            let skip_pre =
+                audit::take_perturb(&mut self.state.perturb, audit::Perturbation::SkipPrecharge);
+            #[cfg(not(feature = "audit"))]
+            let skip_pre = false;
+            if bank.open_row.is_some() && !skip_pre {
                 // Conflict: precharge first.
                 let pre = bank.next_pre.max(burst.arrival);
+                #[cfg(feature = "audit")]
+                let pre = if audit::take_perturb(
+                    &mut self.state.perturb,
+                    audit::Perturbation::EarlyPrecharge,
+                ) {
+                    pre.saturating_sub(1)
+                } else {
+                    pre
+                };
                 act_earliest = act_earliest.max(pre + t.t_rp);
                 self.out.stats.precharges += 1;
+                self.state.checker.observe_pre(rank_idx, bank_idx, pre, &t);
             }
             // Rank-level activation constraints.
             act_earliest = act_earliest
@@ -851,6 +1101,14 @@ impl ChannelWorker<'_> {
                 act_earliest = act_earliest.max(fourth_back + t.t_faw);
             }
             let act = act_earliest;
+            #[cfg(feature = "audit")]
+            let act =
+                if audit::take_perturb(&mut self.state.perturb, audit::Perturbation::EarlyActivate)
+                {
+                    act.saturating_sub(1)
+                } else {
+                    act
+                };
             let bank = &mut rank.banks[bank_idx];
             bank.open_row = Some(loc.row);
             bank.next_act = act + t.t_rc;
@@ -865,6 +1123,9 @@ impl ChannelWorker<'_> {
             self.out.stats.activates += 1;
             self.out.stats.row_misses += 1;
             self.out.stats.energy.activate_pj += e.act_pre_pj;
+            self.state
+                .checker
+                .observe_act(rank_idx, bank_idx, group, loc.row, act, &t);
         } else {
             self.out.stats.row_hits += 1;
         }
@@ -883,6 +1144,13 @@ impl ChannelWorker<'_> {
             .max(rank.next_col_any)
             .max(rank.next_col_group[group])
             .max(bus_free.saturating_sub(t.t_cl));
+        #[cfg(feature = "audit")]
+        let col = if audit::take_perturb(&mut self.state.perturb, audit::Perturbation::EarlyColumn)
+        {
+            col.saturating_sub(1)
+        } else {
+            col
+        };
         let data_start = (col + t.t_cl).max(bus_free);
         let finish = data_start + t.t_bl;
         rank.next_col_any = col + t.t_ccd_s;
@@ -894,6 +1162,18 @@ impl ChannelWorker<'_> {
         } else {
             self.out.stats.reads += 1;
         }
+        self.state.checker.observe_col(
+            rank_idx,
+            bank_idx,
+            group,
+            loc.row,
+            burst.kind,
+            col,
+            data_start,
+            finish,
+            burst.locality,
+            &t,
+        );
 
         match burst.locality {
             Locality::Channel => {
@@ -1098,7 +1378,8 @@ impl checkpoint::Restore for MemorySystem {
         self.channels = state
             .channels
             .iter()
-            .map(|ch| ChannelState {
+            .enumerate()
+            .map(|(ch_idx, ch)| ChannelState {
                 ranks: ch
                     .ranks
                     .iter()
@@ -1137,8 +1418,28 @@ impl checkpoint::Restore for MemorySystem {
                     })
                     .collect(),
                 tally: ChanTally::default(),
+                checker: audit::ChannelChecker::new(ch_idx, ranks_per_channel, banks, groups),
+                #[cfg(feature = "audit")]
+                perturb: audit::Perturbation::None,
             })
             .collect();
+        // Audit state is per-process, not part of the image: the
+        // retirement ledger restarts from the pending set, the mirrors
+        // re-seed from the snapshot's open rows and refresh epochs,
+        // and the refresh-energy baseline absorbs pre-snapshot pJ so
+        // the closed form only covers refreshes this process observed.
+        #[cfg(feature = "audit")]
+        {
+            self.audit = AuditAccum {
+                expected: state.pending.iter().map(|&(n, _, _)| n).collect(),
+                serviced: vec![0; state.pending.len()],
+                refresh_pj_base: state.stats.energy.refresh_pj,
+                ..AuditAccum::default()
+            };
+            for (ch_state, snap) in self.channels.iter_mut().zip(&state.channels) {
+                ch_state.checker.reseed(&snap.ranks);
+            }
+        }
         // Telemetry-only accumulators restart empty (see `snapshot`).
         self.latency_hist = obs::Histogram::new();
         self.queue_depth_hist = obs::Histogram::new();
@@ -1698,5 +1999,240 @@ mod tests {
             r.faults.row_remaps + r.faults.bank_remaps > 0,
             "high rates over 512 spread accesses must remap something"
         );
+    }
+
+    #[test]
+    fn audit_report_disabled_without_feature() {
+        let mut sys = MemorySystem::new(single_channel());
+        sys.enqueue(Request::read(0, 64));
+        sys.service_all();
+        let report = sys.audit_report(true);
+        assert_eq!(report.enabled, crate::audit::is_enabled());
+        if !crate::audit::is_enabled() {
+            assert!(!report.is_clean(), "disabled audit must not read as clean");
+        }
+    }
+
+    /// The audit self-tests below exercise the live checker, so they
+    /// only exist under the feature.
+    #[cfg(feature = "audit")]
+    mod audit_tests {
+        use super::*;
+        use crate::audit::{AuditReport, Constraint, Perturbation};
+
+        /// A workload that exercises every command class the checker
+        /// knows: row hits/misses/conflicts, reads and writes, all four
+        /// localities, multi-burst requests, and periodic refresh.
+        fn mixed_workload(sys: &mut MemorySystem) {
+            let t = sys.config().timing;
+            for i in 0..512u64 {
+                match i % 7 {
+                    0 => sys.enqueue(Request::write(i * 4096, 64)),
+                    1 => sys.enqueue(Request::local_read(i * 64, 128)),
+                    2 => sys.enqueue(Request::broadcast_write(i * 64, 64)),
+                    3 => sys.enqueue(Request::direct_send(i * 64, 64)),
+                    4 => sys.enqueue(Request::read(i * 64, 256)),
+                    // Revisit early rows to force conflicts, and push a
+                    // tail past the refresh interval.
+                    5 => sys.enqueue(Request::read((i % 16) * 4096, 64)),
+                    _ => sys.enqueue(Request::read(i * 64, 64).at_cycle(i * t.t_refi / 256)),
+                };
+            }
+        }
+
+        #[test]
+        fn audit_is_clean_on_a_mixed_workload() {
+            let mut sys = MemorySystem::new(single_channel());
+            mixed_workload(&mut sys);
+            sys.service_all();
+            let report = sys.audit_report(true);
+            assert!(report.is_clean(), "{}", report.summary());
+            assert!(report.commands_checked > 512);
+            assert!(report.refresh_events > 0, "workload must cross tREFI");
+        }
+
+        #[test]
+        fn audit_is_clean_under_fault_retries() {
+            // Every read faults; retries must not register as
+            // double-retirement or break the energy closed forms.
+            let cfg = FaultConfig {
+                seed: 7,
+                bit_flip_rate: 1.0,
+                stall_rate: 0.05,
+                stuck_row_rate: 0.05,
+                retry_limit: 50,
+                ..FaultConfig::off()
+            };
+            let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+            for i in 0..512u64 {
+                sys.enqueue(Request::read(i * 64, 64));
+            }
+            let r = sys.try_service_all().expect("retry budget covers it");
+            assert!(r.faults.read_retries > 0, "faults must actually retry");
+            let report = sys.audit_report(true);
+            assert!(report.is_clean(), "{}", report.summary());
+        }
+
+        #[test]
+        fn audit_report_identical_at_every_thread_count() {
+            let run_with = |threads: usize| {
+                crate::parallel::set_threads(threads);
+                let mut sys = MemorySystem::new(DramConfig::default());
+                for i in 0..4096u64 {
+                    if i % 3 == 0 {
+                        sys.enqueue(Request::write(i * 64, 64));
+                    } else {
+                        sys.enqueue(Request::read(i * 64, 64));
+                    }
+                }
+                sys.service_all();
+                crate::parallel::set_threads(0);
+                sys.audit_report(true)
+            };
+            let serial = run_with(1);
+            let threaded = run_with(4);
+            assert!(serial.is_clean(), "{}", serial.summary());
+            assert_eq!(serial, threaded);
+        }
+
+        #[test]
+        fn audit_survives_snapshot_restore() {
+            use checkpoint::Snapshot;
+            let mut sys = MemorySystem::new(single_channel());
+            mixed_workload(&mut sys);
+            sys.service_all();
+            let state = sys.snapshot();
+            let mut resumed = MemorySystem::from_state(&state).expect("valid state");
+            for i in 0..64u64 {
+                // Same rows again: conflicts against restored open rows.
+                resumed.enqueue(Request::read((i % 16) * 4096, 64));
+            }
+            resumed.service_all();
+            let report = resumed.audit_report(true);
+            assert!(report.is_clean(), "{}", report.summary());
+            assert!(report.commands_checked > 64);
+        }
+
+        #[test]
+        fn undrained_queue_is_a_retirement_violation() {
+            let cfg = FaultConfig {
+                stalled_rank_mask: 0b1,
+                watchdog_limit: 50,
+                ..FaultConfig::off()
+            };
+            let mut sys = MemorySystem::with_faults(single_channel(), cfg);
+            sys.enqueue(Request::read(0, 64)); // rank 0: never retires
+            assert!(sys.try_service_all().is_err(), "watchdog must trip");
+            // Not expecting a drained system: bursts may sit queued.
+            assert!(sys.audit_report(false).is_clean());
+            // Expecting drained: the stuck burst is a violation.
+            let report = sys.audit_report(true);
+            assert_eq!(report.violations.len(), 1, "{}", report.summary());
+            assert_eq!(report.violations[0].constraint, Constraint::Retirement);
+        }
+
+        /// Runs `first`, installs the perturbation, runs `second`, and
+        /// returns the audit report — the self-test harness proving the
+        /// checker catches a deliberately broken scheduler.
+        fn perturbed_run(
+            perturbation: Perturbation,
+            first: Option<Request>,
+            second: Request,
+        ) -> AuditReport {
+            let mut sys = MemorySystem::new(single_channel());
+            if let Some(req) = first {
+                sys.enqueue(req);
+                sys.service_all();
+                assert!(sys.audit_report(true).is_clean(), "clean before perturbing");
+            }
+            sys.audit_perturb(perturbation);
+            sys.enqueue(second);
+            sys.service_all();
+            sys.audit_report(true)
+        }
+
+        fn conflict_pair() -> (Request, Request) {
+            let mapper = AddressMapper::new(single_channel());
+            let same_bank = |row| {
+                mapper.compose(Location {
+                    channel: 0,
+                    dimm: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                    row,
+                    column: 0,
+                })
+            };
+            (
+                Request::read(same_bank(0), 64),
+                Request::read(same_bank(1), 64),
+            )
+        }
+
+        #[track_caller]
+        fn assert_exactly(report: &AuditReport, constraint: Constraint) {
+            assert_eq!(
+                report.violations.len(),
+                1,
+                "want exactly one {constraint} violation; {}",
+                report.summary()
+            );
+            let v = &report.violations[0];
+            assert_eq!(v.constraint, constraint);
+            assert!(!v.trace.is_empty(), "violation must carry a trace tail");
+        }
+
+        #[test]
+        fn early_column_trips_trcd() {
+            // Idle read: ACT@0, RD perturbed to 15 < tRCD=16.
+            let report = perturbed_run(Perturbation::EarlyColumn, None, Request::read(0, 64));
+            assert_exactly(&report, Constraint::Trcd);
+        }
+
+        #[test]
+        fn early_activate_trips_trp() {
+            // Conflict: PRE@39, ACT perturbed to 54 < 39 + tRP.
+            let (a, b) = conflict_pair();
+            let report = perturbed_run(Perturbation::EarlyActivate, Some(a), b);
+            assert_exactly(&report, Constraint::Trp);
+        }
+
+        #[test]
+        fn early_precharge_trips_tras() {
+            // Conflict: PRE perturbed to 38 < ACT@0 + tRAS=39.
+            let (a, b) = conflict_pair();
+            let report = perturbed_run(Perturbation::EarlyPrecharge, Some(a), b);
+            assert_exactly(&report, Constraint::Tras);
+        }
+
+        #[test]
+        fn early_precharge_after_write_trips_twr() {
+            // Write data ends at 36, next_pre = 36 + tWR = 54; the
+            // perturbed PRE@53 satisfies tRAS but lands inside tWR.
+            let (a, b) = conflict_pair();
+            let write = Request::write(a.addr, 64);
+            let report = perturbed_run(Perturbation::EarlyPrecharge, Some(write), b);
+            assert_exactly(&report, Constraint::Twr);
+        }
+
+        #[test]
+        fn skipped_precharge_trips_act_on_open_row() {
+            let (a, b) = conflict_pair();
+            let report = perturbed_run(Perturbation::SkipPrecharge, Some(a), b);
+            assert_exactly(&report, Constraint::ActOnOpenRow);
+        }
+
+        #[test]
+        fn unconsumed_perturbation_changes_nothing() {
+            // EarlyPrecharge never fires on a conflict-free run; the
+            // results and the audit stay those of a clean system.
+            let mut sys = MemorySystem::new(single_channel());
+            sys.audit_perturb(Perturbation::EarlyPrecharge);
+            sys.enqueue(Request::read(0, 64));
+            let r = sys.service_all();
+            assert_eq!(r.completions[0].finish, 36);
+            assert!(sys.audit_report(true).is_clean());
+        }
     }
 }

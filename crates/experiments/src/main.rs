@@ -5,7 +5,13 @@
 //! metanmp-experiments [OPTIONS] [EXPERIMENT ...]
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
-//!              fig14 fig15 fig16 fig17 fig18 ablate verify faults all
+//!              fig14 fig15 fig16 fig17 fig18 ablate verify faults
+//!              audit all
+//!
+//! `audit` runs the verify and faulted workloads under the runtime
+//! invariant auditor (requires a build with `--features audit`) and
+//! fails on any protocol or conservation violation. It is excluded
+//! from `all` because default builds compile the checker out.
 //!
 //! Options:
 //!   --seed <u64>          seed for seeded experiments (default 42)
@@ -35,6 +41,7 @@
 //! `--resume <dir>` continues to a byte-identical result.
 
 mod ablation;
+mod audit;
 mod characterization;
 mod common;
 mod datasets_exp;
@@ -69,6 +76,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("ablate", ablation::ablations),
     ("verify", verification::verify),
     ("faults", faults::faults),
+    ("audit", audit::audit),
 ];
 
 fn usage() {
@@ -208,6 +216,12 @@ fn main() -> ExitCode {
     for arg in &experiments {
         if arg == "all" {
             for (name, f) in EXPERIMENTS {
+                // `audit` only works under --features audit and exists
+                // to gate CI, not to regenerate paper artifacts; run it
+                // by name.
+                if *name == "audit" {
+                    continue;
+                }
                 if ran.insert(*name) {
                     if let Err(code) = run(name, *f) {
                         return code;

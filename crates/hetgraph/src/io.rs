@@ -19,6 +19,24 @@ use crate::GraphError;
 
 const MAGIC: &[u8; 4] = b"HGB1";
 
+/// Largest per-type vertex count a stream may declare (~67M).
+///
+/// The web-scale presets top out around a few million vertices per
+/// type; the cap's job is to reject corrupted count fields before
+/// [`CsrBuilder`](crate::csr::CsrBuilder) sizes per-vertex offset
+/// arrays from them (a `u32::MAX` count would ask for tens of GiB).
+const MAX_VERTEX_COUNT: u32 = 1 << 26;
+
+/// Largest feature dimension a stream may declare.
+const MAX_FEATURE_DIM: u64 = 1 << 20;
+
+/// Largest relation count a stream may declare: every unordered pair
+/// (including self-relations) of the 256 permitted vertex types.
+const MAX_RELATIONS: u32 = 256 * 257 / 2;
+
+/// Largest metapath count a dataset stream may declare.
+const MAX_METAPATHS: u32 = 1 << 12;
+
 /// Errors raised while reading or writing graph files.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -167,12 +185,36 @@ pub fn load_graph<R: Read>(mut r: R) -> Result<HeteroGraph, IoError> {
         let name = read_str(&mut r)?;
         let mnemonic = char::from_u32(read_u32(&mut r)?)
             .ok_or_else(|| IoError::Malformed("invalid mnemonic".into()))?;
-        let feature_dim = read_u64(&mut r)? as usize;
+        // `GraphSchema::add_vertex_type` treats a duplicate mnemonic as
+        // a programming error and panics; from a byte stream it is
+        // corruption and must surface as a structured error instead.
+        if schema.vertex_types().any(|(_, d)| d.mnemonic == mnemonic) {
+            return Err(IoError::Malformed(format!(
+                "duplicate vertex-type mnemonic {mnemonic:?}"
+            )));
+        }
+        let feature_dim = read_u64(&mut r)?;
+        if feature_dim > MAX_FEATURE_DIM {
+            return Err(IoError::Malformed(format!(
+                "feature dimension {feature_dim} too large"
+            )));
+        }
         let count = read_u32(&mut r)?;
-        schema.add_vertex_type(name, mnemonic, feature_dim);
+        if count > MAX_VERTEX_COUNT {
+            return Err(IoError::Malformed(format!(
+                "vertex count {count} too large"
+            )));
+        }
+        schema.add_vertex_type(name, mnemonic, feature_dim as usize);
         counts.push(count);
     }
-    let rel_count = read_u32(&mut r)? as usize;
+    let rel_count = read_u32(&mut r)?;
+    if rel_count > MAX_RELATIONS {
+        return Err(IoError::Malformed(format!(
+            "{rel_count} relations exceeds the schema maximum"
+        )));
+    }
+    let rel_count = rel_count as usize;
     let mut rel_edges = Vec::with_capacity(rel_count);
     let types: Vec<_> = schema.vertex_types().map(|(t, _)| t).collect();
     for _ in 0..rel_count {
@@ -235,7 +277,13 @@ pub fn load_dataset<R: Read>(mut r: R) -> Result<Dataset, IoError> {
         .find(|d| d.abbrev() == abbrev)
         .ok_or_else(|| IoError::Malformed(format!("unknown dataset id {abbrev:?}")))?;
     let scale = f64::from_bits(read_u64(&mut r)?);
-    let count = read_u32(&mut r)? as usize;
+    let count = read_u32(&mut r)?;
+    if count > MAX_METAPATHS {
+        return Err(IoError::Malformed(format!(
+            "metapath count {count} too large"
+        )));
+    }
+    let count = count as usize;
     let mut metapaths = Vec::with_capacity(count);
     for _ in 0..count {
         let name = read_str(&mut r)?;
@@ -320,6 +368,81 @@ mod tests {
     fn errors_are_std_errors() {
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<IoError>();
+    }
+
+    #[test]
+    fn absurd_count_fields_rejected_before_allocation() {
+        // Each stream is valid up to one count field patched to a value
+        // that, if trusted, would size a multi-GiB buffer. The loader
+        // must return Malformed without attempting the allocation.
+        let header = |vertex_count: u32, feature_dim: u64| -> Vec<u8> {
+            let mut buf: Vec<u8> = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            write_u32(&mut buf, 1).unwrap(); // vertex types
+            write_str(&mut buf, "A").unwrap();
+            write_u32(&mut buf, u32::from(b'A')).unwrap();
+            write_u64(&mut buf, feature_dim).unwrap();
+            write_u32(&mut buf, vertex_count).unwrap();
+            buf
+        };
+
+        let huge_vertices = header(u32::MAX, 4);
+        assert!(
+            matches!(
+                load_graph(huge_vertices.as_slice()),
+                Err(IoError::Malformed(_))
+            ),
+            "u32::MAX vertex count must be rejected"
+        );
+
+        let huge_dim = header(1, u64::MAX);
+        assert!(matches!(
+            load_graph(huge_dim.as_slice()),
+            Err(IoError::Malformed(_))
+        ));
+
+        let mut huge_rels = header(1, 4);
+        write_u32(&mut huge_rels, u32::MAX).unwrap(); // relation count
+        assert!(matches!(
+            load_graph(huge_rels.as_slice()),
+            Err(IoError::Malformed(_))
+        ));
+
+        // Dataset trailer: metapath count field.
+        let ds = generate(DatasetId::Imdb, GeneratorConfig::at_scale(0.02));
+        let mut buf = Vec::new();
+        save_dataset(&ds, &mut buf).unwrap();
+        // The metapath count is the last u32 before the name strings;
+        // rebuild the trailer with a poisoned count.
+        let mut graph_part = Vec::new();
+        save_graph(&ds.graph, &mut graph_part).unwrap();
+        let mut poisoned = graph_part;
+        write_str(&mut poisoned, ds.id.abbrev()).unwrap();
+        write_u64(&mut poisoned, ds.scale.to_bits()).unwrap();
+        write_u32(&mut poisoned, u32::MAX).unwrap();
+        assert!(matches!(
+            load_dataset(poisoned.as_slice()),
+            Err(IoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_mnemonic_in_stream_rejected() {
+        // Found by the mutation fuzzer (seed 42): a corrupted stream
+        // re-declaring a mnemonic must not reach the panicking schema
+        // API.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_u32(&mut buf, 2).unwrap(); // vertex types
+        for name in ["A", "B"] {
+            write_str(&mut buf, name).unwrap();
+            write_u32(&mut buf, u32::from(b'A')).unwrap(); // same mnemonic twice
+            write_u64(&mut buf, 4).unwrap();
+            write_u32(&mut buf, 1).unwrap();
+        }
+        write_u32(&mut buf, 0).unwrap(); // relations
+        let err = load_graph(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Malformed(_)), "{err}");
     }
 
     #[test]

@@ -13,7 +13,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use hetgraph::datasets::{generate, Dataset, DatasetId, GeneratorConfig};
 use hgnn::engine::{InferenceEngine, OnTheFlyEngine};
 use hgnn::{FeatureStore, HiddenFeatures, ModelConfig, ModelKind, OpCounters, Projection};
-use nmp::{FaultConfig, FaultError, FunctionalState, NmpConfig, NmpError, NmpReport, ResumableRun};
+use nmp::{
+    FaultConfig, FaultError, FaultStats, FunctionalState, NmpConfig, NmpError, NmpReport,
+    ResumableRun,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::error::MetanmpError;
@@ -247,7 +250,11 @@ struct Fingerprint {
 /// stop was requested between chunks.
 #[allow(clippy::large_enum_variant)]
 enum Driven {
-    Done(Result<nmp::FunctionalRun, NmpError>),
+    /// Outcome of the functional engine plus the fault tallies at the
+    /// moment it ended. `finish` consumes the run and a fatal fault
+    /// abandons it, so the driver snapshots the tallies for the
+    /// degrade path.
+    Done(Result<nmp::FunctionalRun, NmpError>, FaultStats),
     Stopped,
 }
 
@@ -334,15 +341,15 @@ impl Simulator {
             let _s = obs::span("metanmp.projection", "metanmp");
             projection.project(&self.dataset.graph, &features, &mut counters)?
         };
-        let run = match self.drive_functional(&hidden, stop)? {
-            Driven::Done(result) => result,
+        let (run, fault_stats) = match self.drive_functional(&hidden, stop)? {
+            Driven::Done(result, stats) => (result, stats),
             Driven::Stopped => return Ok(RunStatus::Interrupted),
         };
         let run = match run {
             Ok(run) => run,
             Err(NmpError::Fault(fault)) => {
                 self.clear_checkpoint();
-                return self.degrade(fault).map(RunStatus::Complete);
+                return self.degrade(fault, fault_stats).map(RunStatus::Complete);
             }
             Err(e) => return Err(e.into()),
         };
@@ -411,9 +418,21 @@ impl Simulator {
                 self.checkpoint_interval,
             ) {
                 Ok(true) => {
-                    return Ok(Driven::Done(
-                        run.finish(&self.dataset.graph, &self.dataset.metapaths),
-                    ))
+                    // Completion performs the DRAM service, so the
+                    // fault record is only final after it; on failure
+                    // the stats ride out alongside the error.
+                    return Ok(
+                        match run.finish_or_stats(&self.dataset.graph, &self.dataset.metapaths) {
+                            Ok(done) => {
+                                let stats = done.report.faults;
+                                Driven::Done(Ok(done), stats)
+                            }
+                            Err(b) => {
+                                let (e, stats) = *b;
+                                Driven::Done(Err(e), stats)
+                            }
+                        },
+                    );
                 }
                 Ok(false) => {
                     if let Some(path) = &self.checkpoint {
@@ -428,7 +447,10 @@ impl Simulator {
                         return Ok(Driven::Stopped);
                     }
                 }
-                Err(e) => return Ok(Driven::Done(Err(e))),
+                Err(e) => {
+                    let stats = run.fault_stats();
+                    return Ok(Driven::Done(Err(e), stats));
+                }
             }
         }
     }
@@ -447,7 +469,11 @@ impl Simulator {
     /// the analytical performance estimate (which does not execute the
     /// faulty datapath) and mark the outcome degraded instead of
     /// failing the whole run.
-    fn degrade(&self, fault: FaultError) -> Result<SimulationOutcome, MetanmpError> {
+    fn degrade(
+        &self,
+        fault: FaultError,
+        stats: FaultStats,
+    ) -> Result<SimulationOutcome, MetanmpError> {
         let _s = obs::span("metanmp.degraded_estimate", "metanmp");
         obs::counter_add("faults.degraded_runs", 1);
         let analytic = self.nmp.with_faults(FaultConfig::off());
@@ -457,13 +483,11 @@ impl Simulator {
             &self.dataset.metapaths,
             &analytic,
         )?;
-        // Record what killed the functional run in the report's fault
-        // accounting so sweeps can see it.
-        match &fault {
-            FaultError::Watchdog(_) => report.faults.watchdog_trips = 1,
-            FaultError::Mem(_) => report.faults.mem_errors = 1,
-            _ => {}
-        }
+        // Carry the injector's tallies up to the fatal fault into the
+        // report. The DRAM layer counts the trip itself
+        // (`watchdog_trips` / `mem_errors`) before erroring, so sweeps
+        // see both the fatal event and the recovery work preceding it.
+        report.faults = stats;
         Ok(SimulationOutcome {
             nmp: report,
             max_reference_diff: 0.0,
@@ -546,12 +570,85 @@ mod tests {
         assert!(outcome.degraded);
         let reason = outcome.degraded_reason.expect("reason recorded");
         assert!(reason.contains("watchdog"), "reason: {reason}");
-        assert_eq!(outcome.nmp.faults.watchdog_trips, 1);
+        // Every channel's watchdog trips independently (the stalled
+        // ranks span all of them), and the DRAM layer tallies each
+        // trip before erroring.
+        assert!(
+            outcome.nmp.faults.watchdog_trips >= 1,
+            "trips: {}",
+            outcome.nmp.faults.watchdog_trips
+        );
         assert!(!outcome.matches_reference, "reference check skipped");
         assert!(outcome.memory.is_empty(), "memory analysis skipped");
         assert!(
             outcome.nmp.seconds > 0.0,
             "analytical estimate still reports timing"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_with_reason_and_telemetry() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .hidden_dim(16)
+            .faults(nmp::FaultConfig {
+                seed: 3,
+                bit_flip_rate: 1.0, // every read faulted
+                retry_limit: 0,     // first uncorrectable detection is fatal
+                ..nmp::FaultConfig::off()
+            })
+            .build()
+            .unwrap();
+        let outcome = sim.run().expect("degrades instead of failing");
+        assert!(outcome.degraded);
+        let reason = outcome.degraded_reason.as_deref().expect("reason recorded");
+        assert!(
+            reason.contains("uncorrectable-ecc"),
+            "reason names the exhausted ECC retry budget: {reason}"
+        );
+        // The fault report survives into the degraded outcome: the
+        // injector's work up to the fatal error stays visible.
+        assert!(outcome.nmp.faults.injected_bit_flips > 0);
+        assert!(outcome.nmp.faults.mem_errors > 0);
+        // And the faults.* telemetry counters are populated (global
+        // sink, so >= not ==; skipped when telemetry is compiled out).
+        if obs::is_enabled() {
+            let snap = obs::snapshot();
+            assert!(snap.counter("faults.degraded_runs").unwrap_or(0) >= 1);
+            assert!(snap.counter("faults.injected_bit_flips").unwrap_or(0) >= 1);
+        }
+    }
+
+    /// Fault-injected ECC retries re-issue DRAM bursts for requests
+    /// that already partially serviced; the retirement auditor must
+    /// account those as retries of the same request, not double
+    /// retirement.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_stays_clean_across_fault_retries() {
+        let sim = Simulator::builder()
+            .dataset(DatasetId::Imdb)
+            .scale(0.02)
+            .hidden_dim(16)
+            .faults(nmp::FaultConfig {
+                seed: 5,
+                bit_flip_rate: 0.05,
+                stall_rate: 0.02,
+                retry_limit: 50,
+                ..nmp::FaultConfig::off()
+            })
+            .build()
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(!outcome.degraded);
+        assert!(outcome.nmp.faults.total_injected() > 0, "faults did fire");
+        let audit = &outcome.nmp.audit;
+        assert!(audit.enabled);
+        assert!(
+            audit.is_clean(),
+            "retries misread as violations: {:?}",
+            audit.violations.first()
         );
     }
 

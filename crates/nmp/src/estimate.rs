@@ -288,6 +288,8 @@ pub fn estimate(
         energy,
         dram_stats: Default::default(),
         faults: Default::default(),
+        // The analytic path issues no DRAM commands to audit.
+        audit: Default::default(),
     })
 }
 

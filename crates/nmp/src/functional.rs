@@ -629,6 +629,11 @@ pub struct ResumableRun {
     current: Option<Matrix>,
     mp_index: usize,
     next_start: u32,
+    /// True once any batch excluded start vertices (`step_where` with a
+    /// non-trivial filter) or the run resumed from a snapshot: the
+    /// audit layer's instance-conservation check only applies to runs
+    /// known to have visited every start vertex in this process.
+    filtered: bool,
 }
 
 impl ResumableRun {
@@ -664,6 +669,7 @@ impl ResumableRun {
             current: None,
             mp_index: 0,
             next_start: 0,
+            filtered: false,
         }
     }
 
@@ -705,6 +711,21 @@ impl ResumableRun {
             return Err(NmpError::Unsupported("no metapaths given".into()));
         }
         Ok(())
+    }
+
+    /// Fault-recovery tallies accumulated so far: the DRAM layer's
+    /// injector counters merged with the broadcast layer's.
+    ///
+    /// Available mid-run. [`finish`](Self::finish) consumes the run
+    /// and a fatal fault abandons it, so a driver that degrades to an
+    /// analytic estimate snapshots these to preserve the recovery work
+    /// recorded before the abort (the DRAM layer tallies the fatal
+    /// trip itself — `watchdog_trips` / `mem_errors` — before
+    /// erroring).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut totals = *self.mem.fault_stats();
+        totals.merge(&self.bcast_stats);
+        totals
     }
 
     /// Advances the structural phase by at most `budget` start
@@ -784,6 +805,9 @@ impl ResumableRun {
                     self.next_start,
                     batch,
                 )?;
+                if deltas.len() != batch as usize {
+                    self.filtered = true;
+                }
                 for delta in deltas {
                     self.apply_visit(delta);
                 }
@@ -901,11 +925,39 @@ impl ResumableRun {
         graph: &HeteroGraph,
         metapaths: &[Metapath],
     ) -> Result<FunctionalRun, NmpError> {
+        self.finish_or_stats(graph, metapaths).map_err(|b| b.0)
+    }
+
+    /// Like [`finish`](Self::finish), but a failure also returns the
+    /// fault tallies accumulated up to the abort.
+    ///
+    /// The DRAM service — where injected faults, ECC corrections,
+    /// retries, and the fatal watchdog/ECC trip itself are tallied —
+    /// runs inside completion, after the run has been consumed. A
+    /// driver that degrades to an analytic estimate on a fatal fault
+    /// uses this variant so the recovery record survives the abort.
+    ///
+    /// The pair is boxed to keep the common `Ok` path's return slot
+    /// small.
+    pub fn finish_or_stats(
+        self,
+        graph: &HeteroGraph,
+        metapaths: &[Metapath],
+    ) -> Result<FunctionalRun, Box<(NmpError, FaultStats)>> {
+        fn tallies(mem: &MemorySystem, bcast: &FaultStats) -> FaultStats {
+            let mut t = *mem.fault_stats();
+            t.merge(bcast);
+            t
+        }
         if self.mp_index < metapaths.len() || self.structural.len() != metapaths.len() {
-            return Err(NmpError::Unsupported(format!(
-                "finish called with {} of {} metapaths complete",
-                self.structural.len(),
-                metapaths.len()
+            let stats = self.fault_stats();
+            return Err(Box::new((
+                NmpError::Unsupported(format!(
+                    "finish called with {} of {} metapaths complete",
+                    self.structural.len(),
+                    metapaths.len()
+                )),
+                stats,
             )));
         }
         let ResumableRun {
@@ -927,6 +979,7 @@ impl ResumableRun {
             current: _,
             mp_index: _,
             next_start: _,
+            filtered,
         } = self;
         let d = cfg.hidden_dim;
         let vb = cfg.vector_bytes();
@@ -949,7 +1002,10 @@ impl ResumableRun {
         }
         let mut per_type = BTreeMap::new();
         for (ty, named) in by_type {
-            let rows = graph.vertex_count(ty)? as usize;
+            let rows = match graph.vertex_count(ty) {
+                Ok(n) => n as usize,
+                Err(e) => return Err(Box::new((e.into(), tallies(&mem, &bcast_stats)))),
+            };
             let results: Vec<&Matrix> = named.iter().map(|&(_, m)| m).collect();
             let weights = if cfg.weighted_semantic {
                 let names: Vec<&str> = named.iter().map(|&(n, _)| n).collect();
@@ -1013,7 +1069,13 @@ impl ResumableRun {
         // ---- Timing composition. ----
         let dram_report = {
             let _s = obs::span("nmp.dram.service", "nmp");
-            mem.try_service_all()?
+            match mem.try_service_all() {
+                Ok(r) => r,
+                // The fatal trip is already tallied in the system's
+                // counters at this point; capture them before the
+                // memory system is dropped with the abandoned run.
+                Err(e) => return Err(Box::new((e.into(), tallies(&mem, &bcast_stats)))),
+            }
         };
         let t_bl = cfg.dram.timing.t_bl as f64;
         let burst = cfg.dram.burst_bytes as f64;
@@ -1115,6 +1177,34 @@ impl ResumableRun {
         let mut fault_totals = dram_report.faults;
         fault_totals.merge(&bcast_stats);
 
+        // ---- Audit: protocol + conservation verdict. The drained
+        // memory system checks its own invariants; on top of that,
+        // instance counts must match the combinatorial closed form
+        // from type-separated degree products — unless start vertices
+        // were filtered out or the run resumed mid-stream, when no
+        // closed form covers what this process generated.
+        let mut audit = mem.audit_report(true);
+        if audit.enabled && !filtered {
+            let mut closed_form: u128 = 0;
+            for mp in metapaths {
+                match hetgraph::instances::count_instances(graph, mp) {
+                    Ok(n) => closed_form += n,
+                    Err(e) => return Err(Box::new((e.into(), fault_totals))),
+                }
+            }
+            if counts.instances != closed_form {
+                audit.violations.push(dramsim::AuditError {
+                    constraint: dramsim::Constraint::Instances,
+                    message: format!(
+                        "generated {} metapath instances but the degree-product \
+                         closed form expects {closed_form}",
+                        counts.instances
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+        }
+
         Ok(FunctionalRun {
             embeddings,
             report: NmpReport {
@@ -1124,6 +1214,7 @@ impl ResumableRun {
                 energy,
                 dram_stats: dram_report.stats,
                 faults: fault_totals,
+                audit,
             },
         })
     }
@@ -1200,6 +1291,9 @@ impl checkpoint::Restore for ResumableRun {
             ));
         }
         checkpoint::Restore::restore(&mut self.mem, &state.mem)?;
+        // This process did not see the pre-snapshot visits, so the
+        // whole-graph instance closed form no longer applies.
+        self.filtered = true;
         match (self.injector.as_mut(), state.injector.as_ref()) {
             (Some(inj), Some(is)) => checkpoint::Restore::restore(inj, is)?,
             (None, None) => {}
@@ -1371,6 +1465,55 @@ mod tests {
             .map(|mp| count_instances(&ds.graph, mp).unwrap())
             .sum();
         assert_eq!(run.report.counts.instances, expected);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_verdict_is_clean_on_a_full_run() {
+        let (ds, h) = setup(0.02, 16);
+        let run = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        let audit = &run.report.audit;
+        assert!(audit.is_clean(), "{}", audit.summary());
+        assert!(audit.commands_checked > 0);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_skips_instance_closed_form_on_filtered_runs() {
+        // A filtered run visits half the start vertices, so its counts
+        // cannot match the whole-graph closed form — the audit layer
+        // must recognize that instead of reporting a false violation.
+        let (ds, h) = setup(0.02, 16);
+        let run = FunctionalSim::new(nmp_config(16))
+            .run_where(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths, |_, s| {
+                s.is_multiple_of(2)
+            })
+            .unwrap();
+        assert!(
+            run.report.audit.is_clean(),
+            "{}",
+            run.report.audit.summary()
+        );
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_is_excluded_from_report_serialization() {
+        let (ds, h) = setup(0.02, 16);
+        let run = FunctionalSim::new(nmp_config(16))
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        assert!(run.report.audit.enabled);
+        let json = serde_json::to_string(&run.report).unwrap();
+        assert!(
+            !json.contains("audit"),
+            "audit must not leak into artifacts"
+        );
+        let back: NmpReport = serde_json::from_str(&json).unwrap();
+        assert!(!back.audit.enabled, "audit does not round-trip");
+        assert_eq!(back.counts, run.report.counts);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl NmpEnergy {
 }
 
 /// Report of one MetaNMP inference.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NmpReport {
     /// Total NMP-clock cycles of the run.
     pub cycles: u64,
@@ -97,6 +97,45 @@ pub struct NmpReport {
     /// Fault-injection accounting across DRAM and broadcast layers
     /// (all zero when the fault model is inactive).
     pub faults: FaultStats,
+    /// Runtime invariant auditor verdict: DDR4 protocol violations and
+    /// conservation-check failures observed during the run. `enabled`
+    /// is false (and every count zero) unless the simulation stack was
+    /// built with `--features audit`.
+    pub audit: dramsim::AuditReport,
+}
+
+// Serialization excludes `audit` so artifacts from audited runs stay
+// byte-identical to unaudited ones — the acceptance gate the `audit`
+// experiment itself relies on. Hand-written because the vendored serde
+// derive has no `#[serde(skip)]`; field order mirrors the derive.
+impl Serialize for NmpReport {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            ("cycles".to_string(), self.cycles.to_value()),
+            ("seconds".to_string(), self.seconds.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+            ("energy".to_string(), self.energy.to_value()),
+            ("dram_stats".to_string(), self.dram_stats.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for NmpReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::DeError::expected("map", "NmpReport"))?;
+        Ok(NmpReport {
+            cycles: Deserialize::from_value(serde::value::map_get(m, "cycles"))?,
+            seconds: Deserialize::from_value(serde::value::map_get(m, "seconds"))?,
+            counts: Deserialize::from_value(serde::value::map_get(m, "counts"))?,
+            energy: Deserialize::from_value(serde::value::map_get(m, "energy"))?,
+            dram_stats: Deserialize::from_value(serde::value::map_get(m, "dram_stats"))?,
+            faults: Deserialize::from_value(serde::value::map_get(m, "faults"))?,
+            audit: dramsim::AuditReport::default(),
+        })
+    }
 }
 
 impl NmpReport {

@@ -79,6 +79,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.parse_value()?;
@@ -181,9 +182,19 @@ fn write_json_string(out: &mut String, s: &str) {
 
 // ---------------------------------------------------------------- parsing
 
+/// Maximum container nesting depth the parser accepts.
+///
+/// Checkpoint payloads and sweep manifests nest a dozen levels at most;
+/// 128 leaves ample headroom while keeping recursion (both parsing and
+/// the eventual `Value` drop) bounded, so adversarial input like
+/// `"[".repeat(10_000)` yields an [`Error`] instead of a stack
+/// overflow.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -233,12 +244,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -250,6 +274,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(Error::new("expected `,` or `]`", self.pos)),
@@ -259,10 +284,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Map(entries));
         }
         loop {
@@ -279,6 +306,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Map(entries));
                 }
                 _ => return Err(Error::new("expected `,` or `}`", self.pos)),
@@ -468,6 +496,42 @@ mod tests {
         assert_eq!(v, back);
         let err = from_str::<Value>("\"\u{80}").map(|_| ()).unwrap_err();
         let _ = err; // truncated: unterminated string, not a panic
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // 10k unclosed arrays: the parser must bail at the depth limit
+        // long before recursion (or the eventual `Value` drop) can
+        // exhaust the stack.
+        let bombs = [
+            "[".repeat(10_000),
+            "{\"k\":".repeat(10_000),
+            format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000)),
+        ];
+        for bomb in &bombs {
+            let err = from_str::<Value>(bomb).unwrap_err();
+            assert!(err.to_string().contains("nesting"), "{err}");
+        }
+    }
+
+    #[test]
+    fn nesting_within_the_limit_parses() {
+        let depth = MAX_DEPTH - 1;
+        let s = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let mut v: Value = from_str(&s).unwrap();
+        for _ in 0..depth {
+            match v {
+                Value::Array(items) => v = items.into_iter().next().unwrap(),
+                other => panic!("expected array, got {other:?}"),
+            }
+        }
+        assert_eq!(v, Value::UInt(1));
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(from_str::<Value>(&over).is_err());
     }
 
     #[test]
