@@ -6,7 +6,10 @@
 //! 2. **manifest** — JSONL sweep journals through
 //!    [`checkpoint::manifest::Journal::open_resume`];
 //! 3. **graph** — `HGB1` graph and dataset streams through
-//!    [`hetgraph::io::load_graph`] / [`hetgraph::io::load_dataset`].
+//!    [`hetgraph::io::load_graph`] / [`hetgraph::io::load_dataset`];
+//! 4. **trace** — `QTR1` serving query traces through
+//!    [`serve::load_trace`] (truncated records, out-of-range vertex
+//!    ids and class indices, non-monotone timestamps, trailing bytes).
 //!
 //! Each iteration takes a known-valid input, applies one randomly
 //! chosen structural mutation (bit flip, field overwrite with extreme
@@ -22,7 +25,7 @@
 //! or the other boundaries.
 //!
 //! ```text
-//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph]
+//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace]
 //! ```
 //!
 //! `--seconds` is a wall-clock cap for CI smoke runs; because the
@@ -261,6 +264,78 @@ fn graph_boundary() -> Boundary {
     }
 }
 
+/// QTR1 query-trace boundary through `serve::load_trace`.
+///
+/// Beyond the generic byte mutations, half the iterations apply a
+/// *field-targeted* mutation that lands exactly on a record field —
+/// a vertex id pushed past `vertex_bound`, a class index past
+/// `num_classes`, a timestamp swapped backwards, or a record cut at a
+/// byte offset inside the 16-byte frame — the corruptions a generic
+/// bit flip rarely synthesizes.
+fn trace_boundary() -> Boundary {
+    let trace = serve::QueryTrace {
+        num_classes: 3,
+        vertex_bound: 1000,
+        records: (0..64)
+            .map(|i| serve::TraceRecord {
+                arrival_tick: 10 * i as u64,
+                vertex: (i * 37 % 1000) as u32,
+                class: (i % 3) as u16,
+            })
+            .collect(),
+    };
+    let mut valid = Vec::new();
+    serve::save_trace(&trace, &mut valid).expect("in-memory save cannot fail");
+    const HEADER: usize = 4 + 2 + 2 + 4 + 8;
+    const RECORD: usize = 16;
+    Boundary {
+        name: "trace",
+        lane: 4,
+        run: Box::new(move |_dir, rng| {
+            let mut bytes = valid.clone();
+            let identity = if rng.below(2) == 0 {
+                mutate(rng, &mut bytes)
+            } else {
+                // Field-targeted corruption of record `rec`.
+                let rec = rng.below(64) as usize;
+                let at = HEADER + rec * RECORD;
+                match rng.below(4) {
+                    0 => {
+                        // Vertex id at/above vertex_bound.
+                        let v = 1000u32 + rng.below(1 << 20) as u32;
+                        bytes[at + 8..at + 12].copy_from_slice(&v.to_le_bytes());
+                    }
+                    1 => {
+                        // Class index at/above num_classes.
+                        let c = 3u16.saturating_add(rng.below(1 << 12) as u16);
+                        bytes[at + 12..at + 14].copy_from_slice(&c.to_le_bytes());
+                    }
+                    2 => {
+                        // Non-monotone timestamp: rewind a later record
+                        // below its predecessor (record 0 can't rewind,
+                        // so bump it past its successor instead).
+                        if rec == 0 {
+                            bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                        } else {
+                            let prev = 10 * (rec as u64 - 1);
+                            let t = prev.saturating_sub(1 + rng.below(1000));
+                            bytes[at..at + 8].copy_from_slice(&t.to_le_bytes());
+                        }
+                    }
+                    _ => {
+                        // Truncate mid-record.
+                        let cut = at + 1 + rng.below((RECORD - 1) as u64) as usize;
+                        bytes.truncate(cut);
+                    }
+                }
+                false
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| serve::load_trace(bytes.as_slice())));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
 struct Options {
     iters: u64,
     seed: u64,
@@ -293,9 +368,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--boundary" => {
                 let v = it.next().ok_or("--boundary requires a name")?;
-                if !["all", "ckpt", "manifest", "graph"].contains(&v.as_str()) {
+                if !["all", "ckpt", "manifest", "graph", "trace"].contains(&v.as_str()) {
                     return Err(format!(
-                        "unknown boundary {v:?}; known: all ckpt manifest graph"
+                        "unknown boundary {v:?}; known: all ckpt manifest graph trace"
                     ));
                 }
                 opts.boundary = v;
@@ -322,7 +397,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fuzz [--iters N] [--seed S] [--seconds T] \
-                 [--boundary all|ckpt|manifest|graph]"
+                 [--boundary all|ckpt|manifest|graph|trace]"
             );
             return ExitCode::from(2);
         }
@@ -342,6 +417,9 @@ fn main() -> ExitCode {
     }
     if matches!(opts.boundary.as_str(), "all" | "graph") {
         boundaries.push(graph_boundary());
+    }
+    if matches!(opts.boundary.as_str(), "all" | "trace") {
+        boundaries.push(trace_boundary());
     }
 
     let start = Instant::now();

@@ -1,0 +1,235 @@
+//! Serving benchmark: the tail-latency-vs-throughput curve of the
+//! online-inference simulator, written to `BENCH_serve.json`.
+//!
+//! Unlike `parallel-bench`, every number here lives in the *simulated*
+//! clock domain — no wall-clock timing, no host topology — so the
+//! artifact is a pure function of the pinned seed and is committed to
+//! the repository. Each load point runs twice and the runs must
+//! serialize identically; any divergence exits non-zero.
+//!
+//! `serve-bench --check <path>` validates an existing artifact against
+//! the expected schema (used by CI to guard the committed file):
+//! required top-level fields, at least three offered-load points,
+//! non-decreasing offered load, and the determinism flag.
+
+use serde::Serialize;
+use serve::{ArrivalSpec, PoissonArrivals, ServeConfig, ServeReport, ServeWorkload};
+
+const SEED: u64 = 7;
+const QUERIES: u32 = 3000;
+/// Load fractions of the cache-cold capacity estimate. The reuse
+/// cache lifts effective capacity to ~2–4× the cold estimate, so the
+/// grid spans comfortable load through deep saturation.
+const LOAD_FRACTIONS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+/// The faulted point: DIMMs 0–1 degraded by stalled ranks (2
+/// ranks/DIMM → low 4 bits of the mask) at 2× cold capacity.
+const FAULT_FRACTION: f64 = 2.0;
+const FAULT_MASK: u64 = 0b1111;
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    load_fraction: f64,
+    offered_rate_per_ktick: f64,
+    achieved_rate_per_ktick: f64,
+    p50_ticks: u64,
+    p99_ticks: u64,
+    p999_ticks: u64,
+    mean_ticks: f64,
+    cache_hit_rate: f64,
+    mean_batch_size: f64,
+    stalled_dimms: u64,
+    makespan_ticks: u64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    workload: &'static str,
+    seed: u64,
+    queries: u32,
+    capacity_rate_per_ktick: f64,
+    /// True when every point serialized identically across two runs.
+    deterministic: bool,
+    rows: Vec<Row>,
+}
+
+fn config(rate: f64, mask: u64) -> ServeConfig {
+    let mut c = ServeConfig::smoke_test();
+    c.seed = SEED;
+    c.arrivals = ArrivalSpec::Poisson(PoissonArrivals {
+        rate_per_ktick: rate,
+        queries: QUERIES,
+        popularity_skew: 2.0,
+    });
+    c.faults.seed = SEED;
+    c.faults.stalled_rank_mask = mask;
+    c
+}
+
+fn row(label: String, fraction: f64, r: &ServeReport) -> Row {
+    Row {
+        label,
+        load_fraction: fraction,
+        offered_rate_per_ktick: r.offered_rate_per_ktick,
+        achieved_rate_per_ktick: r.achieved_rate_per_ktick,
+        p50_ticks: r.latency.p50_ticks,
+        p99_ticks: r.latency.p99_ticks,
+        p999_ticks: r.latency.p999_ticks,
+        mean_ticks: r.latency.mean_ticks,
+        cache_hit_rate: r.cache.hit_rate,
+        mean_batch_size: r.batches.mean_size,
+        stalled_dimms: r.faults.stalled_dimms,
+        makespan_ticks: r.makespan_ticks,
+    }
+}
+
+/// Validates an existing `BENCH_serve.json` against the schema this
+/// binary produces. Returns an error string naming the first problem.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc: serde::value::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    for field in [
+        "workload",
+        "seed",
+        "queries",
+        "capacity_rate_per_ktick",
+        "deterministic",
+        "rows",
+    ] {
+        if doc.get(field).is_none() {
+            return Err(format!("missing top-level field `{field}`"));
+        }
+    }
+    if doc.get("deterministic").and_then(|v| v.as_bool()) != Some(true) {
+        return Err("`deterministic` is not true".into());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .ok_or("`rows` is not an array")?;
+    let load_points: Vec<&serde::value::Value> = rows
+        .iter()
+        .filter(|r| r.get("stalled_dimms").and_then(|v| v.as_u64()) == Some(0))
+        .collect();
+    if load_points.len() < 3 {
+        return Err(format!(
+            "need at least 3 fault-free offered-load points, found {}",
+            load_points.len()
+        ));
+    }
+    let mut prev = 0.0f64;
+    for (i, r) in rows.iter().enumerate() {
+        for field in [
+            "label",
+            "load_fraction",
+            "offered_rate_per_ktick",
+            "achieved_rate_per_ktick",
+            "p50_ticks",
+            "p99_ticks",
+            "p999_ticks",
+            "mean_ticks",
+            "cache_hit_rate",
+            "mean_batch_size",
+            "stalled_dimms",
+            "makespan_ticks",
+        ] {
+            if r.get(field).is_none() {
+                return Err(format!("row {i}: missing field `{field}`"));
+            }
+        }
+        let p50 = r.get("p50_ticks").and_then(|v| v.as_u64()).unwrap_or(0);
+        let p99 = r.get("p99_ticks").and_then(|v| v.as_u64()).unwrap_or(0);
+        let p999 = r.get("p999_ticks").and_then(|v| v.as_u64()).unwrap_or(0);
+        if !(p50 <= p99 && p99 <= p999) {
+            return Err(format!(
+                "row {i}: quantiles not monotone ({p50}/{p99}/{p999})"
+            ));
+        }
+        let offered = r
+            .get("offered_rate_per_ktick")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(-1.0);
+        let faulted = r.get("stalled_dimms").and_then(|v| v.as_u64()) != Some(0);
+        if !faulted {
+            if offered < prev {
+                return Err(format!(
+                    "row {i}: offered load decreases ({offered} < {prev})"
+                ));
+            }
+            prev = offered;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_serve.json");
+        match check(path) {
+            Ok(()) => {
+                eprintln!("{path}: schema OK");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let workload = ServeWorkload::build(&config(1.0, 0)).expect("build serving workload");
+    let capacity = workload.dimms() as f64 * 1024.0 / workload.mean_query_ticks();
+
+    let mut defs: Vec<(String, f64, u64)> = LOAD_FRACTIONS
+        .iter()
+        .map(|&f| (format!("load/{f}"), f, 0u64))
+        .collect();
+    defs.push((
+        format!("faulted/{FAULT_FRACTION}"),
+        FAULT_FRACTION,
+        FAULT_MASK,
+    ));
+
+    let mut rows = Vec::new();
+    let mut deterministic = true;
+    for (label, fraction, mask) in defs {
+        let cfg = config(fraction * capacity, mask);
+        let a = serve::simulate(&cfg, &workload).expect("serving simulation");
+        let b = serve::simulate(&cfg, &workload).expect("serving simulation (repeat)");
+        let ja = serde_json::to_string(&a).expect("serialize report");
+        let jb = serde_json::to_string(&b).expect("serialize report");
+        if ja != jb {
+            eprintln!("FAIL {label}: two identical runs diverged");
+            deterministic = false;
+        }
+        eprintln!(
+            "{label:>12} offered={:>7.2}/ktick achieved={:>6.2}/ktick p99={:>6} hit={:.1}%",
+            a.offered_rate_per_ktick,
+            a.achieved_rate_per_ktick,
+            a.latency.p99_ticks,
+            a.cache.hit_rate * 100.0
+        );
+        rows.push(row(label, fraction, &a));
+    }
+
+    let doc = Doc {
+        workload: "serve: IMDB@0.02 MAGNN hidden=16, 3-class QoS, 1 MiB reuse cache",
+        seed: SEED,
+        queries: QUERIES,
+        capacity_rate_per_ktick: capacity,
+        deterministic,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench results");
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+    if !deterministic {
+        eprintln!("identical serving runs diverged — determinism violated");
+        std::process::exit(1);
+    }
+}

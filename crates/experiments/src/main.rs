@@ -6,7 +6,7 @@
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
 //!              fig14 fig15 fig16 fig17 fig18 ablate verify faults
-//!              audit all
+//!              serve audit all
 //!
 //! `audit` runs the verify and faulted workloads under the runtime
 //! invariant auditor (requires a build with `--features audit`) and
@@ -49,6 +49,7 @@ mod faults;
 mod hardware;
 mod memory_exps;
 mod performance;
+mod serve_exp;
 mod sweep;
 mod verification;
 
@@ -76,6 +77,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("ablate", ablation::ablations),
     ("verify", verification::verify),
     ("faults", faults::faults),
+    ("serve", serve_exp::serve_exp),
     ("audit", audit::audit),
 ];
 

@@ -9,9 +9,13 @@
 //! 2. The `faults` sweep — where `--jobs` additionally fans whole
 //!    sweep cells out over the worker pool, with journal appends and
 //!    telemetry merges folded back in canonical order.
+//! 3. The `serve` sweep — the online-inference serving simulator,
+//!    where each offered-load point is a sweep cell and the report
+//!    aggregates seeded arrivals, batching, QoS scheduling, and the
+//!    reuse cache.
 //!
-//! Both run at `--jobs 1` and `--jobs 4`; tables, the JSON artifact,
-//! the sweep journal, and the deterministic telemetry snapshot are
+//! All run at `--jobs 1` and `--jobs 4`; tables, the JSON artifacts,
+//! the sweep journals, and the deterministic telemetry snapshot are
 //! compared byte for byte.
 
 use std::fs;
@@ -86,6 +90,30 @@ fn verify_is_byte_identical_across_jobs() {
             "--deterministic-metrics",
         ],
         &["results/verify.md", "metrics.json"],
+    );
+}
+
+#[test]
+fn serve_sweep_is_byte_identical_across_jobs() {
+    assert_identical_artifacts(
+        "serve",
+        &[
+            "serve",
+            "--seed",
+            "7",
+            "--sweep-dir",
+            "sweep",
+            "--metrics-out",
+            "metrics.json",
+            "--deterministic-metrics",
+        ],
+        &[
+            "results/serve.json",
+            "results/serve.md",
+            "results/serve_classes.md",
+            "sweep/serve.manifest.jsonl",
+            "metrics.json",
+        ],
     );
 }
 

@@ -1,0 +1,174 @@
+//! Per-class query batching.
+//!
+//! Each QoS class accumulates arrivals into an open batch; the batch
+//! closes when it reaches the class's `max_batch` or when its oldest
+//! member has waited `max_wait_ticks`. Closed batches move to the
+//! scheduler's ready queue.
+
+use crate::arrival::Query;
+use crate::qos::ClassSpec;
+
+/// When a batch closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum BatchPolicy {
+    /// Closed because it reached the class's size cap.
+    Size,
+    /// Closed because the oldest member hit the wait deadline.
+    Deadline,
+    /// Flushed at end-of-arrivals drain.
+    Drain,
+}
+
+/// A closed batch, ready for dispatch.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadyBatch {
+    pub class: u16,
+    pub queries: Vec<Query>,
+    /// Arrival tick of the oldest member (scheduler deadline key).
+    pub oldest_arrival: u64,
+    pub closed_by: BatchPolicy,
+}
+
+/// One class's open batch.
+#[derive(Debug, Default)]
+struct OpenBatch {
+    queries: Vec<Query>,
+    oldest_arrival: u64,
+}
+
+/// The per-class batcher.
+#[derive(Debug)]
+pub(crate) struct Batcher {
+    open: Vec<OpenBatch>,
+}
+
+impl Batcher {
+    pub(crate) fn new(num_classes: usize) -> Self {
+        Batcher {
+            open: (0..num_classes).map(|_| OpenBatch::default()).collect(),
+        }
+    }
+
+    /// Admits a query; returns a batch if this arrival filled it.
+    pub(crate) fn admit(&mut self, q: Query, classes: &[ClassSpec]) -> Option<ReadyBatch> {
+        let slot = &mut self.open[usize::from(q.class)];
+        if slot.queries.is_empty() {
+            slot.oldest_arrival = q.arrival_tick;
+        }
+        slot.queries.push(q);
+        if slot.queries.len() as u32 >= classes[usize::from(q.class)].max_batch {
+            let b = std::mem::take(slot);
+            Some(ReadyBatch {
+                class: q.class,
+                oldest_arrival: b.oldest_arrival,
+                queries: b.queries,
+                closed_by: BatchPolicy::Size,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The earliest tick at which any open batch hits its deadline,
+    /// if one is pending.
+    pub(crate) fn next_deadline(&self, classes: &[ClassSpec]) -> Option<u64> {
+        self.open
+            .iter()
+            .zip(classes)
+            .filter(|(b, _)| !b.queries.is_empty())
+            .map(|(b, c)| b.oldest_arrival.saturating_add(c.max_wait_ticks))
+            .min()
+    }
+
+    /// Closes every open batch whose deadline is ≤ `now`, in class
+    /// order (deterministic).
+    pub(crate) fn close_expired(&mut self, now: u64, classes: &[ClassSpec]) -> Vec<ReadyBatch> {
+        let mut out = Vec::new();
+        for (class, (slot, spec)) in self.open.iter_mut().zip(classes).enumerate() {
+            if !slot.queries.is_empty()
+                && slot.oldest_arrival.saturating_add(spec.max_wait_ticks) <= now
+            {
+                let b = std::mem::take(slot);
+                out.push(ReadyBatch {
+                    class: class as u16,
+                    oldest_arrival: b.oldest_arrival,
+                    queries: b.queries,
+                    closed_by: BatchPolicy::Deadline,
+                });
+            }
+        }
+        out
+    }
+
+    /// Flushes all remaining open batches (end of arrivals).
+    pub(crate) fn drain(&mut self) -> Vec<ReadyBatch> {
+        let mut out = Vec::new();
+        for (class, slot) in self.open.iter_mut().enumerate() {
+            if !slot.queries.is_empty() {
+                let b = std::mem::take(slot);
+                out.push(ReadyBatch {
+                    class: class as u16,
+                    oldest_arrival: b.oldest_arrival,
+                    queries: b.queries,
+                    closed_by: BatchPolicy::Drain,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::default_classes;
+
+    fn q(tick: u64, class: u16, seq: u32) -> Query {
+        Query {
+            arrival_tick: tick,
+            vertex: 0,
+            class,
+            seq,
+        }
+    }
+
+    #[test]
+    fn size_policy_closes_full_batches() {
+        let classes = default_classes(); // interactive max_batch = 4
+        let mut b = Batcher::new(classes.len());
+        for i in 0..3 {
+            assert!(b.admit(q(i, 0, i as u32), &classes).is_none());
+        }
+        let ready = b.admit(q(3, 0, 3), &classes).expect("4th query closes");
+        assert_eq!(ready.queries.len(), 4);
+        assert_eq!(ready.closed_by, BatchPolicy::Size);
+        assert_eq!(ready.oldest_arrival, 0);
+    }
+
+    #[test]
+    fn deadline_policy_closes_stale_batches() {
+        let classes = default_classes(); // interactive max_wait 2_000
+        let mut b = Batcher::new(classes.len());
+        assert!(b.admit(q(100, 0, 0), &classes).is_none());
+        assert_eq!(b.next_deadline(&classes), Some(2_100));
+        assert!(b.close_expired(2_099, &classes).is_empty());
+        let closed = b.close_expired(2_100, &classes);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].closed_by, BatchPolicy::Deadline);
+        assert_eq!(b.next_deadline(&classes), None);
+    }
+
+    #[test]
+    fn drain_flushes_everything() {
+        let classes = default_classes();
+        let mut b = Batcher::new(classes.len());
+        b.admit(q(5, 0, 0), &classes);
+        b.admit(q(6, 2, 1), &classes);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|r| r.closed_by == BatchPolicy::Drain));
+        // Class order is deterministic.
+        assert_eq!(drained[0].class, 0);
+        assert_eq!(drained[1].class, 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! # serve — online HGNN inference serving simulation
+//!
+//! Every other experiment in this workspace runs one offline
+//! full-graph epoch. This crate models the scenario the accelerator
+//! ultimately exists for: a *stream* of per-vertex inference queries
+//! hitting MetaNMP concurrently, under load, with latency targets.
+//!
+//! The simulator is discrete-time and fully deterministic — every
+//! stochastic decision is a pure function of `(seed, stream, event
+//! index)` via counter-mode hashing (the same discipline as
+//! [`faultsim`]), so a schedule reproduces exactly from its seed and
+//! is insensitive to host thread count.
+//!
+//! Pipeline, in arrival order:
+//!
+//! 1. **Arrivals** ([`arrival`]) — seeded Poisson with a power-law
+//!    vertex popularity skew, or replay of an on-disk query trace
+//!    ([`trace`], format `QTR1`).
+//! 2. **Batching** ([`batch`]) — per-QoS-class accumulation closed by
+//!    a batch-size or deadline policy.
+//! 3. **QoS scheduling** ([`qos`], [`sim`]) — ready batches dispatch
+//!    to idle DIMMs in (priority, deadline, age) order.
+//! 4. **Service** ([`workload`]) — per-query cost calibrated against
+//!    one cycle-accurate [`metanmp::Simulator`] epoch, scaled by the
+//!    query vertex's metapath-instance fan-out, and discounted by the
+//!    inter-query **reuse cache** ([`cache`]): an LRU over projected
+//!    root aggregates and first-hop metapath prefix-aggregates, the
+//!    reusability HiHGNN quantifies across concurrent queries.
+//! 5. **Faults** — a [`faultsim::FaultInjector`] drives permanently
+//!    stalled DIMMs (service-rate slowdown) and transient stalls, so
+//!    a sick rank surfaces as a tail-latency spike, not a crash.
+//!
+//! The run produces a [`ServeReport`]: p50/p99/p999 latency (via
+//! [`obs::LatencyHistogram`], which stays real when telemetry is
+//! compiled out), per-class QoS attainment, cache hit rates, per-DIMM
+//! utilization, and batch statistics — everything in the simulated
+//! clock domain, so two runs of one seed are byte-identical.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod batch;
+pub mod cache;
+mod error;
+pub mod qos;
+mod rng;
+pub mod sim;
+pub mod trace;
+pub mod workload;
+
+mod report;
+
+pub use arrival::{ArrivalSpec, PoissonArrivals, Query};
+pub use batch::BatchPolicy;
+pub use cache::CacheStats;
+pub use error::ServeError;
+pub use qos::{default_classes, ClassSpec};
+pub use report::{
+    BatchReport, CacheReport, ClassReport, DimmReport, FaultReport, LatencyStats, ServeReport,
+};
+pub use sim::{simulate, ServeConfig};
+pub use trace::{load_trace, save_trace, QueryTrace, TraceError, TraceRecord};
+pub use workload::ServeWorkload;

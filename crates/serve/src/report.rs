@@ -1,0 +1,156 @@
+//! The serving run report.
+//!
+//! Everything here lives in the simulated clock domain — no wall
+//! clock, no host topology — so a report is a pure function of
+//! `(config, seed)` and serializes byte-identically across runs,
+//! thread counts, and machines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::batch::BatchPolicy;
+use crate::cache::CacheStats;
+
+/// Latency summary extracted from an [`obs::LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in ticks.
+    pub mean_ticks: f64,
+    /// Minimum observed latency.
+    pub min_ticks: u64,
+    /// Median (log2-bucket upper bound; ≤2× the true value).
+    pub p50_ticks: u64,
+    /// 99th percentile.
+    pub p99_ticks: u64,
+    /// 99.9th percentile.
+    pub p999_ticks: u64,
+    /// Maximum observed latency.
+    pub max_ticks: u64,
+}
+
+impl LatencyStats {
+    /// Extracts the summary from a histogram.
+    pub fn from_histogram(h: &obs::LatencyHistogram) -> LatencyStats {
+        LatencyStats {
+            count: h.count(),
+            mean_ticks: h.mean(),
+            min_ticks: h.min(),
+            p50_ticks: h.p50(),
+            p99_ticks: h.p99(),
+            p999_ticks: h.p999(),
+            max_ticks: h.max(),
+        }
+    }
+}
+
+/// One QoS class's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class name.
+    pub name: String,
+    /// Dispatch priority.
+    pub priority: u8,
+    /// Queries served.
+    pub queries: u64,
+    /// End-to-end latency (arrival → completion).
+    pub latency: LatencyStats,
+    /// The class's p99 target in ticks.
+    pub target_p99_ticks: u64,
+    /// Whether observed p99 met the target.
+    pub attained: bool,
+}
+
+/// Reuse-cache outcome.
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Capacity in entries (0 = caching disabled).
+    pub capacity_entries: u64,
+    /// Raw hit/miss/eviction counters.
+    pub stats: CacheStats,
+    /// Overall hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+/// One DIMM's utilization.
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct DimmReport {
+    /// DIMM index (channel-major).
+    pub dimm: u64,
+    /// Whether a permanently stalled rank degrades this DIMM.
+    pub stalled: bool,
+    /// Batches served.
+    pub batches: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Ticks spent busy.
+    pub busy_ticks: u64,
+    /// busy_ticks / makespan.
+    pub utilization: f64,
+}
+
+/// Batching behavior summary.
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Batches dispatched.
+    pub total: u64,
+    /// Closed by hitting the class size cap.
+    pub closed_by_size: u64,
+    /// Closed by the wait deadline.
+    pub closed_by_deadline: u64,
+    /// Flushed at end-of-arrivals drain.
+    pub closed_by_drain: u64,
+    /// Mean queries per batch.
+    pub mean_size: f64,
+}
+
+impl BatchReport {
+    pub(crate) fn record(&mut self, policy: BatchPolicy) {
+        self.total += 1;
+        match policy {
+            BatchPolicy::Size => self.closed_by_size += 1,
+            BatchPolicy::Deadline => self.closed_by_deadline += 1,
+            BatchPolicy::Drain => self.closed_by_drain += 1,
+        }
+    }
+}
+
+/// Fault-model impact on the serving run.
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// DIMMs degraded by a permanently stalled rank.
+    pub stalled_dimms: u64,
+    /// Total transient stall ticks charged to dispatches.
+    pub transient_stall_ticks: u64,
+    /// Dispatches that suffered a transient stall.
+    pub transient_stall_events: u64,
+}
+
+/// The full outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Offered arrival rate in queries per 1024 ticks (0 for traces).
+    pub offered_rate_per_ktick: f64,
+    /// Queries served (= queries arrived; nothing is dropped).
+    pub queries: u64,
+    /// Tick of the last completion.
+    pub makespan_ticks: u64,
+    /// Achieved throughput in queries per 1024 ticks.
+    pub achieved_rate_per_ktick: f64,
+    /// End-to-end latency across all classes.
+    pub latency: LatencyStats,
+    /// Queueing delay (arrival → dispatch) across all classes.
+    pub queue_delay: LatencyStats,
+    /// Per-class outcomes, in class order.
+    pub classes: Vec<ClassReport>,
+    /// Reuse-cache outcome.
+    pub cache: CacheReport,
+    /// Batching summary.
+    pub batches: BatchReport,
+    /// Per-DIMM utilization, in DIMM order.
+    pub dimms: Vec<DimmReport>,
+    /// Fault impact (all zero for a fault-free run).
+    pub faults: FaultReport,
+}

@@ -1,0 +1,479 @@
+//! The discrete-time serving event loop.
+//!
+//! Single-threaded and strictly ordered: time advances to the next
+//! event tick, and everything due at that tick is processed in a fixed
+//! order — completions (ascending DIMM), arrivals (sequence order),
+//! deadline closures (class order), then dispatch (priority order onto
+//! the lowest-index idle DIMM). Combined with counter-mode randomness,
+//! a run is a pure function of `(config, workload)` — byte-identical
+//! wherever and however often it executes.
+
+use std::collections::BTreeMap;
+
+use faultsim::FaultInjector;
+use hetgraph::datasets::DatasetId;
+use hgnn::ModelKind;
+use metanmp::FaultConfig;
+
+use crate::arrival::{ArrivalSpec, Query};
+use crate::batch::{Batcher, ReadyBatch};
+use crate::cache::ReuseCache;
+use crate::qos::{self, ClassSpec};
+use crate::report::{
+    BatchReport, CacheReport, ClassReport, DimmReport, FaultReport, LatencyStats, ServeReport,
+};
+use crate::workload::ServeWorkload;
+use crate::ServeError;
+
+/// Full configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dataset preset the queries target.
+    pub dataset: DatasetId,
+    /// Dataset scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// HGNN model served.
+    pub model: ModelKind,
+    /// Hidden feature dimension.
+    pub hidden_dim: usize,
+    /// Seed of the arrival process (counter-mode; the fault schedule
+    /// has its own seed inside [`ServeConfig::faults`]).
+    pub seed: u64,
+    /// Where queries come from.
+    pub arrivals: ArrivalSpec,
+    /// QoS class table.
+    pub classes: Vec<ClassSpec>,
+    /// Reuse-cache capacity in bytes (0 disables inter-query reuse).
+    pub cache_bytes: usize,
+    /// Fault model driving stalled ranks and transient stalls.
+    pub faults: FaultConfig,
+    /// Service-time multiplier for a DIMM degraded by a permanently
+    /// stalled rank (its requests detour around the sick rank).
+    pub stalled_dimm_slowdown: f64,
+}
+
+impl ServeConfig {
+    /// The workload-model part of the configuration; a
+    /// [`ServeWorkload`] built from one config can serve any other
+    /// config with the same fingerprint (different arrival rates,
+    /// seeds, caches, and fault models reuse one calibration).
+    pub(crate) fn fingerprint(&self) -> (DatasetId, u64, ModelKind, usize) {
+        (
+            self.dataset,
+            self.scale.to_bits(),
+            self.model,
+            self.hidden_dim,
+        )
+    }
+
+    /// A small, fast configuration for tests: IMDB at 0.02 scale,
+    /// MAGNN, 300 Poisson queries.
+    pub fn smoke_test() -> ServeConfig {
+        ServeConfig {
+            dataset: DatasetId::Imdb,
+            scale: 0.02,
+            model: ModelKind::Magnn,
+            hidden_dim: 16,
+            seed: 7,
+            arrivals: ArrivalSpec::Poisson(crate::arrival::PoissonArrivals {
+                rate_per_ktick: 4.0,
+                queries: 300,
+                popularity_skew: 2.0,
+            }),
+            classes: qos::default_classes(),
+            cache_bytes: 1 << 20,
+            faults: FaultConfig::default(),
+            stalled_dimm_slowdown: 8.0,
+        }
+    }
+}
+
+/// A batch in service on a DIMM.
+#[derive(Debug)]
+struct Inflight {
+    finish: u64,
+    dispatch_tick: u64,
+    class: u16,
+    queries: Vec<Query>,
+}
+
+/// Per-DIMM accumulation.
+#[derive(Debug, Default, Clone, Copy)]
+struct DimmAccum {
+    batches: u64,
+    queries: u64,
+    busy_ticks: u64,
+}
+
+/// Runs one serving simulation of `config` over a pre-built
+/// `workload`.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] when the class table is invalid, the
+/// workload was built for a different model configuration, the
+/// slowdown is below 1, or the arrival spec is empty/invalid.
+pub fn simulate(config: &ServeConfig, workload: &ServeWorkload) -> Result<ServeReport, ServeError> {
+    qos::validate(&config.classes)?;
+    if workload.built_for != config.fingerprint() {
+        return Err(ServeError::Config(format!(
+            "workload was calibrated for {:?}, config wants {:?}",
+            workload.built_for,
+            config.fingerprint()
+        )));
+    }
+    if !config.stalled_dimm_slowdown.is_finite() || config.stalled_dimm_slowdown < 1.0 {
+        return Err(ServeError::Config(format!(
+            "stalled_dimm_slowdown must be ≥ 1 and finite, got {}",
+            config.stalled_dimm_slowdown
+        )));
+    }
+
+    let arrivals = config
+        .arrivals
+        .generate(config.seed, workload.vertex_bound, &config.classes)?;
+    if arrivals.is_empty() {
+        return Err(ServeError::Config("arrival schedule is empty".into()));
+    }
+
+    let dimms = workload.dimms;
+    let mut injector = FaultInjector::new(config.faults);
+    let dimm_stalled: Vec<bool> = (0..dimms)
+        .map(|d| {
+            (0..workload.ranks_per_dimm)
+                .any(|r| injector.rank_is_stalled(d * workload.ranks_per_dimm + r))
+        })
+        .collect();
+
+    let mut cache = ReuseCache::new(config.cache_bytes / workload.entry_bytes.max(1));
+    let mut batcher = Batcher::new(config.classes.len());
+    // Ready queue ordered by (inverted priority, oldest arrival,
+    // close sequence): BTreeMap iteration yields the dispatch order.
+    let mut ready: BTreeMap<(u8, u64, u64), ReadyBatch> = BTreeMap::new();
+    let mut close_seq = 0u64;
+    let mut inflight: Vec<Option<Inflight>> = (0..dimms).map(|_| None).collect();
+    let mut accum = vec![DimmAccum::default(); dimms];
+
+    let mut overall = obs::LatencyHistogram::new();
+    let mut queue_delay = obs::LatencyHistogram::new();
+    let mut per_class: Vec<obs::LatencyHistogram> = config
+        .classes
+        .iter()
+        .map(|_| obs::LatencyHistogram::new())
+        .collect();
+    let mut class_queries = vec![0u64; config.classes.len()];
+    let mut batch_report = BatchReport {
+        total: 0,
+        closed_by_size: 0,
+        closed_by_deadline: 0,
+        closed_by_drain: 0,
+        mean_size: 0.0,
+    };
+    let mut stall_ticks = 0u64;
+    let mut stall_events = 0u64;
+    let mut makespan = 0u64;
+    let mut served = 0u64;
+
+    let push_ready = |b: ReadyBatch,
+                      ready: &mut BTreeMap<(u8, u64, u64), ReadyBatch>,
+                      close_seq: &mut u64,
+                      batch_report: &mut BatchReport| {
+        batch_report.record(b.closed_by);
+        let prio = config.classes[usize::from(b.class)].priority;
+        let key = (u8::MAX - prio, b.oldest_arrival, *close_seq);
+        *close_seq += 1;
+        ready.insert(key, b);
+    };
+
+    let mut next_arrival = 0usize;
+    let mut now = 0u64;
+    loop {
+        // Dispatch: highest-priority ready batch onto the lowest-index
+        // idle DIMM, repeating while both exist.
+        while let Some(dimm) = inflight.iter().position(Option::is_none) {
+            let Some((&key, _)) = ready.iter().next() else {
+                break;
+            };
+            let batch = ready.remove(&key).expect("key just observed");
+            let mut service = 0u64;
+            for q in &batch.queries {
+                service = service.saturating_add(workload.query_ticks(q.vertex, &mut cache));
+            }
+            let stall = injector.next_stall_cycles(dimm as u64);
+            if stall > 0 {
+                stall_events += 1;
+                stall_ticks += stall;
+                service = service.saturating_add(stall);
+            }
+            if dimm_stalled[dimm] {
+                service = (service as f64 * config.stalled_dimm_slowdown) as u64;
+            }
+            let service = service.max(1);
+            accum[dimm].batches += 1;
+            accum[dimm].queries += batch.queries.len() as u64;
+            accum[dimm].busy_ticks = accum[dimm].busy_ticks.saturating_add(service);
+            inflight[dimm] = Some(Inflight {
+                finish: now.saturating_add(service),
+                dispatch_tick: now,
+                class: batch.class,
+                queries: batch.queries,
+            });
+        }
+
+        // Next event: earliest completion, arrival, or batch deadline.
+        let t_completion = inflight.iter().flatten().map(|b| b.finish).min();
+        let t_arrival = arrivals.get(next_arrival).map(|q| q.arrival_tick);
+        let t_deadline = batcher.next_deadline(&config.classes);
+        let Some(next) = [t_completion, t_arrival, t_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
+            break;
+        };
+        now = next;
+
+        // 1. Completions due now, ascending DIMM index.
+        for slot in inflight.iter_mut() {
+            let done = matches!(slot, Some(b) if b.finish <= now);
+            if !done {
+                continue;
+            }
+            let b = slot.take().expect("matched above");
+            makespan = makespan.max(b.finish);
+            for q in &b.queries {
+                let latency = b.finish.saturating_sub(q.arrival_tick);
+                overall.record(latency);
+                per_class[usize::from(b.class)].record(latency);
+                queue_delay.record(b.dispatch_tick.saturating_sub(q.arrival_tick));
+                class_queries[usize::from(b.class)] += 1;
+                served += 1;
+            }
+        }
+
+        // 2. Arrivals due now, in sequence order.
+        while let Some(q) = arrivals.get(next_arrival).copied() {
+            if q.arrival_tick > now {
+                break;
+            }
+            next_arrival += 1;
+            if let Some(b) = batcher.admit(q, &config.classes) {
+                push_ready(b, &mut ready, &mut close_seq, &mut batch_report);
+            }
+        }
+        // End of stream: flush the open batches rather than letting
+        // the last stragglers wait out their deadlines.
+        if next_arrival == arrivals.len() {
+            for b in batcher.drain() {
+                push_ready(b, &mut ready, &mut close_seq, &mut batch_report);
+            }
+        }
+
+        // 3. Deadline closures due now, in class order.
+        for b in batcher.close_expired(now, &config.classes) {
+            push_ready(b, &mut ready, &mut close_seq, &mut batch_report);
+        }
+    }
+
+    debug_assert_eq!(served, arrivals.len() as u64, "every query completes");
+    let makespan = makespan.max(1);
+    let classes = config
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let latency = LatencyStats::from_histogram(&per_class[i]);
+            ClassReport {
+                name: c.name.to_string(),
+                priority: c.priority,
+                queries: class_queries[i],
+                attained: latency.p99_ticks <= c.target_p99_ticks,
+                target_p99_ticks: c.target_p99_ticks,
+                latency,
+            }
+        })
+        .collect();
+    let dimm_reports = (0..dimms)
+        .map(|d| DimmReport {
+            dimm: d as u64,
+            stalled: dimm_stalled[d],
+            batches: accum[d].batches,
+            queries: accum[d].queries,
+            busy_ticks: accum[d].busy_ticks,
+            utilization: accum[d].busy_ticks as f64 / makespan as f64,
+        })
+        .collect();
+    batch_report.mean_size = if batch_report.total == 0 {
+        0.0
+    } else {
+        served as f64 / batch_report.total as f64
+    };
+    let offered = match &config.arrivals {
+        ArrivalSpec::Poisson(p) => p.rate_per_ktick,
+        ArrivalSpec::Trace(_) => 0.0,
+    };
+    Ok(ServeReport {
+        seed: config.seed,
+        offered_rate_per_ktick: offered,
+        queries: served,
+        makespan_ticks: makespan,
+        achieved_rate_per_ktick: served as f64 * 1024.0 / makespan as f64,
+        latency: LatencyStats::from_histogram(&overall),
+        queue_delay: LatencyStats::from_histogram(&queue_delay),
+        classes,
+        cache: CacheReport {
+            capacity_entries: (config.cache_bytes / workload.entry_bytes.max(1)) as u64,
+            stats: cache.stats,
+            hit_rate: cache.stats.hit_rate(),
+        },
+        batches: batch_report,
+        dimms: dimm_reports,
+        faults: FaultReport {
+            stalled_dimms: dimm_stalled.iter().filter(|&&s| s).count() as u64,
+            transient_stall_ticks: stall_ticks,
+            transient_stall_events: stall_events,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> &'static ServeWorkload {
+        use std::sync::OnceLock;
+        static W: OnceLock<ServeWorkload> = OnceLock::new();
+        W.get_or_init(|| ServeWorkload::build(&ServeConfig::smoke_test()).expect("build workload"))
+    }
+
+    #[test]
+    fn smoke_run_serves_every_query() {
+        let config = ServeConfig::smoke_test();
+        let r = simulate(&config, workload()).unwrap();
+        assert_eq!(r.queries, 300);
+        assert_eq!(r.latency.count, 300);
+        assert!(r.latency.p50_ticks <= r.latency.p99_ticks);
+        assert!(r.latency.p99_ticks <= r.latency.p999_ticks);
+        assert!(r.latency.max_ticks >= r.latency.p999_ticks);
+        assert!(r.makespan_ticks > 0);
+        assert_eq!(r.classes.iter().map(|c| c.queries).sum::<u64>(), r.queries);
+        assert_eq!(r.dimms.iter().map(|d| d.queries).sum::<u64>(), r.queries);
+        assert!(r.cache.hit_rate > 0.0, "skewed traffic must hit the cache");
+        assert_eq!(r.faults.stalled_dimms, 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let config = ServeConfig::smoke_test();
+        let a = simulate(&config, workload()).unwrap();
+        let b = simulate(&config, workload()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// A single-class, batch-of-one config at `fraction` of the
+    /// system's cache-cold capacity, reuse cache disabled: latency is
+    /// pure queueing + service, so the capacity estimate is exact and
+    /// load effects are not masked by batch-deadline waits.
+    fn at_load(fraction: f64) -> ServeConfig {
+        let w = workload();
+        let capacity = w.dimms() as f64 * 1024.0 / w.mean_query_ticks();
+        let mut c = ServeConfig::smoke_test();
+        c.cache_bytes = 0;
+        c.classes = vec![ClassSpec {
+            name: "rt",
+            priority: 1,
+            share: 1.0,
+            target_p99_ticks: 60_000,
+            max_batch: 1,
+            max_wait_ticks: 1,
+        }];
+        c.arrivals = ArrivalSpec::Poisson(crate::arrival::PoissonArrivals {
+            rate_per_ktick: fraction * capacity,
+            queries: 2000,
+            popularity_skew: 2.0,
+        });
+        c
+    }
+
+    #[test]
+    fn overload_inflates_tail_latency() {
+        // 0.3× capacity vs 3× capacity: at 3× the backlog grows
+        // linearly over the 2000-query run, so late queries queue for
+        // a large fraction of the total work.
+        let rl = simulate(&at_load(0.3), workload()).unwrap();
+        let rh = simulate(&at_load(3.0), workload()).unwrap();
+        assert!(
+            rh.latency.p99_ticks > 2 * rl.latency.p99_ticks,
+            "overload p99 {} must dwarf light-load p99 {}",
+            rh.latency.p99_ticks,
+            rl.latency.p99_ticks
+        );
+        assert!(
+            rh.queue_delay.p99_ticks > rl.queue_delay.p99_ticks,
+            "overload queueing {} must exceed light-load queueing {}",
+            rh.queue_delay.p99_ticks,
+            rl.queue_delay.p99_ticks
+        );
+    }
+
+    #[test]
+    fn stalled_ranks_spike_tail_latency_without_crashing() {
+        // Stall every rank of DIMMs 0–3 (2 ranks/DIMM → low 8 bits):
+        // half the fleet serves 8× slower, dropping effective capacity
+        // to ~0.56× and pushing a 0.8×-capacity run into overload.
+        let healthy = at_load(0.8);
+        let mut sick = at_load(0.8);
+        sick.faults.stalled_rank_mask = 0xFF;
+        let rh = simulate(&healthy, workload()).unwrap();
+        let rs = simulate(&sick, workload()).unwrap();
+        assert_eq!(rs.queries, rh.queries, "no query is dropped under faults");
+        assert_eq!(rs.faults.stalled_dimms, 4);
+        assert!(rs.dimms[0].stalled && !rs.dimms[7].stalled);
+        assert!(
+            rs.latency.p99_ticks > rh.latency.p99_ticks,
+            "stalled ranks must show up in the tail (sick {} vs healthy {})",
+            rs.latency.p99_ticks,
+            rh.latency.p99_ticks
+        );
+        assert!(rs.latency.mean_ticks > rh.latency.mean_ticks);
+    }
+
+    #[test]
+    fn disabling_the_cache_costs_throughput() {
+        let cached = ServeConfig::smoke_test();
+        let mut cold = ServeConfig::smoke_test();
+        cold.cache_bytes = 0;
+        let rc = simulate(&cached, workload()).unwrap();
+        let r0 = simulate(&cold, workload()).unwrap();
+        assert_eq!(r0.cache.hit_rate, 0.0);
+        assert!(
+            r0.latency.mean_ticks >= rc.latency.mean_ticks,
+            "reuse cache must not hurt mean latency"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_workload_and_bad_config() {
+        let mut other = ServeConfig::smoke_test();
+        other.hidden_dim = 32;
+        assert!(matches!(
+            simulate(&other, workload()),
+            Err(ServeError::Config(_))
+        ));
+        let mut bad = ServeConfig::smoke_test();
+        bad.stalled_dimm_slowdown = 0.5;
+        assert!(matches!(
+            simulate(&bad, workload()),
+            Err(ServeError::Config(_))
+        ));
+        let mut empty = ServeConfig::smoke_test();
+        empty.classes.clear();
+        assert!(matches!(
+            simulate(&empty, workload()),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,508 @@
+//! The `QTR1` on-disk query-trace format.
+//!
+//! A trace is an untrusted input boundary (operators replay captured
+//! production traffic), so the loader validates everything up front
+//! and returns structured errors — it must never panic, whatever the
+//! bytes. The `bench --bin fuzz` `trace` lane holds it to that.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "QTR1"
+//!      4     2  format version (= 1)
+//!      6     2  num_classes   (1 ..= 16)
+//!      8     4  vertex_bound  (1 ..= 1_000_000_000; ids are < bound)
+//!     12     8  record_count  (<= 16_777_216)
+//!     20   16·n records
+//! ```
+//!
+//! Each record is 16 bytes: `arrival_tick: u64`, `vertex: u32`,
+//! `class: u16`, `reserved: u16` (must be zero). Records must be
+//! sorted by non-decreasing `arrival_tick`. Trailing bytes after the
+//! declared records are rejected.
+
+use std::io::{Read, Write};
+
+/// Trace magic bytes.
+pub const MAGIC: [u8; 4] = *b"QTR1";
+/// Supported format version.
+pub const VERSION: u16 = 1;
+/// Cap on the declared record count, enforced *before* allocation.
+pub const MAX_RECORDS: u64 = 16_777_216;
+/// Cap on the declared QoS class count.
+pub const MAX_CLASSES: u16 = 16;
+/// Cap on the declared vertex-id bound.
+pub const MAX_VERTEX_BOUND: u32 = 1_000_000_000;
+/// Bytes per record.
+const RECORD_BYTES: usize = 16;
+
+/// One query in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Arrival time in simulator ticks (NMP clock cycles).
+    pub arrival_tick: u64,
+    /// Target vertex id, `< vertex_bound`.
+    pub vertex: u32,
+    /// QoS class index, `< num_classes`.
+    pub class: u16,
+}
+
+/// A validated query trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Number of QoS classes the records index into.
+    pub num_classes: u16,
+    /// Exclusive upper bound on vertex ids.
+    pub vertex_bound: u32,
+    /// The queries, sorted by non-decreasing arrival tick.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Why a trace failed to load or validate.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+    /// The first four bytes are not `QTR1`.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// `num_classes` outside `1..=MAX_CLASSES`.
+    BadClassCount(u16),
+    /// `vertex_bound` outside `1..=MAX_VERTEX_BOUND`.
+    BadVertexBound(u32),
+    /// Declared record count exceeds [`MAX_RECORDS`].
+    TooManyRecords {
+        /// Declared count.
+        declared: u64,
+    },
+    /// The stream ended before the declared records were read.
+    Truncated {
+        /// Bytes expected for the field being read.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A record's vertex id is out of the declared bound.
+    VertexOutOfRange {
+        /// Record index.
+        index: u64,
+        /// Offending vertex id.
+        vertex: u32,
+        /// Declared exclusive bound.
+        bound: u32,
+    },
+    /// A record's class index is out of the declared class count.
+    ClassOutOfRange {
+        /// Record index.
+        index: u64,
+        /// Offending class.
+        class: u16,
+        /// Declared class count.
+        classes: u16,
+    },
+    /// Arrival ticks go backwards between consecutive records.
+    NonMonotoneTimestamp {
+        /// Index of the offending record.
+        index: u64,
+        /// Previous record's tick.
+        prev: u64,
+        /// Offending record's (earlier) tick.
+        cur: u64,
+    },
+    /// A record's reserved field is non-zero.
+    NonZeroReserved {
+        /// Record index.
+        index: u64,
+    },
+    /// Bytes remain after the declared records.
+    TrailingBytes {
+        /// Number of unexpected extra bytes (at least).
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O: {e}"),
+            TraceError::BadMagic(m) => write!(f, "bad trace magic {m:02x?}, expected \"QTR1\""),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}, expected {VERSION}")
+            }
+            TraceError::BadClassCount(n) => {
+                write!(
+                    f,
+                    "trace declares {n} QoS classes, allowed 1..={MAX_CLASSES}"
+                )
+            }
+            TraceError::BadVertexBound(b) => {
+                write!(f, "trace vertex bound {b} outside 1..={MAX_VERTEX_BOUND}")
+            }
+            TraceError::TooManyRecords { declared } => {
+                write!(f, "trace declares {declared} records, cap is {MAX_RECORDS}")
+            }
+            TraceError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "trace truncated: needed {expected} more byte(s), got {got}"
+                )
+            }
+            TraceError::VertexOutOfRange {
+                index,
+                vertex,
+                bound,
+            } => write!(
+                f,
+                "record {index}: vertex {vertex} outside declared bound {bound}"
+            ),
+            TraceError::ClassOutOfRange {
+                index,
+                class,
+                classes,
+            } => write!(
+                f,
+                "record {index}: class {class} outside declared {classes} class(es)"
+            ),
+            TraceError::NonMonotoneTimestamp { index, prev, cur } => write!(
+                f,
+                "record {index}: arrival tick {cur} precedes previous record's {prev}"
+            ),
+            TraceError::NonZeroReserved { index } => {
+                write!(f, "record {index}: reserved field is non-zero")
+            }
+            TraceError::TrailingBytes { extra } => {
+                write!(f, "{extra}+ trailing byte(s) after the declared records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Reads exactly `N` bytes, mapping EOF to [`TraceError::Truncated`].
+fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N], TraceError> {
+    let mut buf = [0u8; N];
+    let mut filled = 0;
+    while filled < N {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(TraceError::Truncated {
+                    expected: N,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+    }
+    Ok(buf)
+}
+
+/// Loads and fully validates a `QTR1` trace.
+///
+/// # Errors
+///
+/// Returns a structured [`TraceError`] for any malformed input:
+/// truncation, out-of-range ids, non-monotone timestamps, trailing
+/// bytes, and header violations. Never panics.
+pub fn load_trace(mut r: impl Read) -> Result<QueryTrace, TraceError> {
+    let magic: [u8; 4] = read_exact(&mut r)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(read_exact(&mut r)?);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let num_classes = u16::from_le_bytes(read_exact(&mut r)?);
+    if num_classes == 0 || num_classes > MAX_CLASSES {
+        return Err(TraceError::BadClassCount(num_classes));
+    }
+    let vertex_bound = u32::from_le_bytes(read_exact(&mut r)?);
+    if vertex_bound == 0 || vertex_bound > MAX_VERTEX_BOUND {
+        return Err(TraceError::BadVertexBound(vertex_bound));
+    }
+    let declared = u64::from_le_bytes(read_exact(&mut r)?);
+    if declared > MAX_RECORDS {
+        return Err(TraceError::TooManyRecords { declared });
+    }
+    let mut records = Vec::with_capacity(declared as usize);
+    let mut prev_tick = 0u64;
+    for index in 0..declared {
+        let raw: [u8; RECORD_BYTES] = read_exact(&mut r)?;
+        let arrival_tick = u64::from_le_bytes(raw[0..8].try_into().expect("fixed slice"));
+        let vertex = u32::from_le_bytes(raw[8..12].try_into().expect("fixed slice"));
+        let class = u16::from_le_bytes(raw[12..14].try_into().expect("fixed slice"));
+        let reserved = u16::from_le_bytes(raw[14..16].try_into().expect("fixed slice"));
+        if reserved != 0 {
+            return Err(TraceError::NonZeroReserved { index });
+        }
+        if vertex >= vertex_bound {
+            return Err(TraceError::VertexOutOfRange {
+                index,
+                vertex,
+                bound: vertex_bound,
+            });
+        }
+        if class >= num_classes {
+            return Err(TraceError::ClassOutOfRange {
+                index,
+                class,
+                classes: num_classes,
+            });
+        }
+        if index > 0 && arrival_tick < prev_tick {
+            return Err(TraceError::NonMonotoneTimestamp {
+                index,
+                prev: prev_tick,
+                cur: arrival_tick,
+            });
+        }
+        prev_tick = arrival_tick;
+        records.push(TraceRecord {
+            arrival_tick,
+            vertex,
+            class,
+        });
+    }
+    // Any byte past the declared records is a framing error.
+    let mut probe = [0u8; 1];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => break,
+            Ok(n) => return Err(TraceError::TrailingBytes { extra: n }),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+    }
+    Ok(QueryTrace {
+        num_classes,
+        vertex_bound,
+        records,
+    })
+}
+
+/// Serializes a trace in `QTR1` format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on writer failure, and the same
+/// validation errors as [`load_trace`] if the in-memory trace violates
+/// its own invariants (so a buggy producer cannot emit a file the
+/// loader would refuse).
+pub fn save_trace(trace: &QueryTrace, mut w: impl Write) -> Result<(), TraceError> {
+    if trace.num_classes == 0 || trace.num_classes > MAX_CLASSES {
+        return Err(TraceError::BadClassCount(trace.num_classes));
+    }
+    if trace.vertex_bound == 0 || trace.vertex_bound > MAX_VERTEX_BOUND {
+        return Err(TraceError::BadVertexBound(trace.vertex_bound));
+    }
+    if trace.records.len() as u64 > MAX_RECORDS {
+        return Err(TraceError::TooManyRecords {
+            declared: trace.records.len() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(20 + trace.records.len() * RECORD_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&trace.num_classes.to_le_bytes());
+    out.extend_from_slice(&trace.vertex_bound.to_le_bytes());
+    out.extend_from_slice(&(trace.records.len() as u64).to_le_bytes());
+    let mut prev_tick = 0u64;
+    for (index, rec) in trace.records.iter().enumerate() {
+        if rec.vertex >= trace.vertex_bound {
+            return Err(TraceError::VertexOutOfRange {
+                index: index as u64,
+                vertex: rec.vertex,
+                bound: trace.vertex_bound,
+            });
+        }
+        if rec.class >= trace.num_classes {
+            return Err(TraceError::ClassOutOfRange {
+                index: index as u64,
+                class: rec.class,
+                classes: trace.num_classes,
+            });
+        }
+        if index > 0 && rec.arrival_tick < prev_tick {
+            return Err(TraceError::NonMonotoneTimestamp {
+                index: index as u64,
+                prev: prev_tick,
+                cur: rec.arrival_tick,
+            });
+        }
+        prev_tick = rec.arrival_tick;
+        out.extend_from_slice(&rec.arrival_tick.to_le_bytes());
+        out.extend_from_slice(&rec.vertex.to_le_bytes());
+        out.extend_from_slice(&rec.class.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+    }
+    w.write_all(&out).map_err(TraceError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        QueryTrace {
+            num_classes: 3,
+            vertex_bound: 100,
+            records: vec![
+                TraceRecord {
+                    arrival_tick: 0,
+                    vertex: 5,
+                    class: 0,
+                },
+                TraceRecord {
+                    arrival_tick: 10,
+                    vertex: 99,
+                    class: 2,
+                },
+                TraceRecord {
+                    arrival_tick: 10,
+                    vertex: 5,
+                    class: 1,
+                },
+                TraceRecord {
+                    arrival_tick: 250,
+                    vertex: 0,
+                    class: 0,
+                },
+            ],
+        }
+    }
+
+    fn bytes_of(t: &QueryTrace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_trace(t, &mut buf).expect("valid trace saves");
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let loaded = load_trace(bytes_of(&t).as_slice()).expect("roundtrip");
+        assert_eq!(loaded, t);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut b = bytes_of(&sample());
+        b[0] = b'X';
+        assert!(matches!(
+            load_trace(b.as_slice()),
+            Err(TraceError::BadMagic(_))
+        ));
+        let mut b = bytes_of(&sample());
+        b[4] = 9;
+        assert!(matches!(
+            load_trace(b.as_slice()),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let b = bytes_of(&sample());
+        for cut in 0..b.len() {
+            let r = load_trace(&b[..cut]);
+            assert!(
+                matches!(r, Err(TraceError::Truncated { .. })),
+                "cut at {cut} must report truncation, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex_and_class() {
+        let mut t = sample();
+        t.records[1].vertex = 100; // == bound
+        let mut raw = Vec::new();
+        // save_trace itself refuses; craft the bytes by bumping the
+        // bound, saving, then restoring the header field.
+        t.vertex_bound = 101;
+        save_trace(&t, &mut raw).unwrap();
+        raw[8..12].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::VertexOutOfRange { index: 1, .. })
+        ));
+
+        let t = sample();
+        let mut raw = bytes_of(&t);
+        // Record 2's class field: header 20 + 2*16 + 12.
+        raw[20 + 2 * 16 + 12..20 + 2 * 16 + 14].copy_from_slice(&7u16.to_le_bytes());
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::ClassOutOfRange { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_timestamps() {
+        let t = sample();
+        let mut raw = bytes_of(&t);
+        // Record 3's tick (offset 20 + 3*16): set below record 2's.
+        raw[20 + 3 * 16..20 + 3 * 16 + 8].copy_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::NonMonotoneTimestamp { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_and_huge_counts() {
+        let mut raw = bytes_of(&sample());
+        raw.push(0);
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::TrailingBytes { .. })
+        ));
+
+        let mut raw = bytes_of(&sample());
+        // Overwrite record_count with an absurd value: must be refused
+        // before any allocation.
+        raw[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::TooManyRecords { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonzero_reserved() {
+        let mut raw = bytes_of(&sample());
+        raw[20 + 14] = 1;
+        assert!(matches!(
+            load_trace(raw.as_slice()),
+            Err(TraceError::NonZeroReserved { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn save_refuses_invalid_in_memory_traces() {
+        let mut t = sample();
+        t.records[0].class = 9;
+        assert!(matches!(
+            save_trace(&t, Vec::new()),
+            Err(TraceError::ClassOutOfRange { .. })
+        ));
+        let mut t = sample();
+        t.records[3].arrival_tick = 1;
+        assert!(matches!(
+            save_trace(&t, Vec::new()),
+            Err(TraceError::NonMonotoneTimestamp { .. })
+        ));
+    }
+}

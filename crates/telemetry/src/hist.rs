@@ -8,7 +8,8 @@
 //! the requested rank (a conservative estimate with ≤ 2× relative
 //! error, the standard trade-off for log-bucketed summaries).
 
-pub(crate) const BUCKETS: usize = 65;
+pub(crate) use crate::quantile::BUCKETS;
+use crate::quantile::{bucket_index, quantile_from_counts};
 
 /// A fixed-size log₂-bucketed histogram of `u64` samples.
 #[derive(Debug, Clone)]
@@ -29,24 +30,6 @@ impl Default for Histogram {
             min: u64::MAX,
             max: 0,
         }
-    }
-}
-
-/// Index of the bucket holding `v`.
-#[inline]
-pub(crate) fn bucket_index(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
-}
-
-/// Largest value the bucket at `index` can hold.
-#[inline]
-pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
-    if index == 0 {
-        0
-    } else if index >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << index) - 1
     }
 }
 
@@ -155,20 +138,13 @@ impl Histogram {
     /// `percentile(0)` is the minimum's bucket and `percentile(100)`
     /// the maximum's.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
-        let rank = rank.clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Tighten the estimate with the observed extremes.
-                return bucket_upper_bound(i).min(self.max).max(self.min);
-            }
-        }
-        self.max
+        quantile_from_counts(
+            &self.counts,
+            self.count,
+            if self.count == 0 { 0 } else { self.min },
+            self.max,
+            p / 100.0,
+        )
     }
 
     /// Median estimate.
@@ -185,28 +161,16 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.percentile(99.0)
     }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_boundaries() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(7), 3);
-        assert_eq!(bucket_index(8), 4);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_upper_bound(0), 0);
-        assert_eq!(bucket_upper_bound(1), 1);
-        assert_eq!(bucket_upper_bound(2), 3);
-        assert_eq!(bucket_upper_bound(3), 7);
-        assert_eq!(bucket_upper_bound(64), u64::MAX);
-    }
 
     #[test]
     fn exact_at_small_values() {

@@ -18,6 +18,12 @@
 //!   [`merge_checkpoint_json`], so counters, histograms, and phase
 //!   totals survive a kill-and-resume.
 //!
+//! A fourth piece is feature-independent: [`LatencyHistogram`], a
+//! plain log₂-bucketed histogram with p50/p99/p999 quantile extraction
+//! (documented ≤ 2× bucket-granularity error bound) for simulation
+//! *results* that must not disappear when observability is compiled
+//! out — the serving simulator's latency percentiles are built on it.
+//!
 //! The `enabled` feature (on by default) selects the real backend.
 //! With `--no-default-features` every entry point is an empty
 //! `#[inline(always)]` function and every type is zero-sized, so
@@ -26,6 +32,7 @@
 //! `telemetry` feature forwarding to `telemetry/enabled`.
 
 mod export;
+mod quantile;
 mod snapshot;
 
 #[cfg(feature = "enabled")]
@@ -37,6 +44,7 @@ mod state;
 mod noop;
 
 pub use export::{render_chrome_trace_json, render_snapshot_json};
+pub use quantile::LatencyHistogram;
 pub use snapshot::{HistogramSummary, PhaseRow, Snapshot, TraceData, TraceEvent};
 
 #[cfg(feature = "enabled")]

@@ -80,6 +80,12 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         0
     }
+
+    /// Always `0`.
+    #[inline(always)]
+    pub fn p999(&self) -> u64 {
+        0
+    }
 }
 
 /// Zero-sized stand-in for the RAII span timer.
