@@ -9,7 +9,12 @@
 //!    [`hetgraph::io::load_graph`] / [`hetgraph::io::load_dataset`];
 //! 4. **trace** — `QTR1` serving query traces through
 //!    [`serve::load_trace`] (truncated records, out-of-range vertex
-//!    ids and class indices, non-monotone timestamps, trailing bytes).
+//!    ids and class indices, non-monotone timestamps, trailing bytes);
+//! 5. **http** — sweep-service request bytes through
+//!    [`sweepd::parse_request`] and, when framing survives, the body
+//!    through [`sweepd::parse_manifest`] (oversized request/header
+//!    lines, header-count overflow, truncated chunked bodies,
+//!    absurd `Content-Length`, malformed JSON manifests).
 //!
 //! Each iteration takes a known-valid input, applies one randomly
 //! chosen structural mutation (bit flip, field overwrite with extreme
@@ -25,7 +30,7 @@
 //! or the other boundaries.
 //!
 //! ```text
-//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace]
+//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace|http]
 //! ```
 //!
 //! `--seconds` is a wall-clock cap for CI smoke runs; because the
@@ -336,6 +341,103 @@ fn trace_boundary() -> Boundary {
     }
 }
 
+/// sweepd control-plane boundary: HTTP/1.1 request bytes through
+/// [`sweepd::parse_request`], and — whenever the framing survives the
+/// mutation — the decoded body through [`sweepd::parse_manifest`].
+///
+/// Half the iterations are field-targeted at the parser's explicit
+/// limits and decoders: a header line past [`MAX_HEADER_LINE`], more
+/// headers than [`MAX_HEADERS`], a `Content-Length` past [`MAX_BODY`],
+/// a chunked body truncated mid-chunk, and a syntactically valid
+/// request carrying a corrupted JSON manifest. Every outcome must be a
+/// structured [`sweepd::HttpError`] / manifest rejection or a clean
+/// `Incomplete` — never a panic.
+fn http_boundary() -> Boundary {
+    use sweepd::http::{MAX_BODY, MAX_HEADERS, MAX_HEADER_LINE};
+
+    let manifest: &[u8] = br#"{"experiment":"faults","seed":7,"priority":2,"cell_timeout_s":30,"retry_budget":1,"finalize":true}"#;
+    let frame = |body: &[u8], extra_headers: &str| -> Vec<u8> {
+        let mut v = format!(
+            "POST /sweeps HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\n\
+             {extra_headers}Content-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        v.extend_from_slice(body);
+        v
+    };
+    let valid = frame(manifest, "");
+    let manifest = manifest.to_vec();
+    Boundary {
+        name: "http",
+        lane: 5,
+        run: Box::new(move |_dir, rng| {
+            let mut bytes = valid.clone();
+            let identity = if rng.below(2) == 0 {
+                mutate(rng, &mut bytes)
+            } else {
+                match rng.below(5) {
+                    0 => {
+                        // One header line past the per-line cap.
+                        let long = format!(
+                            "X-Fuzz: {}\r\n",
+                            "a".repeat(MAX_HEADER_LINE + rng.below(4096) as usize)
+                        );
+                        bytes = frame(&manifest, &long);
+                    }
+                    1 => {
+                        // More headers than the parser admits.
+                        let mut many = String::new();
+                        for i in 0..=MAX_HEADERS + rng.below(32) as usize {
+                            many.push_str(&format!("X-Fuzz-{i}: {i}\r\n"));
+                        }
+                        bytes = frame(&manifest, &many);
+                    }
+                    2 => {
+                        // Chunked body cut mid-chunk (or mid-trailer).
+                        let mut v = b"POST /sweeps HTTP/1.1\r\nHost: localhost\r\n\
+                                      Transfer-Encoding: chunked\r\n\r\n"
+                            .to_vec();
+                        let body_at = v.len();
+                        v.extend_from_slice(format!("{:x}\r\n", manifest.len()).as_bytes());
+                        v.extend_from_slice(&manifest);
+                        v.extend_from_slice(b"\r\n0\r\n\r\n");
+                        let cut = body_at + 1 + rng.below((v.len() - body_at - 1) as u64) as usize;
+                        v.truncate(cut);
+                        bytes = v;
+                    }
+                    3 => {
+                        // Declared length far past the body cap.
+                        let decl = MAX_BODY as u64 + 1 + rng.below(u32::MAX as u64);
+                        bytes = format!(
+                            "POST /sweeps HTTP/1.1\r\nHost: localhost\r\n\
+                             Content-Length: {decl}\r\n\r\n"
+                        )
+                        .into_bytes();
+                    }
+                    _ => {
+                        // Valid framing around a corrupted manifest.
+                        let mut body = manifest.clone();
+                        mutate(rng, &mut body);
+                        bytes = frame(&body, "");
+                    }
+                }
+                false
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                match sweepd::parse_request(&bytes) {
+                    Err(e) => Err(format!("{} {}", e.status, e.reason)),
+                    Ok(sweepd::ParseStatus::Incomplete) => Err("incomplete request".into()),
+                    Ok(sweepd::ParseStatus::Complete { request, .. }) => {
+                        sweepd::parse_manifest(&request.body).map(|_| ())
+                    }
+                }
+            }));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
 struct Options {
     iters: u64,
     seed: u64,
@@ -368,9 +470,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--boundary" => {
                 let v = it.next().ok_or("--boundary requires a name")?;
-                if !["all", "ckpt", "manifest", "graph", "trace"].contains(&v.as_str()) {
+                if !["all", "ckpt", "manifest", "graph", "trace", "http"].contains(&v.as_str()) {
                     return Err(format!(
-                        "unknown boundary {v:?}; known: all ckpt manifest graph trace"
+                        "unknown boundary {v:?}; known: all ckpt manifest graph trace http"
                     ));
                 }
                 opts.boundary = v;
@@ -397,7 +499,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fuzz [--iters N] [--seed S] [--seconds T] \
-                 [--boundary all|ckpt|manifest|graph|trace]"
+                 [--boundary all|ckpt|manifest|graph|trace|http]"
             );
             return ExitCode::from(2);
         }
@@ -420,6 +522,9 @@ fn main() -> ExitCode {
     }
     if matches!(opts.boundary.as_str(), "all" | "trace") {
         boundaries.push(trace_boundary());
+    }
+    if matches!(opts.boundary.as_str(), "all" | "http") {
+        boundaries.push(http_boundary());
     }
 
     let start = Instant::now();

@@ -1,13 +1,29 @@
-//! Sweep run manifest: a JSONL journal of completed cells.
+//! Sweep run manifest: a JSONL journal of completed cells, leases, and
+//! failed attempts.
 //!
 //! Line 1 is a [`JournalHeader`] (format version, sweep config hash,
-//! seed); every subsequent line is one [`CellRecord`] appended — and
-//! fsynced — the moment its cell completes. A crash can therefore tear
-//! at most the final line, which [`Journal::open_resume`] tolerates by
-//! discarding an unparseable trailing fragment; torn or malformed lines
-//! anywhere else are structural corruption and are rejected.
+//! seed); every subsequent line is appended — and fsynced — the moment
+//! its event happens. A crash can therefore tear at most the final
+//! line, which [`Journal::open_resume`] tolerates by discarding an
+//! unparseable trailing fragment; torn or malformed lines anywhere
+//! else are structural corruption and are rejected.
 //!
-//! On resume, a runner replays `result_json` for every journaled cell
+//! Three record kinds share the body (see [`JournalRecord`]):
+//!
+//! * a **completion** is a bare [`CellRecord`] — the historical format,
+//!   so journals written before leases existed still resume;
+//! * a **lease** ([`LeaseRecord`], serialized `{"Lease":{...}}`) marks
+//!   a cell handed to a worker; purely informational on replay;
+//! * a **failed attempt** ([`FailRecord`], `{"Failed":{...}}`) records
+//!   a worker death or cell timeout; the cell simply runs again.
+//!
+//! The journal is the single source of truth for work migration:
+//! completions are **idempotent** — a cell completed twice (a worker
+//! declared dead past its heartbeat deadline that was merely stalled,
+//! racing its replacement) keeps the first record, and a duplicate
+//! whose result differs from the first is corruption and rejected.
+//!
+//! On resume, a runner replays `result_json` for every completed cell
 //! instead of re-simulating it. Because cells are deterministic, the
 //! replayed bytes match what a rerun would produce, keeping the final
 //! results file byte-identical to an uninterrupted sweep.
@@ -46,6 +62,67 @@ pub struct CellRecord {
     pub result_json: String,
 }
 
+/// A cell leased to a worker for execution (crash-migration metadata).
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// Cell key the lease covers.
+    pub key: String,
+    /// Worker identity holding the lease (e.g. `"w-3"`).
+    pub worker: String,
+    /// 0-based attempt number; re-leases after a death increment it.
+    pub attempt: u32,
+}
+
+/// A failed execution attempt (worker death, heartbeat expiry, or cell
+/// timeout). The cell remains runnable; this line exists for post-
+/// mortems and retry-budget accounting.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct FailRecord {
+    /// Cell key the attempt was for.
+    pub key: String,
+    /// Attempt number that failed.
+    pub attempt: u32,
+    /// Structured human-readable reason.
+    pub error: String,
+}
+
+/// One journal body line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Completed cell (serialized as a bare [`CellRecord`] line).
+    Cell(CellRecord),
+    /// Cell leased to a worker.
+    Lease(LeaseRecord),
+    /// Failed execution attempt.
+    Failed(FailRecord),
+}
+
+/// Serde image of the *tagged* record kinds. Completions stay bare
+/// [`CellRecord`] lines for compatibility, so only leases and failures
+/// go through the enum tagging (`{"Lease":{...}}` / `{"Failed":{...}}`).
+#[derive(Serialize, Deserialize, Debug, Clone)]
+enum TaggedRecord {
+    Lease(LeaseRecord),
+    Failed(FailRecord),
+}
+
+/// Parses one journal body line: a bare completion first, then the
+/// tagged kinds.
+fn parse_record(line: &str) -> Result<JournalRecord, String> {
+    // A completion has `result_digest`/`result_json` fields no tagged
+    // record carries, and a tagged record is a single-key map whose key
+    // is a variant name — the shapes are disjoint, so trying in order
+    // is unambiguous.
+    if let Ok(rec) = serde_json::from_str::<CellRecord>(line) {
+        return Ok(JournalRecord::Cell(rec));
+    }
+    match serde_json::from_str::<TaggedRecord>(line) {
+        Ok(TaggedRecord::Lease(l)) => Ok(JournalRecord::Lease(l)),
+        Ok(TaggedRecord::Failed(f)) => Ok(JournalRecord::Failed(f)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// Append-only journal handle.
 #[derive(Debug)]
 pub struct Journal {
@@ -76,14 +153,40 @@ impl Journal {
     /// Reopens an existing journal for resumption.
     ///
     /// Validates the header against `expected` (version, config hash,
-    /// seed) and returns the completed cell records. A trailing line
-    /// that fails to parse is treated as a torn in-flight append and
-    /// dropped; a malformed line followed by further lines is corruption
-    /// and rejected.
+    /// seed) and returns the completed cell records, deduplicated
+    /// idempotently (first completion of a key wins; a duplicate with a
+    /// different result is corruption). Lease and failed-attempt
+    /// records are dropped — they describe a previous incarnation's
+    /// in-flight state, and their cells simply run again. A trailing
+    /// line that fails to parse is treated as a torn in-flight append
+    /// and dropped; a malformed line followed by further lines is
+    /// corruption and rejected.
     pub fn open_resume(
         path: &Path,
         expected: &JournalHeader,
     ) -> Result<(Self, Vec<CellRecord>), CheckpointError> {
+        let (journal, records) = Self::open_resume_records(path, expected)?;
+        let cells = records
+            .into_iter()
+            .filter_map(|r| match r {
+                JournalRecord::Cell(c) => Some(c),
+                JournalRecord::Lease(_) | JournalRecord::Failed(_) => None,
+            })
+            .collect();
+        Ok((journal, cells))
+    }
+
+    /// Like [`Journal::open_resume`], but returns every intact record —
+    /// completions (deduplicated), leases, and failed attempts — in
+    /// journal order, for coordinators that rebuild supervision state.
+    ///
+    /// The on-disk journal is compacted to the header plus the
+    /// deduplicated completions, so the next append lands after valid
+    /// data and stale leases do not accumulate across restarts.
+    pub fn open_resume_records(
+        path: &Path,
+        expected: &JournalHeader,
+    ) -> Result<(Self, Vec<JournalRecord>), CheckpointError> {
         let p = || path.display().to_string();
         let text = fs::read_to_string(path).map_err(|e| CheckpointError::io(path, "read", &e))?;
         let mut lines: Vec<&str> = text.split('\n').collect();
@@ -128,11 +231,13 @@ impl Journal {
                 ),
             });
         }
-        let mut cells = Vec::new();
+        let mut records: Vec<JournalRecord> = Vec::new();
+        let mut first_completion: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
         let body = &lines[1..];
         for (i, line) in body.iter().enumerate() {
-            match serde_json::from_str::<CellRecord>(line) {
-                Ok(rec) => {
+            match parse_record(line) {
+                Ok(JournalRecord::Cell(rec)) => {
                     if digest_str(&rec.result_json) != rec.result_digest {
                         return Err(CheckpointError::Malformed {
                             path: p(),
@@ -142,12 +247,31 @@ impl Journal {
                             ),
                         });
                     }
-                    cells.push(rec);
+                    match first_completion.get(&rec.key) {
+                        // Idempotent duplicate (a stalled worker racing
+                        // its replacement): first record wins.
+                        Some(digest) if *digest == rec.result_digest => {}
+                        Some(_) => {
+                            return Err(CheckpointError::Malformed {
+                                path: p(),
+                                detail: format!(
+                                    "cell {:?}: completed twice with different results — \
+                                     the sweep is not deterministic or the journal is corrupt",
+                                    rec.key
+                                ),
+                            });
+                        }
+                        None => {
+                            first_completion.insert(rec.key.clone(), rec.result_digest);
+                            records.push(JournalRecord::Cell(rec));
+                        }
+                    }
                 }
+                Ok(rec) => records.push(rec),
                 Err(e) if i + 1 == body.len() => {
                     // Torn trailing append from a crash mid-write: the
-                    // cell will simply be re-run. Truncate it away so
-                    // new appends start on a clean boundary.
+                    // event will simply recur. Truncate it away so new
+                    // appends start on a clean boundary.
                     let _ = e;
                     break;
                 }
@@ -159,11 +283,14 @@ impl Journal {
                 }
             }
         }
-        // Rewrite the journal with only the intact records so the next
-        // append lands after valid data (atomic via the shared helper).
+        // Rewrite the journal with only the intact completions so the
+        // next append lands after valid data (atomic via the shared
+        // helper); stale leases and spent failure lines are dropped.
         let mut clean = render_line(path, &header)?;
-        for rec in &cells {
-            clean.push_str(&render_line(path, rec)?);
+        for rec in &records {
+            if let JournalRecord::Cell(cell) = rec {
+                clean.push_str(&render_line(path, cell)?);
+            }
         }
         crate::atomic::atomic_write_str(path, &clean)?;
         let file = OpenOptions::new()
@@ -175,13 +302,29 @@ impl Journal {
                 path: path.to_path_buf(),
                 file,
             },
-            cells,
+            records,
         ))
     }
 
     /// Appends one completed cell and fsyncs the journal.
     pub fn append(&mut self, record: &CellRecord) -> Result<(), CheckpointError> {
         let line = render_line(&self.path, record)?;
+        self.append_line(&line)
+    }
+
+    /// Appends a lease record and fsyncs the journal.
+    pub fn append_lease(&mut self, lease: &LeaseRecord) -> Result<(), CheckpointError> {
+        let line = render_line(&self.path, &TaggedRecord::Lease(lease.clone()))?;
+        self.append_line(&line)
+    }
+
+    /// Appends a failed-attempt record and fsyncs the journal.
+    pub fn append_failed(&mut self, fail: &FailRecord) -> Result<(), CheckpointError> {
+        let line = render_line(&self.path, &TaggedRecord::Failed(fail.clone()))?;
+        self.append_line(&line)
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), CheckpointError> {
         self.file
             .write_all(line.as_bytes())
             .map_err(|e| CheckpointError::io(&self.path, "append", &e))?;
@@ -293,6 +436,101 @@ mod tests {
         };
         let err = Journal::open_resume(&path, &seed_change).unwrap_err();
         assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leases_and_failures_round_trip_and_compact_away() {
+        let dir = scratch("lease");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&LeaseRecord {
+            key: "a".into(),
+            worker: "w-0".into(),
+            attempt: 0,
+        })
+        .unwrap();
+        j.append_failed(&FailRecord {
+            key: "a".into(),
+            attempt: 0,
+            error: "worker w-0 heartbeat deadline exceeded".into(),
+        })
+        .unwrap();
+        j.append_lease(&LeaseRecord {
+            key: "a".into(),
+            worker: "w-1".into(),
+            attempt: 1,
+        })
+        .unwrap();
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        drop(j);
+        let (_j, records) = Journal::open_resume_records(&path, &header()).unwrap();
+        assert_eq!(records.len(), 4);
+        assert!(matches!(&records[0], JournalRecord::Lease(l) if l.worker == "w-0"));
+        assert!(matches!(&records[1], JournalRecord::Failed(f) if f.attempt == 0));
+        assert!(matches!(&records[2], JournalRecord::Lease(l) if l.attempt == 1));
+        assert!(matches!(&records[3], JournalRecord::Cell(c) if c.key == "a"));
+        // Completions-only view sees the one completion.
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        // And the compaction dropped the stale lease/failure lines.
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let dir = scratch("dup");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        // A worker declared dead past its heartbeat deadline completes
+        // anyway, racing the re-leased attempt: same key, same bytes.
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        j.append(&cell_record("b", 2, "{\"x\":2}".into())).unwrap();
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key, "a");
+        assert_eq!(cells[1].key, "b");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_duplicate_completion_is_corruption() {
+        let dir = scratch("dup-conflict");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        j.append(&cell_record("a", 1, "{\"x\":9}".into())).unwrap();
+        drop(j);
+        let err = Journal::open_resume(&path, &header()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lease_tail_is_dropped() {
+        let dir = scratch("torn-lease");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&cell_record("a", 1, "{}".into())).unwrap();
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"Lease\":{\"key\":\"b\",\"wor");
+        fs::write(&path, &bytes).unwrap();
+        let (mut j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        j.append_lease(&LeaseRecord {
+            key: "b".into(),
+            worker: "w-2".into(),
+            attempt: 0,
+        })
+        .unwrap();
+        drop(j);
+        let (_j, records) = Journal::open_resume_records(&path, &header()).unwrap();
+        assert_eq!(records.len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

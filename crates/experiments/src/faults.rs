@@ -146,8 +146,16 @@ fn run_one(cx: &Ctx, key: &str, faults: FaultConfig) -> Result<SimulationOutcome
             .checkpoint_interval(sweep.interval);
     }
     let sim = builder.build().ctx("faults: simulator configuration")?;
+    // Under a `--cell-timeout` budget the cell runs with its own cancel
+    // token (the pool's watchdog forwards global interrupts into it);
+    // otherwise the process-global interrupt flag is watched directly.
+    let cancel = sweep::current_cancel();
+    let stop = match cancel.as_deref() {
+        Some(token) => token.flag(),
+        None => sweep::interrupt_flag(),
+    };
     match sim
-        .run_interruptible(sweep::interrupt_flag())
+        .run_interruptible(stop)
         .ctx("faults: end-to-end simulation")?
     {
         RunStatus::Complete(outcome) => Ok(outcome),
@@ -160,6 +168,34 @@ fn run_one(cx: &Ctx, key: &str, faults: FaultConfig) -> Result<SimulationOutcome
             }
         }),
     }
+}
+
+/// The sweep identity hash `sweepd` journals under (worker-mode API).
+pub fn worker_sweep_hash(cx: &Ctx) -> u64 {
+    sweep_hash(cx)
+}
+
+/// The cell grid as `(key, cell_hash)` pairs, for the coordinator to
+/// shard across workers (worker-mode API).
+pub fn worker_grid(cx: &Ctx) -> Vec<(String, u64)> {
+    cell_grid(cx)
+        .into_iter()
+        .map(|(key, faults)| (key, cell_hash(cx, &faults)))
+        .collect()
+}
+
+/// Runs one cell by journal key, returning `(cell_hash, result_json)`
+/// — exactly the bytes the in-process sweep would journal, so a
+/// coordinator-assembled journal replays byte-identically.
+pub fn worker_run_cell(cx: &Ctx, key: &str) -> Result<(u64, String), ExpError> {
+    let (_, faults) = cell_grid(cx)
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| ExpError::Failed(format!("faults: unknown cell key {key:?}")))?;
+    let outcome = run_one(cx, key, faults)?;
+    let json =
+        serde_json::to_string(&outcome).ctx(&format!("faults: serializing cell {key:?} result"))?;
+    Ok((cell_hash(cx, &faults), json))
 }
 
 /// The sweep's cell grid in canonical (journal) order: baseline, the

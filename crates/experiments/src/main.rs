@@ -29,6 +29,15 @@
 //!   --resume <dir>        resume a journaled sweep from <dir>
 //!   --ckpt-interval <n>   in-run checkpoint granularity in start
 //!                         vertices (default 256)
+//!   --cell-timeout <s>    per-cell wall-clock budget in seconds; a
+//!                         cell over budget is cancelled cooperatively
+//!                         and journaled as a failed attempt instead of
+//!                         wedging the --jobs pool (default unbounded)
+//!   --worker              run as a supervised `sweepd` worker speaking
+//!                         the stdin/stdout JSONL cell protocol
+//!   --grid <exp>          print the experiment's cell grid as JSON and
+//!                         exit (the coordinator's shard list)
+//!   --heartbeat-ms <n>    worker liveness heartbeat period (default 100)
 //! ```
 //!
 //! Output tables print to stdout and are saved under `results/`. An
@@ -52,6 +61,7 @@ mod performance;
 mod serve_exp;
 mod sweep;
 mod verification;
+mod worker;
 
 use std::process::ExitCode;
 
@@ -94,6 +104,10 @@ fn usage() {
     eprintln!("  --sweep-dir <dir>     journal sweep cells under <dir> (fresh sweep)");
     eprintln!("  --resume <dir>        resume a journaled sweep from <dir>");
     eprintln!("  --ckpt-interval <n>   in-run checkpoint granularity (default 256)");
+    eprintln!("  --cell-timeout <s>    per-cell wall-clock budget in seconds (default unbounded)");
+    eprintln!("  --worker              run as a supervised sweepd worker (stdin/stdout JSONL)");
+    eprintln!("  --grid <exp>          print the experiment's cell grid as JSON and exit");
+    eprintln!("  --heartbeat-ms <n>    worker liveness heartbeat period (default 100)");
 }
 
 fn main() -> ExitCode {
@@ -112,11 +126,16 @@ fn main() -> ExitCode {
     let mut sweep_dir: Option<String> = None;
     let mut resume = false;
     let mut ckpt_interval: u64 = 256;
+    let mut cell_timeout: Option<std::time::Duration> = None;
+    let mut worker_mode = false;
+    let mut grid_exp: Option<String> = None;
+    let mut heartbeat_ms: u64 = 100;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deterministic-metrics" => deterministic_metrics = true,
+            "--worker" => worker_mode = true,
             "--metrics-out" | "--trace-out" | "--sweep-dir" | "--resume" => {
                 let Some(path) = it.next() else {
                     eprintln!("{arg} requires a path argument");
@@ -132,7 +151,14 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--seed" | "--ckpt-interval" | "--jobs" => {
+            "--grid" => {
+                let Some(exp) = it.next() else {
+                    eprintln!("--grid requires an experiment name");
+                    return ExitCode::from(2);
+                };
+                grid_exp = Some(exp);
+            }
+            "--seed" | "--ckpt-interval" | "--jobs" | "--cell-timeout" | "--heartbeat-ms" => {
                 let Some(v) = it.next() else {
                     eprintln!("{arg} requires an unsigned integer argument");
                     return ExitCode::from(2);
@@ -144,6 +170,20 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--seed" => seed = n,
                     "--jobs" => jobs = n as usize,
+                    "--cell-timeout" => {
+                        if n == 0 {
+                            eprintln!("--cell-timeout must be positive");
+                            return ExitCode::from(2);
+                        }
+                        cell_timeout = Some(std::time::Duration::from_secs(n));
+                    }
+                    "--heartbeat-ms" => {
+                        if n == 0 {
+                            eprintln!("--heartbeat-ms must be positive");
+                            return ExitCode::from(2);
+                        }
+                        heartbeat_ms = n;
+                    }
                     _ => {
                         if n == 0 {
                             eprintln!("--ckpt-interval must be positive");
@@ -161,7 +201,7 @@ fn main() -> ExitCode {
             _ => experiments.push(arg),
         }
     }
-    if experiments.is_empty() {
+    if !worker_mode && grid_exp.is_none() && experiments.is_empty() {
         usage();
         return ExitCode::from(2);
     }
@@ -197,7 +237,35 @@ fn main() -> ExitCode {
         seed,
         sweep: sweep_opts,
         jobs,
+        cell_timeout,
     };
+
+    // One-shot grid mode: print the shard list and exit.
+    if let Some(exp) = &grid_exp {
+        return match worker::print_grid(&cx, exp) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("grid {exp} failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Supervised worker mode: speak the sweepd cell protocol until
+    // stdin EOF or an exit command; a drain mid-cell exits 3.
+    if worker_mode {
+        if cx.sweep.is_none() {
+            eprintln!("--worker requires --sweep-dir <dir>");
+            return ExitCode::from(2);
+        }
+        return match worker::run_worker(&cx, heartbeat_ms) {
+            Ok(code) => ExitCode::from(code),
+            Err(e) => {
+                eprintln!("worker failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let run = |name: &str, f: fn(&Ctx) -> ExpResult| -> Result<(), ExitCode> {
         banner(name);
         f(&cx).map_err(|e| match e {

@@ -291,6 +291,7 @@ mod tests {
             seed: 42,
             sweep: None,
             jobs: 1,
+            cell_timeout: None,
         };
         let a = cell_hash(&cx, 10.0, 0);
         let b = cell_hash(&cx, 20.0, 0);

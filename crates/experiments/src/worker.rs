@@ -1,0 +1,245 @@
+//! `sweepd` worker mode: a supervised child process that computes
+//! sweep cells on demand.
+//!
+//! The coordinator (`sweepd`) spawns `metanmp-experiments --worker
+//! --sweep-dir <dir> --seed <s>` and speaks newline-delimited JSON
+//! over the child's stdin/stdout:
+//!
+//! * coordinator → worker: `{"op":"run","exp":"faults","key":"..."}`
+//!   runs one cell; `{"op":"exit"}` (or stdin EOF) ends the worker.
+//! * worker → coordinator: `{"ev":"ready","pid":…}` once at startup;
+//!   `{"ev":"hb","seq":…}` every `--heartbeat-ms` for liveness (the
+//!   heartbeat thread runs from startup, so an idle worker proves
+//!   liveness too); `{"ev":"done","key":…,"hash":…,"result":…}` with
+//!   the cell's result JSON (the exact bytes an in-process sweep would
+//!   journal); `{"ev":"err",…}` for a failed cell;
+//!   `{"ev":"interrupted",…}` before a drain exit.
+//!
+//! Every stdout line is written and flushed under one lock, so events
+//! never tear even though the heartbeat thread runs concurrently with
+//! cell completion messages.
+//!
+//! Robustness contract: the worker checkpoints in-flight cells under
+//! `<sweep-dir>/inflight-<key>.ckpt` (the standard sweep mechanism),
+//! so a worker killed mid-cell — `kill -9` included — loses no more
+//! than one checkpoint chunk, and the re-leased cell resumes
+//! byte-identically on any other worker pointed at the same directory.
+//! SIGTERM drains cooperatively: the in-flight cell stops at its next
+//! chunk boundary, persists, and the worker exits 3 ("interrupted,
+//! resumable").
+//!
+//! `--grid <exp>` is the companion one-shot mode: it prints the
+//! experiment's cell grid (keys, per-cell config hashes, the sweep
+//! hash for the journal header) as one JSON line and exits, giving the
+//! coordinator the shard list without hard-coding any experiment
+//! knowledge.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{Ctx, ExpError, ExpResult, ResultExt};
+use crate::{faults, sweep};
+
+/// One command from the coordinator. Unknown ops are reported as
+/// errors, not fatal: a coordinator newer than the worker degrades to
+/// structured failures instead of a wedged fleet.
+#[derive(Deserialize, Debug)]
+struct WireCmd {
+    op: String,
+    exp: Option<String>,
+    key: Option<String>,
+}
+
+#[derive(Serialize)]
+struct ReadyEv {
+    ev: String,
+    pid: u64,
+}
+
+#[derive(Serialize)]
+struct HbEv {
+    ev: String,
+    seq: u64,
+}
+
+#[derive(Serialize)]
+struct DoneEv {
+    ev: String,
+    key: String,
+    hash: u64,
+    result: String,
+}
+
+#[derive(Serialize)]
+struct ErrEv {
+    ev: String,
+    key: String,
+    error: String,
+}
+
+#[derive(Serialize)]
+struct InterruptedEv {
+    ev: String,
+    key: String,
+}
+
+/// Grid line printed by `--grid <exp>`.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct GridCell {
+    /// Journal key of the cell.
+    pub key: String,
+    /// The cell's own configuration hash.
+    pub hash: u64,
+}
+
+/// Everything the coordinator needs to open a journal and shard cells.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct GridDoc {
+    /// Experiment name the grid belongs to.
+    pub experiment: String,
+    /// Sweep-level config hash for the journal header.
+    pub sweep_hash: u64,
+    /// Seed the grid was computed under.
+    pub seed: u64,
+    /// Cells in canonical order.
+    pub cells: Vec<GridCell>,
+}
+
+/// Writes one protocol line to stdout and flushes it (stdout is a pipe
+/// under `sweepd`, so unflushed heartbeats would never arrive).
+fn emit<T: Serialize>(msg: &T) {
+    let line = serde_json::to_string(msg).unwrap_or_else(|e| {
+        // A protocol struct that fails to serialize is a programming
+        // error; surface it as a line the coordinator rejects.
+        format!("{{\"ev\":\"err\",\"key\":\"\",\"error\":\"serialize: {e}\"}}")
+    });
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// The experiments that expose a distributed cell API, by name.
+///
+/// Each entry maps to the experiment's `worker_grid` /
+/// `worker_run_cell` pair; extending a new sweep to `sweepd` means
+/// adding it here and in the matching list in `sweepd::manifest`.
+fn grid_of(cx: &Ctx, exp: &str) -> Result<GridDoc, ExpError> {
+    match exp {
+        "faults" => Ok(GridDoc {
+            experiment: exp.to_string(),
+            sweep_hash: faults::worker_sweep_hash(cx),
+            seed: cx.seed,
+            cells: faults::worker_grid(cx)
+                .into_iter()
+                .map(|(key, hash)| GridCell { key, hash })
+                .collect(),
+        }),
+        other => Err(ExpError::Failed(format!(
+            "no distributed cell API for experiment {other:?} (supported: faults)"
+        ))),
+    }
+}
+
+fn run_cell(cx: &Ctx, exp: &str, key: &str) -> Result<(u64, String), ExpError> {
+    match exp {
+        "faults" => faults::worker_run_cell(cx, key),
+        other => Err(ExpError::Failed(format!(
+            "no distributed cell API for experiment {other:?} (supported: faults)"
+        ))),
+    }
+}
+
+/// `--grid <exp>`: prints the cell grid as one JSON line and exits.
+pub fn print_grid(cx: &Ctx, exp: &str) -> ExpResult {
+    let doc = grid_of(cx, exp)?;
+    let line = serde_json::to_string(&doc).ctx("grid: serializing")?;
+    println!("{line}");
+    Ok(())
+}
+
+/// `--worker`: the supervised worker loop. Returns `Ok(exit_code)` so
+/// `main` can map a drain to the "interrupted, resumable" code 3.
+pub fn run_worker(cx: &Ctx, heartbeat_ms: u64) -> Result<u8, ExpError> {
+    // Liveness heartbeat from startup: the supervisor's deadline check
+    // must see beats while the worker is idle, computing, or draining.
+    static HB_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms.max(1)));
+        emit(&HbEv {
+            ev: "hb".into(),
+            seq: HB_SEQ.fetch_add(1, Ordering::Relaxed),
+        });
+    });
+    emit(&ReadyEv {
+        ev: "ready".into(),
+        pid: u64::from(std::process::id()),
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.ctx("worker: reading command")?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd: WireCmd = match serde_json::from_str(&line) {
+            Ok(c) => c,
+            Err(e) => {
+                emit(&ErrEv {
+                    ev: "err".into(),
+                    key: String::new(),
+                    error: format!("malformed command: {e}"),
+                });
+                continue;
+            }
+        };
+        match cmd.op.as_str() {
+            "exit" => return Ok(0),
+            "run" => {
+                let (Some(exp), Some(key)) = (cmd.exp.as_deref(), cmd.key.as_deref()) else {
+                    emit(&ErrEv {
+                        ev: "err".into(),
+                        key: cmd.key.unwrap_or_default(),
+                        error: "run command needs exp and key".into(),
+                    });
+                    continue;
+                };
+                match run_cell(cx, exp, key) {
+                    Ok((hash, result)) => emit(&DoneEv {
+                        ev: "done".into(),
+                        key: key.to_string(),
+                        hash,
+                        result,
+                    }),
+                    Err(ExpError::Interrupted { .. }) => {
+                        // Drain requested mid-cell: the in-flight
+                        // checkpoint is persisted; tell the
+                        // coordinator and exit resumable.
+                        emit(&InterruptedEv {
+                            ev: "interrupted".into(),
+                            key: key.to_string(),
+                        });
+                        return Ok(3);
+                    }
+                    Err(e) => emit(&ErrEv {
+                        ev: "err".into(),
+                        key: key.to_string(),
+                        error: e.to_string(),
+                    }),
+                }
+            }
+            other => emit(&ErrEv {
+                ev: "err".into(),
+                key: String::new(),
+                error: format!("unknown op {other:?}"),
+            }),
+        }
+        if sweep::interrupted() {
+            return Ok(3);
+        }
+    }
+    // stdin EOF: the coordinator is gone (or closed us out); exit
+    // cleanly — any in-flight state is already checkpointed.
+    Ok(if sweep::interrupted() { 3 } else { 0 })
+}

@@ -27,6 +27,7 @@
 //! those crates consume the injector; this crate knows nothing about
 //! DRAM timing or the NMP dataflow.
 
+pub mod backoff;
 pub mod ecc;
 
 mod config;
@@ -34,6 +35,7 @@ mod error;
 mod inject;
 mod watchdog;
 
+pub use backoff::Backoff;
 pub use config::FaultConfig;
 pub use error::{FaultError, MemError, MemErrorKind};
 pub use inject::{BroadcastFault, FaultInjector, FaultStats, InjectorState};

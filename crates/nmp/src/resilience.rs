@@ -18,7 +18,7 @@
 //!    is the graceful-degradation path — throughput drops, but the run
 //!    completes and the computed embeddings are unaffected.
 
-use faultsim::{BroadcastFault, FaultConfig, FaultInjector, FaultStats};
+use faultsim::{Backoff, BroadcastFault, FaultConfig, FaultInjector, FaultStats};
 
 /// Outcome of pushing one phase's broadcast transfers through the
 /// fault pipeline.
@@ -62,6 +62,9 @@ pub fn apply_broadcast_faults(
     let extra_copies = p2p_copies.saturating_sub(1) as f64;
     let mut consecutive_fallbacks: u64 = 0;
     let degradation_threshold = u64::from(cfg.retry_limit.max(1));
+    // Simulated-domain backoff: jitter-free so the cycle accounting
+    // stays byte-deterministic (`base << attempt`, saturating).
+    let mut backoff = Backoff::new(cfg.retry_backoff_cycles, u64::MAX);
 
     for _ in 0..transfers {
         if consecutive_fallbacks >= degradation_threshold {
@@ -88,7 +91,7 @@ pub fn apply_broadcast_faults(
                     }
                     if attempt < cfg.retry_limit {
                         stats.broadcast_retries += 1;
-                        out.extra_host_cycles += cfg.retry_backoff_cycles << attempt;
+                        out.extra_host_cycles += backoff.delay(attempt);
                         attempt += 1;
                     } else {
                         // Retry budget exhausted: point-to-point

@@ -1,0 +1,1152 @@
+//! The sweep-service core: sweep state, the supervised worker fleet,
+//! and the supervision tick.
+//!
+//! # Supervision model
+//!
+//! The daemon owns a fixed fleet of worker *slots*. A slot holds at
+//! most one live worker process — an `experiments` child running in
+//! `--worker` mode, bound at spawn time to one sweep's state directory
+//! and seed. Each worker's stdout is drained by a dedicated reader
+//! thread that timestamps every line (heartbeats included) and forwards
+//! protocol events to the supervisor over a channel.
+//!
+//! The supervision tick, run every few tens of milliseconds:
+//!
+//! 1. applies worker events (completions journaled idempotently,
+//!    errors charged against the cell's retry budget),
+//! 2. declares workers dead when their last output line is older than
+//!    the heartbeat deadline, and cancels leases older than the cell's
+//!    wall-clock budget,
+//! 3. reaps exited children; a death while holding a lease journals a
+//!    [`FailRecord`] and returns the cell to the pending queue —
+//!    *crash migration*: the next lease (any healthy worker) resumes
+//!    from the cell's `inflight-<key>.ckpt` byte-identically,
+//! 4. sheds the lowest-priority sweeps (structured reason, never
+//!    silent) while the live fleet is below the floor,
+//! 5. advances sweep lifecycle (all cells done → optional finalize
+//!    pass producing the standard artifacts),
+//! 6. leases pending cells to idle workers and respawns dead slots
+//!    under jittered exponential backoff.
+//!
+//! The journal under each sweep's directory is the single source of
+//! truth: `faults.manifest.jsonl` with the exact header the in-process
+//! sweep would write, so `metanmp-experiments faults --resume <dir>`
+//! replays a daemon-run sweep into byte-identical `results/` artifacts.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use checkpoint::manifest::{cell_record, FailRecord, Journal, JournalHeader, LeaseRecord};
+use checkpoint::FORMAT_VERSION;
+use faultsim::Backoff;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::manifest::SweepManifest;
+
+/// Worker-identity prefix used in lease records and status views.
+fn worker_name(slot: usize) -> String {
+    format!("w-{slot}")
+}
+
+/// Daemon-wide configuration, fixed at startup.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker command prefix (the experiments binary, or a stand-in
+    /// under test); mode flags are appended per invocation.
+    pub worker_cmd: Vec<String>,
+    /// Worker slots in the fleet.
+    pub workers: usize,
+    /// Root directory for per-sweep state (`<state_dir>/sweep-<id>/`).
+    pub state_dir: PathBuf,
+    /// A worker whose last output line is older than this is dead.
+    pub heartbeat_deadline: Duration,
+    /// Heartbeat period passed to workers via `--heartbeat-ms`.
+    pub heartbeat_ms: u64,
+    /// Minimum healthy fleet; below it, low-priority sweeps are shed.
+    pub fleet_floor: usize,
+    /// Default per-cell wall-clock budget (manifest can override).
+    pub default_cell_timeout_s: Option<u64>,
+    /// Default per-cell retry budget (manifest can override).
+    pub default_retry_budget: u32,
+    /// Base respawn backoff in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Respawn backoff cap in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the jittered respawn backoff (deterministic in tests).
+    pub backoff_seed: u64,
+    /// `--ckpt-interval` forwarded to workers and the finalize pass.
+    pub ckpt_interval: u64,
+    /// How long a drain waits for workers to persist and exit before
+    /// escalating to SIGKILL.
+    pub drain_grace: Duration,
+}
+
+impl DaemonConfig {
+    /// Reasonable defaults around a worker command.
+    pub fn new(worker_cmd: Vec<String>, state_dir: PathBuf) -> Self {
+        DaemonConfig {
+            worker_cmd,
+            workers: 2,
+            state_dir,
+            heartbeat_deadline: Duration::from_millis(2000),
+            heartbeat_ms: 100,
+            fleet_floor: 1,
+            default_cell_timeout_s: None,
+            default_retry_budget: 2,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 5000,
+            backoff_seed: 0x5eed_5eed_5eed_5eed,
+            ckpt_interval: 256,
+            drain_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Image of the `--grid` one-shot output.
+#[derive(Serialize, Deserialize, Debug)]
+struct GridDoc {
+    experiment: String,
+    sweep_hash: u64,
+    seed: u64,
+    cells: Vec<GridCell>,
+}
+
+#[derive(Serialize, Deserialize, Debug)]
+struct GridCell {
+    key: String,
+    hash: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellStatus {
+    Pending,
+    Leased,
+    Done,
+    Failed,
+}
+
+#[derive(Debug)]
+struct Cell {
+    key: String,
+    hash: u64,
+    attempts: u32,
+    status: CellStatus,
+}
+
+/// Lifecycle of a submitted sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepStatus {
+    /// Cells are being leased and computed.
+    Running,
+    /// All cells done; the finalize pass is producing artifacts.
+    Finalizing,
+    /// Complete (artifacts under the sweep directory when finalized).
+    Done,
+    /// Failed with a structured reason.
+    Failed(String),
+    /// Shed under fleet degradation, with the structured reason.
+    Shed(String),
+}
+
+impl SweepStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            SweepStatus::Running => "running",
+            SweepStatus::Finalizing => "finalizing",
+            SweepStatus::Done => "done",
+            SweepStatus::Failed(_) => "failed",
+            SweepStatus::Shed(_) => "shed",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            SweepStatus::Failed(r) | SweepStatus::Shed(r) => r.clone(),
+            _ => String::new(),
+        }
+    }
+
+    /// Whether resumable work would be lost if the daemon exited now.
+    fn unfinished(&self) -> bool {
+        matches!(self, SweepStatus::Running | SweepStatus::Finalizing)
+    }
+}
+
+struct Sweep {
+    id: u64,
+    manifest: SweepManifest,
+    dir: PathBuf,
+    cells: Vec<Cell>,
+    journal: Journal,
+    status: SweepStatus,
+    finalize_child: Option<Child>,
+}
+
+impl Sweep {
+    fn cell_timeout(&self, cfg: &DaemonConfig) -> Option<Duration> {
+        self.manifest
+            .cell_timeout_s
+            .or(cfg.default_cell_timeout_s)
+            .map(Duration::from_secs)
+    }
+
+    fn retry_budget(&self, cfg: &DaemonConfig) -> u32 {
+        self.manifest
+            .retry_budget
+            .unwrap_or(cfg.default_retry_budget)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.status == SweepStatus::Running
+            && self.cells.iter().any(|c| c.status == CellStatus::Pending)
+    }
+}
+
+/// Events parsed off a worker's stdout by its reader thread.
+#[derive(Debug)]
+enum WorkerEvent {
+    Ready,
+    Done { key: String, result: String },
+    Err { key: String, error: String },
+    Interrupted { key: String },
+    Eof,
+}
+
+fn parse_event(line: &str) -> Option<WorkerEvent> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    let get_str = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+    match v.get("ev").and_then(Value::as_str)? {
+        // The spawned child's pid is already known from `Child::id`;
+        // the ready line only proves the protocol came up.
+        "ready" => Some(WorkerEvent::Ready),
+        "done" => Some(WorkerEvent::Done {
+            key: get_str("key")?,
+            result: get_str("result")?,
+        }),
+        "err" => Some(WorkerEvent::Err {
+            key: get_str("key")?,
+            error: get_str("error").unwrap_or_default(),
+        }),
+        "interrupted" => Some(WorkerEvent::Interrupted {
+            key: get_str("key")?,
+        }),
+        // Heartbeats carry no payload the supervisor needs: the reader
+        // thread already timestamped the line.
+        _ => None,
+    }
+}
+
+struct LeaseInfo {
+    sweep_id: u64,
+    key: String,
+    started: Instant,
+}
+
+struct Proc {
+    child: Child,
+    pid: u32,
+    stdin: ChildStdin,
+    /// Updated by the reader thread on every stdout line.
+    last_line: Arc<Mutex<Instant>>,
+    /// Generation guard: events from a previous incarnation of this
+    /// slot are ignored.
+    gen: u64,
+    /// Sweep the worker was spawned against (`--sweep-dir`/`--seed`).
+    bound_sweep: u64,
+    lease: Option<LeaseInfo>,
+    drain_signaled: bool,
+}
+
+struct Slot {
+    proc: Option<Proc>,
+    restarts: u64,
+    /// Consecutive deaths, feeding the backoff exponent; reset by a
+    /// successful cell completion.
+    deaths: u32,
+    backoff: Backoff,
+    respawn_after: Instant,
+    next_gen: u64,
+}
+
+struct State {
+    sweeps: BTreeMap<u64, Sweep>,
+    slots: Vec<Slot>,
+    next_id: u64,
+    drain_started: Option<Instant>,
+}
+
+/// The daemon: shared between the HTTP server threads (submission and
+/// status) and the supervisor thread (ticks).
+pub struct Daemon {
+    cfg: DaemonConfig,
+    state: Mutex<State>,
+    events_tx: Sender<(usize, u64, WorkerEvent)>,
+    events_rx: Mutex<Receiver<(usize, u64, WorkerEvent)>>,
+    draining: AtomicBool,
+}
+
+/// Summary of one sweep for `GET /sweeps`.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct SweepView {
+    /// Sweep id.
+    pub id: u64,
+    /// Experiment name.
+    pub experiment: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Lifecycle label: `running|finalizing|done|failed|shed`.
+    pub status: String,
+    /// Structured reason for `failed`/`shed`, else empty.
+    pub detail: String,
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Completed cells.
+    pub done: u64,
+    /// Cells currently leased to workers.
+    pub leased: u64,
+    /// Cells waiting for a worker.
+    pub pending: u64,
+    /// Cells that exhausted their retry budget.
+    pub failed: u64,
+}
+
+/// Per-cell detail for `GET /sweeps/:id`.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct CellView {
+    /// Cell key.
+    pub key: String,
+    /// `pending|leased|done|failed`.
+    pub status: String,
+    /// Failed attempts so far.
+    pub attempts: u32,
+}
+
+/// Worker-slot health for `GET /healthz`.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct WorkerView {
+    /// Slot index.
+    pub idx: u64,
+    /// Whether a live process occupies the slot.
+    pub alive: bool,
+    /// Live worker's pid (0 when dead).
+    pub pid: u64,
+    /// Times this slot respawned a worker.
+    pub restarts: u64,
+    /// Key of the currently leased cell, empty when idle.
+    pub lease: String,
+}
+
+impl Daemon {
+    /// Creates a daemon (no workers spawned until work arrives).
+    pub fn new(cfg: DaemonConfig) -> Arc<Self> {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let slots = (0..cfg.workers.max(1))
+            .map(|i| Slot {
+                proc: None,
+                restarts: 0,
+                deaths: 0,
+                backoff: Backoff::with_jitter(
+                    cfg.backoff_base_ms,
+                    cfg.backoff_cap_ms,
+                    200,
+                    cfg.backoff_seed.wrapping_add(i as u64),
+                ),
+                respawn_after: now,
+                next_gen: 0,
+            })
+            .collect();
+        Arc::new(Daemon {
+            cfg,
+            state: Mutex::new(State {
+                sweeps: BTreeMap::new(),
+                slots,
+                next_id: 1,
+                drain_started: None,
+            }),
+            events_tx: tx,
+            events_rx: Mutex::new(rx),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Enumerates the sweep grid by running the worker command's
+    /// `--grid` one-shot mode.
+    fn fetch_grid(&self, manifest: &SweepManifest) -> Result<GridDoc, String> {
+        let cmd = &self.cfg.worker_cmd;
+        let output = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .arg("--grid")
+            .arg(&manifest.experiment)
+            .arg("--seed")
+            .arg(manifest.seed.to_string())
+            .stdin(Stdio::null())
+            .output()
+            .map_err(|e| format!("spawning grid command {:?}: {e}", cmd[0]))?;
+        if !output.status.success() {
+            return Err(format!(
+                "grid command exited with {}: {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr).trim()
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let line = stdout
+            .lines()
+            .rev()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| "grid command produced no output".to_string())?;
+        let doc: GridDoc =
+            serde_json::from_str(line).map_err(|e| format!("parsing grid output: {e}"))?;
+        if doc.experiment != manifest.experiment || doc.seed != manifest.seed {
+            return Err(format!(
+                "grid command answered for {:?} seed {} instead of {:?} seed {}",
+                doc.experiment, doc.seed, manifest.experiment, manifest.seed
+            ));
+        }
+        if doc.cells.is_empty() {
+            return Err("grid has no cells".to_string());
+        }
+        Ok(doc)
+    }
+
+    /// Registers a sweep: enumerates its grid, creates the per-sweep
+    /// directory and journal, and queues every cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the daemon is draining, the
+    /// grid command fails, or the journal cannot be created.
+    pub fn submit(&self, manifest: SweepManifest) -> Result<u64, String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("daemon is draining; not accepting new sweeps".into());
+        }
+        let grid = self.fetch_grid(&manifest)?;
+        let mut st = self.state.lock().expect("daemon state");
+        let id = st.next_id;
+        st.next_id += 1;
+        let dir = self.cfg.state_dir.join(format!("sweep-{id}"));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        // The journal is the one the in-process sweep would write, so
+        // `--resume <dir>` (the finalize pass, or a manual rerun)
+        // replays daemon-computed cells directly.
+        let path = dir.join(format!("{}.manifest.jsonl", manifest.experiment));
+        let header = JournalHeader {
+            version: FORMAT_VERSION,
+            config_hash: grid.sweep_hash,
+            seed: manifest.seed,
+        };
+        let journal = Journal::create(&path, &header)
+            .map_err(|e| format!("creating journal {}: {e}", path.display()))?;
+        let cells = grid
+            .cells
+            .into_iter()
+            .map(|c| Cell {
+                key: c.key,
+                hash: c.hash,
+                attempts: 0,
+                status: CellStatus::Pending,
+            })
+            .collect();
+        st.sweeps.insert(
+            id,
+            Sweep {
+                id,
+                manifest,
+                dir,
+                cells,
+                journal,
+                status: SweepStatus::Running,
+                finalize_child: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Starts a graceful drain: stop leasing, SIGTERM workers so they
+    /// persist in-flight checkpoints, exit once the fleet is reaped.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether any sweep still holds resumable work.
+    pub fn unfinished(&self) -> bool {
+        let st = self.state.lock().expect("daemon state");
+        st.sweeps.values().any(|s| s.status.unfinished())
+    }
+
+    /// Summaries of all sweeps, newest first.
+    pub fn sweep_views(&self) -> Vec<SweepView> {
+        let st = self.state.lock().expect("daemon state");
+        st.sweeps.values().rev().map(view_of).collect()
+    }
+
+    /// Summary plus per-cell detail for one sweep.
+    pub fn sweep_detail(&self, id: u64) -> Option<(SweepView, Vec<CellView>)> {
+        let st = self.state.lock().expect("daemon state");
+        let sweep = st.sweeps.get(&id)?;
+        let cells = sweep
+            .cells
+            .iter()
+            .map(|c| CellView {
+                key: c.key.clone(),
+                status: match c.status {
+                    CellStatus::Pending => "pending",
+                    CellStatus::Leased => "leased",
+                    CellStatus::Done => "done",
+                    CellStatus::Failed => "failed",
+                }
+                .to_string(),
+                attempts: c.attempts,
+            })
+            .collect();
+        Some((view_of(sweep), cells))
+    }
+
+    /// Health of every worker slot.
+    pub fn worker_views(&self) -> Vec<WorkerView> {
+        let st = self.state.lock().expect("daemon state");
+        st.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WorkerView {
+                idx: i as u64,
+                alive: s.proc.is_some(),
+                pid: s.proc.as_ref().map_or(0, |p| u64::from(p.pid)),
+                restarts: s.restarts,
+                lease: s
+                    .proc
+                    .as_ref()
+                    .and_then(|p| p.lease.as_ref())
+                    .map_or(String::new(), |l| l.key.clone()),
+            })
+            .collect()
+    }
+
+    /// Count of live worker processes.
+    pub fn alive_workers(&self) -> usize {
+        let st = self.state.lock().expect("daemon state");
+        st.slots.iter().filter(|s| s.proc.is_some()).count()
+    }
+
+    /// One supervision pass. The server runs this in a loop; tests call
+    /// it directly for deterministic stepping.
+    pub fn tick(&self) {
+        let mut st = self.state.lock().expect("daemon state");
+        let cfg = &self.cfg;
+        let now = Instant::now();
+
+        // 1. Worker events.
+        {
+            let rx = self.events_rx.lock().expect("event channel");
+            while let Ok((slot_idx, gen, event)) = rx.try_recv() {
+                apply_event(cfg, &mut st, slot_idx, gen, event);
+            }
+        }
+
+        // 2. Liveness deadlines and cell wall-clock budgets.
+        for idx in 0..st.slots.len() {
+            let (stale, timed_out) = {
+                let Some(proc) = st.slots[idx].proc.as_ref() else {
+                    continue;
+                };
+                let stale = proc
+                    .last_line
+                    .lock()
+                    .map(|t| t.elapsed() > cfg.heartbeat_deadline)
+                    .unwrap_or(true);
+                let timed_out = proc.lease.as_ref().and_then(|l| {
+                    let sweep = st.sweeps.get(&l.sweep_id)?;
+                    let budget = sweep.cell_timeout(cfg)?;
+                    (l.started.elapsed() > budget).then_some((l.sweep_id, budget))
+                });
+                (stale, timed_out)
+            };
+            if stale {
+                let reason = format!(
+                    "worker {} heartbeat expired (no output for {:?})",
+                    worker_name(idx),
+                    cfg.heartbeat_deadline
+                );
+                kill_slot(cfg, &mut st, idx, &reason, now);
+                continue;
+            }
+            if let Some((sweep_id, budget)) = timed_out {
+                // Cooperative cancellation: SIGTERM makes the worker
+                // persist the in-flight checkpoint and exit 3; the
+                // attempt is charged now so the lease cannot wedge the
+                // fleet, and a retry resumes from the checkpoint.
+                let lease = st.slots[idx]
+                    .proc
+                    .as_mut()
+                    .and_then(|p| p.lease.take())
+                    .expect("timed-out lease");
+                let reason = format!(
+                    "cell {:?} exceeded its {}s wall-clock budget on worker {}",
+                    lease.key,
+                    budget.as_secs(),
+                    worker_name(idx)
+                );
+                charge_attempt(cfg, &mut st, sweep_id, &lease.key, &reason);
+                if let Some(p) = st.slots[idx].proc.as_ref() {
+                    send_sigterm(p.pid);
+                }
+            }
+        }
+
+        // 3. Reap exited workers.
+        for idx in 0..st.slots.len() {
+            let exited = match st.slots[idx].proc.as_mut() {
+                Some(p) => p.child.try_wait().ok().flatten(),
+                None => continue,
+            };
+            if let Some(status) = exited {
+                let reason = format!("worker {} exited with {status}", worker_name(idx));
+                kill_slot(cfg, &mut st, idx, &reason, now);
+            }
+        }
+
+        // 4. Fleet health and degradation.
+        let alive = st.slots.iter().filter(|s| s.proc.is_some()).count();
+        obs::gauge_set("sweepd.workers.alive", alive as f64);
+        if alive < cfg.fleet_floor {
+            shed_low_priority(cfg, &mut st, alive);
+        }
+
+        // 5. Sweep lifecycle: completion and finalize.
+        advance_sweeps(cfg, &mut st);
+
+        // 6. Leasing and respawn — or drain.
+        if self.draining.load(Ordering::SeqCst) {
+            drain_fleet(cfg, &mut st, now);
+        } else {
+            assign_work(cfg, &mut st, &self.events_tx, now);
+        }
+    }
+
+    /// Runs supervision ticks until a drain completes. Returns `true`
+    /// when all sweeps finished (exit 0), `false` when resumable work
+    /// remains (exit 3).
+    pub fn run_supervisor(&self, tick_interval: Duration) -> bool {
+        loop {
+            self.tick();
+            if self.draining() {
+                let st = self.state.lock().expect("daemon state");
+                let live = st.slots.iter().filter(|s| s.proc.is_some()).count();
+                let finalizing = st
+                    .sweeps
+                    .values()
+                    .any(|s| s.status == SweepStatus::Finalizing);
+                if live == 0 && !finalizing {
+                    break;
+                }
+            }
+            std::thread::sleep(tick_interval);
+        }
+        !self.unfinished()
+    }
+}
+
+fn view_of(sweep: &Sweep) -> SweepView {
+    let count = |s: CellStatus| sweep.cells.iter().filter(|c| c.status == s).count() as u64;
+    SweepView {
+        id: sweep.id,
+        experiment: sweep.manifest.experiment.clone(),
+        seed: sweep.manifest.seed,
+        priority: sweep.manifest.priority,
+        status: sweep.status.label().to_string(),
+        detail: sweep.status.detail(),
+        total: sweep.cells.len() as u64,
+        done: count(CellStatus::Done),
+        leased: count(CellStatus::Leased),
+        pending: count(CellStatus::Pending),
+        failed: count(CellStatus::Failed),
+    }
+}
+
+/// Applies one worker event, guarded by the slot generation.
+fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, event: WorkerEvent) {
+    let Some(proc) = st.slots[slot_idx].proc.as_mut() else {
+        return;
+    };
+    if proc.gen != gen {
+        return; // event from a previous incarnation of the slot
+    }
+    match event {
+        WorkerEvent::Ready => {}
+        WorkerEvent::Done { key, result } => {
+            let Some(lease) = proc.lease.take() else {
+                return; // completion for a cancelled lease; checkpoint covers it
+            };
+            if lease.key != key {
+                proc.lease = Some(lease);
+                return;
+            }
+            st.slots[slot_idx].deaths = 0;
+            let Some(sweep) = st.sweeps.get_mut(&lease.sweep_id) else {
+                return;
+            };
+            let Some(cell) = sweep.cells.iter_mut().find(|c| c.key == key) else {
+                return;
+            };
+            if cell.status == CellStatus::Done {
+                return; // idempotent: journal already has it
+            }
+            let record = cell_record(&key, cell.hash, result);
+            if let Err(e) = sweep.journal.append(&record) {
+                sweep.status = SweepStatus::Failed(format!("journal append: {e}"));
+                return;
+            }
+            cell.status = CellStatus::Done;
+        }
+        WorkerEvent::Err { key, error } => {
+            let Some(lease) = proc.lease.take() else {
+                return;
+            };
+            if lease.key != key {
+                proc.lease = Some(lease);
+                return;
+            }
+            let reason = format!("worker {}: {error}", worker_name(slot_idx));
+            charge_attempt(cfg, st, lease.sweep_id, &key, &reason);
+        }
+        WorkerEvent::Interrupted { key } => {
+            // The worker persisted the in-flight checkpoint and is
+            // exiting; the cell goes back to pending without charging
+            // an attempt (a cancelled lease was already charged when
+            // the timeout fired).
+            if let Some(lease) = proc.lease.take() {
+                if lease.key == key {
+                    if let Some(sweep) = st.sweeps.get_mut(&lease.sweep_id) {
+                        if let Some(cell) = sweep.cells.iter_mut().find(|c| c.key == key) {
+                            if cell.status == CellStatus::Leased {
+                                cell.status = CellStatus::Pending;
+                            }
+                        }
+                    }
+                } else {
+                    proc.lease = Some(lease);
+                }
+            }
+        }
+        WorkerEvent::Eof => {
+            // Stdout closed: the process is gone or going; the reap
+            // pass will collect the exit status. Nothing to do here —
+            // the heartbeat deadline covers a process that closed
+            // stdout but lingers.
+        }
+    }
+}
+
+/// Charges a failed attempt against a cell: journals the failure,
+/// returns the cell to pending within budget, otherwise fails the cell
+/// and its sweep.
+fn charge_attempt(cfg: &DaemonConfig, st: &mut State, sweep_id: u64, key: &str, reason: &str) {
+    let Some(sweep) = st.sweeps.get_mut(&sweep_id) else {
+        return;
+    };
+    let budget = sweep.retry_budget(cfg);
+    let Some(cell) = sweep.cells.iter_mut().find(|c| c.key == key) else {
+        return;
+    };
+    if cell.status == CellStatus::Done {
+        return;
+    }
+    let attempt = cell.attempts;
+    cell.attempts += 1;
+    let _ = sweep.journal.append_failed(&FailRecord {
+        key: key.to_string(),
+        attempt,
+        error: reason.to_string(),
+    });
+    if cell.attempts > budget {
+        cell.status = CellStatus::Failed;
+        sweep.status = SweepStatus::Failed(format!(
+            "cell {key:?} exhausted its retry budget ({budget}): {reason}"
+        ));
+    } else {
+        cell.status = CellStatus::Pending;
+    }
+}
+
+/// Tears down a slot's process after a death or forced kill: journals
+/// the orphaned lease, requeues its cell (crash migration), schedules a
+/// backed-off respawn.
+fn kill_slot(cfg: &DaemonConfig, st: &mut State, idx: usize, reason: &str, now: Instant) {
+    let Some(mut proc) = st.slots[idx].proc.take() else {
+        return;
+    };
+    let _ = proc.child.kill();
+    let _ = proc.child.wait();
+    if let Some(lease) = proc.lease.take() {
+        obs::counter_add("sweepd.cells.migrated", 1);
+        charge_attempt(
+            cfg,
+            st,
+            lease.sweep_id,
+            &lease.key,
+            &format!("{reason} while holding the lease"),
+        );
+    }
+    let slot = &mut st.slots[idx];
+    let attempt = slot.deaths;
+    slot.deaths = slot.deaths.saturating_add(1);
+    slot.respawn_after = now + Duration::from_millis(slot.backoff.delay(attempt));
+}
+
+/// Sheds every running sweep except the single highest-priority one
+/// while the fleet is below its floor.
+fn shed_low_priority(cfg: &DaemonConfig, st: &mut State, alive: usize) {
+    let mut running: Vec<(i64, u64)> = st
+        .sweeps
+        .values()
+        .filter(|s| s.status == SweepStatus::Running)
+        .map(|s| (s.manifest.priority, s.id))
+        .collect();
+    if running.len() <= 1 {
+        return;
+    }
+    // Keep the highest priority (ties: oldest id); shed the rest.
+    running.sort_by_key(|&(priority, id)| (std::cmp::Reverse(priority), id));
+    for &(priority, id) in &running[1..] {
+        let reason = format!(
+            "shed under fleet degradation: {alive} worker(s) alive, floor is {}; \
+             priority {priority} lost to priority {}",
+            cfg.fleet_floor, running[0].0
+        );
+        if let Some(sweep) = st.sweeps.get_mut(&id) {
+            sweep.status = SweepStatus::Shed(reason);
+            obs::counter_add("sweepd.sweeps.shed", 1);
+        }
+    }
+}
+
+/// Moves completed sweeps into (and out of) the finalize pass.
+fn advance_sweeps(cfg: &DaemonConfig, st: &mut State) {
+    for sweep in st.sweeps.values_mut() {
+        match sweep.status {
+            SweepStatus::Running
+                if sweep.cells.iter().all(|c| c.status == CellStatus::Done) =>
+            {
+                if sweep.manifest.finalize {
+                    match spawn_finalize(cfg, sweep) {
+                        Ok(child) => {
+                            sweep.finalize_child = Some(child);
+                            sweep.status = SweepStatus::Finalizing;
+                        }
+                        Err(e) => {
+                            sweep.status =
+                                SweepStatus::Failed(format!("spawning finalize pass: {e}"));
+                        }
+                    }
+                } else {
+                    sweep.status = SweepStatus::Done;
+                }
+            }
+            SweepStatus::Running => {}
+            SweepStatus::Finalizing => {
+                let Some(child) = sweep.finalize_child.as_mut() else {
+                    sweep.status = SweepStatus::Failed("finalize child lost".into());
+                    continue;
+                };
+                match child.try_wait() {
+                    Ok(Some(status)) if status.success() => {
+                        sweep.finalize_child = None;
+                        sweep.status = SweepStatus::Done;
+                    }
+                    Ok(Some(status)) => {
+                        sweep.finalize_child = None;
+                        sweep.status =
+                            SweepStatus::Failed(format!("finalize pass exited with {status}"));
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        sweep.finalize_child = None;
+                        sweep.status = SweepStatus::Failed(format!("waiting on finalize: {e}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The finalize pass: a single-process resume over the sweep journal,
+/// producing the standard artifacts byte-identically to an
+/// uninterrupted in-process run.
+fn spawn_finalize(cfg: &DaemonConfig, sweep: &Sweep) -> std::io::Result<Child> {
+    let cmd = &cfg.worker_cmd;
+    Command::new(&cmd[0])
+        .args(&cmd[1..])
+        .arg(&sweep.manifest.experiment)
+        .arg("--resume")
+        .arg(&sweep.dir)
+        .arg("--seed")
+        .arg(sweep.manifest.seed.to_string())
+        .arg("--ckpt-interval")
+        .arg(cfg.ckpt_interval.to_string())
+        .arg("--jobs")
+        .arg("1")
+        .current_dir(&sweep.dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+}
+
+/// Leases pending cells to idle workers, spawning or rebinding workers
+/// as needed. Sweeps are served in priority order.
+fn assign_work(
+    cfg: &DaemonConfig,
+    st: &mut State,
+    events_tx: &Sender<(usize, u64, WorkerEvent)>,
+    now: Instant,
+) {
+    let mut order: Vec<(i64, u64)> = st
+        .sweeps
+        .values()
+        .filter(|s| s.has_pending())
+        .map(|s| (s.manifest.priority, s.id))
+        .collect();
+    order.sort_by_key(|&(priority, id)| (std::cmp::Reverse(priority), id));
+
+    for (_, sweep_id) in order {
+        loop {
+            if !st.sweeps.get(&sweep_id).is_some_and(Sweep::has_pending) {
+                break;
+            }
+            // A slot for this sweep: an idle live worker already bound
+            // to it, else an empty slot past its backoff, else an idle
+            // worker bound to a sweep that no longer needs it.
+            let bound_idle = st.slots.iter().position(|s| {
+                s.proc
+                    .as_ref()
+                    .is_some_and(|p| p.lease.is_none() && p.bound_sweep == sweep_id)
+            });
+            let idx = if let Some(idx) = bound_idle {
+                idx
+            } else if let Some(idx) = st
+                .slots
+                .iter()
+                .position(|s| s.proc.is_none() && now >= s.respawn_after)
+            {
+                let dir = st.sweeps[&sweep_id].dir.clone();
+                let seed = st.sweeps[&sweep_id].manifest.seed;
+                match spawn_worker(cfg, idx, sweep_id, &dir, seed, st, events_tx) {
+                    Ok(()) => idx,
+                    Err(e) => {
+                        // Spawn failure counts as a death: back off and
+                        // let a later tick retry.
+                        let slot = &mut st.slots[idx];
+                        let attempt = slot.deaths;
+                        slot.deaths = slot.deaths.saturating_add(1);
+                        slot.respawn_after =
+                            now + Duration::from_millis(slot.backoff.delay(attempt));
+                        eprintln!("sweepd: spawning worker {}: {e}", worker_name(idx));
+                        break;
+                    }
+                }
+            } else if let Some(idx) = st.slots.iter().position(|s| {
+                s.proc.as_ref().is_some_and(|p| {
+                    p.lease.is_none()
+                        && !st
+                            .sweeps
+                            .get(&p.bound_sweep)
+                            .is_some_and(Sweep::has_pending)
+                })
+            }) {
+                // Rebind: retire the idle worker; the slot respawns for
+                // this sweep on the next tick.
+                if let Some(proc) = st.slots[idx].proc.as_mut() {
+                    let _ = writeln!(proc.stdin, "{{\"op\":\"exit\"}}");
+                    let _ = proc.stdin.flush();
+                }
+                if let Some(mut proc) = st.slots[idx].proc.take() {
+                    let _ = proc.child.kill();
+                    let _ = proc.child.wait();
+                }
+                st.slots[idx].respawn_after = now;
+                break;
+            } else {
+                break; // fleet saturated
+            };
+
+            lease_next(st, sweep_id, idx);
+        }
+    }
+}
+
+/// Leases the sweep's next pending cell to slot `idx` and sends the run
+/// command down the worker's stdin.
+fn lease_next(st: &mut State, sweep_id: u64, idx: usize) {
+    let Some(sweep) = st.sweeps.get_mut(&sweep_id) else {
+        return;
+    };
+    let exp = sweep.manifest.experiment.clone();
+    let Some(cell) = sweep
+        .cells
+        .iter_mut()
+        .find(|c| c.status == CellStatus::Pending)
+    else {
+        return;
+    };
+    let lease = LeaseRecord {
+        key: cell.key.clone(),
+        worker: worker_name(idx),
+        attempt: cell.attempts,
+    };
+    if let Err(e) = sweep.journal.append_lease(&lease) {
+        sweep.status = SweepStatus::Failed(format!("journal lease append: {e}"));
+        return;
+    }
+    cell.status = CellStatus::Leased;
+    let key = cell.key.clone();
+    let Some(proc) = st.slots[idx].proc.as_mut() else {
+        return;
+    };
+    let cmd = format!(
+        "{{\"op\":\"run\",\"exp\":{},\"key\":{}}}",
+        serde_json::to_string(&exp).unwrap_or_else(|_| "\"\"".into()),
+        serde_json::to_string(&key).unwrap_or_else(|_| "\"\"".into()),
+    );
+    let sent = writeln!(proc.stdin, "{cmd}").and_then(|()| proc.stdin.flush());
+    proc.lease = Some(LeaseInfo {
+        sweep_id,
+        key,
+        started: Instant::now(),
+    });
+    if sent.is_err() {
+        // Broken pipe: the worker is dying; the reap pass will journal
+        // the orphaned lease and requeue the cell.
+    }
+}
+
+/// Spawns a worker bound to one sweep and wires its reader thread.
+fn spawn_worker(
+    cfg: &DaemonConfig,
+    idx: usize,
+    sweep_id: u64,
+    dir: &std::path::Path,
+    seed: u64,
+    st: &mut State,
+    events_tx: &Sender<(usize, u64, WorkerEvent)>,
+) -> std::io::Result<()> {
+    let cmd = &cfg.worker_cmd;
+    let mut child = Command::new(&cmd[0])
+        .args(&cmd[1..])
+        .arg("--worker")
+        .arg("--sweep-dir")
+        .arg(dir)
+        .arg("--seed")
+        .arg(seed.to_string())
+        .arg("--ckpt-interval")
+        .arg(cfg.ckpt_interval.to_string())
+        .arg("--jobs")
+        .arg("1")
+        .arg("--heartbeat-ms")
+        .arg(cfg.heartbeat_ms.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let pid = child.id();
+    let slot = &mut st.slots[idx];
+    let gen = slot.next_gen;
+    slot.next_gen += 1;
+    slot.restarts = slot.restarts.saturating_add(u64::from(gen > 0));
+    if gen > 0 {
+        obs::counter_add("sweepd.worker.restarts", 1);
+    }
+    let last_line = Arc::new(Mutex::new(Instant::now()));
+    spawn_reader(idx, gen, stdout, Arc::clone(&last_line), events_tx.clone());
+    slot.proc = Some(Proc {
+        child,
+        pid,
+        stdin,
+        last_line,
+        gen,
+        bound_sweep: sweep_id,
+        lease: None,
+        drain_signaled: false,
+    });
+    Ok(())
+}
+
+fn spawn_reader(
+    idx: usize,
+    gen: u64,
+    stdout: ChildStdout,
+    last_line: Arc<Mutex<Instant>>,
+    tx: Sender<(usize, u64, WorkerEvent)>,
+) {
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Ok(mut t) = last_line.lock() {
+                *t = Instant::now();
+            }
+            if let Some(event) = parse_event(&line) {
+                if tx.send((idx, gen, event)).is_err() {
+                    return;
+                }
+            }
+        }
+        let _ = tx.send((idx, gen, WorkerEvent::Eof));
+    });
+}
+
+/// Drains the fleet: SIGTERM once per worker (cooperative checkpoint +
+/// exit 3), escalate to SIGKILL past the grace window.
+fn drain_fleet(cfg: &DaemonConfig, st: &mut State, now: Instant) {
+    let started = *st.drain_started.get_or_insert(now);
+    let escalate = now.duration_since(started) > cfg.drain_grace;
+    for idx in 0..st.slots.len() {
+        if st.slots[idx].proc.is_none() {
+            continue;
+        }
+        if escalate {
+            let reason = format!("worker {} killed after drain grace", worker_name(idx));
+            kill_slot(cfg, st, idx, &reason, now);
+        } else if let Some(proc) = st.slots[idx].proc.as_mut() {
+            if !proc.drain_signaled {
+                proc.drain_signaled = true;
+                send_sigterm(proc.pid);
+            }
+        }
+    }
+}
+
+/// Sends SIGTERM (cooperative drain) to a process.
+#[cfg(unix)]
+fn send_sigterm(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    // Best-effort: a vanished pid is already what we wanted.
+    unsafe {
+        let _ = kill(pid as i32, SIGTERM);
+    }
+}
+
+#[cfg(not(unix))]
+fn send_sigterm(_pid: u32) {}

@@ -1,0 +1,417 @@
+//! Minimal HTTP/1.1 request parsing and response rendering over raw
+//! bytes.
+//!
+//! `sweepd` speaks hand-rolled HTTP over `std::net` — the build has no
+//! network crates — so the parser here is the daemon's entire exposure
+//! to untrusted input. It is written as a pure function over a byte
+//! buffer ([`parse_request`]) precisely so the fuzz harness can drive
+//! it without sockets, and it upholds two contracts:
+//!
+//! * **No panics.** Any byte sequence either parses, is reported as
+//!   [`Incomplete`](ParseStatus::Incomplete) (a valid prefix), or
+//!   produces a structured [`HttpError`] carrying the 4xx/5xx status
+//!   the server replies with.
+//! * **Hard resource caps.** Request line ≤ 8 KB (414), ≤ 64 header
+//!   lines of ≤ 8 KB each (431), body ≤ 1 MB whether declared via
+//!   `Content-Length` or `Transfer-Encoding: chunked` (413). A peer
+//!   cannot make the daemon buffer unbounded input.
+
+/// Maximum request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum single header line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum request body length in bytes (declared or chunk-decoded).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/sweeps/3`.
+    pub target: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body bytes (chunked transfer already reassembled).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of parsing a (possibly partial) buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// A full request was parsed; `consumed` bytes were used.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request occupied.
+        consumed: usize,
+    },
+    /// The buffer is a valid prefix of a request; read more bytes.
+    Incomplete,
+}
+
+/// A malformed or over-limit request, with the HTTP status to reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status code for the response (4xx/5xx).
+    pub status: u16,
+    /// Human-readable reason, returned in the JSON error body.
+    pub reason: String,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Finds the first line terminator at or after `from`, returning the
+/// line's byte range (exclusive of the terminator) and the index just
+/// past it. Accepts both `\r\n` and bare `\n`.
+fn find_line(buf: &[u8], from: usize) -> Option<(std::ops::Range<usize>, usize)> {
+    let nl = buf[from..].iter().position(|&b| b == b'\n')? + from;
+    let end = if nl > from && buf[nl - 1] == b'\r' {
+        nl - 1
+    } else {
+        nl
+    };
+    Some((from..end, nl + 1))
+}
+
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Parses one HTTP/1.1 request from the front of `buf`.
+///
+/// Returns [`ParseStatus::Incomplete`] while the buffer is a valid
+/// prefix (caller reads more and retries on the grown buffer).
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] with the status the server should send:
+/// 400 for malformed syntax (bad tokens, bad `Content-Length`, bad
+/// chunk framing, conflicting framing headers), 413/414/431 for cap
+/// violations, 505 for non-HTTP/1.x versions.
+pub fn parse_request(buf: &[u8]) -> Result<ParseStatus, HttpError> {
+    // Request line.
+    let Some((line_range, mut pos)) = find_line(buf, 0) else {
+        if buf.len() > MAX_REQUEST_LINE {
+            return Err(HttpError::new(414, "request line exceeds 8KB"));
+        }
+        return Ok(ParseStatus::Incomplete);
+    };
+    if line_range.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::new(414, "request line exceeds 8KB"));
+    }
+    let line = std::str::from_utf8(&buf[line_range])
+        .map_err(|_| HttpError::new(400, "request line is not UTF-8"))?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                "request line must be `METHOD target HTTP/1.x`",
+            ))
+        }
+    };
+    if !is_token(method) {
+        return Err(HttpError::new(400, "malformed method token"));
+    }
+    if target.is_empty() || target.bytes().any(|b| b <= b' ' || b == 0x7f) {
+        return Err(HttpError::new(400, "malformed request target"));
+    }
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(HttpError::new(
+            505,
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+
+    // Header block.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let Some((range, next)) = find_line(buf, pos) else {
+            if buf.len() - pos > MAX_HEADER_LINE {
+                return Err(HttpError::new(431, "header line exceeds 8KB"));
+            }
+            return Ok(ParseStatus::Incomplete);
+        };
+        if range.len() > MAX_HEADER_LINE {
+            return Err(HttpError::new(431, "header line exceeds 8KB"));
+        }
+        pos = next;
+        if range.is_empty() {
+            break; // end of headers
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "more than 64 header lines"));
+        }
+        let line = std::str::from_utf8(&buf[range])
+            .map_err(|_| HttpError::new(400, "header line is not UTF-8"))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("header line without ':': {line:?}"),
+            ));
+        };
+        if !is_token(name) {
+            return Err(HttpError::new(
+                400,
+                format!("malformed header name {name:?}"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body framing.
+    let content_length = headers.iter().find(|(n, _)| n == "content-length");
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if content_length.is_some() && chunked {
+        return Err(HttpError::new(
+            400,
+            "both Content-Length and Transfer-Encoding: chunked",
+        ));
+    }
+    let body = if chunked {
+        match decode_chunked(buf, pos)? {
+            Some((body, end)) => {
+                pos = end;
+                body
+            }
+            None => return Ok(ParseStatus::Incomplete),
+        }
+    } else if let Some((_, v)) = content_length {
+        let len: usize = v
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))?;
+        if len > MAX_BODY {
+            return Err(HttpError::new(413, "body exceeds 1MB"));
+        }
+        if buf.len() < pos + len {
+            return Ok(ParseStatus::Incomplete);
+        }
+        let body = buf[pos..pos + len].to_vec();
+        pos += len;
+        body
+    } else {
+        Vec::new()
+    };
+
+    Ok(ParseStatus::Complete {
+        request: Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body,
+        },
+        consumed: pos,
+    })
+}
+
+/// Decodes a chunked body starting at `pos`. Returns `None` while the
+/// framing is an incomplete (but so far valid) prefix.
+fn decode_chunked(buf: &[u8], mut pos: usize) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let Some((range, after_size)) = find_line(buf, pos) else {
+            if buf.len() - pos > 32 {
+                return Err(HttpError::new(400, "oversized chunk-size line"));
+            }
+            return Ok(None);
+        };
+        let size_line = std::str::from_utf8(&buf[range])
+            .map_err(|_| HttpError::new(400, "chunk-size line is not UTF-8"))?;
+        // Chunk extensions (";...") are tolerated and ignored.
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::new(400, format!("bad chunk size {size_str:?}")))?;
+        if body.len() + size > MAX_BODY {
+            return Err(HttpError::new(413, "chunked body exceeds 1MB"));
+        }
+        pos = after_size;
+        if size == 0 {
+            // Trailer section: tolerate none; expect the final blank line.
+            let Some((trailer, end)) = find_line(buf, pos) else {
+                return Ok(None);
+            };
+            if !trailer.is_empty() {
+                return Err(HttpError::new(400, "chunked trailers are not supported"));
+            }
+            return Ok(Some((body, end)));
+        }
+        if buf.len() < pos + size {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        pos += size;
+        // Chunk data must be followed by its own CRLF.
+        let Some((sep, next)) = find_line(buf, pos) else {
+            return Ok(None);
+        };
+        if !sep.is_empty() {
+            return Err(HttpError::new(400, "chunk data not followed by CRLF"));
+        }
+        pos = next;
+    }
+}
+
+/// Renders a response with a `Content-Length` body and
+/// `Connection: close` (the daemon serves one request per connection).
+pub fn render_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Renders the structured JSON error body for an [`HttpError`].
+pub fn render_error(err: &HttpError) -> Vec<u8> {
+    let body = format!(
+        "{{\"error\":{{\"status\":{},\"reason\":{}}}}}\n",
+        err.status,
+        serde_json::to_string(&err.reason).unwrap_or_else(|_| "\"\"".into())
+    );
+    render_response(err.status, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> Request {
+        match parse_request(buf).expect("parse") {
+            ParseStatus::Complete { request, .. } => request,
+            ParseStatus::Incomplete => panic!("incomplete"),
+        }
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = complete(b"GET /sweeps/3 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/sweeps/3");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = complete(b"POST /sweeps HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let req = complete(b"POST /sweeps HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n");
+        assert_eq!(req.body, b"wikipedia");
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more() {
+        for prefix in [
+            &b"POST /swee"[..],
+            b"POST /sweeps HTTP/1.1\r\nContent-Le",
+            b"POST /sweeps HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\"",
+            b"POST /sweeps HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwi",
+        ] {
+            assert_eq!(
+                parse_request(prefix).expect("prefix"),
+                ParseStatus::Incomplete
+            );
+        }
+    }
+
+    #[test]
+    fn caps_are_enforced_with_structured_status() {
+        let long_line = vec![b'A'; MAX_REQUEST_LINE + 2];
+        assert_eq!(parse_request(&long_line).unwrap_err().status, 414);
+
+        let mut many_headers = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            many_headers.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        many_headers.extend_from_slice(b"\r\n");
+        assert_eq!(parse_request(&many_headers).unwrap_err().status, 431);
+
+        let body_too_big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(
+            parse_request(body_too_big.as_bytes()).unwrap_err().status,
+            413
+        );
+    }
+
+    #[test]
+    fn malformed_syntax_is_400() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 1\r\nTransfer-Encoding: chunked\r\n\r\nx",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n",
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().status, 400, "{bad:?}");
+        }
+        assert_eq!(
+            parse_request(b"GET / HTTP/2\r\n\r\n").unwrap_err().status,
+            505
+        );
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = complete(b"GET /healthz HTTP/1.1\nHost: x\n\n");
+        assert_eq!(req.target, "/healthz");
+    }
+}

@@ -1,0 +1,160 @@
+//! The HTTP control plane: a thread-per-connection server over
+//! `std::net::TcpListener` routing onto a shared [`Daemon`].
+//!
+//! One request per connection (`Connection: close`), bounded reads via
+//! the caps in [`crate::http`], structured JSON errors for every
+//! rejection. Routes:
+//!
+//! | Route             | Effect                                        |
+//! |-------------------|-----------------------------------------------|
+//! | `POST /sweeps`    | submit a manifest → `201 {"id": n}`           |
+//! | `GET /sweeps`     | all sweeps, newest first                      |
+//! | `GET /sweeps/:id` | one sweep with per-cell status                |
+//! | `GET /healthz`    | worker-slot health (pids, leases, restarts)   |
+//! | `GET /metrics`    | telemetry snapshot JSON                       |
+//! | `POST /shutdown`  | begin a graceful drain → `202`                |
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+use crate::http::{
+    parse_request, render_error, render_response, HttpError, ParseStatus, Request, MAX_BODY,
+};
+use crate::manifest::parse_manifest;
+
+/// Hard cap on buffered request bytes: headers + the body cap.
+const MAX_REQUEST: usize = MAX_BODY + 64 * 1024;
+
+/// Binds `addr` and serves until the daemon drains. Returns the bound
+/// listener address (useful with port 0) via the callback before
+/// blocking.
+///
+/// # Errors
+///
+/// Returns the bind error verbatim.
+pub fn serve(
+    daemon: &Arc<Daemon>,
+    addr: &str,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    on_bound(listener.local_addr()?);
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                std::thread::spawn(move || handle_connection(&daemon, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if daemon.draining() {
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(daemon: &Arc<Daemon>, mut stream: TcpStream) {
+    obs::counter_add("sweepd.http.requests", 1);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let response = loop {
+        match parse_request(&buf) {
+            Ok(ParseStatus::Complete { request, .. }) => break route(daemon, &request),
+            Ok(ParseStatus::Incomplete) => {
+                if buf.len() > MAX_REQUEST {
+                    break render_error(&HttpError {
+                        status: 413,
+                        reason: "request exceeds buffer cap".into(),
+                    });
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        if buf.is_empty() {
+                            return; // peer connected and left
+                        }
+                        break render_error(&HttpError {
+                            status: 400,
+                            reason: "connection closed mid-request".into(),
+                        });
+                    }
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(_) => {
+                        break render_error(&HttpError {
+                            status: 400,
+                            reason: "read timeout or error mid-request".into(),
+                        })
+                    }
+                }
+            }
+            Err(err) => break render_error(&err),
+        }
+    };
+    let _ = stream.write_all(&response);
+    let _ = stream.flush();
+}
+
+fn json_ok(status: u16, body: String) -> Vec<u8> {
+    render_response(status, "application/json", body.as_bytes())
+}
+
+fn route(daemon: &Arc<Daemon>, req: &Request) -> Vec<u8> {
+    let err = |status: u16, reason: &str| {
+        render_error(&HttpError {
+            status,
+            reason: reason.to_string(),
+        })
+    };
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/sweeps") => match parse_manifest(&req.body) {
+            Ok(manifest) => match daemon.submit(manifest) {
+                Ok(id) => json_ok(201, format!("{{\"id\":{id}}}\n")),
+                Err(reason) => err(409, &reason),
+            },
+            Err(reason) => err(400, &reason),
+        },
+        ("GET", "/sweeps") => {
+            let views = daemon.sweep_views();
+            let body = serde_json::to_string(&views).unwrap_or_else(|_| "[]".into());
+            json_ok(200, format!("{{\"sweeps\":{body}}}\n"))
+        }
+        ("GET", target) if target.starts_with("/sweeps/") => {
+            let Ok(id) = target["/sweeps/".len()..].parse::<u64>() else {
+                return err(404, "sweep ids are integers");
+            };
+            match daemon.sweep_detail(id) {
+                Some((view, cells)) => {
+                    let view = serde_json::to_string(&view).unwrap_or_else(|_| "{}".into());
+                    let cells = serde_json::to_string(&cells).unwrap_or_else(|_| "[]".into());
+                    json_ok(200, format!("{{\"sweep\":{view},\"cells\":{cells}}}\n"))
+                }
+                None => err(404, &format!("no sweep with id {id}")),
+            }
+        }
+        ("GET", "/healthz") => {
+            let workers = daemon.worker_views();
+            let body = serde_json::to_string(&workers).unwrap_or_else(|_| "[]".into());
+            json_ok(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{},\"workers\":{body}}}\n",
+                    daemon.draining()
+                ),
+            )
+        }
+        ("GET", "/metrics") => json_ok(200, obs::snapshot_json()),
+        ("POST", "/shutdown") => {
+            daemon.begin_drain();
+            json_ok(202, "{\"draining\":true}\n".into())
+        }
+        ("GET" | "POST", _) => err(404, &format!("no route for {} {}", req.method, req.target)),
+        _ => err(405, &format!("method {} not allowed", req.method)),
+    }
+}

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
-# Kill-and-resume soak for the resumable sweep runner.
+# Kill-and-resume soak for the resumable sweep runner and the sweepd
+# service daemon.
 #
-# Proves the headline robustness claim end to end with real signals:
-# a `faults` sweep is SIGINTed twice mid-run, resumed each time, and the
-# final results/faults.json must be byte-identical to an uninterrupted
-# reference run.
+# Proves the headline robustness claims end to end with real signals:
 #
-# Usage: scripts/resume_soak.sh [path-to-metanmp-experiments]
+#  1. a `faults` sweep is SIGINTed twice mid-run, resumed each time, and
+#     the final results/faults.json must be byte-identical to an
+#     uninterrupted reference run;
+#  2. the same sweep is submitted to a live `sweepd` fleet, one worker
+#     is `kill -9`ed while it holds a cell lease, and the finalized
+#     artifacts must still be byte-identical to the reference.
+#
+# Usage: scripts/resume_soak.sh [path-to-metanmp-experiments] [path-to-sweepd]
 set -euo pipefail
 
 BIN=${1:-./target/release/metanmp-experiments}
 BIN=$(readlink -f "$BIN")
+SWEEPD=${2:-./target/release/sweepd}
 SEED=7
 
 work=$(mktemp -d "${TMPDIR:-/tmp}/metanmp-soak.XXXXXX")
-trap 'rm -rf "$work"' EXIT
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
 mkdir -p "$work/reference" "$work/sweep-run"
 
 echo "== reference: uninterrupted run =="
@@ -75,3 +86,104 @@ if ! cmp "$ref" "$out"; then
     exit 1
 fi
 echo "PASS: resumed results/faults.json is byte-identical to the reference"
+
+# ---------------------------------------------------------------------------
+# Phase 2: sweepd chaos — kill -9 a leased worker, require crash migration
+# to finish the sweep with byte-identical artifacts.
+# ---------------------------------------------------------------------------
+if [ ! -x "$SWEEPD" ]; then
+    echo "== sweepd chaos: SKIPPED ($SWEEPD not built) =="
+    exit 0
+fi
+SWEEPD=$(readlink -f "$SWEEPD")
+echo "== sweepd chaos: kill -9 a worker holding a lease =="
+
+state="$work/sweepd-state"
+log="$work/sweepd.log"
+"$SWEEPD" --listen 127.0.0.1:0 --worker-cmd "$BIN" --workers 2 \
+    --state-dir "$state" --heartbeat-ms 50 --heartbeat-deadline-ms 800 \
+    --ckpt-interval 64 2>"$log" &
+DAEMON_PID=$!
+
+# The daemon reports its bound address (port 0 above) on stderr.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sweepd: listening on //p' "$log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "FAIL: sweepd died on startup"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: sweepd never reported a bound address"; cat "$log"; exit 1; }
+echo "  daemon up at $addr (pid $DAEMON_PID)"
+
+submitted=$(curl -sf -X POST "http://$addr/sweeps" \
+    -d "{\"experiment\":\"faults\",\"seed\":$SEED}")
+case "$submitted" in
+    '{"id":'*) echo "  sweep accepted: $submitted" ;;
+    *) echo "FAIL: POST /sweeps returned: $submitted"; exit 1 ;;
+esac
+sweep_id=$(printf '%s' "$submitted" | grep -oE '[0-9]+')
+
+# Wait until a worker actually holds a cell lease, then SIGKILL it.
+victim=""
+for _ in $(seq 1 200); do
+    health=$(curl -sf "http://$addr/healthz" || true)
+    victim=$(printf '%s' "$health" \
+        | grep -oE '"pid":[0-9]+,"restarts":[0-9]+,"lease":"[^"]+"' \
+        | head -n 1 | grep -oE '"pid":[0-9]+' | cut -d: -f2)
+    [ -n "$victim" ] && break
+    sleep 0.1
+done
+[ -n "$victim" ] || { echo "FAIL: no worker ever held a lease"; cat "$log"; exit 1; }
+kill -9 "$victim"
+echo "  SIGKILLed worker pid $victim mid-lease"
+
+# The sweep must still run to completion via crash migration.
+status=""
+for _ in $(seq 1 600); do
+    body=$(curl -sf "http://$addr/sweeps/$sweep_id" || true)
+    status=$(printf '%s' "$body" | grep -oE '"status":"[a-z]+"' | head -n 1 | cut -d'"' -f4)
+    [ "$status" = "done" ] && break
+    if [ "$status" = "failed" ] || [ "$status" = "shed" ]; then
+        echo "FAIL: sweep ended as $status: $body"
+        cat "$log"
+        exit 1
+    fi
+    sleep 0.2
+done
+[ "$status" = "done" ] || { echo "FAIL: sweep never finished (last: $status)"; cat "$log"; exit 1; }
+echo "  sweep finished despite the kill"
+
+metrics=$(curl -sf "http://$addr/metrics" || true)
+if printf '%s' "$metrics" | grep -q 'sweepd\.cells\.migrated'; then
+    echo "  crash migration confirmed in /metrics"
+else
+    echo "  note: kill landed between leases (no migration recorded); artifacts still checked"
+fi
+
+curl -sf -X POST "http://$addr/shutdown" >/dev/null
+drained=0
+wait "$DAEMON_PID" || drained=$?
+DAEMON_PID=""
+if [ "$drained" -ne 0 ]; then
+    echo "FAIL: sweepd drained with exit $drained, expected 0 (all sweeps finished)"
+    cat "$log"
+    exit 1
+fi
+
+echo "== sweepd chaos: compare digests =="
+chaos_out="$state/sweep-$sweep_id/results/faults.json"
+[ -s "$chaos_out" ] || { echo "FAIL: chaos sweep produced no results/faults.json"; exit 1; }
+if ! cmp "$ref" "$chaos_out"; then
+    echo "FAIL: chaos-run results differ from the uninterrupted reference"
+    exit 1
+fi
+for side in md; do
+    a="$work/reference/results/faults.$side"
+    b="$state/sweep-$sweep_id/results/faults.$side"
+    if [ -f "$a" ] && ! cmp "$a" "$b"; then
+        echo "FAIL: chaos-run results/faults.$side differs from the reference"
+        exit 1
+    fi
+done
+echo "PASS: chaos-run artifacts are byte-identical to the reference"
