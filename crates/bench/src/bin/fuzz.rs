@@ -14,7 +14,12 @@
 //!    [`sweepd::parse_request`] and, when framing survives, the body
 //!    through [`sweepd::parse_manifest`] (oversized request/header
 //!    lines, header-count overflow, truncated chunked bodies,
-//!    absurd `Content-Length`, malformed JSON manifests).
+//!    absurd `Content-Length`, malformed JSON manifests);
+//! 6. **scenario** — `CHS1` chaos-scenario scripts through
+//!    [`serve::Scenario::from_bytes`] (bad magic, unknown
+//!    directives, non-finite or non-positive spike multipliers,
+//!    inverted spike windows, malformed hex masks, zero fleet sizes,
+//!    invalid UTF-8).
 //!
 //! Each iteration takes a known-valid input, applies one randomly
 //! chosen structural mutation (bit flip, field overwrite with extreme
@@ -30,7 +35,7 @@
 //! or the other boundaries.
 //!
 //! ```text
-//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace|http]
+//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace|http|scenario]
 //! ```
 //!
 //! `--seconds` is a wall-clock cap for CI smoke runs; because the
@@ -438,6 +443,70 @@ fn http_boundary() -> Boundary {
     }
 }
 
+/// CHS1 chaos-scenario boundary through [`serve::Scenario::from_bytes`].
+///
+/// Half the iterations are field-targeted at the parser's validation
+/// rules: a spike multiplier replaced with `NaN`/`inf`/zero/negative
+/// text, a spike window inverted (end ≤ start), a mask rewritten as
+/// non-hex garbage, a fleet size forced to zero, an unknown directive
+/// spliced in, or the magic line corrupted. Every outcome must be a
+/// structured a structured scenario error — never a panic.
+fn scenario_boundary() -> Boundary {
+    let valid: Vec<u8> = b"CHS1\n\
+        # fuzz seed script\n\
+        spike 4000 12000 3.0\n\
+        spike 20000 30000 0.5\n\
+        stall 3000 0x0f\n\
+        unstall 20000 0x0f\n\
+        flush 8000\n\
+        fleet 25000 4\n"
+        .to_vec();
+    Boundary {
+        name: "scenario",
+        lane: 6,
+        run: Box::new(move |_dir, rng| {
+            let mut bytes = valid.clone();
+            let identity = if rng.below(2) == 0 {
+                mutate(rng, &mut bytes)
+            } else {
+                let text = String::from_utf8(bytes).expect("seed script is ASCII");
+                let mutated = match rng.below(6) {
+                    0 => {
+                        // Non-finite / non-positive spike multiplier.
+                        let bad =
+                            ["NaN", "inf", "-inf", "0", "-3.0", "1e999"][rng.below(6) as usize];
+                        text.replace("3.0", bad)
+                    }
+                    1 => {
+                        // Inverted spike window (end ≤ start).
+                        text.replace("spike 4000 12000", "spike 12000 4000")
+                    }
+                    2 => {
+                        // Mask that isn't hex.
+                        text.replace("0x0f", "0xzz")
+                    }
+                    3 => {
+                        // Fleet shrunk to zero DIMMs.
+                        text.replace("fleet 25000 4", "fleet 25000 0")
+                    }
+                    4 => {
+                        // Unknown directive.
+                        text.replace("flush 8000", "explode 8000")
+                    }
+                    _ => {
+                        // Corrupted magic.
+                        text.replace("CHS1", "CHS9")
+                    }
+                };
+                bytes = mutated.into_bytes();
+                false
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| serve::Scenario::from_bytes(&bytes)));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
 struct Options {
     iters: u64,
     seed: u64,
@@ -470,9 +539,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--boundary" => {
                 let v = it.next().ok_or("--boundary requires a name")?;
-                if !["all", "ckpt", "manifest", "graph", "trace", "http"].contains(&v.as_str()) {
+                if ![
+                    "all", "ckpt", "manifest", "graph", "trace", "http", "scenario",
+                ]
+                .contains(&v.as_str())
+                {
                     return Err(format!(
-                        "unknown boundary {v:?}; known: all ckpt manifest graph trace http"
+                        "unknown boundary {v:?}; known: all ckpt manifest graph trace http scenario"
                     ));
                 }
                 opts.boundary = v;
@@ -499,7 +572,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fuzz [--iters N] [--seed S] [--seconds T] \
-                 [--boundary all|ckpt|manifest|graph|trace|http]"
+                 [--boundary all|ckpt|manifest|graph|trace|http|scenario]"
             );
             return ExitCode::from(2);
         }
@@ -525,6 +598,9 @@ fn main() -> ExitCode {
     }
     if matches!(opts.boundary.as_str(), "all" | "http") {
         boundaries.push(http_boundary());
+    }
+    if matches!(opts.boundary.as_str(), "all" | "scenario") {
+        boundaries.push(scenario_boundary());
     }
 
     let start = Instant::now();

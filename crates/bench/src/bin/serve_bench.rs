@@ -13,7 +13,10 @@
 //! non-decreasing offered load, and the determinism flag.
 
 use serde::Serialize;
-use serve::{ArrivalSpec, PoissonArrivals, ServeConfig, ServeReport, ServeWorkload};
+use serve::{
+    AdmissionConfig, ArrivalSpec, PoissonArrivals, Scenario, ServeConfig, ServeReport,
+    ServeWorkload,
+};
 
 const SEED: u64 = 7;
 const QUERIES: u32 = 3000;
@@ -25,6 +28,15 @@ const LOAD_FRACTIONS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
 /// ranks/DIMM → low 4 bits of the mask) at 2× cold capacity.
 const FAULT_FRACTION: f64 = 2.0;
 const FAULT_MASK: u64 = 0b1111;
+/// The overload point: 4× cold capacity under admission control with
+/// a scripted chaos scenario (3× spike, half-fleet stall window,
+/// mid-run cache flush).
+const OVERLOAD_FRACTION: f64 = 4.0;
+const OVERLOAD_SCENARIO: &str = "CHS1\n\
+    spike 4000 12000 3.0\n\
+    stall 3000 0x0f\n\
+    unstall 20000 0x0f\n\
+    flush 8000\n";
 
 #[derive(Serialize)]
 struct Row {
@@ -40,6 +52,9 @@ struct Row {
     mean_batch_size: f64,
     stalled_dimms: u64,
     makespan_ticks: u64,
+    shed: u64,
+    brownouts: u64,
+    breaker_trips: u64,
 }
 
 #[derive(Serialize)]
@@ -66,6 +81,20 @@ fn config(rate: f64, mask: u64) -> ServeConfig {
     c
 }
 
+/// The overload point: scripted chaos scenario plus admission control
+/// sized for the cache-cold capacity estimate.
+fn overload_config(rate: f64, capacity: f64, dimms: usize) -> ServeConfig {
+    let mut c = config(rate, 0);
+    c.scenario = Scenario::from_bytes(OVERLOAD_SCENARIO.as_bytes()).expect("scripted scenario");
+    let mut policy = AdmissionConfig::for_capacity(capacity, dimms);
+    // Batches under the 8× stall slowdown run thousands of ticks, so
+    // a stalled DIMM completes few batches inside the stall window —
+    // trip on two consecutive slow completions.
+    policy.breaker_trip_after = 2;
+    c.admission = Some(policy);
+    c
+}
+
 fn row(label: String, fraction: f64, r: &ServeReport) -> Row {
     Row {
         label,
@@ -80,6 +109,11 @@ fn row(label: String, fraction: f64, r: &ServeReport) -> Row {
         mean_batch_size: r.batches.mean_size,
         stalled_dimms: r.faults.stalled_dimms,
         makespan_ticks: r.makespan_ticks,
+        shed: r.admission.shed_queue_depth
+            + r.admission.shed_rate_limit
+            + r.admission.shed_deadline,
+        brownouts: r.admission.brownouts,
+        breaker_trips: r.breakers.trips,
     }
 }
 
@@ -133,6 +167,9 @@ fn check(path: &str) -> Result<(), String> {
             "mean_batch_size",
             "stalled_dimms",
             "makespan_ticks",
+            "shed",
+            "brownouts",
+            "breaker_trips",
         ] {
             if r.get(field).is_none() {
                 return Err(format!("row {i}: missing field `{field}`"));
@@ -160,6 +197,17 @@ fn check(path: &str) -> Result<(), String> {
             prev = offered;
         }
     }
+    let has_overload = rows.iter().any(|r| {
+        r.get("label")
+            .and_then(|v| v.as_str())
+            .is_some_and(|l| l.starts_with("overload/"))
+            && (r.get("shed").and_then(|v| v.as_u64()).unwrap_or(0)
+                + r.get("brownouts").and_then(|v| v.as_u64()).unwrap_or(0))
+                > 0
+    });
+    if !has_overload {
+        return Err("no overload point with shed or brownout traffic".into());
+    }
     Ok(())
 }
 
@@ -185,20 +233,31 @@ fn main() {
     let workload = ServeWorkload::build(&config(1.0, 0)).expect("build serving workload");
     let capacity = workload.dimms() as f64 * 1024.0 / workload.mean_query_ticks();
 
-    let mut defs: Vec<(String, f64, u64)> = LOAD_FRACTIONS
+    let mut defs: Vec<(String, f64, u64, bool)> = LOAD_FRACTIONS
         .iter()
-        .map(|&f| (format!("load/{f}"), f, 0u64))
+        .map(|&f| (format!("load/{f}"), f, 0u64, false))
         .collect();
     defs.push((
         format!("faulted/{FAULT_FRACTION}"),
         FAULT_FRACTION,
         FAULT_MASK,
+        false,
+    ));
+    defs.push((
+        format!("overload/{OVERLOAD_FRACTION}"),
+        OVERLOAD_FRACTION,
+        0,
+        true,
     ));
 
     let mut rows = Vec::new();
     let mut deterministic = true;
-    for (label, fraction, mask) in defs {
-        let cfg = config(fraction * capacity, mask);
+    for (label, fraction, mask, overload) in defs {
+        let cfg = if overload {
+            overload_config(fraction * capacity, capacity, workload.dimms())
+        } else {
+            config(fraction * capacity, mask)
+        };
         let a = serve::simulate(&cfg, &workload).expect("serving simulation");
         let b = serve::simulate(&cfg, &workload).expect("serving simulation (repeat)");
         let ja = serde_json::to_string(&a).expect("serialize report");

@@ -271,6 +271,16 @@ impl MemorySystem {
         &self.fault_stats
     }
 
+    /// Rank-health census `(healthy, degraded, tripped)` over every
+    /// global rank, derived from the persistent-fault schedule (the
+    /// same classification serving-layer circuit breakers use).
+    /// `None` when no fault model is attached, so fault-free runs
+    /// report no census at all.
+    pub fn rank_health_census(&self) -> Option<(u64, u64, u64)> {
+        let inj = self.injectors.first()?;
+        Some(inj.rank_health_tallies(self.config.total_ranks(), self.config.banks_per_rank()))
+    }
+
     /// The configuration this system was built with.
     pub fn config(&self) -> &DramConfig {
         &self.config
@@ -411,10 +421,19 @@ impl MemorySystem {
                 finish,
             })
             .collect();
+        // The health census is a point-in-time classification, not a
+        // counter: set it on the emitted report (idempotent across
+        // service calls) rather than folding it into the accumulator.
+        let mut faults = self.fault_stats;
+        if let Some((h, d, t)) = self.rank_health_census() {
+            faults.ranks_healthy = h;
+            faults.ranks_degraded = d;
+            faults.ranks_tripped = t;
+        }
         Ok(Report {
             completions,
             stats: self.stats,
-            faults: self.fault_stats,
+            faults,
         })
     }
 

@@ -6,7 +6,7 @@
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig12 fig13
 //!              fig14 fig15 fig16 fig17 fig18 ablate verify faults
-//!              serve audit all
+//!              serve overload audit all
 //!
 //! `audit` runs the verify and faulted workloads under the runtime
 //! invariant auditor (requires a build with `--features audit`) and
@@ -88,6 +88,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("verify", verification::verify),
     ("faults", faults::faults),
     ("serve", serve_exp::serve_exp),
+    ("overload", serve_exp::overload_exp),
     ("audit", audit::audit),
 ];
 

@@ -17,7 +17,10 @@ use hetgraph::datasets::DatasetId;
 use hgnn::ModelKind;
 use metanmp::FaultConfig;
 use serde::Serialize;
-use serve::{ArrivalSpec, PoissonArrivals, ServeConfig, ServeReport, ServeWorkload};
+use serve::{
+    AdmissionConfig, ArrivalSpec, PoissonArrivals, Scenario, ServeConfig, ServeReport,
+    ServeWorkload,
+};
 
 use crate::common::{Ctx, ExpResult, ResultExt, TableWriter};
 use crate::sweep::{CellSpec, SweepRunner};
@@ -140,6 +143,8 @@ fn config_for(cx: &Ctx, rate: f64, mask: u64) -> ServeConfig {
             ..FaultConfig::off()
         },
         stalled_dimm_slowdown: SLOWDOWN,
+        admission: None,
+        scenario: Scenario::empty(),
     }
 }
 
@@ -281,9 +286,296 @@ pub fn serve_exp(cx: &Ctx) -> ExpResult {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// The `overload` experiment: scripted chaos under admission control.
+// ---------------------------------------------------------------------
+
+/// Offered load of the overload sweep as a fraction of cache-cold
+/// capacity (the spike multiplies it further inside its window).
+const OVERLOAD_FRACTION: f64 = 4.0;
+const OVERLOAD_QUERIES: u32 = 6000;
+
+/// The scripted chaos scenario: a 3× spike over the middle of the
+/// arrival span, a stall window covering the ranks of DIMMs 0–1
+/// (2 ranks/DIMM → mask 0x0f), and a mid-run reuse-cache flush.
+const OVERLOAD_SCENARIO: &str = "CHS1\n\
+    spike 4000 12000 3.0\n\
+    stall 3000 0x0f\n\
+    unstall 20000 0x0f\n\
+    flush 8000\n";
+
+#[derive(Serialize)]
+struct OverloadCellCfg {
+    dataset: DatasetId,
+    scale_bits: u64,
+    hidden: u64,
+    seed: u64,
+    queries: u32,
+    skew_bits: u64,
+    cache_bytes: u64,
+    slowdown_bits: u64,
+    rate_bits: u64,
+    admission: bool,
+    scenario: String,
+}
+
+fn overload_cell_hash(cx: &Ctx, rate: f64, admission: bool, scenario: &str) -> u64 {
+    checkpoint::config_hash(&OverloadCellCfg {
+        dataset: DATASET,
+        scale_bits: SCALE.to_bits(),
+        hidden: HIDDEN as u64,
+        seed: cx.seed,
+        queries: OVERLOAD_QUERIES,
+        skew_bits: SKEW.to_bits(),
+        cache_bytes: CACHE_BYTES as u64,
+        slowdown_bits: SLOWDOWN.to_bits(),
+        rate_bits: rate.to_bits(),
+        admission,
+        scenario: scenario.to_string(),
+    })
+}
+
+/// One cell of `results/serve_overload.json`.
+#[derive(Serialize)]
+struct OverloadRow {
+    label: String,
+    admission: bool,
+    scripted: bool,
+    report: ServeReport,
+}
+
+#[derive(Serialize)]
+struct OverloadDoc {
+    dataset: String,
+    scale: f64,
+    model: String,
+    hidden_dim: usize,
+    seed: u64,
+    queries: u32,
+    capacity_rate_per_ktick: f64,
+    offered_rate_per_ktick: f64,
+    scenario: String,
+    rows: Vec<OverloadRow>,
+}
+
+fn overload_config(
+    cx: &Ctx,
+    rate: f64,
+    capacity: f64,
+    admission: bool,
+    scripted: bool,
+) -> ServeConfig {
+    let mut c = config_for(cx, rate, 0);
+    c.arrivals = ArrivalSpec::Poisson(PoissonArrivals {
+        rate_per_ktick: rate,
+        queries: OVERLOAD_QUERIES,
+        popularity_skew: SKEW,
+    });
+    if admission {
+        let mut policy = AdmissionConfig::for_capacity(capacity, 8);
+        // Batches under the 8x stall slowdown run for thousands of
+        // ticks, so a stalled DIMM only completes a couple of batches
+        // inside the stall window — trip on two consecutive slow
+        // completions rather than the default three.
+        policy.breaker_trip_after = 2;
+        c.admission = Some(policy);
+    }
+    if scripted {
+        c.scenario = Scenario::parse(OVERLOAD_SCENARIO).expect("overload scenario parses");
+    }
+    c
+}
+
+/// Runs the overload sweep — scripted spike + fault chaos, admission
+/// on/off — and writes `results/serve_overload.{json,md}`: goodput,
+/// structured shed/brownout/reject tallies, breaker activity, and
+/// per-class p99 attainment under attack.
+pub fn overload_exp(cx: &Ctx) -> ExpResult {
+    let workload =
+        ServeWorkload::build(&config_for(cx, 1.0, 0)).ctx("overload: building workload model")?;
+    let capacity = workload.dimms() as f64 * 1024.0 / workload.mean_query_ticks();
+    let rate = OVERLOAD_FRACTION * capacity;
+    let dimms = workload.dimms();
+
+    // (label, admission?, scripted chaos?) in canonical order.
+    let defs: [(&str, bool, bool); 3] = [
+        ("calm/protected", true, false),
+        ("chaos/protected", true, true),
+        ("chaos/unprotected", false, true),
+    ];
+
+    let mut runner = SweepRunner::open(cx, "serve_overload", overload_sweep_hash(cx, rate))?;
+    let specs: Vec<CellSpec<'_, ServeReport>> = defs
+        .iter()
+        .map(|&(label, admission, scripted)| {
+            let workload = &workload;
+            CellSpec {
+                key: label.to_string(),
+                hash: overload_cell_hash(
+                    cx,
+                    rate,
+                    admission,
+                    if scripted { OVERLOAD_SCENARIO } else { "" },
+                ),
+                run: Box::new(move || {
+                    serve::simulate(
+                        &overload_config(cx, rate, capacity, admission, scripted),
+                        workload,
+                    )
+                    .ctx("overload: serving simulation")
+                }),
+            }
+        })
+        .collect();
+    let outs = runner.cells(cx.jobs, specs)?;
+
+    // ---- Goodput / shed / breaker table --------------------------
+    let mut t = TableWriter::new(
+        "serve_overload",
+        "Serving under chaos — goodput and shed accounting (4x cold capacity, 3x spike, half-fleet stall window)",
+        &[
+            "Point",
+            "Arrived",
+            "Served",
+            "Goodput/ktick",
+            "Shed qd/rl/ddl",
+            "Brownout",
+            "Gate closes",
+            "Breaker trips",
+            "Open ticks",
+            "p99",
+        ],
+    );
+    for ((label, _, _), r) in defs.iter().zip(&outs) {
+        t.row(vec![
+            label.to_string(),
+            r.arrived.to_string(),
+            r.queries.to_string(),
+            format!("{:.2}", r.achieved_rate_per_ktick),
+            format!(
+                "{}/{}/{}",
+                r.admission.shed_queue_depth,
+                r.admission.shed_rate_limit,
+                r.admission.shed_deadline
+            ),
+            r.admission.brownouts.to_string(),
+            r.admission.gate_closures.to_string(),
+            r.breakers.trips.to_string(),
+            r.breakers.open_ticks.to_string(),
+            r.latency.p99_ticks.to_string(),
+        ]);
+    }
+    t.note("Goodput is served queries per 1024 ticks over the makespan; cache-cold capacity is the admission token-refill rate. Brownouts answer root-cache-resident queries at degraded quality instead of rejecting. The unprotected point never drops, so its queue — and tail — grow without bound.");
+    t.finish()?;
+
+    // ---- Per-class attainment under attack -----------------------
+    let protected = &outs[1];
+    let unprotected = &outs[2];
+    let mut t = TableWriter::new(
+        "serve_overload_classes",
+        "Serving under chaos — per-class p99 attainment under attack",
+        &[
+            "Class",
+            "Target p99",
+            "Protected p99",
+            "Attained",
+            "Unprotected p99",
+            "Attained",
+        ],
+    );
+    for (p, u) in protected.classes.iter().zip(&unprotected.classes) {
+        t.row(vec![
+            p.name.clone(),
+            p.target_p99_ticks.to_string(),
+            p.latency.p99_ticks.to_string(),
+            if p.attained { "yes" } else { "NO" }.to_string(),
+            u.latency.p99_ticks.to_string(),
+            if u.attained { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.note("Protected = admission control + deadline shedding + per-DIMM circuit breakers under the scripted chaos scenario; unprotected serves the identical arrival schedule with no overload protection.");
+    t.finish()?;
+
+    // ---- Deterministic JSON artifact -----------------------------
+    let rows = defs
+        .iter()
+        .zip(outs)
+        .map(|(&(label, admission, scripted), report)| OverloadRow {
+            label: label.to_string(),
+            admission,
+            scripted,
+            report,
+        })
+        .collect();
+    let doc = OverloadDoc {
+        dataset: DATASET.abbrev().to_string(),
+        scale: SCALE,
+        model: "MAGNN".to_string(),
+        hidden_dim: HIDDEN,
+        seed: cx.seed,
+        queries: OVERLOAD_QUERIES,
+        capacity_rate_per_ktick: capacity,
+        offered_rate_per_ktick: rate,
+        scenario: OVERLOAD_SCENARIO.to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&doc).ctx("overload: serializing results")?;
+    std::fs::create_dir_all("results").ctx("overload: creating results/")?;
+    checkpoint::atomic_write_str(std::path::Path::new("results/serve_overload.json"), &json)
+        .ctx("overload: writing results/serve_overload.json")?;
+    eprintln!("overload: deterministic chaos sweep written to results/serve_overload.json");
+    let _ = dimms;
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct OverloadSweepCfg {
+    dataset: DatasetId,
+    scale_bits: u64,
+    hidden: u64,
+    seed: u64,
+    queries: u32,
+    rate_bits: u64,
+    scenario: String,
+}
+
+fn overload_sweep_hash(cx: &Ctx, rate: f64) -> u64 {
+    checkpoint::config_hash(&OverloadSweepCfg {
+        dataset: DATASET,
+        scale_bits: SCALE.to_bits(),
+        hidden: HIDDEN as u64,
+        seed: cx.seed,
+        queries: OVERLOAD_QUERIES,
+        rate_bits: rate.to_bits(),
+        scenario: OVERLOAD_SCENARIO.to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overload_cell_hashes_distinguish_points() {
+        let cx = Ctx {
+            seed: 42,
+            sweep: None,
+            jobs: 1,
+            cell_timeout: None,
+        };
+        let a = overload_cell_hash(&cx, 10.0, true, OVERLOAD_SCENARIO);
+        let b = overload_cell_hash(&cx, 10.0, false, OVERLOAD_SCENARIO);
+        let c = overload_cell_hash(&cx, 10.0, true, "");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overload_scenario_is_valid() {
+        let s = Scenario::parse(OVERLOAD_SCENARIO).expect("scenario parses");
+        assert_eq!(s.spike_windows().len(), 1);
+        assert_eq!(s.timeline().len(), 3);
+    }
 
     #[test]
     fn cell_hashes_distinguish_points() {

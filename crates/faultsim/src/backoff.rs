@@ -154,4 +154,78 @@ mod tests {
         let draws: Vec<u64> = (0..8).map(|_| b.delay(2)).collect();
         assert!(draws.windows(2).any(|w| w[0] != w[1]), "{draws:?}");
     }
+
+    #[test]
+    fn attempts_past_the_cap_stay_pinned() {
+        // Once `base << attempt` crosses the cap, every later attempt —
+        // including shift amounts that would overflow u64 — returns
+        // exactly the cap, forever.
+        let mut b = Backoff::new(3, 7_777);
+        let first_capped = (0..64).find(|&k| b.delay(k) == 7_777).unwrap();
+        for k in first_capped..first_capped + 8 {
+            assert_eq!(b.delay(k), 7_777);
+        }
+        for k in [64, 65, 1_000, u32::MAX - 1, u32::MAX] {
+            assert_eq!(b.delay(k), 7_777);
+        }
+    }
+
+    #[test]
+    fn max_delay_saturates_without_wrapping() {
+        // Huge base with an uncapped policy: the multiplication must
+        // saturate at u64::MAX rather than wrap to a tiny delay.
+        let mut b = Backoff::new(u64::MAX - 1, u64::MAX);
+        assert_eq!(b.delay(0), u64::MAX - 1);
+        assert_eq!(b.delay(1), u64::MAX);
+        assert_eq!(b.delay(63), u64::MAX);
+        assert_eq!(b.delay(64), u64::MAX);
+        // Jittered variant at the saturation point must not overflow
+        // the i128 widening (would panic in debug builds).
+        let mut j = Backoff::with_jitter(u64::MAX, u64::MAX, 1000, 9);
+        for _ in 0..16 {
+            let _ = j.delay(62);
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_property_over_seeds_and_attempts() {
+        // Property test, fully deterministic: for a grid of seeds,
+        // jitter amplitudes, and attempts, every draw lands inside
+        // [raw - raw*j/1000, min(cap, raw + raw*j/1000)] and the whole
+        // schedule replays byte-identically from the same seed.
+        let cap = 1u64 << 40;
+        for seed in 0..32u64 {
+            for &jpm in &[1u16, 125, 250, 333, 999, 1000] {
+                let mut b = Backoff::with_jitter(64, cap, jpm, seed);
+                let mut replay = Backoff::with_jitter(64, cap, jpm, seed);
+                for attempt in 0..40u32 {
+                    let raw = match 1u64.checked_shl(attempt) {
+                        Some(m) => 64u64.saturating_mul(m).min(cap),
+                        None => cap,
+                    };
+                    // Mirror the implementation's floor division:
+                    // scaled = raw * (1000 ± j) / 1000.
+                    let lo = (raw as u128 * (1000 - u128::from(jpm)) / 1000) as u64;
+                    let hi = ((raw as u128 * (1000 + u128::from(jpm)) / 1000) as u64).min(cap);
+                    let d = b.delay(attempt);
+                    assert!(
+                        d >= lo && d <= hi,
+                        "seed {seed} jpm {jpm} attempt {attempt}: {d} not in [{lo}, {hi}]"
+                    );
+                    assert_eq!(d, replay.delay(attempt), "replay diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_saturates_at_one_thousand_per_mille() {
+        // Constructor clamps: ±150% requested becomes ±100%, so the
+        // delay can reach 0 but never go "negative" (wrap).
+        let mut b = Backoff::with_jitter(1_000, u64::MAX, u16::MAX, 11);
+        for attempt in 0..64u32 {
+            let raw = 1_000u64.saturating_mul(1 << (attempt.min(53)));
+            assert!(b.delay(attempt.min(53)) <= raw * 2);
+        }
+    }
 }

@@ -25,6 +25,37 @@ pub enum BroadcastFault {
     Corrupted,
 }
 
+/// Breaker-style health of one hardware component (a rank, a DIMM).
+///
+/// One enum shared by every layer that classifies components: the
+/// fault injector derives a rank's state from its persistent-fault
+/// schedule, `nmp` surfaces per-rank tallies in `NmpReport.faults`,
+/// and the serving simulator's per-DIMM circuit breaker reports its
+/// Closed/HalfOpen/Open machine in the same three states — so a
+/// "tripped" DIMM means one thing across the stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Operational but impaired (failed banks remapped, breaker
+    /// half-open probing).
+    Degraded,
+    /// Out of service (permanently stalled rank, breaker open).
+    Tripped,
+}
+
+impl HealthState {
+    /// Short lower-case name for tables and telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Tripped => "tripped",
+        }
+    }
+}
+
 /// splitmix64 finalizer: a high-quality 64-bit mix.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -178,6 +209,34 @@ impl FaultInjector {
         global_rank < 64 && self.config.stalled_rank_mask >> global_rank & 1 == 1
     }
 
+    /// Breaker-style health of one global rank, derived from the
+    /// persistent-fault schedule: stalled ⇒ [`HealthState::Tripped`],
+    /// any failed bank ⇒ [`HealthState::Degraded`], otherwise
+    /// [`HealthState::Healthy`].
+    pub fn rank_health(&self, global_rank: usize, banks_per_rank: usize) -> HealthState {
+        if self.rank_is_stalled(global_rank) {
+            return HealthState::Tripped;
+        }
+        if (0..banks_per_rank).any(|b| self.bank_is_failed(global_rank, b)) {
+            return HealthState::Degraded;
+        }
+        HealthState::Healthy
+    }
+
+    /// Tallies [`rank_health`](Self::rank_health) over the first
+    /// `ranks` global ranks: `(healthy, degraded, tripped)`.
+    pub fn rank_health_tallies(&self, ranks: usize, banks_per_rank: usize) -> (u64, u64, u64) {
+        let mut tallies = (0u64, 0u64, 0u64);
+        for r in 0..ranks {
+            match self.rank_health(r, banks_per_rank) {
+                HealthState::Healthy => tallies.0 += 1,
+                HealthState::Degraded => tallies.1 += 1,
+                HealthState::Tripped => tallies.2 += 1,
+            }
+        }
+        tallies
+    }
+
     /// Outcome of the next broadcast transfer.
     pub fn next_broadcast(&mut self) -> BroadcastFault {
         let i = self.broadcast_events;
@@ -323,6 +382,13 @@ pub struct FaultStats {
     pub watchdog_trips: u64,
     /// Unrecoverable memory errors raised.
     pub mem_errors: u64,
+    /// Ranks classified [`HealthState::Healthy`] at end of run (zero
+    /// for fault-free runs, which report no health census at all).
+    pub ranks_healthy: u64,
+    /// Ranks classified [`HealthState::Degraded`] at end of run.
+    pub ranks_degraded: u64,
+    /// Ranks classified [`HealthState::Tripped`] at end of run.
+    pub ranks_tripped: u64,
 }
 
 impl FaultStats {
@@ -343,6 +409,12 @@ impl FaultStats {
         self.stall_cycles += other.stall_cycles;
         self.watchdog_trips += other.watchdog_trips;
         self.mem_errors += other.mem_errors;
+        // The health census is a point-in-time classification filled
+        // by exactly one layer per run; summing keeps the other
+        // layer's zeros harmless.
+        self.ranks_healthy += other.ranks_healthy;
+        self.ranks_degraded += other.ranks_degraded;
+        self.ranks_tripped += other.ranks_tripped;
     }
 
     /// Field-wise difference `self - since`, for publishing counter
@@ -365,6 +437,9 @@ impl FaultStats {
             stall_cycles: self.stall_cycles - since.stall_cycles,
             watchdog_trips: self.watchdog_trips - since.watchdog_trips,
             mem_errors: self.mem_errors - since.mem_errors,
+            ranks_healthy: self.ranks_healthy.saturating_sub(since.ranks_healthy),
+            ranks_degraded: self.ranks_degraded.saturating_sub(since.ranks_degraded),
+            ranks_tripped: self.ranks_tripped.saturating_sub(since.ranks_tripped),
         }
     }
 
@@ -405,6 +480,9 @@ impl FaultStats {
         obs::counter_add("faults.stall_cycles", self.stall_cycles);
         obs::counter_add("faults.watchdog_trips", self.watchdog_trips);
         obs::counter_add("faults.mem_errors", self.mem_errors);
+        obs::gauge_set("faults.ranks_healthy", self.ranks_healthy as f64);
+        obs::gauge_set("faults.ranks_degraded", self.ranks_degraded as f64);
+        obs::gauge_set("faults.ranks_tripped", self.ranks_tripped as f64);
     }
 }
 

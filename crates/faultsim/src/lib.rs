@@ -29,6 +29,7 @@
 
 pub mod backoff;
 pub mod ecc;
+pub mod scenario;
 
 mod config;
 mod error;
@@ -38,5 +39,6 @@ mod watchdog;
 pub use backoff::Backoff;
 pub use config::FaultConfig;
 pub use error::{FaultError, MemError, MemErrorKind};
-pub use inject::{BroadcastFault, FaultInjector, FaultStats, InjectorState};
+pub use inject::{BroadcastFault, FaultInjector, FaultStats, HealthState, InjectorState};
+pub use scenario::{ChaosEvent, Scenario, ScenarioError, SpikeWindow, TimelineEffect};
 pub use watchdog::{Watchdog, WatchdogError};

@@ -725,6 +725,11 @@ impl ResumableRun {
     pub fn fault_stats(&self) -> FaultStats {
         let mut totals = *self.mem.fault_stats();
         totals.merge(&self.bcast_stats);
+        if let Some((h, d, t)) = self.mem.rank_health_census() {
+            totals.ranks_healthy = h;
+            totals.ranks_degraded = d;
+            totals.ranks_tripped = t;
+        }
         totals
     }
 
@@ -947,6 +952,11 @@ impl ResumableRun {
         fn tallies(mem: &MemorySystem, bcast: &FaultStats) -> FaultStats {
             let mut t = *mem.fault_stats();
             t.merge(bcast);
+            if let Some((h, d, tr)) = mem.rank_health_census() {
+                t.ranks_healthy = h;
+                t.ranks_degraded = d;
+                t.ranks_tripped = tr;
+            }
             t
         }
         if self.mp_index < metapaths.len() || self.structural.len() != metapaths.len() {
@@ -1681,6 +1691,32 @@ mod tests {
         let b = run();
         assert_eq!(a.report, b.report);
         assert!(a.report.faults.total_injected() > 0);
+    }
+
+    #[test]
+    fn fault_report_carries_rank_health_census() {
+        use faultsim::FaultConfig;
+        let (ds, h) = setup(0.02, 16);
+        let cfg = nmp_config(16);
+        let ranks = cfg.dram.total_ranks() as u64;
+        // Fault-free: no census at all (fields stay zero, report empty).
+        let clean = FunctionalSim::new(cfg)
+            .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+            .unwrap();
+        assert_eq!(clean.report.faults.ranks_healthy, 0);
+        // Active injector, survivable faults: every rank is classified,
+        // and a 50 % failed-bank rate must degrade at least one.
+        let sick = FunctionalSim::new(nmp_config(16).with_faults(FaultConfig {
+            seed: 5,
+            failed_bank_rate: 0.5,
+            ..FaultConfig::off()
+        }))
+        .run(&ds.graph, &h, ModelKind::Magnn, &ds.metapaths)
+        .unwrap();
+        let f = &sick.report.faults;
+        assert_eq!(f.ranks_healthy + f.ranks_degraded + f.ranks_tripped, ranks);
+        assert!(f.ranks_degraded > 0, "half the banks failed: {f:?}");
+        assert_eq!(f.ranks_tripped, 0, "nothing is stalled");
     }
 
     #[test]

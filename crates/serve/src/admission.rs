@@ -1,0 +1,641 @@
+//! Overload protection: admission control, deadline-aware shedding,
+//! and per-DIMM circuit breakers.
+//!
+//! Under overload the base simulator queues unboundedly — every query
+//! is eventually served, but tail latency grows without limit and the
+//! QoS scheduler's p99 targets become fiction. This module adds the
+//! three classical defenses, all deterministic in the simulated clock
+//! domain:
+//!
+//! * **Token bucket + queue-depth hysteresis** — arrivals above the
+//!   provisioned rate, or arriving while the queue sits above the high
+//!   watermark, are turned away at the door instead of poisoning the
+//!   queue for everyone already admitted. The gate reopens only once
+//!   the queue drains to the low watermark, so the system does not
+//!   flap at the boundary.
+//! * **Deadline-aware shedding** — a query whose predicted completion
+//!   (estimated queue wait plus its own service cost) cannot meet its
+//!   class's p99 target is shed on arrival with a structured
+//!   [`ShedReason`], bounded by a per-class shed budget so no class is
+//!   starved silently. The cutoff is *histogram-aware*: reported
+//!   percentiles are log₂-bucket upper bounds, so the admission bar is
+//!   the largest `2^b − 1` at or below the target.
+//! * **Per-DIMM circuit breakers** — a DIMM whose completions come
+//!   back slow (a faultsim-stalled rank serves ~8× slower) trips open
+//!   after a run of consecutive slow batches, is routed around, and
+//!   half-opens for a probe on a [`faultsim::Backoff`] schedule.
+//!   Breaker states map onto the shared [`faultsim::HealthState`] enum
+//!   so serving reports and `NmpReport.faults` speak one language.
+//!
+//! Queries turned away are first offered a **brownout** response: if
+//! every per-metapath root aggregate for the vertex is resident in the
+//! reuse cache, the query is answered root-cache-only (combine cost,
+//! no DIMM work) as a degraded-quality result; only queries that
+//! cannot be browned out are shed.
+
+use faultsim::{Backoff, HealthState};
+use serde::Serialize;
+
+use crate::qos::ClassSpec;
+use crate::ServeError;
+
+/// Why a query was shed (or browned out) instead of served normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShedReason {
+    /// The queue sat above the high watermark (hysteresis gate shut).
+    QueueDepth,
+    /// The token bucket was empty (arrival rate above provision).
+    RateLimit,
+    /// The class's p99 deadline could not be met at current estimates.
+    Deadline,
+}
+
+impl ShedReason {
+    /// Stable lowercase name, for reports and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueDepth => "queue_depth",
+            ShedReason::RateLimit => "rate_limit",
+            ShedReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// Admission-control and circuit-breaker tuning.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmissionConfig {
+    /// Token-bucket burst capacity, in queries.
+    pub bucket_capacity: f64,
+    /// Token refill rate in queries per 1024 ticks — normally the
+    /// system's estimated cache-cold capacity.
+    pub refill_per_ktick: f64,
+    /// Close the admission gate when the undispatched queue reaches
+    /// this many queries.
+    pub queue_high: u64,
+    /// Reopen the gate once the queue drains to this depth.
+    pub queue_low: u64,
+    /// Per-class deadline-shed budget in per-mille of that class's
+    /// arrivals; once exhausted, deadline sheds stop and the class
+    /// rides out the overload queued (≤ 1000).
+    pub shed_budget_per_mille: u16,
+    /// A completion is "slow" when its service took at least this
+    /// multiple of its healthy (fault-free) service estimate (> 1).
+    pub breaker_trip_ratio: f64,
+    /// Consecutive slow completions that trip a DIMM's breaker open.
+    pub breaker_trip_after: u32,
+    /// Base of the open→half-open backoff schedule, in ticks.
+    pub breaker_backoff_base: u64,
+    /// Cap of the open→half-open backoff schedule, in ticks.
+    pub breaker_backoff_cap: u64,
+}
+
+impl AdmissionConfig {
+    /// A reasonable policy for a system whose cache-cold capacity is
+    /// `capacity_per_ktick` queries per 1024 ticks: provision the
+    /// bucket at capacity with a one-ktick burst allowance, watermark
+    /// the queue at 4×/1× the DIMM count, and trip breakers after 3
+    /// consecutive ≥3× slow completions.
+    pub fn for_capacity(capacity_per_ktick: f64, dimms: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            bucket_capacity: capacity_per_ktick.max(1.0) * 2.0,
+            refill_per_ktick: capacity_per_ktick,
+            queue_high: (dimms as u64).saturating_mul(4).max(4),
+            queue_low: (dimms as u64).max(1),
+            shed_budget_per_mille: 800,
+            breaker_trip_ratio: 3.0,
+            breaker_trip_after: 3,
+            breaker_backoff_base: 4_096,
+            breaker_backoff_cap: 65_536,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the offending field: non-finite
+    /// or non-positive rates/capacities, inverted watermarks, budget
+    /// above 1000 ‰, trip ratio ≤ 1, zero trip count, or a backoff
+    /// cap below its base.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if !self.bucket_capacity.is_finite() || self.bucket_capacity < 1.0 {
+            return Err(ServeError::Config(format!(
+                "admission bucket_capacity must be ≥ 1 and finite, got {}",
+                self.bucket_capacity
+            )));
+        }
+        if !self.refill_per_ktick.is_finite() || self.refill_per_ktick <= 0.0 {
+            return Err(ServeError::Config(format!(
+                "admission refill_per_ktick must be positive and finite, got {}",
+                self.refill_per_ktick
+            )));
+        }
+        if self.queue_high == 0 || self.queue_low >= self.queue_high {
+            return Err(ServeError::Config(format!(
+                "admission watermarks need low < high, got low {} high {}",
+                self.queue_low, self.queue_high
+            )));
+        }
+        if self.shed_budget_per_mille > 1000 {
+            return Err(ServeError::Config(format!(
+                "admission shed budget {} exceeds 1000 per-mille",
+                self.shed_budget_per_mille
+            )));
+        }
+        if !self.breaker_trip_ratio.is_finite() || self.breaker_trip_ratio <= 1.0 {
+            return Err(ServeError::Config(format!(
+                "breaker trip ratio must be finite and > 1, got {}",
+                self.breaker_trip_ratio
+            )));
+        }
+        if self.breaker_trip_after == 0 {
+            return Err(ServeError::Config(
+                "breaker trip count must be at least 1".into(),
+            ));
+        }
+        if self.breaker_backoff_base == 0 || self.breaker_backoff_cap < self.breaker_backoff_base {
+            return Err(ServeError::Config(format!(
+                "breaker backoff needs 0 < base ≤ cap, got base {} cap {}",
+                self.breaker_backoff_base, self.breaker_backoff_cap
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The largest latency a sample may have and still *report* at or
+/// below `target` through a log₂-bucketed histogram — i.e. the largest
+/// bucket upper bound `2^b − 1 ≤ target`. Admission must aim at this
+/// cutoff, not the raw target, because percentiles are bucket upper
+/// bounds (≤ 2× the true value).
+pub(crate) fn deadline_cutoff(target: u64) -> u64 {
+    if target >= u64::MAX - 1 {
+        return u64::MAX;
+    }
+    let bits = 64 - (target + 1).leading_zeros();
+    if bits <= 1 {
+        1
+    } else {
+        (1u64 << (bits - 1)) - 1
+    }
+}
+
+/// Runtime admission-control state for one serving run.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    cfg: AdmissionConfig,
+    tokens: f64,
+    last_refill: u64,
+    gate_open: bool,
+    /// Per-class EWMA of observed per-query service ticks, seeded from
+    /// the workload's calibrated cache-cold mean.
+    est_ticks: Vec<u64>,
+    class_arrivals: Vec<u64>,
+    class_deadline_sheds: Vec<u64>,
+    pub(crate) gate_closures: u64,
+}
+
+/// The admission verdict for one arriving query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Decision {
+    /// Enqueue for normal service.
+    Admit,
+    /// Turn away (try brownout, then shed) for the given reason.
+    Drop(ShedReason),
+}
+
+impl Admission {
+    pub(crate) fn new(cfg: AdmissionConfig, classes: usize, mean_service_ticks: f64) -> Admission {
+        let est = (mean_service_ticks.max(1.0)) as u64;
+        Admission {
+            tokens: cfg.bucket_capacity,
+            cfg,
+            last_refill: 0,
+            gate_open: true,
+            est_ticks: vec![est.max(1); classes],
+            class_arrivals: vec![0; classes],
+            class_deadline_sheds: vec![0; classes],
+            gate_closures: 0,
+        }
+    }
+
+    /// Folds one observed per-query service time into the class's
+    /// estimate (integer EWMA, 1/8 gain).
+    pub(crate) fn observe(&mut self, class: usize, service_ticks: u64) {
+        let est = &mut self.est_ticks[class];
+        *est = ((*est * 7).saturating_add(service_ticks) / 8).max(1);
+    }
+
+    /// Current service estimate for a class (for reports).
+    pub(crate) fn estimate(&self, class: usize) -> u64 {
+        self.est_ticks[class]
+    }
+
+    /// Decides one arrival. `queue_depth` is the undispatched query
+    /// count, `backlog_ticks` the estimated work ahead of this query
+    /// (queued estimates plus in-flight remainders), `healthy_dimms`
+    /// the DIMMs currently accepting dispatches, and `own_ticks` the
+    /// query's predicted service cost.
+    // Internal call site is one place in the event loop; a context
+    // struct would only move the argument list.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decide(
+        &mut self,
+        now: u64,
+        class: usize,
+        spec: &ClassSpec,
+        queue_depth: u64,
+        backlog_ticks: u64,
+        healthy_dimms: usize,
+        own_ticks: u64,
+    ) -> Decision {
+        self.class_arrivals[class] += 1;
+
+        // Token refill is continuous in simulated time.
+        let dt = now.saturating_sub(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt as f64 * self.cfg.refill_per_ktick / 1024.0)
+            .min(self.cfg.bucket_capacity);
+
+        // Queue-depth hysteresis: shut at high, reopen at low.
+        if self.gate_open && queue_depth >= self.cfg.queue_high {
+            self.gate_open = false;
+            self.gate_closures += 1;
+        } else if !self.gate_open && queue_depth <= self.cfg.queue_low {
+            self.gate_open = true;
+        }
+        if !self.gate_open {
+            return Decision::Drop(ShedReason::QueueDepth);
+        }
+
+        if self.tokens < 1.0 {
+            return Decision::Drop(ShedReason::RateLimit);
+        }
+        self.tokens -= 1.0;
+
+        // Deadline check: predicted completion = fair-share queue wait
+        // plus the query's own service, against the histogram-aware
+        // cutoff for the class target. Shedding stops once the class's
+        // budget is spent — better late than starved.
+        let wait = if healthy_dimms == 0 {
+            u64::MAX / 4
+        } else {
+            backlog_ticks / healthy_dimms as u64
+        };
+        let predicted = wait.saturating_add(own_ticks);
+        if predicted > deadline_cutoff(spec.target_p99_ticks) {
+            let budget_ok = self.class_deadline_sheds[class].saturating_mul(1000)
+                < u64::from(self.cfg.shed_budget_per_mille)
+                    .saturating_mul(self.class_arrivals[class]);
+            if budget_ok {
+                self.class_deadline_sheds[class] += 1;
+                return Decision::Drop(ShedReason::Deadline);
+            }
+        }
+        Decision::Admit
+    }
+}
+
+/// One DIMM's circuit breaker.
+#[derive(Debug)]
+struct DimmBreaker {
+    state: BreakerState,
+    consecutive_slow: u32,
+    /// 0-based backoff attempt; resets when a half-open probe closes.
+    attempt: u32,
+    backoff: Backoff,
+    opened_at: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: u64 },
+    HalfOpen,
+}
+
+/// The per-DIMM breaker bank plus run-wide tallies.
+#[derive(Debug)]
+pub(crate) struct Breakers {
+    dimms: Vec<DimmBreaker>,
+    trip_ratio: f64,
+    trip_after: u32,
+    pub(crate) trips: u64,
+    pub(crate) reopens: u64,
+    pub(crate) slow_completions: u64,
+    pub(crate) open_ticks: u64,
+    /// Completed open intervals `(dimm, open_tick, half_open_tick)`,
+    /// for the telemetry breaker-state track.
+    pub(crate) open_intervals: Vec<(usize, u64, u64)>,
+}
+
+impl Breakers {
+    pub(crate) fn new(cfg: &AdmissionConfig, dimms: usize) -> Breakers {
+        Breakers {
+            dimms: (0..dimms)
+                .map(|_| DimmBreaker {
+                    state: BreakerState::Closed,
+                    consecutive_slow: 0,
+                    attempt: 0,
+                    // Simulated clock domain: jitter-free by design.
+                    backoff: Backoff::new(cfg.breaker_backoff_base, cfg.breaker_backoff_cap),
+                    opened_at: 0,
+                })
+                .collect(),
+            trip_ratio: cfg.breaker_trip_ratio,
+            trip_after: cfg.breaker_trip_after,
+            trips: 0,
+            reopens: 0,
+            slow_completions: 0,
+            open_ticks: 0,
+            open_intervals: Vec::new(),
+        }
+    }
+
+    /// Whether `dimm` may take a dispatch right now (closed, or
+    /// half-open for its probe).
+    pub(crate) fn allows(&self, dimm: usize) -> bool {
+        !matches!(self.dimms[dimm].state, BreakerState::Open { .. })
+    }
+
+    /// The earliest tick at which any open breaker half-opens.
+    pub(crate) fn next_reopen(&self) -> Option<u64> {
+        self.dimms
+            .iter()
+            .filter_map(|b| match b.state {
+                BreakerState::Open { until } => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Moves every open breaker whose backoff has elapsed to
+    /// half-open. Call once per event-loop tick.
+    pub(crate) fn tick(&mut self, now: u64) {
+        for (d, b) in self.dimms.iter_mut().enumerate() {
+            if let BreakerState::Open { until } = b.state {
+                if now >= until {
+                    b.state = BreakerState::HalfOpen;
+                    self.open_ticks += now.saturating_sub(b.opened_at);
+                    self.open_intervals.push((d, b.opened_at, now));
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, dimm: usize, now: u64) {
+        let b = &mut self.dimms[dimm];
+        let delay = b.backoff.delay(b.attempt);
+        b.attempt = b.attempt.saturating_add(1);
+        b.state = BreakerState::Open {
+            until: now.saturating_add(delay.max(1)),
+        };
+        b.opened_at = now;
+        b.consecutive_slow = 0;
+        self.trips += 1;
+    }
+
+    /// Feeds one completed batch's timing into `dimm`'s breaker:
+    /// `healthy` is the fault-free service estimate computed at
+    /// dispatch, `actual` the realized service time.
+    pub(crate) fn on_completion(&mut self, dimm: usize, healthy: u64, actual: u64, now: u64) {
+        let slow = (actual as f64) >= (healthy.max(1) as f64) * self.trip_ratio;
+        let b = &mut self.dimms[dimm];
+        if slow {
+            self.slow_completions += 1;
+            match b.state {
+                // A slow half-open probe re-opens with a longer delay.
+                BreakerState::HalfOpen => self.trip(dimm, now),
+                BreakerState::Closed => {
+                    b.consecutive_slow += 1;
+                    if b.consecutive_slow >= self.trip_after {
+                        self.trip(dimm, now);
+                    }
+                }
+                BreakerState::Open { .. } => {}
+            }
+        } else {
+            b.consecutive_slow = 0;
+            if b.state == BreakerState::HalfOpen {
+                b.state = BreakerState::Closed;
+                b.attempt = 0;
+                self.reopens += 1;
+            }
+        }
+    }
+
+    /// Final health classification of `dimm`, on the shared
+    /// [`HealthState`] scale the fault reports use.
+    pub(crate) fn health(&self, dimm: usize) -> HealthState {
+        match self.dimms[dimm].state {
+            BreakerState::Closed => HealthState::Healthy,
+            BreakerState::HalfOpen => HealthState::Degraded,
+            BreakerState::Open { .. } => HealthState::Tripped,
+        }
+    }
+
+    /// Closes the books at end of run: accounts still-open breakers'
+    /// open time up to `end` and returns the number left open.
+    pub(crate) fn finalize(&mut self, end: u64) -> u64 {
+        let mut still_open = 0;
+        for d in 0..self.dimms.len() {
+            if let BreakerState::Open { .. } = self.dimms[d].state {
+                still_open += 1;
+                let opened = self.dimms[d].opened_at;
+                self.open_ticks += end.saturating_sub(opened);
+                self.open_intervals.push((d, opened, end));
+            }
+        }
+        still_open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::default_classes;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig::for_capacity(8.0, 8)
+    }
+
+    #[test]
+    fn default_policy_validates() {
+        cfg().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_field() {
+        for f in [
+            |c: &mut AdmissionConfig| c.bucket_capacity = 0.0,
+            |c: &mut AdmissionConfig| c.bucket_capacity = f64::NAN,
+            |c: &mut AdmissionConfig| c.refill_per_ktick = 0.0,
+            |c: &mut AdmissionConfig| c.refill_per_ktick = -2.0,
+            |c: &mut AdmissionConfig| c.refill_per_ktick = f64::INFINITY,
+            |c: &mut AdmissionConfig| c.queue_high = 0,
+            |c: &mut AdmissionConfig| c.queue_low = c.queue_high,
+            |c: &mut AdmissionConfig| c.shed_budget_per_mille = 1001,
+            |c: &mut AdmissionConfig| c.breaker_trip_ratio = 1.0,
+            |c: &mut AdmissionConfig| c.breaker_trip_ratio = f64::NAN,
+            |c: &mut AdmissionConfig| c.breaker_trip_after = 0,
+            |c: &mut AdmissionConfig| c.breaker_backoff_base = 0,
+            |c: &mut AdmissionConfig| c.breaker_backoff_cap = c.breaker_backoff_base - 1,
+        ] {
+            let mut c = cfg();
+            f(&mut c);
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn cutoff_is_the_bucket_floor_of_the_target() {
+        assert_eq!(deadline_cutoff(60_000), 32_767);
+        assert_eq!(deadline_cutoff(65_535), 65_535);
+        assert_eq!(deadline_cutoff(65_536), 65_535);
+        assert_eq!(deadline_cutoff(1), 1);
+        assert_eq!(deadline_cutoff(2), 1);
+        assert_eq!(deadline_cutoff(3), 3);
+        assert_eq!(deadline_cutoff(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_empties_and_refills() {
+        let classes = default_classes();
+        let mut c = cfg();
+        c.bucket_capacity = 2.0;
+        c.refill_per_ktick = 1024.0; // one token per tick
+        let mut a = Admission::new(c, classes.len(), 100.0);
+        // Two immediate arrivals drain the burst; the third bounces.
+        assert_eq!(a.decide(0, 0, &classes[0], 0, 0, 8, 10), Decision::Admit);
+        assert_eq!(a.decide(0, 0, &classes[0], 0, 0, 8, 10), Decision::Admit);
+        assert_eq!(
+            a.decide(0, 0, &classes[0], 0, 0, 8, 10),
+            Decision::Drop(ShedReason::RateLimit)
+        );
+        // One tick later one token is back.
+        assert_eq!(a.decide(1, 0, &classes[0], 0, 0, 8, 10), Decision::Admit);
+        assert_eq!(
+            a.decide(1, 0, &classes[0], 0, 0, 8, 10),
+            Decision::Drop(ShedReason::RateLimit)
+        );
+    }
+
+    #[test]
+    fn gate_hysteresis_closes_high_reopens_low() {
+        let classes = default_classes();
+        let mut c = cfg();
+        c.queue_high = 10;
+        c.queue_low = 2;
+        let mut a = Admission::new(c, classes.len(), 100.0);
+        assert_eq!(a.decide(0, 0, &classes[0], 9, 0, 8, 10), Decision::Admit);
+        assert_eq!(
+            a.decide(1, 0, &classes[0], 10, 0, 8, 10),
+            Decision::Drop(ShedReason::QueueDepth)
+        );
+        // Still shut between the watermarks.
+        assert_eq!(
+            a.decide(2, 0, &classes[0], 5, 0, 8, 10),
+            Decision::Drop(ShedReason::QueueDepth)
+        );
+        // Reopens once drained to the low mark.
+        assert_eq!(a.decide(3, 0, &classes[0], 2, 0, 8, 10), Decision::Admit);
+        assert_eq!(a.gate_closures, 1);
+    }
+
+    #[test]
+    fn deadline_shed_respects_budget() {
+        let classes = default_classes(); // interactive target 60 000 → cutoff 32 767
+        let mut c = cfg();
+        c.bucket_capacity = 1e9;
+        c.refill_per_ktick = 1e9;
+        c.queue_high = u64::MAX / 2;
+        c.shed_budget_per_mille = 500;
+        let mut a = Admission::new(c, classes.len(), 100.0);
+        let mut shed = 0;
+        let mut admitted = 0;
+        for i in 0..100u64 {
+            // Backlog far beyond the cutoff: every query *wants* to shed.
+            match a.decide(i, 0, &classes[0], 1, 8 * 1_000_000, 8, 10) {
+                Decision::Drop(ShedReason::Deadline) => shed += 1,
+                Decision::Admit => admitted += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shed + admitted, 100);
+        assert!(shed > 0, "overload must shed");
+        assert!(
+            admitted >= 50,
+            "a 500‰ budget must keep admitting half, admitted {admitted}"
+        );
+    }
+
+    #[test]
+    fn ewma_estimate_tracks_observations() {
+        let mut a = Admission::new(cfg(), 1, 1000.0);
+        assert_eq!(a.estimate(0), 1000);
+        for _ in 0..64 {
+            a.observe(0, 8_000);
+        }
+        assert!(
+            a.estimate(0) > 6_000,
+            "estimate must converge upward, got {}",
+            a.estimate(0)
+        );
+        for _ in 0..64 {
+            a.observe(0, 100);
+        }
+        assert!(
+            a.estimate(0) < 1_000,
+            "estimate must converge back down, got {}",
+            a.estimate(0)
+        );
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_recovers() {
+        let c = cfg(); // trip after 3 slow at ≥3×, backoff base 4096
+        let mut b = Breakers::new(&c, 2);
+        assert!(b.allows(0));
+        // Three consecutive 8×-slow completions trip DIMM 0.
+        b.on_completion(0, 100, 800, 1_000);
+        b.on_completion(0, 100, 800, 2_000);
+        assert!(b.allows(0), "not yet tripped");
+        b.on_completion(0, 100, 800, 3_000);
+        assert!(!b.allows(0), "tripped open");
+        assert!(b.allows(1), "other DIMMs unaffected");
+        assert_eq!(b.trips, 1);
+        assert_eq!(b.health(0), HealthState::Tripped);
+        let reopen = b.next_reopen().unwrap();
+        assert_eq!(reopen, 3_000 + 4_096);
+        // Backoff elapses → half-open probe allowed.
+        b.tick(reopen);
+        assert!(b.allows(0));
+        assert_eq!(b.health(0), HealthState::Degraded);
+        // Slow probe re-opens with doubled delay.
+        b.on_completion(0, 100, 800, reopen + 800);
+        assert!(!b.allows(0));
+        assert_eq!(b.next_reopen().unwrap(), reopen + 800 + 8_192);
+        // Fast probe after the second backoff closes it for good.
+        b.tick(reopen + 800 + 8_192);
+        b.on_completion(0, 100, 100, reopen + 10_000);
+        assert!(b.allows(0));
+        assert_eq!(b.health(0), HealthState::Healthy);
+        assert_eq!(b.reopens, 1);
+        assert_eq!(b.trips, 2);
+        assert!(b.open_ticks > 0);
+        assert_eq!(b.open_intervals.len(), 2);
+        assert_eq!(b.finalize(100_000), 0);
+    }
+
+    #[test]
+    fn fast_completions_reset_the_slow_run() {
+        let c = cfg();
+        let mut b = Breakers::new(&c, 1);
+        for _ in 0..10 {
+            b.on_completion(0, 100, 800, 0); // slow
+            b.on_completion(0, 100, 100, 0); // fast resets
+        }
+        assert_eq!(b.trips, 0, "alternating never reaches 3 consecutive");
+        assert!(b.allows(0));
+    }
+}

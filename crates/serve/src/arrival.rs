@@ -5,10 +5,24 @@
 //! counter-mode draw keyed by the query index, making the schedule a
 //! pure function of `(seed, spec)`.
 
+use faultsim::scenario::SpikeWindow;
+
 use crate::qos::ClassSpec;
 use crate::rng::{Stream, STREAM_CLASS, STREAM_INTERARRIVAL, STREAM_VERTEX};
 use crate::trace::QueryTrace;
 use crate::ServeError;
+
+/// Arrival-rate multiplier in force at `tick`: the product of every
+/// overlapping spike window (1.0 outside all of them).
+fn rate_mult_at(windows: &[SpikeWindow], tick: u64) -> f64 {
+    let mut mult = 1.0;
+    for w in windows {
+        if tick >= w.start && tick < w.end {
+            mult *= w.rate_mult;
+        }
+    }
+    mult
+}
 
 /// One inference query entering the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +76,26 @@ impl ArrivalSpec {
         vertex_bound: u32,
         classes: &[ClassSpec],
     ) -> Result<Vec<Query>, ServeError> {
+        self.generate_scripted(seed, vertex_bound, classes, &[])
+    }
+
+    /// [`generate`](Self::generate) with chaos-scenario load-spike
+    /// windows modulating the Poisson rate: inside a window the
+    /// instantaneous rate is multiplied by the window's `rate_mult`
+    /// (overlapping windows compound). An empty slice reproduces the
+    /// unscripted schedule byte-for-byte. Trace replays carry their
+    /// own timestamps and ignore spikes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`generate`](Self::generate).
+    pub fn generate_scripted(
+        &self,
+        seed: u64,
+        vertex_bound: u32,
+        classes: &[ClassSpec],
+        spikes: &[SpikeWindow],
+    ) -> Result<Vec<Query>, ServeError> {
         if vertex_bound == 0 {
             return Err(ServeError::Config("vertex bound is zero".into()));
         }
@@ -69,7 +103,7 @@ impl ArrivalSpec {
             return Err(ServeError::Config("no QoS classes".into()));
         }
         match self {
-            ArrivalSpec::Poisson(p) => p.generate(seed, vertex_bound, classes),
+            ArrivalSpec::Poisson(p) => p.generate(seed, vertex_bound, classes, spikes),
             ArrivalSpec::Trace(t) => {
                 if t.vertex_bound > vertex_bound {
                     return Err(ServeError::Config(format!(
@@ -105,6 +139,7 @@ impl PoissonArrivals {
         seed: u64,
         vertex_bound: u32,
         classes: &[ClassSpec],
+        spikes: &[SpikeWindow],
     ) -> Result<Vec<Query>, ServeError> {
         if !self.rate_per_ktick.is_finite() || self.rate_per_ktick <= 0.0 {
             return Err(ServeError::Config(format!(
@@ -138,8 +173,12 @@ impl PoissonArrivals {
         let mut tick = 0u64;
         for i in 0..u64::from(self.queries) {
             // Exponential inter-arrival, floored at one tick so the
-            // schedule stays strictly causal at extreme rates.
-            let delta = (-inter.unit_open(i).ln() / lambda).ceil();
+            // schedule stays strictly causal at extreme rates. Spike
+            // windows scale the instantaneous rate at the previous
+            // arrival's tick (a window boundary shifts by at most one
+            // gap — negligible against window lengths).
+            let mult = rate_mult_at(spikes, tick);
+            let delta = (-inter.unit_open(i).ln() / (lambda * mult)).ceil();
             tick = tick.saturating_add((delta as u64).max(1));
 
             let u = vtx.unit(i);
@@ -247,11 +286,52 @@ mod tests {
     }
 
     #[test]
+    fn spikes_compress_gaps_inside_the_window() {
+        let classes = default_classes();
+        let windows = [SpikeWindow {
+            start: 0,
+            end: u64::MAX,
+            rate_mult: 8.0,
+        }];
+        let base = spec(4.0, 2000).generate(9, 100, &classes).unwrap();
+        let spiked = spec(4.0, 2000)
+            .generate_scripted(9, 100, &classes, &windows)
+            .unwrap();
+        let span = |q: &[Query]| q.last().unwrap().arrival_tick - q[0].arrival_tick;
+        assert!(
+            span(&spiked) * 4 < span(&base),
+            "8× spike must compress the schedule (base {} vs spiked {})",
+            span(&base),
+            span(&spiked)
+        );
+        // Everything except timing is untouched.
+        for (a, b) in base.iter().zip(&spiked) {
+            assert_eq!((a.vertex, a.class, a.seq), (b.vertex, b.class, b.seq));
+        }
+        // No windows reproduces the unscripted schedule exactly.
+        let unscripted = spec(4.0, 2000)
+            .generate_scripted(9, 100, &classes, &[])
+            .unwrap();
+        assert_eq!(base, unscripted);
+    }
+
+    #[test]
     fn rejects_bad_parameters() {
         let classes = default_classes();
         assert!(spec(0.0, 10).generate(0, 10, &classes).is_err());
+        assert!(spec(-3.0, 10).generate(0, 10, &classes).is_err());
+        assert!(spec(f64::NAN, 10).generate(0, 10, &classes).is_err());
+        assert!(spec(f64::INFINITY, 10).generate(0, 10, &classes).is_err());
         assert!(spec(1.0, 0).generate(0, 10, &classes).is_err());
         assert!(spec(1.0, 10).generate(0, 0, &classes).is_err());
+        for skew in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let s = ArrivalSpec::Poisson(PoissonArrivals {
+                rate_per_ktick: 1.0,
+                queries: 10,
+                popularity_skew: skew,
+            });
+            assert!(s.generate(0, 10, &classes).is_err(), "skew {skew}");
+        }
         let t = QueryTrace {
             num_classes: 2,
             vertex_bound: 100,

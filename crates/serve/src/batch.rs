@@ -17,6 +17,9 @@ pub enum BatchPolicy {
     Deadline,
     /// Flushed at end-of-arrivals drain.
     Drain,
+    /// Closed early because a DIMM sat idle with no ready batch
+    /// (work-conserving mode, only under admission control).
+    Idle,
 }
 
 /// A closed batch, ready for dispatch.
@@ -100,6 +103,27 @@ impl Batcher {
         out
     }
 
+    /// Closes the open batch with the oldest member (ties broken by
+    /// class index), if any — the work-conserving path: an idle DIMM
+    /// with nothing ready serves a partial batch rather than letting
+    /// it age toward its deadline while the queue backs up.
+    pub(crate) fn close_oldest(&mut self) -> Option<ReadyBatch> {
+        let class = self
+            .open
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.queries.is_empty())
+            .min_by_key(|(class, b)| (b.oldest_arrival, *class))
+            .map(|(class, _)| class)?;
+        let b = std::mem::take(&mut self.open[class]);
+        Some(ReadyBatch {
+            class: class as u16,
+            oldest_arrival: b.oldest_arrival,
+            queries: b.queries,
+            closed_by: BatchPolicy::Idle,
+        })
+    }
+
     /// Flushes all remaining open batches (end of arrivals).
     pub(crate) fn drain(&mut self) -> Vec<ReadyBatch> {
         let mut out = Vec::new();
@@ -156,6 +180,20 @@ mod tests {
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].closed_by, BatchPolicy::Deadline);
         assert_eq!(b.next_deadline(&classes), None);
+    }
+
+    #[test]
+    fn close_oldest_picks_the_stalest_open_batch() {
+        let classes = default_classes();
+        let mut b = Batcher::new(classes.len());
+        assert!(b.close_oldest().is_none(), "nothing open");
+        b.admit(q(9, 1, 0), &classes);
+        b.admit(q(4, 2, 1), &classes);
+        let closed = b.close_oldest().expect("two batches open");
+        assert_eq!(closed.class, 2, "class 2 holds the oldest arrival");
+        assert_eq!(closed.closed_by, BatchPolicy::Idle);
+        assert_eq!(b.close_oldest().expect("one left").class, 1);
+        assert!(b.close_oldest().is_none());
     }
 
     #[test]

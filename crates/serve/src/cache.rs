@@ -45,6 +45,8 @@ pub struct CacheStats {
     pub prefix_misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Whole-cache flushes (chaos-scenario miss storms).
+    pub flushes: u64,
 }
 
 impl CacheStats {
@@ -138,6 +140,21 @@ impl ReuseCache {
         self.by_key.insert(key, self.seq);
     }
 
+    /// Whether `key` is resident, without touching recency or stats —
+    /// the admission layer's brownout probe.
+    pub(crate) fn peek(&self, key: Key) -> bool {
+        self.by_key.contains_key(&key)
+    }
+
+    /// Drops every entry (a chaos-scenario miss storm). Counters other
+    /// than `flushes` are untouched; evictions only count
+    /// capacity-pressure drops.
+    pub(crate) fn flush(&mut self) {
+        self.by_key.clear();
+        self.by_recency.clear();
+        self.stats.flushes += 1;
+    }
+
     #[cfg(test)]
     fn len(&self) -> usize {
         self.by_key.len()
@@ -196,6 +213,23 @@ mod tests {
         c.insert(root(1));
         assert!(!c.lookup(root(1)));
         assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn flush_empties_without_counting_evictions() {
+        let mut c = ReuseCache::new(8);
+        c.insert(root(1));
+        c.insert(root(2));
+        assert!(c.peek(root(1)));
+        c.flush();
+        assert_eq!(c.len(), 0);
+        assert!(!c.peek(root(1)));
+        assert!(!c.lookup(root(1)));
+        assert_eq!(c.stats.flushes, 1);
+        assert_eq!(c.stats.evictions, 0);
+        // Peek leaves stats untouched; the lookup above recorded the
+        // only miss.
+        assert_eq!(c.stats.root_misses, 1);
     }
 
     #[test]

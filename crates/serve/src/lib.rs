@@ -29,16 +29,29 @@
 //! 5. **Faults** — a [`faultsim::FaultInjector`] drives permanently
 //!    stalled DIMMs (service-rate slowdown) and transient stalls, so
 //!    a sick rank surfaces as a tail-latency spike, not a crash.
+//! 6. **Overload protection** ([`admission`], opt-in) — a token
+//!    bucket plus queue-depth hysteresis gate admits queries,
+//!    deadline-aware shedding drops the ones whose class target is
+//!    already unmeetable (with per-class shed budgets and structured
+//!    [`ShedReason`]s), per-DIMM circuit breakers trip on
+//!    fault-degraded ranks and half-open on a [`faultsim::Backoff`]
+//!    schedule, and root-cache-resident queries get degraded-quality
+//!    *brownout* answers instead of rejections.
+//! 7. **Chaos scenarios** ([`faultsim::Scenario`], opt-in) — a seeded
+//!    script of load spikes, rank stalls, cache flushes, and fleet
+//!    resizes over simulated time, replaying byte-identically.
 //!
 //! The run produces a [`ServeReport`]: p50/p99/p999 latency (via
 //! [`obs::LatencyHistogram`], which stays real when telemetry is
 //! compiled out), per-class QoS attainment, cache hit rates, per-DIMM
-//! utilization, and batch statistics — everything in the simulated
-//! clock domain, so two runs of one seed are byte-identical.
+//! utilization, batch statistics, and admission / breaker / chaos
+//! outcomes — everything in the simulated clock domain, so two runs
+//! of one seed are byte-identical.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod arrival;
 pub mod batch;
 pub mod cache;
@@ -51,13 +64,18 @@ pub mod workload;
 
 mod report;
 
+pub use admission::{AdmissionConfig, ShedReason};
 pub use arrival::{ArrivalSpec, PoissonArrivals, Query};
 pub use batch::BatchPolicy;
 pub use cache::CacheStats;
 pub use error::ServeError;
+// Re-exported so downstream crates can script chaos scenarios without
+// a direct faultsim dependency (the type appears in [`ServeConfig`]).
+pub use faultsim::Scenario;
 pub use qos::{default_classes, ClassSpec};
 pub use report::{
-    BatchReport, CacheReport, ClassReport, DimmReport, FaultReport, LatencyStats, ServeReport,
+    AdmissionReport, BatchReport, BreakerReport, CacheReport, ChaosReport, ClassReport, DimmReport,
+    FaultReport, LatencyStats, ServeReport,
 };
 pub use sim::{simulate, ServeConfig};
 pub use trace::{load_trace, save_trace, QueryTrace, TraceError, TraceRecord};

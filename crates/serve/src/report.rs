@@ -5,6 +5,7 @@
 //! `(config, seed)` and serializes byte-identically across runs,
 //! thread counts, and machines.
 
+use faultsim::HealthState;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::BatchPolicy;
@@ -53,7 +54,11 @@ pub struct ClassReport {
     pub priority: u8,
     /// Queries served.
     pub queries: u64,
-    /// End-to-end latency (arrival → completion).
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Queries answered as degraded-quality brownouts.
+    pub brownouts: u64,
+    /// End-to-end latency (arrival → completion) of served queries.
     pub latency: LatencyStats,
     /// The class's p99 target in ticks.
     pub target_p99_ticks: u64,
@@ -77,8 +82,12 @@ pub struct CacheReport {
 pub struct DimmReport {
     /// DIMM index (channel-major).
     pub dimm: u64,
-    /// Whether a permanently stalled rank degrades this DIMM.
+    /// Whether a stalled rank degraded this DIMM at any point in the
+    /// run (fault model or chaos scenario).
     pub stalled: bool,
+    /// Circuit-breaker health at end of run (always `Healthy` when
+    /// breakers are disabled).
+    pub health: HealthState,
     /// Batches served.
     pub batches: u64,
     /// Queries served.
@@ -100,6 +109,9 @@ pub struct BatchReport {
     pub closed_by_deadline: u64,
     /// Flushed at end-of-arrivals drain.
     pub closed_by_drain: u64,
+    /// Closed early for an idle DIMM (work-conserving mode, only
+    /// under admission control).
+    pub closed_by_idle: u64,
     /// Mean queries per batch.
     pub mean_size: f64,
 }
@@ -111,6 +123,7 @@ impl BatchReport {
             BatchPolicy::Size => self.closed_by_size += 1,
             BatchPolicy::Deadline => self.closed_by_deadline += 1,
             BatchPolicy::Drain => self.closed_by_drain += 1,
+            BatchPolicy::Idle => self.closed_by_idle += 1,
         }
     }
 }
@@ -126,6 +139,66 @@ pub struct FaultReport {
     pub transient_stall_events: u64,
 }
 
+/// Admission-control outcome of one serving run (all zero / disabled
+/// when no [`crate::AdmissionConfig`] is set — nothing is ever
+/// dropped then).
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    /// Whether admission control ran.
+    pub enabled: bool,
+    /// Queries admitted for normal service.
+    pub accepted: u64,
+    /// Sheds because the queue-depth hysteresis gate was shut.
+    pub shed_queue_depth: u64,
+    /// Sheds because the token bucket was empty.
+    pub shed_rate_limit: u64,
+    /// Sheds because the class deadline was predicted unmeetable.
+    pub shed_deadline: u64,
+    /// Queries answered as root-cache-only degraded brownouts instead
+    /// of being shed.
+    pub brownouts: u64,
+    /// Times the hysteresis gate transitioned open → shut.
+    pub gate_closures: u64,
+    /// Latency of brownout responses (combine-only, no queueing).
+    pub brownout_latency: LatencyStats,
+}
+
+/// Per-DIMM circuit-breaker outcome (all zero / disabled without
+/// admission control).
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct BreakerReport {
+    /// Whether breakers ran.
+    pub enabled: bool,
+    /// Breaker trips (closed/half-open → open transitions).
+    pub trips: u64,
+    /// Half-open probes that closed a breaker again.
+    pub reopens: u64,
+    /// Completions classified slow.
+    pub slow_completions: u64,
+    /// Total DIMM-ticks spent with a breaker open.
+    pub open_ticks: u64,
+    /// DIMMs still open (tripped) at end of run.
+    pub open_at_end: u64,
+}
+
+/// What the chaos scenario actually did to the run (all zero for an
+/// empty scenario).
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Events in the script.
+    pub scripted_events: u64,
+    /// Load-spike windows applied to arrival generation.
+    pub spike_windows: u64,
+    /// Timeline effects applied during the run.
+    pub applied_effects: u64,
+    /// Reuse-cache flushes performed.
+    pub cache_flushes: u64,
+    /// Rank stall/unstall transitions performed.
+    pub rank_stall_changes: u64,
+    /// Fleet shrink/grow events performed.
+    pub fleet_changes: u64,
+}
+
 /// The full outcome of one serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -133,7 +206,9 @@ pub struct ServeReport {
     pub seed: u64,
     /// Offered arrival rate in queries per 1024 ticks (0 for traces).
     pub offered_rate_per_ktick: f64,
-    /// Queries served (= queries arrived; nothing is dropped).
+    /// Queries that arrived (served + shed + brownouts).
+    pub arrived: u64,
+    /// Queries served normally (= arrived when admission is off).
     pub queries: u64,
     /// Tick of the last completion.
     pub makespan_ticks: u64,
@@ -153,4 +228,10 @@ pub struct ServeReport {
     pub dimms: Vec<DimmReport>,
     /// Fault impact (all zero for a fault-free run).
     pub faults: FaultReport,
+    /// Admission-control outcome.
+    pub admission: AdmissionReport,
+    /// Circuit-breaker outcome.
+    pub breakers: BreakerReport,
+    /// Chaos-scenario outcome.
+    pub chaos: ChaosReport,
 }

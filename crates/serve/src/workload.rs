@@ -163,6 +163,66 @@ impl ServeWorkload {
         ticks.max(1)
     }
 
+    /// Root-cache-only "brownout" service of `vertex`: when every
+    /// per-metapath root aggregate is resident, the query can be
+    /// answered at degraded quality with pure combine work and no DIMM
+    /// time. Returns `None` (cache untouched) when any root is
+    /// missing; on success the roots' recency and hit counters update
+    /// as for a normal hit.
+    pub(crate) fn brownout_ticks(&self, vertex: u32, cache: &mut ReuseCache) -> Option<u64> {
+        let key = |mp: usize| Key {
+            mp: mp as u8,
+            kind: EntryKind::Root,
+            node: vertex,
+        };
+        if !(0..self.paths.len()).all(|mp| cache.peek(key(mp))) {
+            return None;
+        }
+        let mut ticks = self.fixed_ticks;
+        for mp in 0..self.paths.len() {
+            let hit = cache.lookup(key(mp));
+            debug_assert!(hit, "peeked resident above");
+            ticks = ticks.saturating_add(self.combine_ticks);
+        }
+        Some(ticks.max(1))
+    }
+
+    /// Predicted service cost of `vertex` against the *current* cache
+    /// contents, without touching recency or stats — the admission
+    /// layer's deadline estimate. Mirrors [`Self::query_ticks`] with
+    /// peeks; exact if the cache doesn't change before dispatch.
+    pub(crate) fn predicted_ticks(&self, vertex: u32, cache: &ReuseCache) -> u64 {
+        let mut ticks = self.fixed_ticks;
+        for (mp, p) in self.paths.iter().enumerate() {
+            let root = Key {
+                mp: mp as u8,
+                kind: EntryKind::Root,
+                node: vertex,
+            };
+            if cache.peek(root) {
+                ticks = ticks.saturating_add(self.combine_ticks);
+                continue;
+            }
+            for &n in &p.hop1[vertex as usize] {
+                let prefix = Key {
+                    mp: mp as u8,
+                    kind: EntryKind::Prefix,
+                    node: n,
+                };
+                if cache.peek(prefix) {
+                    ticks = ticks.saturating_add(self.combine_ticks);
+                } else {
+                    ticks = ticks
+                        .saturating_add(
+                            (p.suffix1[n as usize] as f64 * self.cycles_per_instance) as u64,
+                        )
+                        .saturating_add(self.combine_ticks);
+                }
+            }
+        }
+        ticks.max(1)
+    }
+
     /// Service cost of `vertex` against the shared reuse cache,
     /// recording hits/misses and inserting the aggregates the query
     /// leaves behind.
@@ -275,6 +335,25 @@ mod tests {
                 assert_eq!(recomposed, exact[v], "metapath {} vertex {v}", p.name);
             }
         }
+    }
+
+    #[test]
+    fn brownout_needs_every_root_resident() {
+        let config = ServeConfig::smoke_test();
+        let w = ServeWorkload::build(&config).unwrap();
+        let mut cache = ReuseCache::new(4096);
+        assert_eq!(w.brownout_ticks(0, &mut cache), None, "cold cache");
+        // A full normal query leaves every root behind.
+        let full = w.query_ticks(0, &mut cache);
+        let b = w.brownout_ticks(0, &mut cache).expect("roots resident");
+        assert!(b <= full, "brownout ({b}) must not exceed full ({full})");
+        assert_eq!(
+            b,
+            w.fixed_ticks + w.paths.len() as u64 * w.combine_ticks,
+            "brownout is pure combine work"
+        );
+        // A different vertex's roots are absent.
+        assert_eq!(w.brownout_ticks(1, &mut cache), None);
     }
 
     #[test]

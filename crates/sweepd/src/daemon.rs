@@ -844,9 +844,7 @@ fn shed_low_priority(cfg: &DaemonConfig, st: &mut State, alive: usize) {
 fn advance_sweeps(cfg: &DaemonConfig, st: &mut State) {
     for sweep in st.sweeps.values_mut() {
         match sweep.status {
-            SweepStatus::Running
-                if sweep.cells.iter().all(|c| c.status == CellStatus::Done) =>
-            {
+            SweepStatus::Running if sweep.cells.iter().all(|c| c.status == CellStatus::Done) => {
                 if sweep.manifest.finalize {
                     match spawn_finalize(cfg, sweep) {
                         Ok(child) => {
