@@ -111,6 +111,10 @@ struct ChannelState {
 struct Burst {
     id: RequestId,
     addr: u64,
+    /// Decoded once at enqueue (and snapshot restore): FR-FCFS probes
+    /// every candidate's row on every pick, so re-mapping `addr` per
+    /// probe made scheduling cost a decode per window entry.
+    loc: Location,
     kind: RequestKind,
     locality: Locality,
     arrival: u64,
@@ -310,10 +314,11 @@ impl MemorySystem {
         }
         for i in 0..bursts {
             let addr = req.addr + (i * self.config.burst_bytes) as u64;
-            let channel = self.mapper.map(addr).channel;
-            self.channels[channel].queue.push_back(Burst {
+            let loc = self.mapper.map(addr);
+            self.channels[loc.channel].queue.push_back(Burst {
                 id,
                 addr,
+                loc,
                 kind: req.kind,
                 locality: req.locality,
                 arrival: req.arrival_cycle,
@@ -547,7 +552,6 @@ impl MemorySystem {
             self.injectors.iter_mut().map(Some).collect()
         };
         let config = &self.config;
-        let mapper = &self.mapper;
         let workers: Vec<ChannelWorker<'_>> = self
             .channels
             .iter_mut()
@@ -555,7 +559,6 @@ impl MemorySystem {
             .enumerate()
             .map(|(ch, (state, injector))| ChannelWorker {
                 config,
-                mapper,
                 ch,
                 state,
                 injector,
@@ -801,7 +804,6 @@ impl ChannelOutcome {
 /// independent of thread scheduling.
 struct ChannelWorker<'a> {
     config: &'a DramConfig,
-    mapper: &'a AddressMapper,
     ch: usize,
     state: &'a mut ChannelState,
     injector: Option<&'a mut FaultInjector>,
@@ -851,8 +853,7 @@ impl ChannelWorker<'_> {
                 .record(self.state.queue.len() as u64);
             let pick = self.pick_fr_fcfs();
             let burst = self.state.queue.remove(pick).expect("pick is in range");
-            let loc = self.mapper.map(burst.addr);
-            let (data_start, finish) = self.issue_burst(&burst, loc);
+            let (data_start, finish) = self.issue_burst(&burst, burst.loc);
             self.record_serviced(burst.id, data_start, finish);
         }
     }
@@ -869,7 +870,7 @@ impl ChannelWorker<'_> {
                 .record(self.state.queue.len() as u64);
             let pick = self.pick_fr_fcfs();
             let burst = self.state.queue[pick];
-            let loc = self.mapper.map(burst.addr);
+            let loc = burst.loc;
             let bus_only = matches!(burst.locality, Locality::Broadcast | Locality::DirectSend);
             let global_rank = self.global_rank(&loc);
 
@@ -1015,7 +1016,7 @@ impl ChannelWorker<'_> {
             if matches!(b.locality, Locality::Broadcast | Locality::DirectSend) {
                 continue; // bus-only transfers have no row to hit
             }
-            let loc = self.mapper.map(b.addr);
+            let loc = b.loc;
             let rank = &self.state.ranks[loc.dimm * self.config.ranks_per_dimm + loc.rank];
             let bank = &rank.banks[loc.bank_in_rank(self.config)];
             if bank.open_row == Some(loc.row) {
@@ -1431,6 +1432,7 @@ impl checkpoint::Restore for MemorySystem {
                     .map(|b| Burst {
                         id: RequestId(b.id),
                         addr: b.addr,
+                        loc: self.mapper.map(b.addr),
                         kind: b.kind,
                         locality: b.locality,
                         arrival: b.arrival,

@@ -132,6 +132,41 @@ pub struct OnTheFlyEngine;
 
 const F32: u128 = 4;
 
+/// Reusable working buffers for one metapath's aggregation loop,
+/// following the `VisitScratch` arena pattern from `nmp::functional`:
+/// allocated once per metapath and recycled across start vertices so
+/// the hot loop performs no per-vertex heap allocation.
+struct WalkScratch {
+    /// Running prefix aggregates, one per depth.
+    prefix: Vec<Vec<f32>>,
+    /// SHGNN child accumulators per depth.
+    child_sum: Vec<Vec<f32>>,
+    /// SHGNN child counts per depth.
+    child_count: Vec<usize>,
+    /// Current path vertices per depth.
+    current: Vec<u32>,
+    /// Instance vectors of the current start vertex (`n × d`).
+    inst_vecs: Vec<f32>,
+    /// Attention score buffer for [`combine_instances`].
+    scores: Vec<f32>,
+    /// Structural output row of the current start vertex.
+    out: Vec<f32>,
+}
+
+impl WalkScratch {
+    fn new(hops: usize, d: usize) -> Self {
+        WalkScratch {
+            prefix: vec![vec![0.0; d]; hops + 1],
+            child_sum: vec![vec![0.0; d]; hops + 1],
+            child_count: vec![0; hops + 1],
+            current: vec![0; hops + 1],
+            inst_vecs: Vec::new(),
+            scores: Vec::new(),
+            out: vec![0.0; d],
+        }
+    }
+}
+
 /// Combines the instance vectors of one start vertex into its
 /// structural result (`out`), by mean or by dot-product attention
 /// against the start vertex's own hidden vector.
@@ -293,6 +328,7 @@ impl InferenceEngine for MaterializedEngine {
                 ModelKind::Magnn | ModelKind::Han => {
                     let mut inst_vecs: Vec<f32> = Vec::new();
                     let mut scores = Vec::new();
+                    let mut out = vec![0.0f32; d];
                     let mut i = 0;
                     while i < insts.len() {
                         let start = insts.instance(i)[0];
@@ -334,7 +370,6 @@ impl InferenceEngine for MaterializedEngine {
                         let n = (j - i) as u128;
                         peak_transient = peak_transient.max(n * d as u128 * F32);
                         let start_vec = hidden.vector(start_ty, start);
-                        let mut out = vec![0.0f32; d];
                         combine_instances(
                             start_vec,
                             &inst_vecs,
@@ -467,17 +502,22 @@ impl InferenceEngine for OnTheFlyEngine {
             profile.naive_aggregations += count_instances(graph, mp)? * hops as u128;
 
             let mut s = Matrix::zeros(start_count, d);
-            let mut scores = Vec::new();
+            // One arena for the whole metapath; every buffer is either
+            // cleared here or fully overwritten by the walk before it
+            // is read, so recycling across start vertices is safe.
+            let mut scratch = WalkScratch::new(hops, d);
 
             for start in 0..start_count as u32 {
-                // Running prefix aggregates, one per depth.
-                let mut prefix: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-                // SHGNN child accumulators per depth.
-                let mut child_sum: Vec<Vec<f32>> = vec![vec![0.0; d]; hops + 1];
-                let mut child_count: Vec<usize> = vec![0; hops + 1];
-                // Current path vertices per depth.
-                let mut current: Vec<u32> = vec![0; hops + 1];
-                let mut inst_vecs: Vec<f32> = Vec::new();
+                let WalkScratch {
+                    prefix,
+                    child_sum,
+                    child_count,
+                    current,
+                    inst_vecs,
+                    scores,
+                    out,
+                } = &mut scratch;
+                inst_vecs.clear();
                 let mut n_instances = 0usize;
 
                 let matching = &mut profile.matching;
@@ -566,18 +606,17 @@ impl InferenceEngine for OnTheFlyEngine {
                 if config.kind != ModelKind::Shgnn && n_instances > 0 {
                     peak_transient = peak_transient.max((n_instances * d) as u128 * F32);
                     let start_vec = hidden.vector(start_ty, start);
-                    let mut out = vec![0.0f32; d];
                     combine_instances(
                         start_vec,
-                        &inst_vecs,
+                        inst_vecs,
                         n_instances,
                         d,
                         config.attention,
-                        &mut out,
+                        out,
                         &mut profile.structural,
-                        &mut scores,
+                        scores,
                     );
-                    s.row_mut(start as usize).copy_from_slice(&out);
+                    s.row_mut(start as usize).copy_from_slice(out);
                 }
             }
             structural_results.push(s);

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::HgnnError;
 use crate::profile::OpCounters;
+use crate::tensor::kernels::{self, TileGeometry};
 use crate::tensor::Matrix;
 
 /// Raw (pre-projection) features for every vertex type.
@@ -146,6 +147,28 @@ impl Projection {
         features: &FeatureStore,
         counters: &mut OpCounters,
     ) -> Result<HiddenFeatures, HgnnError> {
+        self.project_with_tiles(graph, features, counters, TileGeometry::default())
+    }
+
+    /// [`Projection::project`] with an explicit cache-blocking
+    /// geometry, normally derived from the rank-AU feature-cache size
+    /// (`nmp::config::NmpConfig::feature_cache_tiles`).
+    ///
+    /// The blocked batch kernel is bit-identical to row-at-a-time
+    /// projection for every geometry, and the op counters are derived
+    /// from shapes alone, so results and counts never depend on the
+    /// tiling.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Projection::project`].
+    pub fn project_with_tiles(
+        &self,
+        graph: &HeteroGraph,
+        features: &FeatureStore,
+        counters: &mut OpCounters,
+        tiles: TileGeometry,
+    ) -> Result<HiddenFeatures, HgnnError> {
         let mut per_type = BTreeMap::new();
         for (ty, _) in graph.schema().vertex_types() {
             let raw = features.features(ty)?;
@@ -160,10 +183,15 @@ impl Projection {
                 });
             }
             let mut hidden = Matrix::zeros(raw.rows(), self.hidden_dim);
-            for i in 0..raw.rows() {
-                let (x, out) = (raw.row(i), hidden.row_mut(i));
-                w.vec_mul(x, out);
-            }
+            kernels::project_batch(
+                raw.as_slice(),
+                raw.rows(),
+                raw.cols(),
+                w.as_slice(),
+                self.hidden_dim,
+                hidden.as_mut_slice(),
+                tiles,
+            );
             counters.flops += 2 * (raw.rows() * raw.cols() * self.hidden_dim) as u128;
             counters.bytes_read += (raw.byte_size() + w.byte_size()) as u128;
             counters.bytes_written += hidden.byte_size() as u128;

@@ -40,7 +40,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernels module needs a scoped
+// `allow` for `std::arch` intrinsics; everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod engine;
 mod error;

@@ -4,11 +4,16 @@
 //! The workspace deliberately avoids external BLAS — the kernels here
 //! are small, deterministic, and easy to instrument, which matters more
 //! than raw speed for a simulator whose outputs are op counts and
-//! functional reference results.
+//! functional reference results. The dense inner loops live in
+//! [`kernels`], which provides a runtime-detected AVX2 backend with a
+//! bit-identical scalar fallback; the entry points in this module keep
+//! their legacy signatures and delegate.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+pub mod kernels;
 
 /// A dense row-major `f32` matrix.
 ///
@@ -95,6 +100,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Multiplies a row vector by this matrix: `out = x · self`.
     ///
     /// # Panics
@@ -103,16 +113,7 @@ impl Matrix {
     pub fn vec_mul(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "input length mismatch");
         assert_eq!(out.len(), self.cols, "output length mismatch");
-        out.fill(0.0);
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            let row = self.row(i);
-            for (o, &w) in out.iter_mut().zip(row) {
-                *o += xi * w;
-            }
-        }
+        kernels::gemv(&self.data, self.cols, x, out);
     }
 
     /// Maximum absolute difference between two matrices.
@@ -142,10 +143,7 @@ impl Matrix {
 ///
 /// Panics on length mismatch.
 pub fn vec_add(dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += s;
-    }
+    kernels::add(dst, src);
 }
 
 /// Adds `scale × src` into `dst` element-wise.
@@ -154,27 +152,22 @@ pub fn vec_add(dst: &mut [f32], src: &[f32]) {
 ///
 /// Panics on length mismatch.
 pub fn vec_axpy(dst: &mut [f32], scale: f32, src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += scale * s;
-    }
+    kernels::axpy(dst, scale, src);
 }
 
 /// Scales `v` in place.
 pub fn vec_scale(v: &mut [f32], scale: f32) {
-    for x in v {
-        *x *= scale;
-    }
+    kernels::scale(v, scale);
 }
 
-/// Dot product of two vectors.
+/// Dot product of two vectors, reduced through the canonical 8-lane
+/// order defined in [`kernels`] (identical in both backends).
 ///
 /// # Panics
 ///
 /// Panics on length mismatch.
 pub fn vec_dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 /// In-place numerically stable softmax.

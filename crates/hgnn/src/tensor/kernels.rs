@@ -1,0 +1,703 @@
+//! SIMD + cache-blocked linear-algebra kernels.
+//!
+//! Every dense hot path in the workspace — projection GEMVs, the
+//! rank-AU aggregation loops, semantic combination — funnels through
+//! this module. Two backends implement each kernel:
+//!
+//! * **AVX2** (`std::arch`, runtime-detected with
+//!   `is_x86_feature_detected!`), and
+//! * a **scalar fallback** that runs everywhere.
+//!
+//! The backends are *bit-identical* by construction, so swapping one
+//! for the other can never change a simulator artifact:
+//!
+//! * Element-wise kernels ([`add`], [`axpy`], [`scale`]) compute each
+//!   output element independently with a separate multiply and add
+//!   (never a fused multiply-add), so lane width is unobservable.
+//! * [`gemv`] vectorizes across the *output/column* dimension: output
+//!   element `j` accumulates `x[i] * w[i][j]` over inputs `i` in
+//!   ascending order in both backends, preserving the legacy scalar
+//!   reduction order exactly.
+//! * [`dot`] reduces through one **canonical fixed-stride 8-lane
+//!   accumulator** ([`LaneAcc`]): element `i` lands in lane `i % 8`
+//!   (chunk-major), the tail feeds lanes `0..r`, and both backends
+//!   finish with the same scalar combine tree. The AVX2 path simply
+//!   materializes the same eight lanes with vector instructions.
+//!
+//! [`project_batch`] adds cache blocking on top of [`gemv`]: the
+//! output-column dimension is tiled so the active weight panel fits
+//! the rank-AU feature-cache geometry (see [`TileGeometry`]), and rows
+//! are tiled so the streamed input/output working set stays resident
+//! alongside it. Blocking changes traversal order only *across* output
+//! elements, never the reduction order *within* one, so the blocked
+//! product is bit-identical to the naive row-at-a-time loop.
+//!
+//! Backend selection: [`force_backend`] (tests/benches) beats the
+//! `METANMP_KERNELS` environment variable (`scalar` or `avx2`), which
+//! beats runtime detection. Selection is re-read on every dispatch so
+//! a forced backend applies immediately on all threads; because the
+//! backends are bit-identical, a mid-run switch is still only a
+//! performance event, never a correctness one. Under auto detection
+//! the element-wise kernels additionally stay scalar below
+//! [`SHORT_VEC_CUTOFF`] elements, where dispatch overhead eats the
+//! vector win (see the constant's docs).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable element-at-a-time loops (the canonical semantics).
+    Scalar,
+    /// AVX2 256-bit vector loops (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lowercase name for reports and benchmark artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = auto (env, then detection), 1 = force scalar, 2 = force AVX2.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides backend selection process-wide (`None` returns to auto).
+///
+/// Forcing [`Backend::Avx2`] on a host without AVX2 support falls back
+/// to scalar rather than faulting. Intended for differential tests and
+/// the kernel benchmark; production code should leave selection on
+/// auto.
+pub fn force_backend(backend: Option<Backend>) {
+    let v = match backend {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Avx2) => 2,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// True when the running CPU supports the AVX2 path.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn env_backend() -> Option<Backend> {
+    // Read once: the selection must not change between two phases of
+    // one deterministic run because the environment mutated.
+    use std::sync::OnceLock;
+    static ENV: OnceLock<Option<Backend>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("METANMP_KERNELS") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => Some(Backend::Scalar),
+        Ok(v) if v.eq_ignore_ascii_case("avx2") => Some(Backend::Avx2),
+        _ => None,
+    })
+}
+
+/// The backend the next kernel call will dispatch to.
+pub fn active_backend() -> Backend {
+    let requested = match FORCED.load(Ordering::Relaxed) {
+        1 => Some(Backend::Scalar),
+        2 => Some(Backend::Avx2),
+        _ => env_backend(),
+    };
+    match requested {
+        Some(Backend::Scalar) => Backend::Scalar,
+        Some(Backend::Avx2) if avx2_available() => Backend::Avx2,
+        Some(Backend::Avx2) => Backend::Scalar,
+        None if avx2_available() => Backend::Avx2,
+        None => Backend::Scalar,
+    }
+}
+
+/// Below this element count the auto dispatcher keeps the element-wise
+/// kernels ([`dot`], [`add`], [`axpy`], [`scale`]) on the scalar path.
+///
+/// The AVX2 entry points cannot inline into their callers (a
+/// `#[target_feature]` boundary), so a short vector pays a call plus a
+/// serial horizontal reduction that the inlined, auto-vectorized scalar
+/// loop does not. Measured at the engine's 64-wide hidden dimension the
+/// AVX2 side swings from 1.45× faster to 1.4× *slower* depending on
+/// binary layout; below the cutoff the scalar path is the predictable
+/// choice. Explicit selection — [`force_backend`] or `METANMP_KERNELS`
+/// — bypasses the cutoff so differential tests still drive the AVX2
+/// path on short and odd-sized inputs. [`gemv`] and [`project_batch`]
+/// ignore the cutoff: their register-blocked panels win at every shape
+/// the engine uses.
+pub const SHORT_VEC_CUTOFF: usize = 128;
+
+/// Backend for an element-wise kernel over `len` elements: like
+/// [`active_backend`], but auto-detected AVX2 yields to scalar below
+/// [`SHORT_VEC_CUTOFF`]. Explicit selection is honored as-is.
+fn dispatch_elementwise(len: usize) -> Backend {
+    let explicit = match FORCED.load(Ordering::Relaxed) {
+        1 | 2 => true,
+        _ => env_backend().is_some(),
+    };
+    let backend = active_backend();
+    if backend == Backend::Avx2 && !explicit && len < SHORT_VEC_CUTOFF {
+        return Backend::Scalar;
+    }
+    backend
+}
+
+/// The canonical 8-lane reduction state shared by both backends.
+///
+/// Lane `l` owns elements `8c + l` of the product stream; the tail
+/// (final partial chunk of `r` elements) feeds lanes `0..r`. Both
+/// backends finish with [`LaneAcc::combine`], a fixed scalar tree, so
+/// the reduction order is identical bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct LaneAcc([f32; 8]);
+
+impl LaneAcc {
+    fn new() -> Self {
+        LaneAcc([0.0; 8])
+    }
+
+    /// Folds the canonical tail: element `j` of the remainder goes to
+    /// lane `j`.
+    fn tail(&mut self, a: &[f32], b: &[f32]) {
+        for (l, (x, y)) in a.iter().zip(b).enumerate() {
+            self.0[l] += x * y;
+        }
+    }
+
+    /// The fixed combine tree: pairwise over stride 4, then 2, then 1.
+    fn combine(self) -> f32 {
+        let l = self.0;
+        let s0 = l[0] + l[4];
+        let s1 = l[1] + l[5];
+        let s2 = l[2] + l[6];
+        let s3 = l[3] + l[7];
+        (s0 + s2) + (s1 + s3)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar backend: the canonical semantics.
+// ---------------------------------------------------------------------
+
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = LaneAcc::new();
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (pa, pb) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for l in 0..8 {
+            acc.0[l] += pa[l] * pb[l];
+        }
+    }
+    acc.tail(&a[chunks * 8..], &b[chunks * 8..]);
+    acc.combine()
+}
+
+fn add_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+fn axpy_scalar(dst: &mut [f32], scale: f32, src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += scale * s;
+    }
+}
+
+fn scale_scalar(v: &mut [f32], scale: f32) {
+    for x in v {
+        *x *= scale;
+    }
+}
+
+/// `out[j] += x[i] * w[i*cols + j]` over ascending `i`, for the column
+/// range `j0..j0+out.len()`. `out` is *not* cleared: callers zero it
+/// (or chain accumulation over row panels).
+fn gemv_acc_scalar(w: &[f32], cols: usize, x: &[f32], j0: usize, out: &mut [f32]) {
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * cols + j0..i * cols + j0 + out.len()];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += xi * wv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 backend (x86-64 only). Each function mirrors its scalar twin
+// exactly: same per-element operations, same reduction orders.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::LaneAcc;
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let chunks = a.len() / 8;
+        let mut v = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let pa = _mm256_loadu_ps(a.as_ptr().add(c * 8));
+            let pb = _mm256_loadu_ps(b.as_ptr().add(c * 8));
+            // Separate mul + add keeps each lane's arithmetic identical
+            // to the scalar backend (no FMA contraction).
+            v = _mm256_add_ps(v, _mm256_mul_ps(pa, pb));
+        }
+        let mut acc = LaneAcc::new();
+        _mm256_storeu_ps(acc.0.as_mut_ptr(), v);
+        acc.tail(&a[chunks * 8..], &b[chunks * 8..]);
+        acc.combine()
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add(dst: &mut [f32], src: &[f32]) {
+        let chunks = dst.len() / 8;
+        for c in 0..chunks {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(c * 8));
+            let s = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), _mm256_add_ps(d, s));
+        }
+        super::add_scalar(&mut dst[chunks * 8..], &src[chunks * 8..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(dst: &mut [f32], scale: f32, src: &[f32]) {
+        let chunks = dst.len() / 8;
+        let vs = _mm256_set1_ps(scale);
+        for c in 0..chunks {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(c * 8));
+            let s = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+            _mm256_storeu_ps(
+                dst.as_mut_ptr().add(c * 8),
+                _mm256_add_ps(d, _mm256_mul_ps(vs, s)),
+            );
+        }
+        super::axpy_scalar(&mut dst[chunks * 8..], scale, &src[chunks * 8..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(v: &mut [f32], scale: f32) {
+        let chunks = v.len() / 8;
+        let vs = _mm256_set1_ps(scale);
+        for c in 0..chunks {
+            let d = _mm256_loadu_ps(v.as_ptr().add(c * 8));
+            _mm256_storeu_ps(v.as_mut_ptr().add(c * 8), _mm256_mul_ps(d, vs));
+        }
+        super::scale_scalar(&mut v[chunks * 8..], scale);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2, `w` holds at least
+    /// `x.len()` rows of `cols` floats, and `j0 + out.len() <= cols`.
+    ///
+    /// Output columns are processed in register-resident panels (4, 2,
+    /// then 1 vector wide, then a scalar tail): each panel's
+    /// accumulators live in ymm registers across the *entire* input
+    /// loop, so `out` is loaded and stored once per panel instead of
+    /// once per input row — the naive row-sweep layout is exactly what
+    /// LLVM already auto-vectorizes in the scalar backend, and beats
+    /// nothing. Per output element the arithmetic is still one
+    /// mul + add per nonzero `x[i]` in ascending `i` order, so the
+    /// result stays bit-identical to the scalar backend.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemv_acc(w: &[f32], cols: usize, x: &[f32], j0: usize, out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        while j + 32 <= n {
+            let op = out.as_mut_ptr().add(j);
+            let mut a0 = _mm256_loadu_ps(op);
+            let mut a1 = _mm256_loadu_ps(op.add(8));
+            let mut a2 = _mm256_loadu_ps(op.add(16));
+            let mut a3 = _mm256_loadu_ps(op.add(24));
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue; // mirrors the scalar skip exactly
+                }
+                let row = w.as_ptr().add(i * cols + j0 + j);
+                let vx = _mm256_set1_ps(xi);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(vx, _mm256_loadu_ps(row)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(vx, _mm256_loadu_ps(row.add(8))));
+                a2 = _mm256_add_ps(a2, _mm256_mul_ps(vx, _mm256_loadu_ps(row.add(16))));
+                a3 = _mm256_add_ps(a3, _mm256_mul_ps(vx, _mm256_loadu_ps(row.add(24))));
+            }
+            _mm256_storeu_ps(op, a0);
+            _mm256_storeu_ps(op.add(8), a1);
+            _mm256_storeu_ps(op.add(16), a2);
+            _mm256_storeu_ps(op.add(24), a3);
+            j += 32;
+        }
+        while j + 8 <= n {
+            let op = out.as_mut_ptr().add(j);
+            let mut a0 = _mm256_loadu_ps(op);
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let row = w.as_ptr().add(i * cols + j0 + j);
+                let vx = _mm256_set1_ps(xi);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(vx, _mm256_loadu_ps(row)));
+            }
+            _mm256_storeu_ps(op, a0);
+            j += 8;
+        }
+        if j < n {
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let row = &w[i * cols + j0 + j..i * cols + j0 + n];
+                for (o, &wv) in out[j..n].iter_mut().zip(row) {
+                    *o += xi * wv;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public dispatching kernels.
+// ---------------------------------------------------------------------
+
+/// Dot product through the canonical 8-lane reduction.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_elementwise(a.len()) == Backend::Avx2 {
+        // SAFETY: dispatch verified AVX2 support at runtime.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Adds `src` into `dst` element-wise.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn add(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_elementwise(dst.len()) == Backend::Avx2 {
+        // SAFETY: dispatch verified AVX2 support at runtime.
+        unsafe { avx2::add(dst, src) };
+        return;
+    }
+    add_scalar(dst, src);
+}
+
+/// Adds `scale × src` into `dst` element-wise.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy(dst: &mut [f32], scale: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_elementwise(dst.len()) == Backend::Avx2 {
+        // SAFETY: dispatch verified AVX2 support at runtime.
+        unsafe { avx2::axpy(dst, scale, src) };
+        return;
+    }
+    axpy_scalar(dst, scale, src);
+}
+
+/// Scales `v` in place.
+pub fn scale(v: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if dispatch_elementwise(v.len()) == Backend::Avx2 {
+        // SAFETY: dispatch verified AVX2 support at runtime.
+        unsafe { avx2::scale(v, s) };
+        return;
+    }
+    scale_scalar(v, s);
+}
+
+/// Row-vector × matrix: `out = x · w` where `w` is row-major
+/// `x.len() × cols`. Vectorized across the output/column dimension, so
+/// each output element's reduction over inputs runs in ascending `i`
+/// order — identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if `w.len() != x.len() * cols` or `out.len() != cols`.
+pub fn gemv(w: &[f32], cols: usize, x: &[f32], out: &mut [f32]) {
+    assert_eq!(w.len(), x.len() * cols, "weight shape mismatch");
+    assert_eq!(out.len(), cols, "output length mismatch");
+    out.fill(0.0);
+    gemv_acc(w, cols, x, 0, out);
+}
+
+/// Accumulating column-range GEMV used by the blocked batch kernel.
+fn gemv_acc(w: &[f32], cols: usize, x: &[f32], j0: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if active_backend() == Backend::Avx2 {
+        // SAFETY: dispatch verified AVX2 support at runtime; shape
+        // invariants are asserted by the public callers.
+        unsafe { avx2::gemv_acc(w, cols, x, j0, out) };
+        return;
+    }
+    gemv_acc_scalar(w, cols, x, j0, out);
+}
+
+/// Cache-blocking geometry for [`project_batch`], expressed in the
+/// terms of the paper's rank-AU: a fixed-size feature cache that must
+/// hold the active weight panel plus the streaming input/output rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Input rows processed per tile before the column panel advances.
+    pub row_block: usize,
+    /// Output columns per weight panel (multiple of the 8-lane width).
+    pub col_block: usize,
+}
+
+impl TileGeometry {
+    /// The paper's default rank-AU feature cache (Table 2: 256 KB).
+    pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024;
+
+    /// Derives tile sizes from a cache budget and the projection shape
+    /// (`in_dim × out_dim` weights).
+    ///
+    /// Half the budget holds the weight panel (`in_dim × col_block`
+    /// floats); the other half covers the `row_block` input rows and
+    /// their output slices streamed against it. `col_block` is rounded
+    /// to the 8-lane width and both blocks are clamped to at least one
+    /// unit so degenerate shapes still tile.
+    pub fn for_cache(cache_bytes: usize, in_dim: usize, out_dim: usize) -> Self {
+        const F32: usize = std::mem::size_of::<f32>();
+        let half = (cache_bytes / 2).max(F32);
+        let panel_cols = half / (F32 * in_dim.max(1));
+        let col_block = (panel_cols / 8 * 8).clamp(8, out_dim.max(8));
+        let row_bytes = F32 * (in_dim + col_block);
+        let row_block = (half / row_bytes.max(F32)).clamp(1, 4096);
+        TileGeometry {
+            row_block,
+            col_block,
+        }
+    }
+}
+
+impl Default for TileGeometry {
+    fn default() -> Self {
+        // Shape-agnostic default: the 256 KB cache against the
+        // workspace's canonical 64 × 64 projection.
+        TileGeometry::for_cache(Self::DEFAULT_CACHE_BYTES, 64, 64)
+    }
+}
+
+/// Batched, cache-blocked projection: `out = x · w` where `x` is
+/// row-major `n × k`, `w` is row-major `k × m`, and `out` is row-major
+/// `n × m`.
+///
+/// Traversal: for each column panel (`col_block` wide), stream row
+/// tiles (`row_block` tall) against it, so the panel stays resident in
+/// a feature-cache-sized working set. Every output element still
+/// reduces over `i` in ascending order, so the result is bit-identical
+/// to `n` independent [`gemv`] calls — and to the legacy scalar loop.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn project_batch(
+    x: &[f32],
+    n: usize,
+    k: usize,
+    w: &[f32],
+    m: usize,
+    out: &mut [f32],
+    tiles: TileGeometry,
+) {
+    assert_eq!(x.len(), n * k, "input shape mismatch");
+    assert_eq!(w.len(), k * m, "weight shape mismatch");
+    assert_eq!(out.len(), n * m, "output shape mismatch");
+    out.fill(0.0);
+    let col_block = tiles.col_block.max(1);
+    let row_block = tiles.row_block.max(1);
+    let mut j0 = 0;
+    while j0 < m {
+        let jw = col_block.min(m - j0);
+        let mut r0 = 0;
+        while r0 < n {
+            let rh = row_block.min(n - r0);
+            for r in r0..r0 + rh {
+                let xr = &x[r * k..(r + 1) * k];
+                let or = &mut out[r * m + j0..r * m + j0 + jw];
+                gemv_acc(w, m, xr, j0, or);
+            }
+            r0 += rh;
+        }
+        j0 += jw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the process-wide backend override.
+    fn backend_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn seeded(len: usize, seed: u64) -> Vec<f32> {
+        // splitmix64-driven values in [-1, 1), deterministic per seed.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn canonical_dot_matches_8_lane_reference() {
+        // Hand-computed canonical reduction for a short vector.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let b = [1.0f32; 10];
+        // Lanes: chunk 0 fills lanes 0..8 with 1..=8; tail (9, 10) adds
+        // to lanes 0 and 1.
+        let lanes = [1.0 + 9.0, 2.0 + 10.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let want = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+            + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+        assert_eq!(dot_scalar(&a, &b), want);
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        let _guard = backend_lock();
+        if !avx2_available() {
+            return;
+        }
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200] {
+            let a = seeded(len, 1 + len as u64);
+            let b = seeded(len, 1000 + len as u64);
+            force_backend(Some(Backend::Scalar));
+            let ds = dot(&a, &b);
+            let mut adds = a.clone();
+            add(&mut adds, &b);
+            let mut axs = a.clone();
+            axpy(&mut axs, 0.37, &b);
+            let mut scs = a.clone();
+            scale(&mut scs, -1.75);
+            force_backend(Some(Backend::Avx2));
+            let dv = dot(&a, &b);
+            let mut addv = a.clone();
+            add(&mut addv, &b);
+            let mut axv = a.clone();
+            axpy(&mut axv, 0.37, &b);
+            let mut scv = a.clone();
+            scale(&mut scv, -1.75);
+            force_backend(None);
+            assert_eq!(ds.to_bits(), dv.to_bits(), "dot len {len}");
+            assert_eq!(adds, addv, "add len {len}");
+            assert_eq!(axs, axv, "axpy len {len}");
+            assert_eq!(scs, scv, "scale len {len}");
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference_loop() {
+        let _guard = backend_lock();
+        let (rows, cols) = (13, 21);
+        let w = seeded(rows * cols, 7);
+        let x = seeded(rows, 8);
+        let mut out = vec![0.0f32; cols];
+        gemv(&w, cols, &x, &mut out);
+        let mut want = vec![0.0f32; cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                want[j] += xi * w[i * cols + j];
+            }
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn project_batch_is_bit_identical_to_per_row_gemv() {
+        let _guard = backend_lock();
+        let (n, k, m) = (17, 29, 23);
+        let x = seeded(n * k, 3);
+        let w = seeded(k * m, 4);
+        let mut blocked = vec![0.0f32; n * m];
+        // A deliberately tiny tile so blocking actually splits both
+        // dimensions.
+        let tiles = TileGeometry {
+            row_block: 3,
+            col_block: 8,
+        };
+        project_batch(&x, n, k, &w, m, &mut blocked, tiles);
+        let mut naive = vec![0.0f32; n * m];
+        for r in 0..n {
+            gemv(
+                &w,
+                m,
+                &x[r * k..(r + 1) * k],
+                &mut naive[r * m..(r + 1) * m],
+            );
+        }
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn tile_geometry_fits_the_cache_budget() {
+        let g = TileGeometry::for_cache(256 * 1024, 64, 64);
+        // Weight panel fits half the cache.
+        assert!(64 * g.col_block * 4 <= 128 * 1024);
+        assert_eq!(g.col_block % 8, 0);
+        assert!(g.row_block >= 1);
+        // Degenerate shapes still tile.
+        let tiny = TileGeometry::for_cache(64, 1, 1);
+        assert!(tiny.col_block >= 8 && tiny.row_block >= 1);
+    }
+
+    #[test]
+    fn forced_backend_round_trips() {
+        let _guard = backend_lock();
+        force_backend(Some(Backend::Scalar));
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_backend(None);
+        let auto = active_backend();
+        assert_eq!(
+            auto == Backend::Avx2,
+            avx2_available() && env_backend() != Some(Backend::Scalar)
+        );
+    }
+}

@@ -334,12 +334,24 @@ impl Simulator {
             )?
         };
 
-        // Hardware functional run over identically projected features.
+        // Hardware functional run over identically projected features,
+        // cache-blocked to the configured rank-AU feature-cache
+        // geometry (sized for the widest raw feature dimension so the
+        // weight panel of every type fits the cache).
         let projection = Projection::random(&self.dataset.graph, self.hidden_dim, self.seed);
         let mut counters = OpCounters::default();
+        let max_feature_dim = self
+            .dataset
+            .graph
+            .schema()
+            .vertex_types()
+            .map(|(_, decl)| decl.feature_dim)
+            .max()
+            .unwrap_or(self.hidden_dim);
+        let tiles = self.nmp.feature_cache_tiles(max_feature_dim);
         let hidden = {
             let _s = obs::span("metanmp.projection", "metanmp");
-            projection.project(&self.dataset.graph, &features, &mut counters)?
+            projection.project_with_tiles(&self.dataset.graph, &features, &mut counters, tiles)?
         };
         let (run, fault_stats) = match self.drive_functional(&hidden, stop)? {
             Driven::Done(result, stats) => (result, stats),

@@ -101,6 +101,17 @@ impl NmpConfig {
         self.hidden_dim * 4
     }
 
+    /// Cache-blocking geometry for batched projection, derived from
+    /// this config's rank-AU feature cache (`feature_cache_bytes`) and
+    /// a projection of shape `in_dim × hidden_dim` (DESIGN §16).
+    pub fn feature_cache_tiles(&self, in_dim: usize) -> hgnn::tensor::kernels::TileGeometry {
+        hgnn::tensor::kernels::TileGeometry::for_cache(
+            self.feature_cache_bytes,
+            in_dim,
+            self.hidden_dim,
+        )
+    }
+
     /// Converts host cycles to NMP (memory) cycles.
     pub fn host_to_nmp_cycles(&self, host_cycles: u64) -> u64 {
         ((host_cycles as f64) * self.nmp_clock_mhz / self.host_clock_mhz).ceil() as u64

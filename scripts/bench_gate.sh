@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Kernel perf-regression gate.
+#
+# Re-measures every named hot path with the kernel benchmark and fails
+# when any path's scalar/auto speedup ratio falls more than 10% below
+# the committed BENCH_kernels.json baseline (beyond the noise floor —
+# see `kernel-bench --gate` for the exact trip rule). Gating on the
+# speedup *ratio* rather than wall-clock keeps the gate host-portable:
+# a slower CI machine slows both sides of the ratio.
+#
+# Hosts without AVX2 record `variant: "scalar"` and skip the ratio
+# comparison against an avx2 baseline instead of failing.
+#
+# Usage: scripts/bench_gate.sh [path-to-kernel-bench] [extra gate args]
+#   e.g. scripts/bench_gate.sh                      # build + gate
+#        scripts/bench_gate.sh ./target/release/kernel-bench \
+#            --handicap project_batch:1.5           # must FAIL (self-test)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${1:-}
+if [ -z "$BIN" ]; then
+    cargo build --release -p bench --bin kernel-bench
+    BIN=./target/release/kernel-bench
+else
+    shift
+fi
+
+"$BIN" --check BENCH_kernels.json
+exec "$BIN" --gate BENCH_kernels.json "$@"
