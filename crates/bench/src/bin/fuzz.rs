@@ -19,7 +19,12 @@
 //!    [`serve::Scenario::from_bytes`] (bad magic, unknown
 //!    directives, non-finite or non-positive spike multipliers,
 //!    inverted spike windows, malformed hex masks, zero fleet sizes,
-//!    invalid UTF-8).
+//!    invalid UTF-8);
+//! 7. **frame** — remote-worker wire frames through
+//!    [`sweepd::wire::parse_frame`] and the handshake parsers
+//!    [`sweepd::wire::parse_hello`] / [`sweepd::wire::parse_reply`]
+//!    (oversized frames, over-cap tokens and worker names, invalid
+//!    UTF-8, mangled handshake envelopes).
 //!
 //! Each iteration takes a known-valid input, applies one randomly
 //! chosen structural mutation (bit flip, field overwrite with extreme
@@ -35,7 +40,7 @@
 //! or the other boundaries.
 //!
 //! ```text
-//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace|http|scenario]
+//! usage: fuzz [--iters N] [--seed S] [--seconds T] [--boundary all|ckpt|manifest|graph|trace|http|scenario|frame]
 //! ```
 //!
 //! `--seconds` is a wall-clock cap for CI smoke runs; because the
@@ -507,6 +512,89 @@ fn scenario_boundary() -> Boundary {
     }
 }
 
+/// Remote-worker wire boundary: framed handshake bytes through
+/// [`sweepd::wire::parse_frame`] and — whenever the framing survives
+/// the mutation — the line through [`sweepd::wire::parse_hello`] or
+/// [`sweepd::wire::parse_reply`].
+///
+/// Half the iterations are field-targeted at the codec's explicit
+/// limits: a frame past [`MAX_FRAME`] with no terminator, a hello
+/// token past [`MAX_TOKEN`], a worker name past [`MAX_WORKER_NAME`],
+/// and invalid UTF-8 inside an otherwise well-framed line. Every
+/// outcome must be a structured `WireError` or a clean `Incomplete` —
+/// never a panic.
+fn frame_boundary() -> Boundary {
+    use sweepd::wire::{self, MAX_FRAME, MAX_TOKEN, MAX_WORKER_NAME, PROTO_VERSION};
+
+    let hello = |token: String, worker: String| {
+        wire::render_hello(&wire::Hello {
+            proto: PROTO_VERSION,
+            fingerprint: wire::fingerprint(&["faults"]),
+            token,
+            worker,
+        })
+        .into_bytes()
+    };
+    let valid_hello = hello("s42".into(), "w-tcp-4242".into());
+    let valid_welcome = wire::render_welcome("s42", 3, Some("cell/a")).into_bytes();
+    let valid_reject = wire::render_reject("config fingerprint mismatch").into_bytes();
+    Boundary {
+        name: "frame",
+        lane: 7,
+        run: Box::new(move |_dir, rng| {
+            // `which` selects both the seed input and the parser the
+            // surviving line is fed to (hello vs reply).
+            let which = rng.below(3);
+            let mut bytes = match which {
+                0 => valid_hello.clone(),
+                1 => valid_welcome.clone(),
+                _ => valid_reject.clone(),
+            };
+            let identity = if rng.below(2) == 0 {
+                mutate(rng, &mut bytes)
+            } else {
+                match rng.below(4) {
+                    0 => {
+                        // Frame body past the cap, terminator never seen.
+                        bytes = vec![b'a'; MAX_FRAME + 1 + rng.below(4096) as usize];
+                    }
+                    1 => {
+                        // Session token past the handshake cap.
+                        let long = "t".repeat(MAX_TOKEN + 1 + rng.below(64) as usize);
+                        bytes = hello(long, "w".into());
+                    }
+                    2 => {
+                        // Worker name past the handshake cap.
+                        let long = "w".repeat(MAX_WORKER_NAME + 1 + rng.below(64) as usize);
+                        bytes = hello("s42".into(), long);
+                    }
+                    _ => {
+                        // Invalid UTF-8 inside the framed line.
+                        let i = rng.below((bytes.len() - 1) as u64) as usize;
+                        bytes[i] = 0xff;
+                    }
+                }
+                false
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                match sweepd::wire::parse_frame(&bytes) {
+                    Err(e) => Err(e.to_string()),
+                    Ok(wire::FrameStatus::Incomplete) => Err("incomplete frame".into()),
+                    Ok(wire::FrameStatus::Complete { line, .. }) => match which {
+                        0 => wire::parse_hello(line)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                        _ => wire::parse_reply(line)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                    },
+                }
+            }));
+            outcome_of(identity, result)
+        }),
+    }
+}
+
 struct Options {
     iters: u64,
     seed: u64,
@@ -540,12 +628,13 @@ fn parse_args() -> Result<Options, String> {
             "--boundary" => {
                 let v = it.next().ok_or("--boundary requires a name")?;
                 if ![
-                    "all", "ckpt", "manifest", "graph", "trace", "http", "scenario",
+                    "all", "ckpt", "manifest", "graph", "trace", "http", "scenario", "frame",
                 ]
                 .contains(&v.as_str())
                 {
                     return Err(format!(
-                        "unknown boundary {v:?}; known: all ckpt manifest graph trace http scenario"
+                        "unknown boundary {v:?}; known: all ckpt manifest graph trace http \
+                         scenario frame"
                     ));
                 }
                 opts.boundary = v;
@@ -572,7 +661,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: fuzz [--iters N] [--seed S] [--seconds T] \
-                 [--boundary all|ckpt|manifest|graph|trace|http|scenario]"
+                 [--boundary all|ckpt|manifest|graph|trace|http|scenario|frame]"
             );
             return ExitCode::from(2);
         }
@@ -601,6 +690,9 @@ fn main() -> ExitCode {
     }
     if matches!(opts.boundary.as_str(), "all" | "scenario") {
         boundaries.push(scenario_boundary());
+    }
+    if matches!(opts.boundary.as_str(), "all" | "frame") {
+        boundaries.push(frame_boundary());
     }
 
     let start = Instant::now();

@@ -23,6 +23,15 @@
 //! racing its replacement) keeps the first record, and a duplicate
 //! whose result differs from the first is corruption and rejected.
 //!
+//! Leases and completions optionally carry a **fence generation**: a
+//! monotonic counter the coordinator bumps every time it hands out a
+//! lease. A completion whose generation is older than the newest lease
+//! generation already journaled for the same key is a *zombie write* —
+//! a partitioned worker's output landing after its lease migrated — and
+//! is silently discarded on replay instead of being treated as a
+//! conflicting duplicate. Records without a generation (the historical
+//! format, and in-process sweeps) keep the plain first-wins semantics.
+//!
 //! On resume, a runner replays `result_json` for every completed cell
 //! instead of re-simulating it. Because cells are deterministic, the
 //! replayed bytes match what a rerun would produce, keeping the final
@@ -60,6 +69,11 @@ pub struct CellRecord {
     pub result_digest: u64,
     /// The cell's result, as the JSON the sweep would emit for it.
     pub result_json: String,
+    /// Fence generation of the lease this completion was produced
+    /// under; `None` (or 0) for in-process sweeps and journals written
+    /// before fencing existed. A completion older than the newest
+    /// journaled lease generation for its key is discarded on replay.
+    pub gen: Option<u64>,
 }
 
 /// A cell leased to a worker for execution (crash-migration metadata).
@@ -71,6 +85,9 @@ pub struct LeaseRecord {
     pub worker: String,
     /// 0-based attempt number; re-leases after a death increment it.
     pub attempt: u32,
+    /// Fence generation of this lease (monotonic per coordinator);
+    /// `None` for journals written before fencing existed.
+    pub gen: Option<u64>,
 }
 
 /// A failed execution attempt (worker death, heartbeat expiry, or cell
@@ -234,6 +251,13 @@ impl Journal {
         let mut records: Vec<JournalRecord> = Vec::new();
         let mut first_completion: std::collections::BTreeMap<String, u64> =
             std::collections::BTreeMap::new();
+        // Newest fence generation journaled per key *so far* (journal
+        // order): a completion is judged against the leases that
+        // preceded it, so a legitimate completion followed by a later
+        // re-lease is kept while a zombie landing after the re-lease
+        // is fenced.
+        let mut newest_lease_gen: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
         let body = &lines[1..];
         for (i, line) in body.iter().enumerate() {
             match parse_record(line) {
@@ -246,6 +270,20 @@ impl Journal {
                                 rec.key
                             ),
                         });
+                    }
+                    // Zombie write: produced under a lease generation
+                    // older than one already journaled for this key.
+                    // Discarded before the duplicate check — its bytes
+                    // may legitimately differ from the surviving
+                    // attempt's, and that is not corruption.
+                    let fenced = match rec.gen {
+                        Some(g) if g != 0 => newest_lease_gen
+                            .get(&rec.key)
+                            .is_some_and(|&newest| g < newest),
+                        _ => false,
+                    };
+                    if fenced {
+                        continue;
                     }
                     match first_completion.get(&rec.key) {
                         // Idempotent duplicate (a stalled worker racing
@@ -267,7 +305,17 @@ impl Journal {
                         }
                     }
                 }
-                Ok(rec) => records.push(rec),
+                Ok(rec) => {
+                    if let JournalRecord::Lease(lease) = &rec {
+                        if let Some(g) = lease.gen {
+                            if g != 0 {
+                                let newest = newest_lease_gen.entry(lease.key.clone()).or_insert(0);
+                                *newest = (*newest).max(g);
+                            }
+                        }
+                    }
+                    records.push(rec);
+                }
                 Err(e) if i + 1 == body.len() => {
                     // Torn trailing append from a crash mid-write: the
                     // event will simply recur. Truncate it away so new
@@ -340,13 +388,28 @@ impl Journal {
     }
 }
 
-/// Builds a [`CellRecord`], computing the result digest.
+/// Builds an unfenced [`CellRecord`], computing the result digest.
 pub fn cell_record(key: &str, config_hash: u64, result_json: String) -> CellRecord {
     CellRecord {
         key: key.to_string(),
         config_hash,
         result_digest: digest_str(&result_json),
         result_json,
+        gen: None,
+    }
+}
+
+/// Builds a [`CellRecord`] carrying the fence generation of the lease
+/// it was produced under (coordinator-journaled completions).
+pub fn cell_record_fenced(
+    key: &str,
+    config_hash: u64,
+    result_json: String,
+    gen: u64,
+) -> CellRecord {
+    CellRecord {
+        gen: Some(gen),
+        ..cell_record(key, config_hash, result_json)
     }
 }
 
@@ -448,6 +511,7 @@ mod tests {
             key: "a".into(),
             worker: "w-0".into(),
             attempt: 0,
+            gen: None,
         })
         .unwrap();
         j.append_failed(&FailRecord {
@@ -460,6 +524,7 @@ mod tests {
             key: "a".into(),
             worker: "w-1".into(),
             attempt: 1,
+            gen: None,
         })
         .unwrap();
         j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
@@ -526,11 +591,168 @@ mod tests {
             key: "b".into(),
             worker: "w-2".into(),
             attempt: 0,
+            gen: None,
         })
         .unwrap();
         drop(j);
         let (_j, records) = Journal::open_resume_records(&path, &header()).unwrap();
         assert_eq!(records.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn lease(key: &str, worker: &str, attempt: u32, gen: u64) -> LeaseRecord {
+        LeaseRecord {
+            key: key.into(),
+            worker: worker.into(),
+            attempt,
+            gen: Some(gen),
+        }
+    }
+
+    #[test]
+    fn fenced_zombie_write_is_discarded_even_with_different_bytes() {
+        let dir = scratch("fence");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        // Lease gen 3 to w-0, declare it dead, re-lease gen 7 to w-1.
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        j.append_failed(&FailRecord {
+            key: "a".into(),
+            attempt: 0,
+            error: "w-0 heartbeat deadline exceeded".into(),
+        })
+        .unwrap();
+        j.append_lease(&lease("a", "w-1", 1, 7)).unwrap();
+        // w-1 completes under gen 7; then the partitioned w-0 reappears
+        // and its stale completion lands — with *different* bytes (it
+        // resumed from an older inflight checkpoint). Without fencing
+        // this would be "completed twice with different results".
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 7))
+            .unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":666}".into(), 3))
+            .unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].result_json, "{\"x\":1}", "gen-7 result survives");
+        // Compaction drops the zombie line for good.
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("666"), "zombie compacted away: {text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zombie_landing_before_the_replacement_completes_is_also_fenced() {
+        let dir = scratch("fence-early");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        j.append_lease(&lease("a", "w-1", 1, 7)).unwrap();
+        // The zombie lands first; the live attempt finishes after.
+        j.append(&cell_record_fenced("a", 1, "{\"x\":666}".into(), 3))
+            .unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 7))
+            .unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].result_json, "{\"x\":1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completion_before_a_later_relent_lease_is_kept() {
+        let dir = scratch("fence-order");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        // A completion is judged against the leases journaled *before*
+        // it: a pointless re-lease afterwards must not retroactively
+        // fence the legitimate result.
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 3))
+            .unwrap();
+        j.append_lease(&lease("a", "w-1", 1, 7)).unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].result_json, "{\"x\":1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fenced_duplicate_with_identical_bytes_is_idempotent() {
+        let dir = scratch("fence-dup");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        j.append_lease(&lease("a", "w-1", 1, 7)).unwrap();
+        // Deterministic cells: the zombie's bytes match. Both orders of
+        // (fenced, live) collapse to one record either way.
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 3))
+            .unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 7))
+            .unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 3))
+            .unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unfenced_records_keep_legacy_semantics_alongside_fenced_ones() {
+        let dir = scratch("fence-legacy");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&lease("a", "w-0", 0, 9)).unwrap();
+        // Gen-0 / gen-less records are never fenced, whatever leases
+        // exist: in-process sweeps journal without generations.
+        j.append(&cell_record("a", 1, "{\"x\":1}".into())).unwrap();
+        j.append(&cell_record_fenced("b", 2, "{\"x\":2}".into(), 0))
+            .unwrap();
+        drop(j);
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_fenced_tail_is_dropped() {
+        let dir = scratch("fence-torn");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        j.append_lease(&lease("a", "w-1", 1, 7)).unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 7))
+            .unwrap();
+        drop(j);
+        // A zombie write torn mid-append by a crash: dropped as the
+        // usual trailing fragment, not surfaced as corruption.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"key\":\"a\",\"config_hash\":1,\"result_di");
+        fs::write(&path, &bytes).unwrap();
+        let (_j, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].result_json, "{\"x\":1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_same_generation_duplicates_are_still_corruption() {
+        let dir = scratch("fence-conflict");
+        let path = dir.join("sweep.manifest.jsonl");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append_lease(&lease("a", "w-0", 0, 3)).unwrap();
+        // Same generation, different bytes: fencing cannot explain it,
+        // so the determinism guarantee is genuinely broken.
+        j.append(&cell_record_fenced("a", 1, "{\"x\":1}".into(), 3))
+            .unwrap();
+        j.append(&cell_record_fenced("a", 1, "{\"x\":9}".into(), 3))
+            .unwrap();
+        drop(j);
+        let err = Journal::open_resume(&path, &header()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -35,6 +35,11 @@
 //!                         wedging the --jobs pool (default unbounded)
 //!   --worker              run as a supervised `sweepd` worker speaking
 //!                         the stdin/stdout JSONL cell protocol
+//!   --connect <addr>      run as a *remote* sweepd worker: dial the
+//!                         coordinator's --worker-listen port, register
+//!                         over the versioned handshake, and compute
+//!                         leased cells over TCP (no --sweep-dir needed;
+//!                         run commands carry the sweep coordinates)
 //!   --grid <exp>          print the experiment's cell grid as JSON and
 //!                         exit (the coordinator's shard list)
 //!   --heartbeat-ms <n>    worker liveness heartbeat period (default 100)
@@ -107,6 +112,7 @@ fn usage() {
     eprintln!("  --ckpt-interval <n>   in-run checkpoint granularity (default 256)");
     eprintln!("  --cell-timeout <s>    per-cell wall-clock budget in seconds (default unbounded)");
     eprintln!("  --worker              run as a supervised sweepd worker (stdin/stdout JSONL)");
+    eprintln!("  --connect <addr>      run as a remote sweepd worker over TCP");
     eprintln!("  --grid <exp>          print the experiment's cell grid as JSON and exit");
     eprintln!("  --heartbeat-ms <n>    worker liveness heartbeat period (default 100)");
 }
@@ -129,6 +135,7 @@ fn main() -> ExitCode {
     let mut ckpt_interval: u64 = 256;
     let mut cell_timeout: Option<std::time::Duration> = None;
     let mut worker_mode = false;
+    let mut connect: Option<String> = None;
     let mut grid_exp: Option<String> = None;
     let mut heartbeat_ms: u64 = 100;
     let mut experiments: Vec<String> = Vec::new();
@@ -137,15 +144,16 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deterministic-metrics" => deterministic_metrics = true,
             "--worker" => worker_mode = true,
-            "--metrics-out" | "--trace-out" | "--sweep-dir" | "--resume" => {
+            "--metrics-out" | "--trace-out" | "--sweep-dir" | "--resume" | "--connect" => {
                 let Some(path) = it.next() else {
-                    eprintln!("{arg} requires a path argument");
+                    eprintln!("{arg} requires an argument");
                     return ExitCode::from(2);
                 };
                 match arg.as_str() {
                     "--metrics-out" => metrics_out = Some(path),
                     "--trace-out" => trace_out = Some(path),
                     "--sweep-dir" => sweep_dir = Some(path),
+                    "--connect" => connect = Some(path),
                     _ => {
                         sweep_dir = Some(path);
                         resume = true;
@@ -202,7 +210,7 @@ fn main() -> ExitCode {
             _ => experiments.push(arg),
         }
     }
-    if !worker_mode && grid_exp.is_none() && experiments.is_empty() {
+    if !worker_mode && connect.is_none() && grid_exp.is_none() && experiments.is_empty() {
         usage();
         return ExitCode::from(2);
     }
@@ -263,6 +271,20 @@ fn main() -> ExitCode {
             Ok(code) => ExitCode::from(code),
             Err(e) => {
                 eprintln!("worker failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Remote worker mode: dial the coordinator's worker port and
+    // compute leased cells over TCP. No --sweep-dir needed — run
+    // commands carry the sweep coordinates.
+    if let Some(addr) = &connect {
+        sweep::install_signal_handlers();
+        return match worker::run_remote_worker(&cx, addr, heartbeat_ms) {
+            Ok(code) => ExitCode::from(code),
+            Err(e) => {
+                eprintln!("remote worker failed: {e}");
                 ExitCode::FAILURE
             }
         };

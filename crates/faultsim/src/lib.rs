@@ -19,6 +19,11 @@
 //! * **Watchdog** — a forward-progress monitor ([`Watchdog`]) that
 //!   converts a would-be infinite scheduling loop into a structured
 //!   [`WatchdogError`] naming the stuck requests.
+//! * **Network emulation** — [`Netem`] injects deterministic
+//!   drop/delay/duplicate/corrupt faults and hard partition windows
+//!   into the sweep fleet's framed TCP transport, keyed counter-mode
+//!   on `(seed, stream, direction, frame index)`; scripted via `net*`
+//!   directives in `CHS1` scenarios.
 //! * **Accounting** — [`FaultStats`] counts every injection,
 //!   correction, retry, fallback, and trip, and publishes them to the
 //!   `obs` telemetry registry under `faults.*`.
@@ -29,6 +34,7 @@
 
 pub mod backoff;
 pub mod ecc;
+pub mod netem;
 pub mod scenario;
 
 mod config;
@@ -40,5 +46,8 @@ pub use backoff::Backoff;
 pub use config::FaultConfig;
 pub use error::{FaultError, MemError, MemErrorKind};
 pub use inject::{BroadcastFault, FaultInjector, FaultStats, HealthState, InjectorState};
-pub use scenario::{ChaosEvent, Scenario, ScenarioError, SpikeWindow, TimelineEffect};
+pub use netem::{fate, Fate, NetDir, Netem, NetemConfig};
+pub use scenario::{
+    ChaosEvent, NetDirective, Scenario, ScenarioError, SpikeWindow, TimelineEffect,
+};
 pub use watchdog::{Watchdog, WatchdogError};

@@ -32,6 +32,20 @@
 //! fleet 57344 8             # ... and grows back
 //! ```
 //!
+//! ## Network directives
+//!
+//! Scenarios can also script the *transport* under a distributed sweep
+//! (consumed by [`crate::netem`]): per-stream drop/delay/duplicate/
+//! corrupt rates and hard partition windows over the frame counter.
+//!
+//! ```text
+//! netdrop 0 25              # stream 0 drops 2.5% of frames
+//! netdelay 1 50 3           # stream 1 delays 5% of frames by 3 frames
+//! netdup 1 10               # stream 1 duplicates 1% of frames
+//! netcorrupt 2 5            # stream 2 flips a byte in 0.5% of frames
+//! netpart 0 120 400         # stream 0 black-holes frames [120, 400)
+//! ```
+//!
 //! [`Scenario::parse`] returns a structured [`ScenarioError`] on any
 //! malformed input — never a panic — which makes the parser a fuzzing
 //! boundary like the trace and HTTP loaders.
@@ -97,6 +111,58 @@ pub enum ChaosEvent {
     },
 }
 
+/// One scripted network-fault directive, addressed to a transport
+/// stream (a link id assigned by the consumer — sweepd numbers remote
+/// worker registrations 0, 1, 2, …). Rates are per-mille of frames;
+/// partition windows are half-open `[start, end)` intervals over the
+/// per-direction frame counter. Consumed via
+/// [`crate::netem::NetemConfig::from_scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetDirective {
+    /// Drop `per_mille`/1000 of frames on `stream`.
+    Drop {
+        /// Target stream (link id).
+        stream: u64,
+        /// Drop rate in per-mille (≤ 1000).
+        per_mille: u16,
+    },
+    /// Delay `per_mille`/1000 of frames on `stream` by `frames`
+    /// subsequent frame slots.
+    Delay {
+        /// Target stream (link id).
+        stream: u64,
+        /// Delay rate in per-mille (≤ 1000).
+        per_mille: u16,
+        /// How many frame slots a delayed frame is held (≥ 1).
+        frames: u32,
+    },
+    /// Duplicate `per_mille`/1000 of frames on `stream`.
+    Duplicate {
+        /// Target stream (link id).
+        stream: u64,
+        /// Duplication rate in per-mille (≤ 1000).
+        per_mille: u16,
+    },
+    /// Corrupt (flip one byte of) `per_mille`/1000 of frames on
+    /// `stream`.
+    Corrupt {
+        /// Target stream (link id).
+        stream: u64,
+        /// Corruption rate in per-mille (≤ 1000).
+        per_mille: u16,
+    },
+    /// Black-hole every frame of `stream` whose per-direction frame
+    /// index falls in `[start, end)` — a hard partition window.
+    Partition {
+        /// Target stream (link id).
+        stream: u64,
+        /// First dropped frame index.
+        start: u64,
+        /// Exclusive end of the window.
+        end: u64,
+    },
+}
+
 /// A resolved (post-jitter) load-spike window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SpikeWindow {
@@ -132,6 +198,10 @@ pub struct Scenario {
     pub jitter_per_mille: u16,
     /// Scripted events in file order.
     pub events: Vec<ChaosEvent>,
+    /// Scripted network-fault directives in file order (see
+    /// [`NetDirective`]); counted against [`MAX_SCENARIO_EVENTS`]
+    /// together with `events`.
+    pub net: Vec<NetDirective>,
 }
 
 /// Structured parse/validation failure of a scenario file.
@@ -184,6 +254,7 @@ impl Scenario {
             seed: 0,
             jitter_per_mille: 0,
             events: Vec::new(),
+            net: Vec::new(),
         }
     }
 
@@ -316,12 +387,58 @@ impl Scenario {
                         .map_err(|_| err(n, format!("fleet size {dimms} exceeds u32")))?;
                     scenario.events.push(ChaosEvent::FleetDimms { tick, dimms });
                 }
+                "netdrop" | "netdup" | "netcorrupt" => {
+                    want(2)?;
+                    let stream = uint(0)?;
+                    let pm = uint(1)?;
+                    if pm > 1000 {
+                        return Err(err(n, format!("`{verb}` rate {pm} exceeds 1000 per-mille")));
+                    }
+                    let per_mille = pm as u16;
+                    scenario.net.push(match verb {
+                        "netdrop" => NetDirective::Drop { stream, per_mille },
+                        "netdup" => NetDirective::Duplicate { stream, per_mille },
+                        _ => NetDirective::Corrupt { stream, per_mille },
+                    });
+                }
+                "netdelay" => {
+                    want(3)?;
+                    let stream = uint(0)?;
+                    let pm = uint(1)?;
+                    if pm > 1000 {
+                        return Err(err(n, format!("netdelay rate {pm} exceeds 1000 per-mille")));
+                    }
+                    let frames = uint(2)?;
+                    if frames == 0 {
+                        return Err(err(n, "netdelay depth must be at least 1 frame".into()));
+                    }
+                    let frames = u32::try_from(frames)
+                        .map_err(|_| err(n, format!("netdelay depth {frames} exceeds u32")))?;
+                    scenario.net.push(NetDirective::Delay {
+                        stream,
+                        per_mille: pm as u16,
+                        frames,
+                    });
+                }
+                "netpart" => {
+                    want(3)?;
+                    let stream = uint(0)?;
+                    let start = uint(1)?;
+                    let end = uint(2)?;
+                    if end <= start {
+                        return Err(err(n, format!("netpart window [{start}, {end}) is empty")));
+                    }
+                    scenario
+                        .net
+                        .push(NetDirective::Partition { stream, start, end });
+                }
                 other => {
                     return Err(err(n, format!("unknown directive `{other}`")));
                 }
             }
-            if scenario.events.len() > MAX_SCENARIO_EVENTS {
-                return Err(ScenarioError::TooManyEvents(scenario.events.len()));
+            let total = scenario.events.len() + scenario.net.len();
+            if total > MAX_SCENARIO_EVENTS {
+                return Err(ScenarioError::TooManyEvents(total));
             }
         }
         Ok(scenario)
@@ -329,7 +446,7 @@ impl Scenario {
 
     /// Whether the scenario scripts anything at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.net.is_empty()
     }
 
     /// Applies the counter-mode jitter draw `index` to nominal `tick`.
@@ -524,6 +641,73 @@ fleet 57344 8
                 mask: 0xFF
             }]
         );
+    }
+
+    #[test]
+    fn net_directives_parse_and_validate() {
+        let s = Scenario::parse(
+            "CHS1\nseed 9\nnetdrop 0 25\nnetdelay 1 50 3\nnetdup 1 10\nnetcorrupt 2 5\nnetpart 0 120 400\n",
+        )
+        .unwrap();
+        assert_eq!(s.events.len(), 0);
+        assert_eq!(
+            s.net,
+            vec![
+                NetDirective::Drop {
+                    stream: 0,
+                    per_mille: 25
+                },
+                NetDirective::Delay {
+                    stream: 1,
+                    per_mille: 50,
+                    frames: 3
+                },
+                NetDirective::Duplicate {
+                    stream: 1,
+                    per_mille: 10
+                },
+                NetDirective::Corrupt {
+                    stream: 2,
+                    per_mille: 5
+                },
+                NetDirective::Partition {
+                    stream: 0,
+                    start: 120,
+                    end: 400
+                },
+            ]
+        );
+        assert!(!s.is_empty(), "net-only scenarios are not empty");
+        for bad in [
+            "CHS1\nnetdrop 0 1001\n",    // rate > 1000
+            "CHS1\nnetdrop 0\n",         // arity
+            "CHS1\nnetdelay 0 10 0\n",   // zero depth
+            "CHS1\nnetdelay 0 2000 1\n", // rate > 1000
+            "CHS1\nnetpart 0 10 10\n",   // empty window
+            "CHS1\nnetpart 0 10 5\n",    // inverted window
+            "CHS1\nnetcorrupt zero 1\n", // non-numeric stream
+        ] {
+            let e = Scenario::parse(bad).unwrap_err();
+            assert!(
+                matches!(e, ScenarioError::Line { .. }),
+                "{bad:?} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_directives_count_against_the_event_cap() {
+        let mut s = String::from("CHS1\n");
+        for i in 0..MAX_SCENARIO_EVENTS / 2 {
+            s.push_str(&format!("flush {i}\n"));
+        }
+        for _ in 0..=MAX_SCENARIO_EVENTS / 2 {
+            s.push_str("netdrop 0 1\n");
+        }
+        assert!(matches!(
+            Scenario::parse(&s).unwrap_err(),
+            ScenarioError::TooManyEvents(_)
+        ));
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   --backoff-seed <u64>         jitter seed for worker respawn backoff
 //!   --drain-grace-ms <n>         SIGTERM→SIGKILL escalation window for
 //!                                draining workers (default 10000)
+//!   --worker-listen <addr>       also accept remote workers over TCP on
+//!                                this address (off by default)
+//!   --netem <file>               CHS1 scenario whose net* directives
+//!                                script deterministic network faults on
+//!                                remote worker links
 //! ```
 //!
 //! Exit codes follow the repo contract: 0 = drained with all sweeps
@@ -74,6 +79,8 @@ fn usage() {
     eprintln!("  --ckpt-interval <n>          checkpoint granularity (default 256)");
     eprintln!("  --backoff-seed <u64>         respawn backoff jitter seed");
     eprintln!("  --drain-grace-ms <n>         drain escalation window (default 10000)");
+    eprintln!("  --worker-listen <addr>       accept remote TCP workers on this address");
+    eprintln!("  --netem <file>               CHS1 net* scenario for remote-link faults");
 }
 
 fn main() -> ExitCode {
@@ -84,6 +91,7 @@ fn main() -> ExitCode {
     }
 
     let mut listen = "127.0.0.1:7377".to_string();
+    let mut worker_listen: Option<String> = None;
     let mut worker_cmd: Vec<String> = Vec::new();
     let mut cfg = DaemonConfig::new(Vec::new(), "sweepd-state".into());
     let mut it = args.into_iter();
@@ -132,6 +140,29 @@ fn main() -> ExitCode {
             "--ckpt-interval" => cfg.ckpt_interval = next_u64!().max(1),
             "--backoff-seed" => cfg.backoff_seed = next_u64!(),
             "--drain-grace-ms" => cfg.drain_grace = Duration::from_millis(next_u64!()),
+            "--worker-listen" => match next("an address") {
+                Ok(v) => worker_listen = Some(v),
+                Err(code) => return code,
+            },
+            "--netem" => match next("a CHS1 scenario file") {
+                Ok(path) => {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("--netem: reading {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    match faultsim::Scenario::parse(&text) {
+                        Ok(s) => cfg.netem = s,
+                        Err(e) => {
+                            eprintln!("--netem: parsing {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                Err(code) => return code,
+            },
             _ => {
                 eprintln!("unknown option {arg:?}");
                 usage();
@@ -155,6 +186,19 @@ fn main() -> ExitCode {
 
     install_signal_handlers();
     let daemon = Daemon::new(cfg);
+
+    if let Some(addr) = worker_listen {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || {
+            let served = sweepd::remote::serve_workers(Arc::clone(&daemon), &addr, |bound| {
+                eprintln!("sweepd: workers on {bound}");
+            });
+            if let Err(e) = served {
+                eprintln!("sweepd: failed to bind worker listener {addr}: {e}");
+                daemon.begin_drain();
+            }
+        });
+    }
 
     // Supervisor loop: forwards the signal flag into a drain and ticks
     // the fleet. The HTTP server runs on the main thread and returns

@@ -3,12 +3,17 @@
 //!
 //! # Supervision model
 //!
-//! The daemon owns a fixed fleet of worker *slots*. A slot holds at
-//! most one live worker process — an `experiments` child running in
-//! `--worker` mode, bound at spawn time to one sweep's state directory
-//! and seed. Each worker's stdout is drained by a dedicated reader
-//! thread that timestamps every line (heartbeats included) and forwards
-//! protocol events to the supervisor over a channel.
+//! The daemon owns a fleet of worker *slots*. A slot holds at most one
+//! live worker link — either an `experiments` child running in
+//! `--worker` mode (spawned locally, spoken to over stdin/stdout
+//! pipes), or a *remote* worker that dialed the daemon's worker port
+//! and completed the [`crate::wire`] registration handshake (spoken to
+//! over a framed TCP stream). Local slots are fixed at startup; remote
+//! slots are appended as workers register and are never respawned by
+//! the daemon — a remote worker that dies simply redials. Each link's
+//! read side is drained by a dedicated reader thread that timestamps
+//! every delivered line (heartbeats included) and forwards protocol
+//! events to the supervisor over a channel.
 //!
 //! The supervision tick, run every few tens of milliseconds:
 //!
@@ -28,29 +33,59 @@
 //! 6. leases pending cells to idle workers and respawns dead slots
 //!    under jittered exponential backoff.
 //!
+//! # Lease fencing
+//!
+//! Every lease carries a daemon-global, monotonically increasing
+//! *fence generation*. The run command echoes it to the worker, the
+//! worker echoes it back on `done`/`err`, and a completion whose echo
+//! does not match the live lease's generation is counted under
+//! `sweepd.cells.fenced` and dropped: a worker that was partitioned
+//! away, had its cell migrated, and later reconnects cannot overwrite
+//! the replacement's result. The journal applies the same rule on
+//! resume (see `checkpoint::manifest`), so fencing holds even across a
+//! daemon restart.
+//!
+//! # Remote liveness and reconnection
+//!
+//! Remote links share the heartbeat deadline with local workers: the
+//! reader thread timestamps each *delivered* frame, so a network
+//! partition (or a scripted [`faultsim::Netem`] partition window)
+//! starves the timestamp exactly like a hung process and triggers the
+//! same crash-migration path. A remote worker that lost its connection
+//! redials with its session token: if its slot is still live, the link
+//! is re-attached in place (a new generation invalidates the stale
+//! reader) and the welcome names any still-held lease so the worker
+//! can re-send a completion that was lost in flight; if the slot was
+//! already reaped, the worker observes a fresh registration (empty
+//! resume) and knows its old lease migrated.
+//!
 //! The journal under each sweep's directory is the single source of
 //! truth: `faults.manifest.jsonl` with the exact header the in-process
 //! sweep would write, so `metanmp-experiments faults --resume <dir>`
 //! replays a daemon-run sweep into byte-identical `results/` artifacts.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use checkpoint::manifest::{cell_record, FailRecord, Journal, JournalHeader, LeaseRecord};
+use checkpoint::manifest::{cell_record_fenced, FailRecord, Journal, JournalHeader, LeaseRecord};
 use checkpoint::FORMAT_VERSION;
-use faultsim::Backoff;
+use faultsim::{Backoff, NetDir, Netem, NetemConfig, Scenario};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::manifest::SweepManifest;
+use crate::wire;
 
-/// Worker-identity prefix used in lease records and status views.
+/// Worker-identity prefix used in lease records and status views for
+/// locally spawned workers (remote workers name themselves in their
+/// registration hello).
 fn worker_name(slot: usize) -> String {
     format!("w-{slot}")
 }
@@ -61,7 +96,8 @@ pub struct DaemonConfig {
     /// Worker command prefix (the experiments binary, or a stand-in
     /// under test); mode flags are appended per invocation.
     pub worker_cmd: Vec<String>,
-    /// Worker slots in the fleet.
+    /// Local worker slots in the fleet. Zero is allowed: a daemon can
+    /// run entirely on remote workers attached over TCP.
     pub workers: usize,
     /// Root directory for per-sweep state (`<state_dir>/sweep-<id>/`).
     pub state_dir: PathBuf,
@@ -86,6 +122,10 @@ pub struct DaemonConfig {
     /// How long a drain waits for workers to persist and exit before
     /// escalating to SIGKILL.
     pub drain_grace: Duration,
+    /// Scripted network-fault schedule applied to remote worker links
+    /// (`net*` directives; an empty scenario is a byte-exact no-op).
+    /// Streams are numbered in registration order, starting at 0.
+    pub netem: Scenario,
 }
 
 impl DaemonConfig {
@@ -105,6 +145,7 @@ impl DaemonConfig {
             backoff_seed: 0x5eed_5eed_5eed_5eed,
             ckpt_interval: 256,
             drain_grace: Duration::from_secs(10),
+            netem: Scenario::empty(),
         }
     }
 }
@@ -153,6 +194,8 @@ pub enum SweepStatus {
     Failed(String),
     /// Shed under fleet degradation, with the structured reason.
     Shed(String),
+    /// Cancelled on request; in-flight checkpoints are collected.
+    Cancelled,
 }
 
 impl SweepStatus {
@@ -163,6 +206,7 @@ impl SweepStatus {
             SweepStatus::Done => "done",
             SweepStatus::Failed(_) => "failed",
             SweepStatus::Shed(_) => "shed",
+            SweepStatus::Cancelled => "cancelled",
         }
     }
 
@@ -209,19 +253,33 @@ impl Sweep {
     }
 }
 
-/// Events parsed off a worker's stdout by its reader thread.
+/// Events parsed off a worker's output by its reader thread. `gen` is
+/// the fence generation echoed from the run command; events from
+/// workers predating the fencing protocol carry `None` and fall back
+/// to the slot-generation guard alone.
 #[derive(Debug)]
 enum WorkerEvent {
     Ready,
-    Done { key: String, result: String },
-    Err { key: String, error: String },
-    Interrupted { key: String },
+    Done {
+        key: String,
+        result: String,
+        gen: Option<u64>,
+    },
+    Err {
+        key: String,
+        error: String,
+        gen: Option<u64>,
+    },
+    Interrupted {
+        key: String,
+    },
     Eof,
 }
 
 fn parse_event(line: &str) -> Option<WorkerEvent> {
     let v: Value = serde_json::from_str(line).ok()?;
     let get_str = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+    let gen = v.get("gen").and_then(Value::as_u64);
     match v.get("ev").and_then(Value::as_str)? {
         // The spawned child's pid is already known from `Child::id`;
         // the ready line only proves the protocol came up.
@@ -229,10 +287,12 @@ fn parse_event(line: &str) -> Option<WorkerEvent> {
         "done" => Some(WorkerEvent::Done {
             key: get_str("key")?,
             result: get_str("result")?,
+            gen,
         }),
         "err" => Some(WorkerEvent::Err {
             key: get_str("key")?,
             error: get_str("error").unwrap_or_default(),
+            gen,
         }),
         "interrupted" => Some(WorkerEvent::Interrupted {
             key: get_str("key")?,
@@ -247,24 +307,169 @@ struct LeaseInfo {
     sweep_id: u64,
     key: String,
     started: Instant,
+    /// Fence generation journaled with the lease and echoed by the
+    /// worker; completions with a different echo are fenced.
+    gen: u64,
+}
+
+/// The write side of a worker: a local child process or a remote TCP
+/// link.
+enum Link {
+    /// Locally spawned `--worker` child over stdin/stdout pipes.
+    Child {
+        child: Child,
+        pid: u32,
+        stdin: ChildStdin,
+    },
+    /// Remote worker attached via the registration handshake.
+    Remote {
+        writer: TcpStream,
+        /// Session token the worker redials with.
+        session: String,
+        /// Worker-chosen identity from the hello (lease records).
+        name: String,
+        /// Netem stream id (registration order), kept across resumes.
+        stream: u64,
+        /// Coordinator-side egress fault injector, when active.
+        netem: Option<Netem>,
+    },
 }
 
 struct Proc {
-    child: Child,
-    pid: u32,
-    stdin: ChildStdin,
-    /// Updated by the reader thread on every stdout line.
+    link: Link,
+    /// Updated by the reader thread on every delivered line.
     last_line: Arc<Mutex<Instant>>,
     /// Generation guard: events from a previous incarnation of this
-    /// slot are ignored.
+    /// slot (or a superseded remote connection) are ignored.
     gen: u64,
-    /// Sweep the worker was spawned against (`--sweep-dir`/`--seed`).
+    /// Sweep the worker is currently bound to (0 = none yet).
     bound_sweep: u64,
     lease: Option<LeaseInfo>,
     drain_signaled: bool,
 }
 
+impl Proc {
+    fn is_remote(&self) -> bool {
+        matches!(self.link, Link::Remote { .. })
+    }
+
+    fn pid(&self) -> u32 {
+        match &self.link {
+            Link::Child { pid, .. } => *pid,
+            Link::Remote { .. } => 0,
+        }
+    }
+
+    fn session(&self) -> Option<&str> {
+        match &self.link {
+            Link::Child { .. } => None,
+            Link::Remote { session, .. } => Some(session),
+        }
+    }
+
+    fn display_name(&self, idx: usize) -> String {
+        match &self.link {
+            Link::Child { .. } => worker_name(idx),
+            Link::Remote { name, .. } => name.clone(),
+        }
+    }
+
+    /// Sends one protocol line. Remote frames pass through the egress
+    /// fault injector, so a scripted drop silently loses the command —
+    /// exactly the failure the lease timeouts exist to absorb.
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        match &mut self.link {
+            Link::Child { stdin, .. } => writeln!(stdin, "{line}").and_then(|()| stdin.flush()),
+            Link::Remote { writer, netem, .. } => {
+                let frames = match netem.as_mut() {
+                    Some(n) => n.apply(line.as_bytes().to_vec()),
+                    None => vec![line.as_bytes().to_vec()],
+                };
+                for f in frames {
+                    writer.write_all(&f)?;
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()
+            }
+        }
+    }
+
+    /// Releases egress frames whose scripted delay has elapsed (quiet
+    /// links would otherwise hold them forever).
+    fn pump_egress(&mut self) {
+        if let Link::Remote { writer, netem, .. } = &mut self.link {
+            if let Some(n) = netem.as_mut() {
+                for f in n.tick() {
+                    if writer
+                        .write_all(&f)
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                let _ = writer.flush();
+            }
+        }
+    }
+
+    /// Hard-stops the link: kill + reap a child, shut down a socket.
+    fn terminate(&mut self) {
+        match &mut self.link {
+            Link::Child { child, .. } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Link::Remote { writer, .. } => {
+                let _ = writer.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Non-blocking exit check (local children only; remote workers
+    /// are reaped via heartbeat expiry or EOF).
+    fn try_reap(&mut self) -> Option<ExitStatus> {
+        match &mut self.link {
+            Link::Child { child, .. } => child.try_wait().ok().flatten(),
+            Link::Remote { .. } => None,
+        }
+    }
+
+    /// Best-effort cooperative cancellation of the in-flight cell.
+    /// Locals get SIGTERM; a remote worker cannot be preempted — its
+    /// eventual stale completion is fenced instead.
+    fn signal_cell_cancel(&mut self) {
+        if let Link::Child { pid, .. } = &self.link {
+            send_sigterm(*pid);
+        }
+    }
+
+    /// One-shot drain signal: SIGTERM a child (checkpoint + exit 3),
+    /// send the exit op to a remote worker.
+    fn signal_drain(&mut self) {
+        if self.drain_signaled {
+            return;
+        }
+        self.drain_signaled = true;
+        match &self.link {
+            Link::Child { pid, .. } => send_sigterm(*pid),
+            Link::Remote { .. } => {
+                let _ = self.send_line("{\"op\":\"exit\"}");
+            }
+        }
+    }
+}
+
+/// Whether a slot belongs to the fixed local fleet or was appended by
+/// a remote registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Local,
+    Remote,
+}
+
 struct Slot {
+    kind: SlotKind,
     proc: Option<Proc>,
     restarts: u64,
     /// Consecutive deaths, feeding the backoff exponent; reset by a
@@ -280,16 +485,33 @@ struct State {
     slots: Vec<Slot>,
     next_id: u64,
     drain_started: Option<Instant>,
+    /// Session token → slot index for reconnect-with-resume.
+    sessions: BTreeMap<String, usize>,
+    next_session: u64,
+    /// Netem stream ids, assigned in registration order.
+    next_stream: u64,
+    /// Daemon-global fence generation; starts at 1 so 0 stays the
+    /// journal's "unfenced legacy record" sentinel.
+    next_fence: u64,
 }
 
 /// The daemon: shared between the HTTP server threads (submission and
-/// status) and the supervisor thread (ticks).
+/// status), the worker listener, and the supervisor thread (ticks).
 pub struct Daemon {
     cfg: DaemonConfig,
     state: Mutex<State>,
     events_tx: Sender<(usize, u64, WorkerEvent)>,
     events_rx: Mutex<Receiver<(usize, u64, WorkerEvent)>>,
     draining: AtomicBool,
+}
+
+/// Why a cancel request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelError {
+    /// No sweep with the given id.
+    NotFound,
+    /// The sweep already reached the named terminal state.
+    Terminal(String),
 }
 
 /// Summary of one sweep for `GET /sweeps`.
@@ -303,7 +525,7 @@ pub struct SweepView {
     pub seed: u64,
     /// Scheduling priority.
     pub priority: i64,
-    /// Lifecycle label: `running|finalizing|done|failed|shed`.
+    /// Lifecycle label: `running|finalizing|done|failed|shed|cancelled`.
     pub status: String,
     /// Structured reason for `failed`/`shed`, else empty.
     pub detail: String,
@@ -335,14 +557,20 @@ pub struct CellView {
 pub struct WorkerView {
     /// Slot index.
     pub idx: u64,
+    /// Worker identity as it appears in lease journal records:
+    /// `w-<idx>` for locals, the self-reported hello name for remotes
+    /// (empty while a slot is vacant).
+    pub name: String,
     /// Whether a live process occupies the slot.
     pub alive: bool,
-    /// Live worker's pid (0 when dead).
+    /// Live worker's pid (0 when dead or remote).
     pub pid: u64,
-    /// Times this slot respawned a worker.
+    /// Times this slot respawned (local) or re-attached (remote).
     pub restarts: u64,
     /// Key of the currently leased cell, empty when idle.
     pub lease: String,
+    /// `local` or `remote`.
+    pub kind: String,
 }
 
 impl Daemon {
@@ -350,8 +578,9 @@ impl Daemon {
     pub fn new(cfg: DaemonConfig) -> Arc<Self> {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
-        let slots = (0..cfg.workers.max(1))
+        let slots = (0..cfg.workers)
             .map(|i| Slot {
+                kind: SlotKind::Local,
                 proc: None,
                 restarts: 0,
                 deaths: 0,
@@ -372,6 +601,10 @@ impl Daemon {
                 slots,
                 next_id: 1,
                 drain_started: None,
+                sessions: BTreeMap::new(),
+                next_session: 1,
+                next_stream: 0,
+                next_fence: 1,
             }),
             events_tx: tx,
             events_rx: Mutex::new(rx),
@@ -477,6 +710,251 @@ impl Daemon {
         Ok(id)
     }
 
+    /// Cancels a running or finalizing sweep: revokes its leases
+    /// (stale completions are subsequently fenced), kills any finalize
+    /// pass, marks the sweep cancelled, and garbage-collects orphaned
+    /// `inflight-<key>.ckpt` files under its directory.
+    ///
+    /// Returns `Ok(true)` when this call performed the cancel and
+    /// `Ok(false)` when the sweep was already cancelled (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::NotFound`] for an unknown id,
+    /// [`CancelError::Terminal`] when the sweep already finished,
+    /// failed, or was shed.
+    pub fn cancel(&self, id: u64) -> Result<bool, CancelError> {
+        let mut st = self.state.lock().expect("daemon state");
+        let status = match st.sweeps.get(&id) {
+            None => return Err(CancelError::NotFound),
+            Some(s) => s.status.clone(),
+        };
+        match status {
+            SweepStatus::Cancelled => Ok(false),
+            SweepStatus::Done | SweepStatus::Failed(_) | SweepStatus::Shed(_) => {
+                Err(CancelError::Terminal(status.label().to_string()))
+            }
+            SweepStatus::Running | SweepStatus::Finalizing => {
+                for slot in st.slots.iter_mut() {
+                    if let Some(p) = slot.proc.as_mut() {
+                        if p.lease.as_ref().is_some_and(|l| l.sweep_id == id) {
+                            p.lease = None;
+                        }
+                    }
+                }
+                let sweep = st.sweeps.get_mut(&id).expect("checked above");
+                if let Some(mut child) = sweep.finalize_child.take() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                for cell in sweep.cells.iter_mut() {
+                    if cell.status == CellStatus::Leased {
+                        cell.status = CellStatus::Pending;
+                    }
+                }
+                sweep.status = SweepStatus::Cancelled;
+                gc_inflight(&sweep.dir);
+                obs::counter_add("sweepd.sweeps.cancelled", 1);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Registers a remote worker after its hello frame was read.
+    /// Writes the welcome/reject reply itself (handshake frames bypass
+    /// netem by design — the chaos scope is the steady-state stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason; the reject frame has already been
+    /// written to the socket on a best-effort basis.
+    pub(crate) fn register_remote(
+        &self,
+        hello: &wire::Hello,
+        mut stream: TcpStream,
+        leftover: Vec<u8>,
+    ) -> Result<(), String> {
+        let mut reject = |reason: String| -> Result<(), String> {
+            let _ = stream.write_all(wire::render_reject(&reason).as_bytes());
+            let _ = stream.flush();
+            Err(reason)
+        };
+        if hello.proto != wire::PROTO_VERSION {
+            return reject(format!(
+                "protocol version mismatch: worker speaks {}, coordinator speaks {}",
+                hello.proto,
+                wire::PROTO_VERSION
+            ));
+        }
+        let expected = wire::fingerprint(crate::manifest::SUPPORTED_EXPERIMENTS);
+        if hello.fingerprint != expected {
+            return reject(format!(
+                "config fingerprint mismatch: worker {:#018x}, coordinator {:#018x} \
+                 (builds disagree on the supported experiment set)",
+                hello.fingerprint, expected
+            ));
+        }
+        if self.draining() {
+            return reject("daemon is draining; not accepting workers".into());
+        }
+
+        let mut st = self.state.lock().expect("daemon state");
+
+        // Reconnect-with-resume: a known session token whose slot still
+        // holds the remote proc re-attaches the link in place.
+        if !hello.token.is_empty() {
+            if let Some(&idx) = st.sessions.get(&hello.token) {
+                let live = st.slots[idx]
+                    .proc
+                    .as_ref()
+                    .is_some_and(|p| p.session() == Some(hello.token.as_str()));
+                if live {
+                    return self.resume_remote(&mut st, idx, hello, stream, leftover);
+                }
+                // The slot was reaped since: fall through to a fresh
+                // registration so the worker observes the migration.
+                st.sessions.remove(&hello.token);
+            }
+        }
+
+        // Fresh registration: append a remote slot.
+        let session = format!("s{}", st.next_session);
+        st.next_session += 1;
+        let stream_id = st.next_stream;
+        st.next_stream += 1;
+        let netem_cfg = NetemConfig::from_scenario(&self.cfg.netem, stream_id);
+        let (ingress, egress) = if netem_cfg.is_active() {
+            (
+                Some(Netem::new(netem_cfg.clone(), stream_id, NetDir::Ingress)),
+                Some(Netem::new(netem_cfg, stream_id, NetDir::Egress)),
+            )
+        } else {
+            (None, None)
+        };
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(e) => return Err(format!("cloning worker stream: {e}")),
+        };
+        let welcome = wire::render_welcome(&session, 0, None);
+        if let Err(e) = stream
+            .write_all(welcome.as_bytes())
+            .and_then(|()| stream.flush())
+        {
+            return Err(format!("writing welcome: {e}"));
+        }
+        let idx = st.slots.len();
+        let last_line = Arc::new(Mutex::new(Instant::now()));
+        spawn_remote_reader(
+            idx,
+            0,
+            reader,
+            leftover,
+            ingress,
+            Arc::clone(&last_line),
+            self.events_tx.clone(),
+        );
+        st.sessions.insert(session.clone(), idx);
+        st.slots.push(Slot {
+            kind: SlotKind::Remote,
+            proc: Some(Proc {
+                link: Link::Remote {
+                    writer: stream,
+                    session,
+                    name: hello.worker.clone(),
+                    stream: stream_id,
+                    netem: egress,
+                },
+                last_line,
+                gen: 0,
+                bound_sweep: 0,
+                lease: None,
+                drain_signaled: false,
+            }),
+            restarts: 0,
+            deaths: 0,
+            backoff: Backoff::with_jitter(
+                self.cfg.backoff_base_ms,
+                self.cfg.backoff_cap_ms,
+                200,
+                self.cfg.backoff_seed.wrapping_add(0x7e_0000 + stream_id),
+            ),
+            respawn_after: Instant::now(),
+            next_gen: 1,
+        });
+        obs::counter_add("sweepd.remote.registered", 1);
+        Ok(())
+    }
+
+    /// Re-attaches a redialing worker to its live slot: the stale
+    /// socket is shut down, a new generation invalidates its reader,
+    /// and the welcome names the still-held lease (if any) so the
+    /// worker can re-send a completion lost in flight.
+    fn resume_remote(
+        &self,
+        st: &mut State,
+        idx: usize,
+        hello: &wire::Hello,
+        mut stream: TcpStream,
+        leftover: Vec<u8>,
+    ) -> Result<(), String> {
+        let gen = st.slots[idx].next_gen;
+        st.slots[idx].next_gen += 1;
+        st.slots[idx].restarts = st.slots[idx].restarts.saturating_add(1);
+        let proc = st.slots[idx].proc.as_mut().expect("live slot checked");
+        let resume_key = proc.lease.as_ref().map(|l| l.key.clone());
+        let welcome = wire::render_welcome(&hello.token, gen, resume_key.as_deref());
+        if let Err(e) = stream
+            .write_all(welcome.as_bytes())
+            .and_then(|()| stream.flush())
+        {
+            return Err(format!("writing resume welcome: {e}"));
+        }
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(e) => return Err(format!("cloning worker stream: {e}")),
+        };
+        let Link::Remote {
+            writer,
+            name,
+            stream: stream_id,
+            netem,
+            ..
+        } = &mut proc.link
+        else {
+            unreachable!("resume target checked remote");
+        };
+        let _ = writer.shutdown(Shutdown::Both);
+        *writer = stream;
+        *name = hello.worker.clone();
+        let stream_id = *stream_id;
+        // Fresh per-connection injectors: netem frame counters are
+        // per-connection by design (documented in DESIGN §17).
+        let netem_cfg = NetemConfig::from_scenario(&self.cfg.netem, stream_id);
+        let ingress = if netem_cfg.is_active() {
+            *netem = Some(Netem::new(netem_cfg.clone(), stream_id, NetDir::Egress));
+            Some(Netem::new(netem_cfg, stream_id, NetDir::Ingress))
+        } else {
+            *netem = None;
+            None
+        };
+        proc.gen = gen;
+        proc.drain_signaled = false;
+        if let Ok(mut t) = proc.last_line.lock() {
+            *t = Instant::now();
+        }
+        spawn_remote_reader(
+            idx,
+            gen,
+            reader,
+            leftover,
+            ingress,
+            Arc::clone(&proc.last_line),
+            self.events_tx.clone(),
+        );
+        obs::counter_add("sweepd.remote.reconnects", 1);
+        Ok(())
+    }
+
     /// Starts a graceful drain: stop leasing, SIGTERM workers so they
     /// persist in-flight checkpoints, exit once the fleet is reaped.
     pub fn begin_drain(&self) {
@@ -530,19 +1008,25 @@ impl Daemon {
             .enumerate()
             .map(|(i, s)| WorkerView {
                 idx: i as u64,
+                name: s.proc.as_ref().map_or(String::new(), |p| p.display_name(i)),
                 alive: s.proc.is_some(),
-                pid: s.proc.as_ref().map_or(0, |p| u64::from(p.pid)),
+                pid: s.proc.as_ref().map_or(0, |p| u64::from(p.pid())),
                 restarts: s.restarts,
                 lease: s
                     .proc
                     .as_ref()
                     .and_then(|p| p.lease.as_ref())
                     .map_or(String::new(), |l| l.key.clone()),
+                kind: match s.kind {
+                    SlotKind::Local => "local",
+                    SlotKind::Remote => "remote",
+                }
+                .to_string(),
             })
             .collect()
     }
 
-    /// Count of live worker processes.
+    /// Count of live worker processes (local and remote).
     pub fn alive_workers(&self) -> usize {
         let st = self.state.lock().expect("daemon state");
         st.slots.iter().filter(|s| s.proc.is_some()).count()
@@ -560,6 +1044,13 @@ impl Daemon {
             let rx = self.events_rx.lock().expect("event channel");
             while let Ok((slot_idx, gen, event)) = rx.try_recv() {
                 apply_event(cfg, &mut st, slot_idx, gen, event);
+            }
+        }
+
+        // 1b. Release scripted egress delays on quiet remote links.
+        for slot in st.slots.iter_mut() {
+            if let Some(p) = slot.proc.as_mut() {
+                p.pump_egress();
             }
         }
 
@@ -582,41 +1073,49 @@ impl Daemon {
                 (stale, timed_out)
             };
             if stale {
+                let name = st.slots[idx]
+                    .proc
+                    .as_ref()
+                    .map_or_else(|| worker_name(idx), |p| p.display_name(idx));
                 let reason = format!(
-                    "worker {} heartbeat expired (no output for {:?})",
-                    worker_name(idx),
+                    "worker {name} heartbeat expired (no output for {:?})",
                     cfg.heartbeat_deadline
                 );
                 kill_slot(cfg, &mut st, idx, &reason, now);
                 continue;
             }
             if let Some((sweep_id, budget)) = timed_out {
-                // Cooperative cancellation: SIGTERM makes the worker
-                // persist the in-flight checkpoint and exit 3; the
-                // attempt is charged now so the lease cannot wedge the
-                // fleet, and a retry resumes from the checkpoint.
+                // Cooperative cancellation: SIGTERM makes a local
+                // worker persist the in-flight checkpoint and exit 3
+                // (a remote worker cannot be preempted; its eventual
+                // stale completion is fenced). The attempt is charged
+                // now so the lease cannot wedge the fleet, and a retry
+                // resumes from the checkpoint.
                 let lease = st.slots[idx]
                     .proc
                     .as_mut()
                     .and_then(|p| p.lease.take())
                     .expect("timed-out lease");
+                let name = st.slots[idx]
+                    .proc
+                    .as_ref()
+                    .map_or_else(|| worker_name(idx), |p| p.display_name(idx));
                 let reason = format!(
-                    "cell {:?} exceeded its {}s wall-clock budget on worker {}",
+                    "cell {:?} exceeded its {}s wall-clock budget on worker {name}",
                     lease.key,
                     budget.as_secs(),
-                    worker_name(idx)
                 );
                 charge_attempt(cfg, &mut st, sweep_id, &lease.key, &reason);
-                if let Some(p) = st.slots[idx].proc.as_ref() {
-                    send_sigterm(p.pid);
+                if let Some(p) = st.slots[idx].proc.as_mut() {
+                    p.signal_cell_cancel();
                 }
             }
         }
 
-        // 3. Reap exited workers.
+        // 3. Reap exited local workers.
         for idx in 0..st.slots.len() {
             let exited = match st.slots[idx].proc.as_mut() {
-                Some(p) => p.child.try_wait().ok().flatten(),
+                Some(p) => p.try_reap(),
                 None => continue,
             };
             if let Some(status) = exited {
@@ -683,7 +1182,8 @@ fn view_of(sweep: &Sweep) -> SweepView {
     }
 }
 
-/// Applies one worker event, guarded by the slot generation.
+/// Applies one worker event, guarded by the slot generation and the
+/// lease fence.
 fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, event: WorkerEvent) {
     let Some(proc) = st.slots[slot_idx].proc.as_mut() else {
         return;
@@ -693,12 +1193,24 @@ fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, ev
     }
     match event {
         WorkerEvent::Ready => {}
-        WorkerEvent::Done { key, result } => {
+        WorkerEvent::Done {
+            key,
+            result,
+            gen: fence,
+        } => {
             let Some(lease) = proc.lease.take() else {
                 return; // completion for a cancelled lease; checkpoint covers it
             };
             if lease.key != key {
                 proc.lease = Some(lease);
+                return;
+            }
+            if fence.is_some_and(|g| g != lease.gen) {
+                // Stale echo: the worker is finishing an attempt whose
+                // lease was superseded (e.g. timeout → re-lease of the
+                // same cell to the same worker). The live lease stays.
+                proc.lease = Some(lease);
+                obs::counter_add("sweepd.cells.fenced", 1);
                 return;
             }
             st.slots[slot_idx].deaths = 0;
@@ -711,14 +1223,18 @@ fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, ev
             if cell.status == CellStatus::Done {
                 return; // idempotent: journal already has it
             }
-            let record = cell_record(&key, cell.hash, result);
+            let record = cell_record_fenced(&key, cell.hash, result, lease.gen);
             if let Err(e) = sweep.journal.append(&record) {
                 sweep.status = SweepStatus::Failed(format!("journal append: {e}"));
                 return;
             }
             cell.status = CellStatus::Done;
         }
-        WorkerEvent::Err { key, error } => {
+        WorkerEvent::Err {
+            key,
+            error,
+            gen: fence,
+        } => {
             let Some(lease) = proc.lease.take() else {
                 return;
             };
@@ -726,7 +1242,13 @@ fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, ev
                 proc.lease = Some(lease);
                 return;
             }
-            let reason = format!("worker {}: {error}", worker_name(slot_idx));
+            if fence.is_some_and(|g| g != lease.gen) {
+                proc.lease = Some(lease);
+                obs::counter_add("sweepd.cells.fenced", 1);
+                return;
+            }
+            let name = proc.display_name(slot_idx);
+            let reason = format!("worker {name}: {error}");
             charge_attempt(cfg, st, lease.sweep_id, &key, &reason);
         }
         WorkerEvent::Interrupted { key } => {
@@ -749,10 +1271,21 @@ fn apply_event(cfg: &DaemonConfig, st: &mut State, slot_idx: usize, gen: u64, ev
             }
         }
         WorkerEvent::Eof => {
-            // Stdout closed: the process is gone or going; the reap
-            // pass will collect the exit status. Nothing to do here —
-            // the heartbeat deadline covers a process that closed
-            // stdout but lingers.
+            // Local: the reap pass collects the exit status, and the
+            // heartbeat deadline covers a process that closed stdout
+            // but lingers. Remote with no lease: a clean disconnect —
+            // retire the slot now instead of waiting out the deadline.
+            // A *leased* remote keeps its slot: the heartbeat deadline
+            // is the reconnect grace window.
+            let retire = proc.is_remote() && proc.lease.is_none();
+            if retire {
+                if let Some(mut p) = st.slots[slot_idx].proc.take() {
+                    if let Some(session) = p.session().map(str::to_string) {
+                        st.sessions.remove(&session);
+                    }
+                    p.terminate();
+                }
+            }
         }
     }
 }
@@ -788,15 +1321,18 @@ fn charge_attempt(cfg: &DaemonConfig, st: &mut State, sweep_id: u64, key: &str, 
     }
 }
 
-/// Tears down a slot's process after a death or forced kill: journals
-/// the orphaned lease, requeues its cell (crash migration), schedules a
-/// backed-off respawn.
+/// Tears down a slot's link after a death or forced kill: journals the
+/// orphaned lease, requeues its cell (crash migration), schedules a
+/// backed-off respawn (local slots; a retired remote slot waits for
+/// its worker to redial, which lands in a fresh slot).
 fn kill_slot(cfg: &DaemonConfig, st: &mut State, idx: usize, reason: &str, now: Instant) {
     let Some(mut proc) = st.slots[idx].proc.take() else {
         return;
     };
-    let _ = proc.child.kill();
-    let _ = proc.child.wait();
+    if let Some(session) = proc.session().map(str::to_string) {
+        st.sessions.remove(&session);
+    }
+    proc.terminate();
     if let Some(lease) = proc.lease.take() {
         obs::counter_add("sweepd.cells.migrated", 1);
         charge_attempt(
@@ -858,6 +1394,7 @@ fn advance_sweeps(cfg: &DaemonConfig, st: &mut State) {
                     }
                 } else {
                     sweep.status = SweepStatus::Done;
+                    gc_inflight(&sweep.dir);
                 }
             }
             SweepStatus::Running => {}
@@ -870,6 +1407,7 @@ fn advance_sweeps(cfg: &DaemonConfig, st: &mut State) {
                     Ok(Some(status)) if status.success() => {
                         sweep.finalize_child = None;
                         sweep.status = SweepStatus::Done;
+                        gc_inflight(&sweep.dir);
                     }
                     Ok(Some(status)) => {
                         sweep.finalize_child = None;
@@ -886,6 +1424,31 @@ fn advance_sweeps(cfg: &DaemonConfig, st: &mut State) {
             _ => {}
         }
     }
+}
+
+/// Removes orphaned `inflight-<key>.ckpt` files under a finished or
+/// cancelled sweep's directory. Returns the number removed.
+fn gc_inflight(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0u64;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if name.starts_with("inflight-")
+            && name.ends_with(".ckpt")
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        obs::counter_add("sweepd.gc.removed", removed);
+    }
+    removed
 }
 
 /// The finalize pass: a single-process resume over the sweep journal,
@@ -932,8 +1495,11 @@ fn assign_work(
                 break;
             }
             // A slot for this sweep: an idle live worker already bound
-            // to it, else an empty slot past its backoff, else an idle
-            // worker bound to a sweep that no longer needs it.
+            // to it, else an idle remote worker whose sweep no longer
+            // needs it (rebinding is free — run commands to remote
+            // workers are self-contained), else an empty local slot
+            // past its backoff, else an idle local worker bound to a
+            // sweep that no longer needs it.
             let bound_idle = st.slots.iter().position(|s| {
                 s.proc
                     .as_ref()
@@ -941,11 +1507,23 @@ fn assign_work(
             });
             let idx = if let Some(idx) = bound_idle {
                 idx
-            } else if let Some(idx) = st
-                .slots
-                .iter()
-                .position(|s| s.proc.is_none() && now >= s.respawn_after)
-            {
+            } else if let Some(idx) = st.slots.iter().position(|s| {
+                s.proc.as_ref().is_some_and(|p| {
+                    p.is_remote()
+                        && p.lease.is_none()
+                        && !st
+                            .sweeps
+                            .get(&p.bound_sweep)
+                            .is_some_and(Sweep::has_pending)
+                })
+            }) {
+                if let Some(p) = st.slots[idx].proc.as_mut() {
+                    p.bound_sweep = sweep_id;
+                }
+                idx
+            } else if let Some(idx) = st.slots.iter().position(|s| {
+                s.kind == SlotKind::Local && s.proc.is_none() && now >= s.respawn_after
+            }) {
                 let dir = st.sweeps[&sweep_id].dir.clone();
                 let seed = st.sweeps[&sweep_id].manifest.seed;
                 match spawn_worker(cfg, idx, sweep_id, &dir, seed, st, events_tx) {
@@ -964,22 +1542,21 @@ fn assign_work(
                 }
             } else if let Some(idx) = st.slots.iter().position(|s| {
                 s.proc.as_ref().is_some_and(|p| {
-                    p.lease.is_none()
+                    !p.is_remote()
+                        && p.lease.is_none()
                         && !st
                             .sweeps
                             .get(&p.bound_sweep)
                             .is_some_and(Sweep::has_pending)
                 })
             }) {
-                // Rebind: retire the idle worker; the slot respawns for
-                // this sweep on the next tick.
+                // Rebind: retire the idle local worker; the slot
+                // respawns for this sweep on the next tick.
                 if let Some(proc) = st.slots[idx].proc.as_mut() {
-                    let _ = writeln!(proc.stdin, "{{\"op\":\"exit\"}}");
-                    let _ = proc.stdin.flush();
+                    let _ = proc.send_line("{\"op\":\"exit\"}");
                 }
                 if let Some(mut proc) = st.slots[idx].proc.take() {
-                    let _ = proc.child.kill();
-                    let _ = proc.child.wait();
+                    proc.terminate();
                 }
                 st.slots[idx].respawn_after = now;
                 break;
@@ -987,18 +1564,27 @@ fn assign_work(
                 break; // fleet saturated
             };
 
-            lease_next(st, sweep_id, idx);
+            lease_next(cfg, st, sweep_id, idx);
         }
     }
 }
 
-/// Leases the sweep's next pending cell to slot `idx` and sends the run
-/// command down the worker's stdin.
-fn lease_next(st: &mut State, sweep_id: u64, idx: usize) {
+/// Leases the sweep's next pending cell to slot `idx` and sends the
+/// fence-tagged run command down the worker's link. Remote run
+/// commands are self-contained (dir/seed/ckpt-interval inline), so a
+/// delayed or reordered frame can never leave a worker mis-bound.
+fn lease_next(cfg: &DaemonConfig, st: &mut State, sweep_id: u64, idx: usize) {
+    let fence = st.next_fence;
+    let (worker, remote) = match st.slots[idx].proc.as_ref() {
+        Some(p) => (p.display_name(idx), p.is_remote()),
+        None => return,
+    };
     let Some(sweep) = st.sweeps.get_mut(&sweep_id) else {
         return;
     };
     let exp = sweep.manifest.experiment.clone();
+    let seed = sweep.manifest.seed;
+    let dir = sweep.dir.display().to_string();
     let Some(cell) = sweep
         .cells
         .iter_mut()
@@ -1008,8 +1594,9 @@ fn lease_next(st: &mut State, sweep_id: u64, idx: usize) {
     };
     let lease = LeaseRecord {
         key: cell.key.clone(),
-        worker: worker_name(idx),
+        worker,
         attempt: cell.attempts,
+        gen: Some(fence),
     };
     if let Err(e) = sweep.journal.append_lease(&lease) {
         sweep.status = SweepStatus::Failed(format!("journal lease append: {e}"));
@@ -1017,23 +1604,37 @@ fn lease_next(st: &mut State, sweep_id: u64, idx: usize) {
     }
     cell.status = CellStatus::Leased;
     let key = cell.key.clone();
+    st.next_fence += 1;
     let Some(proc) = st.slots[idx].proc.as_mut() else {
         return;
     };
-    let cmd = format!(
-        "{{\"op\":\"run\",\"exp\":{},\"key\":{}}}",
-        serde_json::to_string(&exp).unwrap_or_else(|_| "\"\"".into()),
-        serde_json::to_string(&key).unwrap_or_else(|_| "\"\"".into()),
-    );
-    let sent = writeln!(proc.stdin, "{cmd}").and_then(|()| proc.stdin.flush());
+    let json = |s: &str| serde_json::to_string(&s).unwrap_or_else(|_| "\"\"".into());
+    let cmd = if remote {
+        format!(
+            "{{\"op\":\"run\",\"exp\":{},\"key\":{},\"gen\":{fence},\"dir\":{},\"seed\":{seed},\"ckpt_interval\":{}}}",
+            json(&exp),
+            json(&key),
+            json(&dir),
+            cfg.ckpt_interval,
+        )
+    } else {
+        format!(
+            "{{\"op\":\"run\",\"exp\":{},\"key\":{},\"gen\":{fence}}}",
+            json(&exp),
+            json(&key),
+        )
+    };
+    let sent = proc.send_line(&cmd);
     proc.lease = Some(LeaseInfo {
         sweep_id,
         key,
         started: Instant::now(),
+        gen: fence,
     });
     if sent.is_err() {
-        // Broken pipe: the worker is dying; the reap pass will journal
-        // the orphaned lease and requeue the cell.
+        // Broken pipe: the worker is dying; the reap pass (or the
+        // heartbeat deadline, for a remote link) will journal the
+        // orphaned lease and requeue the cell.
     }
 }
 
@@ -1077,9 +1678,7 @@ fn spawn_worker(
     let last_line = Arc::new(Mutex::new(Instant::now()));
     spawn_reader(idx, gen, stdout, Arc::clone(&last_line), events_tx.clone());
     slot.proc = Some(Proc {
-        child,
-        pid,
-        stdin,
+        link: Link::Child { child, pid, stdin },
         last_line,
         gen,
         bound_sweep: sweep_id,
@@ -1112,8 +1711,67 @@ fn spawn_reader(
     });
 }
 
-/// Drains the fleet: SIGTERM once per worker (cooperative checkpoint +
-/// exit 3), escalate to SIGKILL past the grace window.
+/// Reader thread for a remote link: reassembles frames with the shared
+/// [`wire`] codec, passes each through the ingress fault injector, and
+/// timestamps only *delivered* frames — so a scripted partition window
+/// starves the liveness timestamp exactly like a real one. A protocol
+/// violation (oversized frame, invalid UTF-8) drops the connection.
+fn spawn_remote_reader(
+    idx: usize,
+    gen: u64,
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    mut netem: Option<Netem>,
+    last_line: Arc<Mutex<Instant>>,
+    tx: Sender<(usize, u64, WorkerEvent)>,
+) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let mut buf = leftover;
+        let mut chunk = [0u8; 4096];
+        'conn: loop {
+            loop {
+                let step = match wire::parse_frame(&buf) {
+                    Ok(wire::FrameStatus::Complete { line, consumed }) => {
+                        Some((line.as_bytes().to_vec(), consumed))
+                    }
+                    Ok(wire::FrameStatus::Incomplete) => None,
+                    Err(_) => break 'conn,
+                };
+                let Some((frame, consumed)) = step else { break };
+                buf.drain(..consumed);
+                let delivered = match netem.as_mut() {
+                    Some(n) => n.apply(frame),
+                    None => vec![frame],
+                };
+                for f in delivered {
+                    if let Ok(mut t) = last_line.lock() {
+                        *t = Instant::now();
+                    }
+                    let Ok(text) = String::from_utf8(f) else {
+                        continue; // a corrupted frame still proved liveness
+                    };
+                    if let Some(event) = parse_event(&text) {
+                        if tx.send((idx, gen, event)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send((idx, gen, WorkerEvent::Eof));
+    });
+}
+
+/// Drains the fleet: one drain signal per worker (SIGTERM for locals,
+/// the exit op for remotes — cooperative checkpoint + exit 3),
+/// escalate to a hard kill past the grace window.
 fn drain_fleet(cfg: &DaemonConfig, st: &mut State, now: Instant) {
     let started = *st.drain_started.get_or_insert(now);
     let escalate = now.duration_since(started) > cfg.drain_grace;
@@ -1125,10 +1783,7 @@ fn drain_fleet(cfg: &DaemonConfig, st: &mut State, now: Instant) {
             let reason = format!("worker {} killed after drain grace", worker_name(idx));
             kill_slot(cfg, st, idx, &reason, now);
         } else if let Some(proc) = st.slots[idx].proc.as_mut() {
-            if !proc.drain_signaled {
-                proc.drain_signaled = true;
-                send_sigterm(proc.pid);
-            }
+            proc.signal_drain();
         }
     }
 }

@@ -298,6 +298,14 @@ fn decode_chunked(buf: &[u8], mut pos: usize) -> Result<Option<(Vec<u8>, usize)>
 
 /// Renders a response with a `Content-Length` body and
 /// `Connection: close` (the daemon serves one request per connection).
+///
+/// Invariant: **every** response — success or error, any status —
+/// goes through this function, so `Connection: close` is always
+/// explicit. Without it, an HTTP/1.1 client is entitled to assume
+/// keep-alive and would hang waiting for a second response on a
+/// connection the daemon is about to close. Regression-tested in
+/// `connection_close_is_explicit_on_every_path` below; [`render_error`]
+/// must keep delegating here rather than formatting its own head.
 pub fn render_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -413,5 +421,56 @@ mod tests {
     fn bare_lf_line_endings_are_accepted() {
         let req = complete(b"GET /healthz HTTP/1.1\nHost: x\n\n");
         assert_eq!(req.target, "/healthz");
+    }
+
+    /// Counts occurrences of `needle` in the response head (the bytes
+    /// before the blank line), case-sensitively — header names are
+    /// emitted by us, so their casing is fixed.
+    fn head_count(response: &[u8], needle: &str) -> usize {
+        let text = String::from_utf8_lossy(response);
+        let head = text.split("\r\n\r\n").next().unwrap_or("");
+        head.matches(needle).count()
+    }
+
+    #[test]
+    fn connection_close_is_explicit_on_every_path() {
+        // Success path, empty and non-empty bodies.
+        for body in [&b""[..], b"{\"ok\":true}\n"] {
+            let resp = render_response(200, "application/json", body);
+            assert_eq!(head_count(&resp, "Connection: close"), 1);
+            assert_eq!(head_count(&resp, "Content-Length:"), 1);
+        }
+        // Error path, across every status the daemon emits: the error
+        // renderer must not grow its own head formatting that could
+        // drop the connection header.
+        for status in [400u16, 404, 405, 409, 413, 414, 431, 505] {
+            let resp = render_error(&HttpError::new(status, "reason"));
+            assert_eq!(
+                head_count(&resp, "Connection: close"),
+                1,
+                "status {status} must carry exactly one Connection: close"
+            );
+            assert!(
+                resp.starts_with(format!("HTTP/1.1 {status} ").as_bytes()),
+                "status line for {status}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_responses_end_after_content_length_bytes() {
+        // A client honoring Content-Length + Connection: close must be
+        // able to read the body exactly: no trailing bytes after it.
+        let resp = render_error(&HttpError::new(400, "bad"));
+        let text = String::from_utf8(resp).expect("utf8 response");
+        let (head, body) = text.split_once("\r\n\r\n").expect("blank line");
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .parse()
+            .expect("numeric content-length");
+        assert_eq!(body.len(), declared);
+        assert!(body.ends_with('\n'));
     }
 }

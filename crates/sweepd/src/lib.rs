@@ -25,14 +25,26 @@
 //!   lowest-priority sweeps are shed with a structured reason; SIGTERM
 //!   drains in-flight cells to checkpoints and exits 3 ("interrupted,
 //!   resumable") — the exit-code contract the rest of the repo uses.
+//! * **Distributed workers** ([`remote`], [`wire`]): workers on other
+//!   hosts dial `--worker-listen`, complete a versioned registration
+//!   handshake (protocol version, experiment-set fingerprint, session
+//!   token for reconnect-with-resume), and speak the same JSONL
+//!   protocol over a length-capped framed TCP stream. Leases are
+//!   fence-generation-tagged so a partitioned worker's stale
+//!   completions are rejected, and the coordinator-side transport can
+//!   be wrapped in a deterministic network-fault injector
+//!   ([`faultsim::Netem`]) scripted via `net*` scenario directives.
 
 #![warn(missing_docs)]
 
 pub mod daemon;
 pub mod http;
 pub mod manifest;
+pub mod remote;
 pub mod server;
+pub mod wire;
 
-pub use daemon::{Daemon, DaemonConfig, SweepView, WorkerView};
+pub use daemon::{CancelError, Daemon, DaemonConfig, SweepView, WorkerView};
 pub use http::{parse_request, HttpError, ParseStatus, Request};
 pub use manifest::{parse_manifest, SweepManifest};
+pub use remote::serve_workers;

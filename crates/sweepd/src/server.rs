@@ -5,14 +5,15 @@
 //! the caps in [`crate::http`], structured JSON errors for every
 //! rejection. Routes:
 //!
-//! | Route             | Effect                                        |
-//! |-------------------|-----------------------------------------------|
-//! | `POST /sweeps`    | submit a manifest → `201 {"id": n}`           |
-//! | `GET /sweeps`     | all sweeps, newest first                      |
-//! | `GET /sweeps/:id` | one sweep with per-cell status                |
-//! | `GET /healthz`    | worker-slot health (pids, leases, restarts)   |
-//! | `GET /metrics`    | telemetry snapshot JSON                       |
-//! | `POST /shutdown`  | begin a graceful drain → `202`                |
+//! | Route                     | Effect                                      |
+//! |---------------------------|---------------------------------------------|
+//! | `POST /sweeps`            | submit a manifest → `201 {"id": n}`         |
+//! | `GET /sweeps`             | all sweeps, newest first                    |
+//! | `GET /sweeps/:id`         | one sweep with per-cell status              |
+//! | `POST /sweeps/:id/cancel` | cancel + GC in-flight checkpoints → `202`   |
+//! | `GET /healthz`            | worker-slot health (pids, leases, restarts) |
+//! | `GET /metrics`            | telemetry snapshot JSON                     |
+//! | `POST /shutdown`          | begin a graceful drain → `202`              |
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -124,6 +125,24 @@ fn route(daemon: &Arc<Daemon>, req: &Request) -> Vec<u8> {
             let views = daemon.sweep_views();
             let body = serde_json::to_string(&views).unwrap_or_else(|_| "[]".into());
             json_ok(200, format!("{{\"sweeps\":{body}}}\n"))
+        }
+        ("POST", target) if target.starts_with("/sweeps/") && target.ends_with("/cancel") => {
+            let id_part = &target["/sweeps/".len()..target.len() - "/cancel".len()];
+            let Ok(id) = id_part.parse::<u64>() else {
+                return err(404, "sweep ids are integers");
+            };
+            match daemon.cancel(id) {
+                // Idempotent: cancelling an already-cancelled sweep is
+                // also 202, so a retried request can't fail.
+                Ok(_) => json_ok(202, format!("{{\"id\":{id},\"status\":\"cancelled\"}}\n")),
+                Err(crate::daemon::CancelError::NotFound) => {
+                    err(404, &format!("no sweep with id {id}"))
+                }
+                Err(crate::daemon::CancelError::Terminal(label)) => err(
+                    409,
+                    &format!("sweep {id} is already {label}; nothing to cancel"),
+                ),
+            }
         }
         ("GET", target) if target.starts_with("/sweeps/") => {
             let Ok(id) = target["/sweeps/".len()..].parse::<u64>() else {

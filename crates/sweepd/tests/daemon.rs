@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use checkpoint::manifest::{Journal, JournalHeader, JournalRecord};
 use checkpoint::FORMAT_VERSION;
-use sweepd::{parse_manifest, Daemon, DaemonConfig};
+use sweepd::{parse_manifest, CancelError, Daemon, DaemonConfig};
 
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sweepd-test-{}-{name}", std::process::id()));
@@ -352,11 +352,72 @@ fn http_control_plane_round_trips() {
     assert!(health.contains("\"status\":\"ok\""), "{health}");
     assert!(http(addr, "GET /sweeps/99 HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
 
+    // Cancel routes: a finished sweep is terminal (409 naming the
+    // state), an unknown id is 404.
+    let conflict = http(addr, "POST /sweeps/1/cancel HTTP/1.1\r\n\r\n");
+    assert!(conflict.starts_with("HTTP/1.1 409"), "{conflict}");
+    assert!(conflict.contains("already done"), "{conflict}");
+    assert!(http(addr, "POST /sweeps/99/cancel HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+
     // Shutdown drains and the accept loop winds down.
     let bye = http(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
     assert!(bye.starts_with("HTTP/1.1 202"), "{bye}");
     tick_until(&daemon, "fleet drained", |d| d.alive_workers() == 0);
     assert!(!daemon.unfinished());
+}
+
+#[test]
+fn cancel_revokes_leases_and_collects_inflight_checkpoints() {
+    let dir = scratch("cancel");
+    // Cell "a" completes; cell "b" runs forever (with heartbeats), so
+    // only a cancel can end the sweep.
+    let script = write_worker_script(
+        &dir,
+        r#"    *'"key":"a"'*) printf '%s\n' '{"ev":"done","key":"a","hash":1,"result":"{\"v\":1}"}' ;;
+    *'"key":"b"'*) sleep 60 & wait $! ;;"#,
+    );
+    let cfg = config(&dir, &script);
+    let state_dir = cfg.state_dir.clone();
+    let daemon = Daemon::new(cfg);
+
+    let manifest = parse_manifest(br#"{"experiment":"faults","finalize":false}"#).unwrap();
+    let id = daemon.submit(manifest).expect("submit");
+    tick_until(&daemon, "cell b leased", |d| {
+        d.sweep_detail(id)
+            .is_some_and(|(_, cells)| cells.iter().any(|c| c.key == "b" && c.status == "leased"))
+    });
+
+    // Plant an orphaned in-flight checkpoint, as a worker killed
+    // mid-cell would leave behind.
+    let sweep_dir = state_dir.join(format!("sweep-{id}"));
+    let orphan = sweep_dir.join("inflight-b.ckpt");
+    std::fs::write(&orphan, b"{}").unwrap();
+
+    assert_eq!(daemon.cancel(id), Ok(true));
+    assert_eq!(daemon.cancel(id), Ok(false), "second cancel is idempotent");
+    assert_eq!(daemon.cancel(99), Err(CancelError::NotFound));
+
+    assert!(
+        !orphan.exists(),
+        "cancel must gc orphaned inflight checkpoints"
+    );
+    let (view, cells) = daemon.sweep_detail(id).expect("detail");
+    assert_eq!(view.status, "cancelled");
+    assert!(
+        cells.iter().all(|c| c.status != "leased"),
+        "cancel must revoke every lease: {cells:?}"
+    );
+    assert!(
+        daemon.worker_views().iter().all(|w| w.lease.is_empty()),
+        "workers must not report revoked leases"
+    );
+
+    daemon.begin_drain();
+    tick_until(&daemon, "fleet drained", |d| d.alive_workers() == 0);
+    assert!(
+        !daemon.unfinished(),
+        "a cancelled sweep is not resumable work"
+    );
 }
 
 #[test]
